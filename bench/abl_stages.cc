@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: A-HAM stage count at D = 10,000 (Section III-D2).
+ *
+ * Each stage restores per-stage ML stability but its summing mirror
+ * costs ~1 distance unit, so the minimum detectable distance has a
+ * sweet spot -- the paper lands on 14 stages. This ablation sweeps
+ * the stage count and reports the closed-form minimum detectable
+ * distance, end-to-end accuracy and the cost model's energy/delay.
+ */
+
+#include "common.hh"
+
+#include "circuit/lta.hh"
+#include "ham/a_ham.hh"
+#include "ham/energy_model.hh"
+
+int
+main()
+{
+    using namespace hdham;
+    using namespace hdham::ham;
+
+    bench::banner("Ablation",
+                  "A-HAM stage count at D = 10,000, 14-bit LTA");
+
+    const auto pipeline = bench::makePipeline(10000);
+
+    std::printf("%8s | %8s | %9s | %10s %9s\n", "stages", "minDet",
+                "accuracy", "energy/pJ", "delay/ns");
+    std::size_t bestStages = 1;
+    std::size_t bestMd = static_cast<std::size_t>(-1);
+    for (std::size_t stages :
+         {1u, 2u, 4u, 8u, 14u, 20u, 28u, 50u}) {
+        AHamConfig cfg;
+        cfg.dim = 10000;
+        cfg.stages = stages;
+        cfg.ltaBits = 14;
+        AHam ham(cfg);
+        ham.loadFrom(pipeline->memory());
+        const double acc =
+            100.0 *
+            pipeline
+                ->evaluate([&](const Hypervector &query) {
+                    return ham.search(query).classId;
+                })
+                .accuracy();
+        const auto cost = AHamModel::query(10000, 21, stages, 14);
+        const std::size_t md = ham.minDetectableDistance();
+        std::printf("%8zu | %8zu | %8.1f%% | %10.2f %9.2f\n",
+                    stages, md, acc, cost.energyPj, cost.delayNs);
+        if (md < bestMd) {
+            bestMd = md;
+            bestStages = stages;
+        }
+    }
+    std::printf("\nmodel sweet spot: %zu stages (minDet = %zu); the "
+                "minimum is shallow between ~8 and ~20 stages and "
+                "the paper lands on 14 (minDet = 14). Energy and "
+                "delay barely move with the stage count -- the "
+                "paper's point that staging needs no significant "
+                "extra hardware.\n",
+                bestStages, bestMd);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared helpers for the reproduction harness: a standard workload
+ * (matching Section IV-A at reduced sample counts so every bench
+ * runs in seconds) and table-printing utilities.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure, with the paper's value next to the measured one where the
+ * paper states a number.
+ */
+
+#ifndef HDHAM_BENCH_COMMON_HH
+#define HDHAM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "lang/corpus.hh"
+#include "lang/pipeline.hh"
+
+namespace hdham::bench
+{
+
+/**
+ * Optional CSV sink for figure series: when the environment variable
+ * HDHAM_CSV_DIR is set, each figure bench additionally writes its
+ * series as <dir>/<name>.csv for external plotting; otherwise the
+ * writer swallows everything.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(const std::string &name)
+    {
+        const char *dir = std::getenv("HDHAM_CSV_DIR");
+        if (dir != nullptr && *dir != '\0')
+            file.open(std::string(dir) + "/" + name + ".csv");
+    }
+
+    /** Write one comma-separated row (pass preformatted cells). */
+    template <typename... Cells>
+    void
+    row(const Cells &...cells)
+    {
+        if (!file.is_open())
+            return;
+        const char *sep = "";
+        ((file << sep << cells, sep = ","), ...);
+        file << "\n";
+    }
+
+  private:
+    std::ofstream file;
+};
+
+/** The corpus every experiment shares (built once per process). */
+inline const lang::SyntheticCorpus &
+corpus()
+{
+    static const lang::SyntheticCorpus instance = [] {
+        lang::CorpusConfig cfg;
+        cfg.trainChars = 60000;   // paper: ~1 MB/language
+        cfg.testSentences = 50;   // paper: 1,000/language
+        return lang::SyntheticCorpus(cfg);
+    }();
+    return instance;
+}
+
+/** Trained pipeline at dimensionality @p dim. */
+inline std::unique_ptr<lang::RecognitionPipeline>
+makePipeline(std::size_t dim)
+{
+    lang::PipelineConfig cfg;
+    cfg.dim = dim;
+    return std::make_unique<lang::RecognitionPipeline>(corpus(),
+                                                       cfg);
+}
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s -- %s\n", experiment, description);
+    std::printf("================================================="
+                "=============\n");
+}
+
+/** Print a paper-vs-measured line for a scalar. */
+inline void
+compare(const char *what, double measured, double paper,
+        const char *unit = "")
+{
+    std::printf("  %-44s measured %10.3g %-5s (paper: %.3g)\n", what,
+                measured, unit, paper);
+}
+
+} // namespace hdham::bench
+
+#endif // HDHAM_BENCH_COMMON_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1: language classification accuracy vs. number of bit
+ * errors in the Hamming-distance computation, D = 10,000.
+ *
+ * Paper anchors: maximum accuracy 97.8% holds up to 1,000 bits of
+ * error; 3,000 bits -> 93.8% (moderate); 4,000 bits -> below 80%.
+ */
+
+#include "common.hh"
+
+#include "core/random.hh"
+
+int
+main()
+{
+    using namespace hdham;
+    bench::banner("Figure 1",
+                  "accuracy vs errors in Hamming distance "
+                  "(D = 10,000)");
+
+    const auto pipeline = bench::makePipeline(10000);
+    Rng rng(1);
+    bench::CsvWriter csv("fig01");
+    csv.row("errors", "accuracy");
+
+    std::printf("%12s %12s\n", "errors/bits", "accuracy");
+    double maxAcc = 0.0, acc1000 = 0.0, acc3000 = 0.0, acc4000 = 0.0;
+    for (std::size_t errors :
+         {0u, 250u, 500u, 1000u, 1500u, 2000u, 2500u, 3000u, 3500u,
+          4000u, 4500u}) {
+        const auto eval =
+            pipeline->evaluate([&](const Hypervector &query) {
+                Hypervector noisy = query;
+                noisy.injectErrors(errors, rng);
+                return pipeline->memory().search(noisy).classId;
+            });
+        std::printf("%12zu %11.1f%%\n", errors,
+                    100.0 * eval.accuracy());
+        csv.row(errors, eval.accuracy());
+        if (errors == 0)
+            maxAcc = eval.accuracy();
+        if (errors == 1000)
+            acc1000 = eval.accuracy();
+        if (errors == 3000)
+            acc3000 = eval.accuracy();
+        if (errors == 4000)
+            acc4000 = eval.accuracy();
+    }
+
+    std::printf("\npaper-vs-measured:\n");
+    bench::compare("maximum accuracy (0 errors)", 100 * maxAcc, 97.8,
+                   "%");
+    bench::compare("accuracy at 1,000 bit errors", 100 * acc1000,
+                   97.8, "%");
+    bench::compare("accuracy at 3,000 bit errors (moderate)",
+                   100 * acc3000, 93.8, "%");
+    bench::compare("accuracy at 4,000 bit errors (< 80%)",
+                   100 * acc4000, 80.0, "%");
+    return 0;
+}

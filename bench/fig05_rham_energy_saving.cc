@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 5: R-HAM relative energy saving, structured sampling vs
+ * distributed voltage overscaling, as a function of the tolerated
+ * error in the distance metric.
+ *
+ * Paper anchors: at the maximum-accuracy budget (1,000 bits) the
+ * sampling knob saves 9% (250 blocks off) while overscaling saves
+ * ~2x more (1,000 blocks at 0.78 V); at the moderate budget the
+ * savings are 22% (750 blocks off) vs 50% (all 2,500 blocks
+ * overscaled). Beyond 2,500 bits the overscaling curve flattens
+ * because every block is already at the reduced voltage.
+ */
+
+#include "common.hh"
+
+#include "ham/energy_model.hh"
+
+int
+main()
+{
+    using namespace hdham;
+    using ham::RHamModel;
+    bench::banner("Figure 5",
+                  "R-HAM energy saving: sampling vs voltage "
+                  "overscaling (D = 10,000, C = 21)");
+
+    const double base = RHamModel::query(10000, 21).energyPj;
+    std::printf("%14s %18s %22s\n", "error budget",
+                "sampling saving", "overscaling saving");
+    for (std::size_t errorBits = 0; errorBits <= 3000;
+         errorBits += 500) {
+        // Sampling: each block off tolerates 4 bits of error.
+        const std::size_t blocksOff =
+            std::min<std::size_t>(errorBits / 4, 2500);
+        // Overscaling: each overscaled block tolerates 1 bit.
+        const std::size_t overscaled =
+            std::min<std::size_t>(errorBits, 2500);
+        const double sampling =
+            RHamModel::query(10000, 21, 4, blocksOff, 0).energyPj;
+        const double vos =
+            RHamModel::query(10000, 21, 4, 0, overscaled).energyPj;
+        std::printf("%10zu bit %16.1f%% %20.1f%%\n", errorBits,
+                    100.0 * (1.0 - sampling / base),
+                    100.0 * (1.0 - vos / base));
+    }
+
+    std::printf("\npaper-vs-measured:\n");
+    const double samp250 =
+        1 - RHamModel::query(10000, 21, 4, 250, 0).energyPj / base;
+    const double samp750 =
+        1 - RHamModel::query(10000, 21, 4, 750, 0).energyPj / base;
+    const double vos1000 =
+        1 - RHamModel::query(10000, 21, 4, 0, 1000).energyPj / base;
+    const double vos2500 =
+        1 - RHamModel::query(10000, 21, 4, 0, 2500).energyPj / base;
+    bench::compare("sampling, 250 blocks off (max acc)",
+                   100 * samp250, 9.0, "%");
+    bench::compare("sampling, 750 blocks off (moderate)",
+                   100 * samp750, 22.0, "%");
+    bench::compare("overscaling, 1,000 blocks (max acc)",
+                   100 * vos1000, 18.0, "%");
+    bench::compare("overscaling, all 2,500 blocks (moderate)",
+                   100 * vos2500, 50.0, "%");
+    bench::compare("overscaling advantage at max accuracy",
+                   vos1000 / samp250, 2.0, "x");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 9: energy, search delay and EDP of the three designs as D
+ * scales from 512 to 10,240 with C = 21 (no approximation).
+ *
+ * Paper anchors (D x20): energy x8.3 / 8.2 / 1.9 and delay
+ * x2.2 / 2.0 / 1.7 for D-HAM / R-HAM / A-HAM.
+ */
+
+#include "common.hh"
+
+#include "ham/energy_model.hh"
+
+int
+main()
+{
+    using namespace hdham;
+    using namespace hdham::ham;
+    bench::banner("Figure 9",
+                  "scaling with dimension (C = 21, no "
+                  "approximation)");
+
+    constexpr std::size_t kC = 21;
+    bench::CsvWriter csv("fig09");
+    csv.row("D", "dham_e", "rham_e", "aham_e", "dham_t", "rham_t",
+            "aham_t");
+    std::printf("%8s | %30s | %27s | %30s\n", "",
+                "energy (pJ)", "delay (ns)", "EDP (pJ*ns)");
+    std::printf("%8s | %9s %9s %9s | %8s %8s %8s | %9s %9s %9s\n",
+                "D", "D-HAM", "R-HAM", "A-HAM", "D-HAM", "R-HAM",
+                "A-HAM", "D-HAM", "R-HAM", "A-HAM");
+    for (std::size_t dim :
+         {512u, 1000u, 2000u, 4000u, 10000u, 10240u}) {
+        const auto d = DHamModel::query(dim, kC);
+        const auto r = RHamModel::query(dim, kC);
+        const auto a = AHamModel::query(dim, kC);
+        std::printf(
+            "%8zu | %9.1f %9.1f %9.2f | %8.1f %8.1f %8.2f | "
+            "%9.3g %9.3g %9.3g\n",
+            dim, d.energyPj, r.energyPj, a.energyPj, d.delayNs,
+            r.delayNs, a.delayNs, d.edp(), r.edp(), a.edp());
+        csv.row(dim, d.energyPj, r.energyPj, a.energyPj, d.delayNs,
+                r.delayNs, a.delayNs);
+    }
+
+    std::printf("\npaper-vs-measured scaling factors "
+                "(D: 512 -> 10,240):\n");
+    const auto ratio = [&](auto fn) {
+        return fn(10240, kC) / fn(512, kC);
+    };
+    bench::compare("D-HAM energy x", ratio([](auto d, auto c) {
+        return DHamModel::query(d, c).energyPj;
+    }), 8.3);
+    bench::compare("R-HAM energy x", ratio([](auto d, auto c) {
+        return RHamModel::query(d, c).energyPj;
+    }), 8.2);
+    bench::compare("A-HAM energy x", ratio([](auto d, auto c) {
+        return AHamModel::query(d, c).energyPj;
+    }), 1.9);
+    bench::compare("D-HAM delay x", ratio([](auto d, auto c) {
+        return DHamModel::query(d, c).delayNs;
+    }), 2.2);
+    bench::compare("R-HAM delay x", ratio([](auto d, auto c) {
+        return RHamModel::query(d, c).delayNs;
+    }), 2.0);
+    bench::compare("A-HAM delay x", ratio([](auto d, auto c) {
+        return AHamModel::query(d, c).delayNs;
+    }), 1.7);
+    return 0;
+}

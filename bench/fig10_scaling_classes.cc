@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 10: energy, search delay and EDP of the three designs as
+ * the number of classes C scales from 6 to 100 with D = 10,000.
+ *
+ * Paper anchors (C x16.6): energy x12.6 / 11.4 / 15.9 and delay
+ * x3.5 / 3.4 / 4.4 for D-HAM / R-HAM / A-HAM; A-HAM is hit hardest
+ * because the LTA tree grows with C; R-HAM is gentlest.
+ */
+
+#include "common.hh"
+
+#include "ham/energy_model.hh"
+
+int
+main()
+{
+    using namespace hdham;
+    using namespace hdham::ham;
+    bench::banner("Figure 10",
+                  "scaling with classes (D = 10,000)");
+
+    constexpr std::size_t kD = 10000;
+    bench::CsvWriter csv("fig10");
+    csv.row("C", "dham_e", "rham_e", "aham_e", "dham_t", "rham_t",
+            "aham_t");
+    std::printf("%6s | %30s | %27s | %30s\n", "",
+                "energy (pJ)", "delay (ns)", "EDP (pJ*ns)");
+    std::printf("%6s | %9s %9s %9s | %8s %8s %8s | %9s %9s %9s\n",
+                "C", "D-HAM", "R-HAM", "A-HAM", "D-HAM", "R-HAM",
+                "A-HAM", "D-HAM", "R-HAM", "A-HAM");
+    for (std::size_t classes : {6u, 12u, 25u, 50u, 100u}) {
+        const auto d = DHamModel::query(kD, classes);
+        const auto r = RHamModel::query(kD, classes);
+        const auto a = AHamModel::query(kD, classes);
+        std::printf(
+            "%6zu | %9.1f %9.1f %9.2f | %8.1f %8.1f %8.2f | "
+            "%9.3g %9.3g %9.3g\n",
+            classes, d.energyPj, r.energyPj, a.energyPj, d.delayNs,
+            r.delayNs, a.delayNs, d.edp(), r.edp(), a.edp());
+        csv.row(classes, d.energyPj, r.energyPj, a.energyPj,
+                d.delayNs, r.delayNs, a.delayNs);
+    }
+
+    std::printf("\npaper-vs-measured scaling factors "
+                "(C: 6 -> 100):\n");
+    const auto ratio = [&](auto fn) { return fn(100) / fn(6); };
+    bench::compare("D-HAM energy x", ratio([](auto c) {
+        return DHamModel::query(kD, c).energyPj;
+    }), 12.6);
+    bench::compare("R-HAM energy x", ratio([](auto c) {
+        return RHamModel::query(kD, c).energyPj;
+    }), 11.4);
+    bench::compare("A-HAM energy x", ratio([](auto c) {
+        return AHamModel::query(kD, c).energyPj;
+    }), 15.9);
+    bench::compare("D-HAM delay x", ratio([](auto c) {
+        return DHamModel::query(kD, c).delayNs;
+    }), 3.5);
+    bench::compare("R-HAM delay x", ratio([](auto c) {
+        return RHamModel::query(kD, c).delayNs;
+    }), 3.4);
+    bench::compare("A-HAM delay x", ratio([](auto c) {
+        return AHamModel::query(kD, c).delayNs;
+    }), 4.4);
+    return 0;
+}

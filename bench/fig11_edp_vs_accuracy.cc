@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 11: energy-delay product of R-HAM and A-HAM normalized to
+ * D-HAM, as a function of the tolerated error in the Hamming
+ * distance (D = 10,000, C = 21). At each error budget every design
+ * applies its own approximation knob:
+ *   D-HAM -- structured sampling (d = D - error),
+ *   R-HAM -- voltage overscaling (error blocks at 0.78 V),
+ *   A-HAM -- reduced LTA resolution (bits mapped to the budget as
+ *            in Section III-D3: 14 bits at 1,000 bits error, 11
+ *            bits at 3,000).
+ *
+ * Paper anchors: at the maximum-accuracy budget R-HAM is 7.3x and
+ * A-HAM 746x below D-HAM; at the moderate budget 9.6x and 1347x.
+ * Moving max -> moderate buys R-HAM ~1.4x and A-HAM ~2.4x. Beyond
+ * 2,500 bits the R-HAM curve flattens (all blocks already
+ * overscaled).
+ */
+
+#include "common.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ham/energy_model.hh"
+
+namespace
+{
+
+/**
+ * The paper's bit-width schedule vs error budget: 14 bits at the
+ * 1,000-bit (max accuracy) point, 11 bits at the 3,000-bit
+ * (moderate) point, linear in between and clamped to [10, 15].
+ */
+std::size_t
+ahamBitsFor(std::size_t errorBits)
+{
+    const double bits = 14.0 - (static_cast<double>(errorBits) -
+                                1000.0) * 3.0 / 2000.0;
+    return static_cast<std::size_t>(
+        std::clamp(std::lround(bits), 10l, 15l));
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hdham;
+    using namespace hdham::ham;
+    bench::banner("Figure 11",
+                  "EDP normalized to D-HAM vs error in distance "
+                  "(D = 10,000, C = 21)");
+
+    constexpr std::size_t kD = 10000, kC = 21;
+    bench::CsvWriter csv("fig11");
+    csv.row("error_bits", "rham_over_dham", "aham_over_dham");
+    std::printf("%12s | %10s %14s | %8s %14s\n", "error/bits",
+                "R-HAM/D", "(norm. EDP)", "A-HAM/D", "(norm. EDP)");
+    for (std::size_t err = 0; err <= 4000; err += 500) {
+        const double dham =
+            DHamModel::query(kD, kC, kD - err).edp();
+        const std::size_t overscaled =
+            std::min<std::size_t>(err, 2500);
+        const double rham =
+            RHamModel::query(kD, kC, 4, 0, overscaled).edp();
+        const double aham =
+            AHamModel::query(kD, kC, 14, ahamBitsFor(err)).edp();
+        csv.row(err, rham / dham, aham / dham);
+        std::printf("%12zu | %10.4f %14s | %8.6f %14s\n", err,
+                    rham / dham,
+                    err == 1000   ? "<- max acc"
+                    : err == 3000 ? "<- moderate"
+                                  : "",
+                    aham / dham,
+                    err == 1000   ? "<- max acc"
+                    : err == 3000 ? "<- moderate"
+                                  : "");
+    }
+
+    const double dMax = DHamModel::query(kD, kC, 9000).edp();
+    const double dMod = DHamModel::query(kD, kC, 7000).edp();
+    const double rMax = RHamModel::query(kD, kC, 4, 0, 1000).edp();
+    const double rMod = RHamModel::query(kD, kC, 4, 0, 2500).edp();
+    const double aMax = AHamModel::query(kD, kC, 14, 14).edp();
+    const double aMod = AHamModel::query(kD, kC, 14, 11).edp();
+
+    std::printf("\npaper-vs-measured:\n");
+    bench::compare("R-HAM gain at maximum accuracy", dMax / rMax,
+                   7.3, "x");
+    bench::compare("R-HAM gain at moderate accuracy", dMod / rMod,
+                   9.6, "x");
+    bench::compare("A-HAM gain at maximum accuracy", dMax / aMax,
+                   746.0, "x");
+    bench::compare("A-HAM gain at moderate accuracy", dMod / aMod,
+                   1347.0, "x");
+    bench::compare("R-HAM max -> moderate improvement",
+                   rMax / rMod, 1.4, "x");
+    bench::compare("A-HAM max -> moderate improvement",
+                   aMax / aMod, 2.4, "x");
+    return 0;
+}

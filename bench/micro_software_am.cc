@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Software microbenchmarks (google-benchmark): throughput of the
+ * core primitives behind every experiment -- Hamming distance,
+ * associative search, trigram encoding and the behavioral HAM
+ * searches -- across the paper's D and C sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/assoc_memory.hh"
+#include "core/packed_rows.hh"
+#include "core/bundler.hh"
+#include "core/encoder.hh"
+#include "core/item_memory.hh"
+#include "core/random.hh"
+#include "ham/a_ham.hh"
+#include "ham/d_ham.hh"
+#include "ham/r_ham.hh"
+
+namespace
+{
+
+using namespace hdham;
+
+void
+BM_HammingDistance(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    const Hypervector a = Hypervector::random(dim, rng);
+    const Hypervector b = Hypervector::random(dim, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.hamming(b));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HammingDistance)->Arg(512)->Arg(2000)->Arg(10000);
+
+void
+BM_Bind(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    const Hypervector a = Hypervector::random(dim, rng);
+    const Hypervector b = Hypervector::random(dim, rng);
+    for (auto _ : state) {
+        Hypervector c = a ^ b;
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_Bind)->Arg(10000);
+
+void
+BM_BundlerAdd(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    const Hypervector hv = Hypervector::random(dim, rng);
+    Bundler bundler(dim);
+    for (auto _ : state)
+        bundler.add(hv);
+    state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_BundlerAdd)->Arg(10000);
+
+void
+BM_SoftwareSearch(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto classes = static_cast<std::size_t>(state.range(1));
+    Rng rng(4);
+    AssociativeMemory am(dim);
+    for (std::size_t c = 0; c < classes; ++c)
+        am.store(Hypervector::random(dim, rng));
+    const Hypervector query = Hypervector::random(dim, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(am.search(query));
+    state.SetItemsProcessed(state.iterations() * classes);
+}
+BENCHMARK(BM_SoftwareSearch)
+    ->Args({10000, 6})
+    ->Args({10000, 21})
+    ->Args({10000, 100})
+    ->Args({512, 21})
+    ->Args({2000, 21});
+
+void
+BM_PackedRowsScan(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto classes = static_cast<std::size_t>(state.range(1));
+    Rng rng(5);
+    PackedRows rows(dim);
+    for (std::size_t c = 0; c < classes; ++c)
+        rows.append(Hypervector::random(dim, rng));
+    const Hypervector query = Hypervector::random(dim, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rows.nearest(query, dim));
+    state.SetItemsProcessed(state.iterations() * classes);
+}
+BENCHMARK(BM_PackedRowsScan)
+    ->Args({10000, 21})
+    ->Args({10000, 100});
+
+void
+BM_TrigramEncode(benchmark::State &state)
+{
+    ItemMemory items(TextAlphabet::size, 10000, 5);
+    Encoder encoder(items, 3);
+    Rng rng(6);
+    const std::string sentence(
+        "the quick brown fox jumps over the lazy dog and keeps "
+        "running through the synthetic corpus");
+    for (auto _ : state) {
+        Hypervector hv = encoder.encode(sentence, rng);
+        benchmark::DoNotOptimize(hv);
+    }
+    state.SetItemsProcessed(state.iterations() * sentence.size());
+}
+BENCHMARK(BM_TrigramEncode);
+
+template <typename HamT, typename ConfigT>
+void
+hamSearchBenchmark(benchmark::State &state)
+{
+    constexpr std::size_t dim = 10000, classes = 21;
+    Rng rng(7);
+    ConfigT cfg;
+    cfg.dim = dim;
+    HamT ham(cfg);
+    for (std::size_t c = 0; c < classes; ++c)
+        ham.store(Hypervector::random(dim, rng));
+    const Hypervector query = Hypervector::random(dim, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ham.search(query));
+    state.SetItemsProcessed(state.iterations() * classes);
+}
+
+void
+BM_DHamSearch(benchmark::State &state)
+{
+    hamSearchBenchmark<ham::DHam, ham::DHamConfig>(state);
+}
+BENCHMARK(BM_DHamSearch);
+
+void
+BM_RHamSearch(benchmark::State &state)
+{
+    hamSearchBenchmark<ham::RHam, ham::RHamConfig>(state);
+}
+BENCHMARK(BM_RHamSearch);
+
+void
+BM_AHamSearch(benchmark::State &state)
+{
+    hamSearchBenchmark<ham::AHam, ham::AHamConfig>(state);
+}
+BENCHMARK(BM_AHamSearch);
+
+} // namespace
+
+BENCHMARK_MAIN();

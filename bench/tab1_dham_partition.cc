@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table I: energy and area partitioning of D-HAM (C = 100) for
+ * D = 10,000 and the sampled variants d = 9,000 / 7,000, plus the
+ * Section III-A sampling energy savings.
+ */
+
+#include "common.hh"
+
+#include "ham/energy_model.hh"
+
+int
+main()
+{
+    using namespace hdham;
+    using ham::DHamModel;
+    bench::banner("Table I",
+                  "D-HAM energy and area partitioning (C = 100)");
+
+    struct Row
+    {
+        std::size_t d;
+        double paperCamArea, paperLogicArea;
+        double paperCamEnergy, paperLogicEnergy;
+    };
+    const Row rows[] = {
+        {10000, 15.2, 10.9, 4976.9, 1178.2},
+        {9000, 13.7, 10.2, 4479.2, 1131.1},
+        {7000, 10.6, 8.3, 3483.8, 883.6},
+    };
+
+    std::printf("%8s | %22s | %22s\n", "", "area (mm^2)",
+                "energy (pJ)");
+    std::printf("%8s | %10s %11s | %10s %11s\n", "d", "CAM",
+                "cnt+cmp", "CAM", "cnt+cmp");
+    for (const Row &row : rows) {
+        const auto energy =
+            DHamModel::energyBreakdown(10000, 100, row.d);
+        const auto area = DHamModel::areaBreakdown(10000, 100, row.d);
+        std::printf("%8zu | %10.1f %11.1f | %10.1f %11.1f\n", row.d,
+                    area.array, area.logic, energy.array,
+                    energy.logic + energy.periphery);
+        std::printf("%8s | %10.1f %11.1f | %10.1f %11.1f  <- paper\n",
+                    "", row.paperCamArea, row.paperLogicArea,
+                    row.paperCamEnergy, row.paperLogicEnergy);
+    }
+
+    const double base =
+        DHamModel::energyBreakdown(10000, 100).total();
+    const double e9 =
+        DHamModel::energyBreakdown(10000, 100, 9000).total();
+    const double e7 =
+        DHamModel::energyBreakdown(10000, 100, 7000).total();
+    std::printf("\nsampling energy saving (Section III-A):\n");
+    bench::compare("d = 9,000 saving", 100 * (1 - e9 / base), 7.0,
+                   "%");
+    bench::compare("d = 7,000 saving", 100 * (1 - e7 / base), 22.0,
+                   "%");
+    bench::compare("CAM share of total energy",
+                   100 * DHamModel::energyBreakdown(10000, 100).array /
+                       base,
+                   81.0, "%");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Design-space exploration: sweep the approximation knobs of all
+ * three HAM designs and print accuracy / energy / delay / EDP per
+ * configuration -- the kind of table an architect would build from
+ * the paper's Figs. 5, 9, 10 and 11 before picking a design point.
+ *
+ * Run: ./design_space_explorer
+ */
+
+#include <cstdio>
+
+#include "ham/a_ham.hh"
+#include "ham/d_ham.hh"
+#include "ham/energy_model.hh"
+#include "ham/r_ham.hh"
+#include "lang/corpus.hh"
+#include "lang/pipeline.hh"
+
+namespace
+{
+
+using namespace hdham;
+using namespace hdham::lang;
+using namespace hdham::ham;
+
+constexpr std::size_t kDim = 10000;
+
+double
+accuracy(const RecognitionPipeline &pipeline, Ham &ham)
+{
+    ham.loadFrom(pipeline.memory());
+    return pipeline
+        .evaluate([&](const Hypervector &query) {
+            return ham.search(query).classId;
+        })
+        .accuracy();
+}
+
+void
+row(const char *label, double acc, const CostEstimate &cost,
+    double baseEdp)
+{
+    std::printf("%-34s %6.2f%% %10.1f %8.1f %10.3g %8.1fx\n", label,
+                100.0 * acc, cost.energyPj, cost.delayNs, cost.edp(),
+                baseEdp / cost.edp());
+}
+
+} // namespace
+
+int
+main()
+{
+    CorpusConfig corpusCfg;
+    corpusCfg.trainChars = 60000;
+    corpusCfg.testSentences = 50;
+    const SyntheticCorpus corpus(corpusCfg);
+    PipelineConfig pipeCfg;
+    pipeCfg.dim = kDim;
+    const RecognitionPipeline pipeline(corpus, pipeCfg);
+    const std::size_t classes = pipeline.memory().size();
+
+    const double baseEdp = DHamModel::query(kDim, classes).edp();
+    std::printf("%-34s %7s %10s %8s %10s %8s\n", "configuration",
+                "acc", "energy/pJ", "delay/ns", "EDP", "gain");
+
+    // ---- D-HAM sampling ladder ----
+    for (std::size_t d : {kDim, std::size_t{9000}, std::size_t{7000},
+                          std::size_t{5000}}) {
+        DHamConfig cfg;
+        cfg.dim = kDim;
+        cfg.sampledDim = d;
+        DHam ham(cfg);
+        char label[64];
+        std::snprintf(label, sizeof(label), "D-HAM d=%zu", d);
+        row(label, accuracy(pipeline, ham),
+            DHamModel::query(kDim, classes, d), baseEdp);
+    }
+
+    // ---- R-HAM: sampling vs voltage overscaling ----
+    for (std::size_t off : {std::size_t{0}, std::size_t{250},
+                            std::size_t{750}}) {
+        RHamConfig cfg;
+        cfg.dim = kDim;
+        cfg.blocksOff = off;
+        RHam ham(cfg);
+        char label[64];
+        std::snprintf(label, sizeof(label), "R-HAM %zu blocks off",
+                      off);
+        row(label, accuracy(pipeline, ham),
+            RHamModel::query(kDim, classes, 4, off, 0), baseEdp);
+    }
+    for (std::size_t ovs : {std::size_t{1000}, std::size_t{2500}}) {
+        RHamConfig cfg;
+        cfg.dim = kDim;
+        cfg.overscaledBlocks = ovs;
+        RHam ham(cfg);
+        char label[64];
+        std::snprintf(label, sizeof(label),
+                      "R-HAM %zu blocks @0.78V", ovs);
+        row(label, accuracy(pipeline, ham),
+            RHamModel::query(kDim, classes, 4, 0, ovs), baseEdp);
+    }
+
+    // ---- A-HAM: LTA resolution ladder ----
+    for (std::size_t bits : {std::size_t{15}, std::size_t{14},
+                             std::size_t{12}, std::size_t{11},
+                             std::size_t{10}}) {
+        AHamConfig cfg;
+        cfg.dim = kDim;
+        cfg.ltaBits = bits;
+        AHam ham(cfg);
+        char label[64];
+        std::snprintf(label, sizeof(label),
+                      "A-HAM 14 stages, %zu-bit LTA (md=%zu)", bits,
+                      ham.minDetectableDistance());
+        row(label, accuracy(pipeline, ham),
+            AHamModel::query(kDim, classes, 14, bits), baseEdp);
+    }
+    return 0;
+}

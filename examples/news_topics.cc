@@ -1,0 +1,79 @@
+/**
+ * @file
+ * News-topic classification: the paper notes the language-
+ * recognition algorithm "can be reused to perform other tasks such
+ * as classification of news articles by topic with similar success
+ * rates" (Section II-A.2, reference [6]).
+ *
+ * This example re-targets the same pipeline to 8 synthetic news
+ * topics and picks the cheapest HAM operating point for each
+ * accuracy target using the design-space API.
+ *
+ * Run: ./news_topics
+ */
+
+#include <cstdio>
+
+#include "ham/a_ham.hh"
+#include "ham/design_space.hh"
+#include "lang/corpus.hh"
+#include "lang/pipeline.hh"
+
+int
+main()
+{
+    using namespace hdham;
+    using namespace hdham::lang;
+    using namespace hdham::ham;
+
+    // 8 topics in 4 loosely-related pairs.
+    CorpusConfig corpusCfg;
+    corpusCfg.numLanguages = 8;
+    corpusCfg.familySize = 2;
+    corpusCfg.labels = {"sports",  "esports",  "politics",
+                        "economy", "science",  "technology",
+                        "weather", "climate"};
+    corpusCfg.trainChars = 80000;
+    corpusCfg.testSentences = 100;
+    const SyntheticCorpus corpus(corpusCfg);
+
+    PipelineConfig pipeCfg;
+    pipeCfg.dim = 10000;
+    const RecognitionPipeline pipeline(corpus, pipeCfg);
+
+    const auto eval = pipeline.evaluateExact();
+    std::printf("topic classification over %zu topics: %.1f%% "
+                "(%zu/%zu)\n\n",
+                corpus.numLanguages(), 100.0 * eval.accuracy(),
+                eval.correct, eval.total);
+
+    std::printf("per-topic recall:\n");
+    for (std::size_t topic = 0; topic < corpus.numLanguages();
+         ++topic) {
+        std::size_t total = 0;
+        for (const std::size_t n : eval.confusion[topic])
+            total += n;
+        std::printf("  %-11s %5.1f%%\n",
+                    corpus.labelOf(topic).c_str(),
+                    100.0 * eval.confusion[topic][topic] /
+                        static_cast<double>(total));
+    }
+
+    // Pick hardware: the design-space API resolves the paper's knob
+    // schedule for this (D, C).
+    std::printf("\nhardware operating points (D = 10,000, C = 8):\n");
+    std::printf("%8s %10s | %-24s %10s %9s %10s\n", "design",
+                "target", "knobs", "energy/pJ", "delay/ns", "EDP");
+    for (const DesignPoint &point : fullDesignSpace(10000, 8)) {
+        std::printf("%8s %10s | %-24s %10.2f %9.2f %10.3g\n",
+                    designName(point.design),
+                    targetName(point.target),
+                    point.description.c_str(), point.cost.energyPj,
+                    point.cost.delayNs, point.cost.edp());
+    }
+    const DesignPoint best =
+        bestByEdp(AccuracyTarget::Moderate, 10000, 8);
+    std::printf("\nlowest EDP at the moderate target: %s (%s)\n",
+                designName(best.design), best.description.c_str());
+    return 0;
+}

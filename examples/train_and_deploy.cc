@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Train-once / deploy-anywhere: train the 21-language classifier,
+ * persist the learned hypervectors, reload them into a fresh
+ * associative memory and a hardware HAM model, and verify the
+ * deployed copies classify identically.
+ *
+ * Run: ./train_and_deploy [model-path]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/serialize.hh"
+#include "ham/r_ham.hh"
+#include "lang/corpus.hh"
+#include "lang/pipeline.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hdham;
+    using namespace hdham::lang;
+
+    const std::string path =
+        argc > 1 ? argv[1] : "/tmp/hdham_languages.bin";
+
+    // --- training side -------------------------------------------
+    CorpusConfig corpusCfg;
+    corpusCfg.trainChars = 60000;
+    corpusCfg.testSentences = 50;
+    const SyntheticCorpus corpus(corpusCfg);
+    const RecognitionPipeline pipeline(corpus, {});
+    std::printf("trained %zu languages at D = %zu; accuracy %.1f%%\n",
+                pipeline.memory().size(), pipeline.memory().dim(),
+                100.0 * pipeline.evaluateExact().accuracy());
+
+    serialize::saveMemory(path, pipeline.memory());
+    std::printf("saved model to %s\n", path.c_str());
+
+    // --- deployment side ------------------------------------------
+    const AssociativeMemory deployed = serialize::loadMemory(path);
+    std::printf("reloaded %zu classes ('%s' ... '%s')\n",
+                deployed.size(), deployed.labelOf(0).c_str(),
+                deployed.labelOf(deployed.size() - 1).c_str());
+
+    std::size_t agreements = 0;
+    for (const auto &query : pipeline.queries()) {
+        if (deployed.search(query.vector).classId ==
+            pipeline.memory().search(query.vector).classId) {
+            ++agreements;
+        }
+    }
+    std::printf("deployed software AM agrees on %zu/%zu queries\n",
+                agreements, pipeline.queries().size());
+
+    // Load into a hardware model and classify a few samples.
+    ham::RHamConfig rCfg;
+    rCfg.dim = deployed.dim();
+    rCfg.overscaledBlocks = rCfg.totalBlocks();
+    ham::RHam rham(rCfg);
+    rham.loadFrom(deployed);
+    std::printf("\noverscaled R-HAM on the deployed model:\n");
+    for (std::size_t i = 0; i < 5; ++i) {
+        const auto &query =
+            pipeline.queries()[i * 131 % pipeline.queries().size()];
+        const auto hit = rham.search(query.vector);
+        std::printf("  truth=%-11s predicted=%-11s\n",
+                    deployed.labelOf(query.trueLang).c_str(),
+                    deployed.labelOf(hit.classId).c_str());
+    }
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,144 @@
+#include "circuit/crossbar.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdham::circuit
+{
+
+Crossbar::Crossbar(std::size_t rows, std::size_t dim,
+                   const MemristorSpec &spec, Rng &rng)
+    : numRows(rows), numCols(dim)
+{
+    if (rows == 0 || dim == 0)
+        throw std::invalid_argument("Crossbar: degenerate shape");
+    devices.reserve(rows * dim * 2);
+    for (std::size_t i = 0; i < rows * dim * 2; ++i)
+        devices.emplace_back(spec, rng);
+}
+
+const Memristor &
+Crossbar::device(std::size_t row, std::size_t col,
+                 bool complement) const
+{
+    assert(row < numRows && col < numCols);
+    return devices[(row * numCols + col) * 2 + (complement ? 1 : 0)];
+}
+
+Memristor &
+Crossbar::device(std::size_t row, std::size_t col, bool complement)
+{
+    assert(row < numRows && col < numCols);
+    return devices[(row * numCols + col) * 2 + (complement ? 1 : 0)];
+}
+
+void
+Crossbar::programRow(std::size_t row, const Hypervector &hv)
+{
+    if (hv.dim() != numCols)
+        throw std::invalid_argument("Crossbar::programRow: "
+                                    "dimension mismatch");
+    if (row >= numRows)
+        throw std::invalid_argument("Crossbar::programRow: row out "
+                                    "of range");
+    for (std::size_t col = 0; col < numCols; ++col) {
+        const bool bit = hv.get(col);
+        device(row, col, false).program(bit);
+        device(row, col, true).program(!bit);
+    }
+}
+
+std::uint64_t
+Crossbar::totalWrites() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : devices)
+        total += dev.writeCount();
+    return total;
+}
+
+std::uint64_t
+Crossbar::maxWritesPerDevice() const
+{
+    std::uint64_t worst = 0;
+    for (const auto &dev : devices)
+        worst = std::max(worst, dev.writeCount());
+    return worst;
+}
+
+std::size_t
+Crossbar::injectStuckFaults(double fraction, Rng &rng)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        throw std::invalid_argument("Crossbar::injectStuckFaults: "
+                                    "fraction outside [0, 1]");
+    std::size_t failed = 0;
+    for (auto &dev : devices) {
+        if (!dev.isStuck() && rng.nextDouble() < fraction) {
+            dev.stickAt(rng.nextBool());
+            ++failed;
+        }
+    }
+    return failed;
+}
+
+std::size_t
+Crossbar::stuckDevices() const
+{
+    std::size_t count = 0;
+    for (const auto &dev : devices)
+        count += dev.isStuck();
+    return count;
+}
+
+double
+Crossbar::cellConductance(std::size_t row, std::size_t col,
+                          bool queryBit, double seriesR) const
+{
+    // Query bit 1 probes the complement device (ON iff stored 0:
+    // mismatch); query bit 0 probes the data device (ON iff stored
+    // 1: mismatch).
+    const Memristor &probed = device(row, col, queryBit);
+    return 1.0 / (probed.resistance() + seriesR);
+}
+
+double
+Crossbar::rangeConductance(std::size_t row, const Hypervector &query,
+                           std::size_t first, std::size_t last,
+                           double seriesR) const
+{
+    assert(query.dim() == numCols);
+    assert(first <= last && last <= numCols);
+    double conductance = 0.0;
+    for (std::size_t col = first; col < last; ++col) {
+        conductance +=
+            cellConductance(row, col, query.get(col), seriesR);
+    }
+    return conductance;
+}
+
+double
+Crossbar::blockCrossingTime(std::size_t row, const Hypervector &query,
+                            std::size_t first, std::size_t last,
+                            double capPerCell, double v0,
+                            double vth, double seriesR) const
+{
+    const double conductance =
+        rangeConductance(row, query, first, last, seriesR);
+    const double cap =
+        static_cast<double>(last - first) * capPerCell;
+    // V(t) = v0 * exp(-G t / C)  =>  t_th = (C/G) ln(v0/vth).
+    return cap / conductance * std::log(v0 / vth);
+}
+
+double
+Crossbar::rangeCurrent(std::size_t row, const Hypervector &query,
+                       std::size_t first, std::size_t last,
+                       double volts, double seriesR) const
+{
+    return volts * rangeConductance(row, query, first, last, seriesR);
+}
+
+} // namespace hdham::circuit

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Device-level memristive crossbar (Sections III-B/C/D).
+ *
+ * A rows x dim array of resistive TCAM cells, each built from two
+ * memristors (2T-2R, as in the NVTCAM of reference [16]): the data
+ * device is ON when the stored bit is 1, the complement device ON
+ * when it is 0. A query bit probes the device of opposite polarity,
+ * so a mismatching cell conducts through a (low) ON resistance and
+ * a matching cell leaks only through a (very high) OFF resistance.
+ *
+ * Every device's actual resistance is drawn once at "manufacture"
+ * from the spec's log-normal spread, so searches through this class
+ * see true device-to-device variation -- including effects the fast
+ * behavioral models approximate analytically (OFF-state leakage,
+ * conductance spread). Writes are counted per device because the
+ * paper's endurance argument is that R-HAM programs each cell only
+ * once per training session.
+ */
+
+#ifndef HDHAM_CIRCUIT_CROSSBAR_HH
+#define HDHAM_CIRCUIT_CROSSBAR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/memristor.hh"
+#include "core/hypervector.hh"
+#include "core/random.hh"
+
+namespace hdham::circuit
+{
+
+/**
+ * A manufactured crossbar of 2-memristor TCAM cells.
+ */
+class Crossbar
+{
+  public:
+    /**
+     * Manufacture a @p rows x @p dim crossbar; all device
+     * resistances are drawn from @p spec via @p rng.
+     */
+    Crossbar(std::size_t rows, std::size_t dim,
+             const MemristorSpec &spec, Rng &rng);
+
+    /** Number of rows. */
+    std::size_t rows() const { return numRows; }
+
+    /** Cells per row. */
+    std::size_t dim() const { return numCols; }
+
+    /**
+     * Program row @p row with @p hv (one write per device).
+     * @pre hv.dim() == dim().
+     */
+    void programRow(std::size_t row, const Hypervector &hv);
+
+    /** Total programming operations across all devices. */
+    std::uint64_t totalWrites() const;
+
+    /** Maximum writes endured by any single device. */
+    std::uint64_t maxWritesPerDevice() const;
+
+    /**
+     * Fail a fraction of all devices stuck in random states
+     * (forming/endurance failures). Stuck devices ignore subsequent
+     * programming; call before or after programRow to model
+     * manufacture-time or wear-out faults. Returns the number of
+     * devices failed.
+     */
+    std::size_t injectStuckFaults(double fraction, Rng &rng);
+
+    /** Devices currently stuck. */
+    std::size_t stuckDevices() const;
+
+    /**
+     * Conductance (1/ohm) of the cell's probed path for query bit
+     * @p queryBit: the ON path when the cell mismatches, the OFF
+     * leakage path when it matches. @p seriesR adds the access
+     * transistor's resistance in series with the device.
+     */
+    double cellConductance(std::size_t row, std::size_t col,
+                           bool queryBit,
+                           double seriesR = 0.0) const;
+
+    /**
+     * Total discharge conductance of columns [first, last) of a row
+     * against @p query. This is what the match line of an R-HAM
+     * block or an A-HAM stage sees.
+     */
+    double rangeConductance(std::size_t row, const Hypervector &query,
+                            std::size_t first, std::size_t last,
+                            double seriesR = 0.0) const;
+
+    /**
+     * Match-line crossing time for the block [first, last): time
+     * for an ML of capacitance (last-first)*capPerCell precharged
+     * to @p v0 to fall to @p vth through the range conductance.
+     */
+    double blockCrossingTime(std::size_t row,
+                             const Hypervector &query,
+                             std::size_t first, std::size_t last,
+                             double capPerCell, double v0,
+                             double vth, double seriesR = 0.0) const;
+
+    /**
+     * Stabilized-ML search current (A-HAM): current drawn by the
+     * range when the ML is held at @p volts.
+     */
+    double rangeCurrent(std::size_t row, const Hypervector &query,
+                        std::size_t first, std::size_t last,
+                        double volts, double seriesR = 0.0) const;
+
+  private:
+    const Memristor &device(std::size_t row, std::size_t col,
+                            bool complement) const;
+    Memristor &device(std::size_t row, std::size_t col,
+                      bool complement);
+
+    std::size_t numRows;
+    std::size_t numCols;
+    /** 2 devices per cell: [row][col][data, complement]. */
+    std::vector<Memristor> devices;
+};
+
+} // namespace hdham::circuit
+
+#endif // HDHAM_CIRCUIT_CROSSBAR_HH

@@ -1,0 +1,132 @@
+#include "circuit/lta.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdham::circuit
+{
+
+bool
+LtaComparator::firstIsSmaller(double i1, double i2, Rng &rng) const
+{
+    const double lsb = cfg.lsb();
+    const double offsetSigma =
+        cfg.offsetLsb * cfg.variationGrowth * lsb;
+    const auto observed = [&](double i) {
+        const double quant = (rng.nextDouble() - 0.5) * lsb;
+        const double offset = offsetSigma * rng.nextGaussian();
+        return i + quant + offset;
+    };
+    return observed(i1) <= observed(i2);
+}
+
+std::size_t
+LtaTree::winner(const std::vector<double> &currents, Rng &rng) const
+{
+    if (currents.empty())
+        throw std::invalid_argument("LtaTree: no inputs");
+    // Binary tournament, matching the log2(C) comparator tree.
+    std::vector<std::size_t> alive(currents.size());
+    for (std::size_t i = 0; i < alive.size(); ++i)
+        alive[i] = i;
+    while (alive.size() > 1) {
+        std::vector<std::size_t> next;
+        next.reserve((alive.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < alive.size(); i += 2) {
+            const std::size_t a = alive[i];
+            const std::size_t b = alive[i + 1];
+            next.push_back(comparator.firstIsSmaller(
+                               currents[a], currents[b], rng)
+                               ? a
+                               : b);
+        }
+        if (alive.size() % 2)
+            next.push_back(alive.back());
+        alive.swap(next);
+    }
+    return alive.front();
+}
+
+double
+MultistageCurrentSum::total(
+    const std::vector<std::size_t> &stageDistances, Rng &rng) const
+{
+    double sum = totalIdeal(stageDistances);
+    // Every mirror that folds an extra stage into the summing node
+    // contributes a bounded gain/offset error.
+    const std::size_t mirrors =
+        stageDistances.empty() ? 0 : stageDistances.size() - 1;
+    for (std::size_t i = 0; i < mirrors; ++i) {
+        sum += (2.0 * rng.nextDouble() - 1.0) * beta *
+               model.unitCurrent;
+    }
+    // Stabilizer breakdown on wide stages: the un-held ML voltage
+    // blurs each stage's current by up to half the breakdown limit.
+    const double blur = 0.5 * model.stabilizerLimit(width);
+    if (blur > 0.0) {
+        for (std::size_t i = 0; i < stageDistances.size(); ++i) {
+            sum += (2.0 * rng.nextDouble() - 1.0) * blur *
+                   model.unitCurrent;
+        }
+    }
+    return sum;
+}
+
+double
+MultistageCurrentSum::totalIdeal(
+    const std::vector<std::size_t> &stageDistances) const
+{
+    double sum = 0.0;
+    for (const std::size_t d : stageDistances)
+        sum += model.current(static_cast<double>(d));
+    return sum;
+}
+
+std::size_t
+minDetectableDistance(std::size_t dim, std::size_t stages,
+                      std::size_t bits, double growth)
+{
+    assert(stages > 0 && bits > 0 && bits < 64);
+    const CurrentModel model;
+    constexpr double beta = 1.0;
+    const double w =
+        static_cast<double>(dim) / static_cast<double>(stages);
+    const double compression = 1.0 + w / model.dSat;
+    const double quantTerm =
+        compression * w / static_cast<double>(1ULL << bits);
+    // The stabilizer breakdown floors the per-stage resolution:
+    // extra LTA bits cannot see below it.
+    const double stageTerm =
+        std::max(quantTerm, model.stabilizerLimit(w));
+    const double mirrorTerm = beta * static_cast<double>(stages - 1);
+    const double det = growth * (stageTerm + mirrorTerm);
+    const auto rounded = static_cast<std::size_t>(std::lround(det));
+    return rounded < 1 ? 1 : rounded;
+}
+
+std::size_t
+defaultLtaBitsFor(std::size_t dim)
+{
+    if (dim <= 512)
+        return 10;
+    const double bits =
+        10.0 + 4.0 * std::log(static_cast<double>(dim) / 512.0) /
+                   std::log(10000.0 / 512.0);
+    return static_cast<std::size_t>(std::lround(bits));
+}
+
+std::size_t
+defaultStagesFor(std::size_t dim)
+{
+    if (dim <= 512)
+        return 1;
+    // Roughly one stage per ~714 bits, reaching the paper's 14
+    // stages at D = 10,000.
+    const auto stages = static_cast<std::size_t>(
+        std::lround(static_cast<double>(dim) / 714.2857));
+    return stages < 1 ? 1 : stages;
+}
+
+} // namespace hdham::circuit

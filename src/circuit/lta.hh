@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Current-domain search circuits for A-HAM (Section III-D).
+ *
+ * A-HAM holds each match line at a fixed voltage and mirrors the row's
+ * total mismatch current into a binary tree of Loser-Takes-All (LTA)
+ * comparators; the row with the smallest current (fewest mismatches)
+ * wins. Three effects bound its precision:
+ *
+ *  1. Current compression: the stabilizer cannot source unbounded
+ *     current, so the row current saturates with distance,
+ *     I(d) = I_unit * d / (1 + d / dSat); the sensitivity dI/dd at
+ *     the top of the range shrinks by (1 + w/dSat)^2.
+ *  2. LTA resolution: a b-bit comparator distinguishes currents no
+ *     finer than fullScale / 2^b.
+ *  3. Stabilizer breakdown: beyond ~512 cells the ML voltage cannot
+ *     be held fixed during the search, which blurs the row current
+ *     by an amount that grows with the stage width -- this is why
+ *     the paper finds that "even using the LTA with higher
+ *     resolution (> 10 bits) cannot provide acceptable accuracy"
+ *     for a single stage, and why the search is split into stages.
+ *  4. Multistage summation: splitting a row into N stages restores
+ *     per-stage stability, but every current mirror that sums the
+ *     partial currents adds up to ~1 unit-current of error.
+ *
+ * Combining them gives the closed-form minimum detectable distance
+ * reproduced from Fig. 7:
+ *
+ *     minDet(D, N, b) = max(1, round(max(quant(w, b), stab(w))
+ *                                    + beta * (N - 1)))
+ *     quant(w, b) = (1 + w/dSat) * w / 2^b
+ *     stab(w)     = 0.00452 * max(0, w - 512)
+ *     with w = D / N, dSat = 2900, beta = 1.0.
+ *
+ * Anchors: D<=256 (N=1, b=10) -> 1;  D=10,000 (N=1, b=10) -> 43
+ * (and still 43 at 14 bits: more bits do not help a single stage);
+ * D=10,000 (N=14, b=14) -> 14.
+ */
+
+#ifndef HDHAM_CIRCUIT_LTA_HH
+#define HDHAM_CIRCUIT_LTA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/random.hh"
+
+namespace hdham::circuit
+{
+
+/** Electrical model of a row's mismatch current. */
+struct CurrentModel
+{
+    /** Current contributed by one unsaturated mismatch (A). */
+    double unitCurrent = 2.0e-6; // 1 V across R_ON = 500 kohm
+    /** Saturation distance of the stabilized match line. */
+    double dSat = 2900.0;
+
+    /**
+     * Distance blur (in bits) caused by the ML stabilizer failing
+     * to hold the line voltage beyond this width (onset ~512
+     * cells). Calibrated so a 10,000-cell single stage cannot
+     * resolve below ~43 bits however many LTA bits are spent.
+     */
+    double stabilizerOnset = 512.0;
+    double stabilizerSlope = 0.00452;
+
+    /** Row/stage current at Hamming distance @p d over @p d cells. */
+    double
+    current(double d) const
+    {
+        return unitCurrent * d / (1.0 + d / dSat);
+    }
+
+    /** Full-scale current of a stage holding @p width cells. */
+    double fullScale(std::size_t width) const
+    {
+        return current(static_cast<double>(width));
+    }
+
+    /** Stabilizer-breakdown blur (bits) for a stage of @p width. */
+    double
+    stabilizerLimit(double width) const
+    {
+        return width <= stabilizerOnset
+                   ? 0.0
+                   : stabilizerSlope * (width - stabilizerOnset);
+    }
+};
+
+/** LTA comparator configuration. */
+struct LtaConfig
+{
+    /** Comparator bit resolution. */
+    std::size_t bits = 10;
+    /** Full-scale input current (A); sets the quantization LSB. */
+    double fullScale = 1.0e-3;
+    /**
+     * Input-referred offset, in LSBs (1 sigma), at the design-point
+     * variation (10% process, nominal supply).
+     */
+    double offsetLsb = 0.5;
+    /**
+     * Extra offset growth from process/voltage variation
+     * (see variation.hh); 1.0 at the design point.
+     */
+    double variationGrowth = 1.0;
+
+    /** Quantization LSB (A). */
+    double lsb() const
+    {
+        return fullScale / static_cast<double>(1ULL << bits);
+    }
+};
+
+/**
+ * One LTA comparator: picks the smaller of two currents, with
+ * quantization and offset errors.
+ */
+class LtaComparator
+{
+  public:
+    explicit LtaComparator(const LtaConfig &config) : cfg(config) {}
+
+    /**
+     * Compare currents @p i1 and @p i2; returns true when input 1 is
+     * declared the loser (smaller). Errors occur when the currents
+     * differ by less than the comparator's effective resolution.
+     */
+    bool firstIsSmaller(double i1, double i2, Rng &rng) const;
+
+  private:
+    LtaConfig cfg;
+};
+
+/**
+ * Binary tournament tree of LTA comparators (height log2 C) that
+ * returns the index of the row with the smallest current.
+ */
+class LtaTree
+{
+  public:
+    explicit LtaTree(const LtaConfig &config) : comparator(config) {}
+
+    /**
+     * Index of the winning (minimum) current.
+     * @pre currents is non-empty.
+     */
+    std::size_t winner(const std::vector<double> &currents,
+                       Rng &rng) const;
+
+  private:
+    LtaComparator comparator;
+};
+
+/**
+ * Multistage partial-current summation (Fig. 8): per-stage currents
+ * are added in a current-mirror node, each mirror contributing a
+ * bounded gain/offset error.
+ */
+class MultistageCurrentSum
+{
+  public:
+    /**
+     * @param model      electrical current model
+     * @param mirrorBeta worst-case mirror error per extra stage, in
+     *                   unit currents (the paper's data fit ~1)
+     * @param stageWidth cells per stage; enables the stabilizer-
+     *                   breakdown blur for wide stages (0 disables)
+     */
+    MultistageCurrentSum(const CurrentModel &model,
+                         double mirrorBeta = 1.0,
+                         std::size_t stageWidth = 0)
+        : model(model), beta(mirrorBeta),
+          width(static_cast<double>(stageWidth))
+    {
+    }
+
+    /**
+     * Total summed current for per-stage distances @p stageDistances,
+     * including per-mirror Monte-Carlo error.
+     */
+    double total(const std::vector<std::size_t> &stageDistances,
+                 Rng &rng) const;
+
+    /** Noise-free total. */
+    double
+    totalIdeal(const std::vector<std::size_t> &stageDistances) const;
+
+  private:
+    CurrentModel model;
+    double beta;
+    double width;
+};
+
+/**
+ * Closed-form minimum detectable Hamming distance (Fig. 7 model).
+ *
+ * @param dim    hypervector dimensionality D
+ * @param stages number of search stages N
+ * @param bits   LTA bit resolution b
+ * @param growth variation-induced offset growth (1.0 at the design
+ *               point; see variation.hh)
+ */
+std::size_t minDetectableDistance(std::size_t dim, std::size_t stages,
+                                  std::size_t bits,
+                                  double growth = 1.0);
+
+/**
+ * The stage count the paper pairs with each dimension (Fig. 7 top
+ * axis): 1 stage through D = 512, then roughly one stage per 714
+ * bits, reaching 14 stages at D = 10,000.
+ */
+std::size_t defaultStagesFor(std::size_t dim);
+
+/**
+ * The LTA bit resolution the paper pairs with each dimension: 10
+ * bits through D = 512 rising to 14 bits at D = 10,000 (Fig. 7 top
+ * axis and Section III-D3).
+ */
+std::size_t defaultLtaBitsFor(std::size_t dim);
+
+} // namespace hdham::circuit
+
+#endif // HDHAM_CIRCUIT_LTA_HH

@@ -1,0 +1,40 @@
+#include "circuit/memristor.hh"
+
+#include <cmath>
+
+namespace hdham::circuit
+{
+
+Memristor::Memristor(const MemristorSpec &spec, Rng &rng)
+    : actualRon(spec.ron * std::exp(spec.sigma * rng.nextGaussian())),
+      actualRoff(spec.roff * std::exp(spec.sigma * rng.nextGaussian()))
+{
+}
+
+Memristor::Memristor(const MemristorSpec &spec)
+    : actualRon(spec.ron), actualRoff(spec.roff)
+{
+}
+
+void
+Memristor::program(bool newState)
+{
+    if (!stuck)
+        on = newState;
+    ++writes;
+}
+
+void
+Memristor::stickAt(bool failedState)
+{
+    on = failedState;
+    stuck = true;
+}
+
+double
+Memristor::readCurrent(double volts) const
+{
+    return volts / resistance();
+}
+
+} // namespace hdham::circuit

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Memristor device model (Section III-B).
+ *
+ * Metal/oxide/metal resistive element with two stable states: ON (low
+ * resistance) and OFF (high resistance). The model covers what the
+ * architecture study needs: state programming with a write-endurance
+ * counter (R-HAM limits write stress to one write per training
+ * session), Ohmic read current, and log-normal resistance variation
+ * for Monte-Carlo analyses.
+ */
+
+#ifndef HDHAM_CIRCUIT_MEMRISTOR_HH
+#define HDHAM_CIRCUIT_MEMRISTOR_HH
+
+#include <cstdint>
+
+#include "core/random.hh"
+
+namespace hdham::circuit
+{
+
+/** Nominal device parameters. */
+struct MemristorSpec
+{
+    /** ON-state resistance (ohm). */
+    double ron;
+    /** OFF-state resistance (ohm). */
+    double roff;
+    /**
+     * Relative resistance spread: one standard deviation of the
+     * log-normal device-to-device variation.
+     */
+    double sigma = 0.10;
+};
+
+/**
+ * A single resistive storage element.
+ */
+class Memristor
+{
+  public:
+    /**
+     * Manufacture a device: its actual ON/OFF resistances are drawn
+     * once from the spec's log-normal distribution (device-to-device
+     * variation is static, not per-read).
+     */
+    Memristor(const MemristorSpec &spec, Rng &rng);
+
+    /** Construct a nominal (variation-free) device. */
+    explicit Memristor(const MemristorSpec &spec);
+
+    /** Program the device. Counts write stress. */
+    void program(bool on);
+
+    /**
+     * Permanently fail the device in state @p on: subsequent
+     * program() calls still count write stress but no longer change
+     * the state (forming/endurance failures).
+     */
+    void stickAt(bool on);
+
+    /** Whether the device has failed stuck. */
+    bool isStuck() const { return stuck; }
+
+    /** Stored state. */
+    bool isOn() const { return on; }
+
+    /** Number of program operations endured. */
+    std::uint64_t writeCount() const { return writes; }
+
+    /** Present resistance (ohm), including manufactured variation. */
+    double resistance() const { return on ? actualRon : actualRoff; }
+
+    /** Ohmic read current (A) under @p volts across the device. */
+    double readCurrent(double volts) const;
+
+    /** ON/OFF resistance ratio of this device instance. */
+    double onOffRatio() const { return actualRoff / actualRon; }
+
+  private:
+    double actualRon;
+    double actualRoff;
+    bool on = false;
+    bool stuck = false;
+    std::uint64_t writes = 0;
+};
+
+} // namespace hdham::circuit
+
+#endif // HDHAM_CIRCUIT_MEMRISTOR_HH

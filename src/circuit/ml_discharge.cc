@@ -1,0 +1,224 @@
+#include "circuit/ml_discharge.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hdham::circuit
+{
+
+namespace
+{
+
+/** Transistor threshold governing clock-buffer slowdown at low VDD. */
+constexpr double bufferVth = 0.35;
+
+/** Standard normal CDF. */
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+/**
+ * Clock-skew multiplier at supply @p v0: buffer delay variability
+ * grows roughly with the inverse square of the overdrive, so an
+ * overscaled block senses through a noisier clock. This is the
+ * mechanism that converts voltage overscaling into bounded sensing
+ * error (Fig. 4c).
+ */
+double
+clockJitterScale(double v0)
+{
+    const double nominal = Technology::instance().vddNominal;
+    const double num = nominal - bufferVth;
+    const double den = v0 - bufferVth;
+    if (den <= 0.0)
+        throw std::invalid_argument("MatchLineModel: supply below the "
+                                    "buffer threshold");
+    return (num / den) * (num / den);
+}
+
+} // namespace
+
+MatchLineConfig
+MatchLineConfig::rhamBlock(std::size_t width)
+{
+    const Technology &tech = Technology::instance();
+    MatchLineConfig cfg;
+    cfg.width = width;
+    cfg.seriesR = tech.rhamRon + tech.cellTransistorR;
+    cfg.capPerCell = tech.mlCapPerCell;
+    cfg.v0 = tech.vddNominal;
+    cfg.vth = tech.senseThreshold;
+    return cfg;
+}
+
+MatchLineModel::MatchLineModel(const MatchLineConfig &config)
+    : cfg(config)
+{
+    if (cfg.width == 0)
+        throw std::invalid_argument("MatchLineModel: zero width");
+    if (cfg.v0 <= cfg.vth)
+        throw std::invalid_argument("MatchLineModel: precharge must "
+                                    "exceed the sense threshold");
+    depth = std::log(cfg.v0 / cfg.vth);
+
+    // SA j (detecting distance >= j) samples at the geometric
+    // midpoint of the crossing times of distances j and j - 1. The
+    // slowest SA, j = 1, has no upper crossing (distance 0 never
+    // crosses) and samples with a fixed 2x guard band.
+    times.resize(cfg.width);
+    times[0] = 2.0 * timeToThreshold(1);
+    for (std::size_t j = 2; j <= cfg.width; ++j) {
+        times[j - 1] = std::sqrt(timeToThreshold(j) *
+                                 timeToThreshold(j - 1));
+    }
+}
+
+double
+MatchLineModel::capacitance() const
+{
+    return static_cast<double>(cfg.width) * cfg.capPerCell;
+}
+
+double
+MatchLineModel::tau() const
+{
+    return cfg.seriesR * capacitance();
+}
+
+double
+MatchLineModel::prechargeEnergy() const
+{
+    return capacitance() * cfg.v0 * cfg.v0;
+}
+
+double
+MatchLineModel::voltageAt(double t, std::size_t mismatches) const
+{
+    assert(t >= 0.0);
+    if (mismatches == 0)
+        return cfg.v0;
+    return cfg.v0 *
+           std::exp(-static_cast<double>(mismatches) * t / tau());
+}
+
+double
+MatchLineModel::timeToThreshold(std::size_t mismatches) const
+{
+    if (mismatches == 0)
+        return std::numeric_limits<double>::infinity();
+    return tau() * depth / static_cast<double>(mismatches);
+}
+
+double
+MatchLineModel::effectiveClockJitter() const
+{
+    return cfg.clockJitter * clockJitterScale(cfg.v0);
+}
+
+std::size_t
+MatchLineModel::senseIdeal(std::size_t mismatches) const
+{
+    const double t = timeToThreshold(mismatches);
+    std::size_t fired = 0;
+    for (const double sampleAt : times)
+        if (t <= sampleAt)
+            ++fired;
+    return fired;
+}
+
+std::size_t
+MatchLineModel::sense(std::size_t mismatches, Rng &rng) const
+{
+    const double skew = cfg.clockJitter * clockJitterScale(cfg.v0);
+    std::size_t fired = 0;
+    if (mismatches == 0) {
+        // No discharge path: no SA ever fires.
+        return 0;
+    }
+    const double t = timeToThreshold(mismatches) *
+                     std::exp(cfg.resistiveSigma * rng.nextGaussian());
+    for (const double sampleAt : times) {
+        const double jittered = sampleAt + skew * rng.nextGaussian();
+        if (t <= jittered)
+            ++fired;
+    }
+    return fired;
+}
+
+double
+MatchLineModel::adjacentConfusionProbability(
+    std::size_t mismatches) const
+{
+    const double skew = cfg.clockJitter * clockJitterScale(cfg.v0);
+    const double t = timeToThreshold(mismatches);
+    double p = 0.0;
+    if (mismatches >= 1 && mismatches < cfg.width) {
+        // Sensed one too high: crossing before sampling time T_{m+1}.
+        const double target = times[mismatches];
+        const double sigma = std::hypot(cfg.resistiveSigma * t, skew);
+        p += normalCdf((target - t) / sigma);
+    }
+    if (mismatches >= 1) {
+        // Sensed one too low: crossing after sampling time T_m.
+        const double target = times[mismatches - 1];
+        const double sigma = std::hypot(cfg.resistiveSigma * t, skew);
+        p += 1.0 - normalCdf((target - t) / sigma);
+    }
+    return p;
+}
+
+std::vector<double>
+MatchLineModel::senseDistribution(std::size_t mismatches) const
+{
+    std::vector<double> dist(cfg.width + 1, 0.0);
+    if (mismatches == 0) {
+        // No discharge: never sensed above zero.
+        dist[0] = 1.0;
+        return dist;
+    }
+    const double skew = cfg.clockJitter * clockJitterScale(cfg.v0);
+    const double t = timeToThreshold(mismatches);
+    const double sigma = std::hypot(cfg.resistiveSigma * t, skew);
+    // P(sensed >= j) = P(crossing time <= T_j); the sensed level
+    // distribution is the difference of adjacent tail probabilities.
+    double qPrev = 1.0;
+    for (std::size_t j = 1; j <= cfg.width; ++j) {
+        const double q = normalCdf((times[j - 1] - t) / sigma);
+        dist[j - 1] = std::max(qPrev - q, 0.0);
+        qPrev = q;
+    }
+    dist[cfg.width] = std::max(qPrev, 0.0);
+    // Normalize residual floating-point error.
+    double sum = 0.0;
+    for (const double p : dist)
+        sum += p;
+    for (double &p : dist)
+        p /= sum;
+    return dist;
+}
+
+std::size_t
+MatchLineModel::maxReliableWidth(double zScore) const
+{
+    const double skew = cfg.clockJitter * clockJitterScale(cfg.v0);
+    // Width w requires separating every adjacent pair of distances up
+    // to (w-1, w). Grow w until a boundary fails the z-score test.
+    for (std::size_t w = 1; w <= 64; ++w) {
+        const double hi = timeToThreshold(w - 1 == 0 ? 1 : w - 1);
+        const double lo = timeToThreshold(w);
+        if (w == 1)
+            continue; // distance 0 never crosses: always separable
+        const double halfGap = 0.5 * (hi - lo);
+        const double sigma = std::hypot(
+            cfg.resistiveSigma * hi, cfg.resistiveSigma * lo, skew);
+        if (halfGap < zScore * sigma)
+            return w - 1;
+    }
+    return 64;
+}
+
+} // namespace hdham::circuit

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Match-line (ML) discharge model (Section III-C1, Figure 4).
+ *
+ * A CAM row's ML is precharged to V0 and discharged during evaluation
+ * through every mismatching cell. With m mismatching cells, each a
+ * series resistance R into ground, and total ML capacitance C:
+ *
+ *     V(t) = V0 * exp(-m * t / (R * C))
+ *     t_th(m) = (R * C / m) * ln(V0 / Vth)
+ *
+ * The crossing time falls like 1/m: the first mismatch shifts the
+ * curve the most and high distances crowd together — exactly the
+ * saturation the paper reports (Fig. 4a). The relative spacing between
+ * levels m and m+1 is 1/(m+1), so under ~10% device variation only
+ * the first few distances are reliably separable; this is where the
+ * paper's 4-bit block limit comes from, and maxReliableWidth() lets
+ * tests derive it instead of hard-coding it.
+ *
+ * Timing noise model:
+ *  - multiplicative jitter (resistance/capacitance spread): the
+ *    crossing time scales by exp(sigma_r * N(0,1));
+ *  - additive jitter (sense-amp clock buffer skew): grows as the
+ *    supply is overscaled, which is how voltage overscaling trades
+ *    energy for bounded sensing error (Fig. 4c).
+ */
+
+#ifndef HDHAM_CIRCUIT_ML_DISCHARGE_HH
+#define HDHAM_CIRCUIT_ML_DISCHARGE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/technology.hh"
+#include "core/random.hh"
+
+namespace hdham::circuit
+{
+
+/** Electrical configuration of one CAM match line. */
+struct MatchLineConfig
+{
+    /** Number of cells sharing the ML (the block width). */
+    std::size_t width = 4;
+    /** Per-cell discharge path resistance: R_transistor + R_ON. */
+    double seriesR = 2.02e6;
+    /** ML capacitance per attached cell (F). */
+    double capPerCell = 0.25e-15;
+    /** Precharge voltage (V). 1.0 nominal, 0.78 overscaled. */
+    double v0 = 1.0;
+    /** Sense threshold voltage (V). */
+    double vth = 0.40;
+    /** Multiplicative timing jitter, 1 sigma (device spread). */
+    double resistiveSigma = 0.033;
+    /**
+     * Additive clock-skew jitter, 1 sigma, in seconds, referred to
+     * the nominal supply. The paper's clock buffer steps are ~0.1 ns;
+     * skew is a small fraction of that.
+     */
+    double clockJitter = 15.0e-12;
+
+    /** Build the R-HAM nominal-voltage block configuration. */
+    static MatchLineConfig rhamBlock(std::size_t width = 4);
+};
+
+/**
+ * Behavioral model of one match line plus its clocked sense-amplifier
+ * sampling ladder.
+ */
+class MatchLineModel
+{
+  public:
+    explicit MatchLineModel(const MatchLineConfig &config);
+
+    const MatchLineConfig &config() const { return cfg; }
+
+    /** Total ML capacitance (F). */
+    double capacitance() const;
+
+    /**
+     * Dynamic energy of one precharge/evaluate cycle (J): the
+     * C*V0^2 the row driver pays to recharge a fully discharged
+     * match line. Quadratic in the supply -- the physics behind
+     * the voltage-overscaling savings of Fig. 5 (the cost model's
+     * effective exponent is higher because overscaled blocks also
+     * cut short-circuit and leakage energy; see docs/MODELS.md).
+     */
+    double prechargeEnergy() const;
+
+    /** ML voltage at time @p t with @p mismatches discharging cells. */
+    double voltageAt(double t, std::size_t mismatches) const;
+
+    /**
+     * Time for the ML to fall below the sense threshold with
+     * @p mismatches cells discharging. Infinity for zero mismatches.
+     */
+    double timeToThreshold(std::size_t mismatches) const;
+
+    /**
+     * Sense-amp sampling times T_1..T_width. SA j samples at T_j and
+     * fires iff the ML has already crossed the threshold, detecting
+     * distance >= j; T_j sits at the geometric midpoint between the
+     * crossing times of distances j and j-1.
+     */
+    const std::vector<double> &samplingTimes() const { return times; }
+
+    /** End of the evaluation phase: the last sampling time. */
+    double evaluationTime() const { return times.back(); }
+
+    /**
+     * Effective 1-sigma clock skew at this configuration's supply:
+     * the configured jitter inflated by the low-voltage buffer
+     * slowdown. Exposed so device-level models sample through the
+     * same ladder.
+     */
+    double effectiveClockJitter() const;
+
+    /**
+     * Noiseless sensed distance: how many SAs fire for a row at
+     * distance @p mismatches. Saturates at width.
+     */
+    std::size_t senseIdeal(std::size_t mismatches) const;
+
+    /**
+     * Monte-Carlo sensed distance including both jitter sources.
+     * Saturates at width.
+     */
+    std::size_t sense(std::size_t mismatches, Rng &rng) const;
+
+    /**
+     * Probability (Gaussian approximation) that distance
+     * @p mismatches is sensed as @p mismatches +- 1 due to jitter.
+     */
+    double adjacentConfusionProbability(std::size_t mismatches) const;
+
+    /**
+     * Full analytic sensing distribution: element k is the
+     * probability that a row at true distance @p mismatches is sensed
+     * as distance k (k in [0, width]). Lets architectural simulation
+     * draw per-block sensing errors without per-block Monte Carlo.
+     */
+    std::vector<double>
+    senseDistribution(std::size_t mismatches) const;
+
+    /**
+     * Largest block width w such that every pair of adjacent
+     * distances in [0, w] is separated by at least @p zScore standard
+     * deviations of timing noise. The paper's answer is 4.
+     */
+    std::size_t maxReliableWidth(double zScore = 2.0) const;
+
+  private:
+    /** RC time constant of one discharge path (s). */
+    double tau() const;
+
+    MatchLineConfig cfg;
+    /** log(V0 / Vth): the discharge depth factor. */
+    double depth;
+    std::vector<double> times;
+};
+
+} // namespace hdham::circuit
+
+#endif // HDHAM_CIRCUIT_ML_DISCHARGE_HH

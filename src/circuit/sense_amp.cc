@@ -1,0 +1,60 @@
+#include "circuit/sense_amp.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace hdham::circuit
+{
+
+namespace thermometer
+{
+
+std::uint64_t
+encode(std::size_t d, std::size_t width)
+{
+    assert(width <= 64);
+    assert(d <= width);
+    (void)width;
+    if (d == 0)
+        return 0;
+    return (d >= 64) ? ~0ULL : ((1ULL << d) - 1);
+}
+
+std::size_t
+decode(std::uint64_t code)
+{
+    return static_cast<std::size_t>(std::popcount(code));
+}
+
+std::size_t
+risingTransitions(std::uint64_t prev, std::uint64_t next)
+{
+    return static_cast<std::size_t>(std::popcount(~prev & next));
+}
+
+} // namespace thermometer
+
+SenseAmpBank::SenseAmpBank(const MatchLineConfig &config)
+    : model(config)
+{
+}
+
+std::uint64_t
+SenseAmpBank::senseCodeIdeal(std::size_t distance) const
+{
+    return thermometer::encode(model.senseIdeal(distance), width());
+}
+
+std::uint64_t
+SenseAmpBank::senseCode(std::size_t distance, Rng &rng) const
+{
+    return thermometer::encode(model.sense(distance, rng), width());
+}
+
+std::size_t
+SenseAmpBank::senseDistance(std::size_t distance, Rng &rng) const
+{
+    return model.sense(distance, rng);
+}
+
+} // namespace hdham::circuit

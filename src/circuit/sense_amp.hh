@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Clocked sense-amplifier bank and the non-binary (thermometer) code
+ * of Figure 3(c).
+ *
+ * Each R-HAM block drives `width` sense amplifiers clocked at
+ * staggered times; SA j fires when the match line has crossed the
+ * threshold by its sampling instant, i.e. when the block distance is
+ * at least j. The bank's output is therefore a thermometer code of
+ * the block distance:
+ *
+ *     d = 0 -> 0000,  1 -> 1000,  2 -> 1100,  3 -> 1110,  4 -> 1111
+ *
+ * Adjacent distances differ in exactly one output bit, which is why
+ * R-HAM's distance-computation logic sees far fewer transitions than
+ * D-HAM's dense binary coding (Table II).
+ */
+
+#ifndef HDHAM_CIRCUIT_SENSE_AMP_HH
+#define HDHAM_CIRCUIT_SENSE_AMP_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "circuit/ml_discharge.hh"
+#include "core/random.hh"
+
+namespace hdham::circuit
+{
+
+/** Thermometer-code helpers for distances in [0, width]. */
+namespace thermometer
+{
+
+/** Encode distance @p d on @p width bits. @pre d <= width <= 64. */
+std::uint64_t encode(std::size_t d, std::size_t width);
+
+/** Decode a (well-formed) thermometer code: its popcount. */
+std::size_t decode(std::uint64_t code);
+
+/** Number of 0->1 transitions when @p prev is replaced by @p next. */
+std::size_t risingTransitions(std::uint64_t prev, std::uint64_t next);
+
+} // namespace thermometer
+
+/**
+ * The sense-amplifier bank of one R-HAM block: wraps a MatchLineModel
+ * and reports codes instead of raw distances.
+ */
+class SenseAmpBank
+{
+  public:
+    explicit SenseAmpBank(const MatchLineConfig &config);
+
+    /** Block width (= number of sense amplifiers). */
+    std::size_t width() const { return model.config().width; }
+
+    /** Underlying match-line model. */
+    const MatchLineModel &matchLine() const { return model; }
+
+    /** Noise-free thermometer code for a block distance. */
+    std::uint64_t senseCodeIdeal(std::size_t distance) const;
+
+    /**
+     * Monte-Carlo thermometer code including timing jitter. The
+     * sensed level may be off by one for marginal timing (and by more
+     * under deep voltage overscaling).
+     */
+    std::uint64_t senseCode(std::size_t distance, Rng &rng) const;
+
+    /** Monte-Carlo sensed distance (decoded code). */
+    std::size_t senseDistance(std::size_t distance, Rng &rng) const;
+
+  private:
+    MatchLineModel model;
+};
+
+} // namespace hdham::circuit
+
+#endif // HDHAM_CIRCUIT_SENSE_AMP_HH

@@ -1,0 +1,13 @@
+#include "circuit/technology.hh"
+
+namespace hdham::circuit
+{
+
+const Technology &
+Technology::instance()
+{
+    static const Technology tech{};
+    return tech;
+}
+
+} // namespace hdham::circuit

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Technology constants and calibration anchors.
+ *
+ * The paper's absolute numbers come from a Synopsys ASIC flow (D-HAM,
+ * TSMC 45 nm) and HSPICE (R-HAM / A-HAM). This reproduction replaces
+ * both with first-order device/circuit models whose free constants are
+ * pinned to the published anchor values collected here. Every constant
+ * cites the paper table/figure it reproduces; the energy-model unit
+ * tests assert each anchor.
+ */
+
+#ifndef HDHAM_CIRCUIT_TECHNOLOGY_HH
+#define HDHAM_CIRCUIT_TECHNOLOGY_HH
+
+#include <cstddef>
+
+namespace hdham::circuit
+{
+
+/** Supply and device constants (45 nm-class). */
+struct Technology
+{
+    /** Nominal digital supply (V). Section IV-B. */
+    double vddNominal = 1.0;
+    /** Analog (LTA) supply (V). Section IV-B. */
+    double vddAnalog = 1.8;
+    /** R-HAM overscaled block supply (V): <= 1 bit error per block. */
+    double vddOverscaled = 0.78;
+    /** Deeper overscaling (V): <= 2 bit error per block (Sec III-C2). */
+    double vddOverscaled2 = 0.72;
+
+    /** Match-line sense threshold (V) for timing-based sensing. */
+    double senseThreshold = 0.40;
+
+    /** R-HAM memristor ON resistance (ohm), large per [23]. */
+    double rhamRon = 2.0e6;
+    /** R-HAM memristor OFF resistance (ohm). */
+    double rhamRoff = 2.0e11;
+    /** A-HAM memristor ON resistance (ohm): ~500 kohm [25]. */
+    double ahamRon = 5.0e5;
+    /** A-HAM memristor OFF resistance (ohm): ~100 Gohm [25]. */
+    double ahamRoff = 1.0e11;
+
+    /** Cell access-transistor series resistance (ohm). */
+    double cellTransistorR = 2.0e4;
+    /** Match-line capacitance per cell (F). */
+    double mlCapPerCell = 0.25e-15;
+
+    /**
+     * Default device/transistor mismatch: the paper designs CAM and
+     * sense circuitry for 10% process variation (Sec III-C1).
+     */
+    double defaultProcessSigma = 0.10;
+
+    /** The paper's global technology instance. */
+    static const Technology &instance();
+};
+
+/**
+ * Published anchor values this reproduction calibrates against.
+ * Units: energy pJ, delay ns, area mm^2, per full query search.
+ */
+struct PaperAnchors
+{
+    // ---- Table I: D-HAM at C = 100, D = 10,000 -------------------
+    static constexpr double dhamCamEnergy = 4976.9;   // pJ
+    static constexpr double dhamLogicEnergy = 1178.2; // pJ
+    static constexpr double dhamCamArea = 15.2;       // mm^2
+    static constexpr double dhamLogicArea = 10.9;     // mm^2
+
+    // ---- Section IV-C1 (Fig. 9): D scaling, C = 21, D 512->10,240
+    static constexpr double dhamEnergyScaleD = 8.3;
+    static constexpr double dhamDelayScaleD = 2.2;
+    static constexpr double rhamEnergyScaleD = 8.2;
+    static constexpr double rhamDelayScaleD = 2.0;
+    static constexpr double ahamEnergyScaleD = 1.9;
+    static constexpr double ahamDelayScaleD = 1.7;
+
+    // ---- Section IV-C2 (Fig. 10): C scaling, D = 10,000, C 6->100
+    static constexpr double dhamEnergyScaleC = 12.6;
+    static constexpr double dhamDelayScaleC = 3.5;
+    static constexpr double rhamEnergyScaleC = 11.4;
+    static constexpr double rhamDelayScaleC = 3.4;
+    static constexpr double ahamEnergyScaleC = 15.9;
+    static constexpr double ahamDelayScaleC = 4.4;
+
+    // ---- Section IV-D (Fig. 11): EDP vs D-HAM ---------------------
+    static constexpr double rhamEdpGainMax = 7.3;
+    static constexpr double rhamEdpGainModerate = 9.6;
+    static constexpr double ahamEdpGainMax = 746.0;
+    static constexpr double ahamEdpGainModerate = 1347.0;
+
+    // ---- Section IV-E (Fig. 12): area ratios ----------------------
+    static constexpr double rhamAreaGain = 1.4;
+    static constexpr double ahamAreaGain = 3.0;
+    static constexpr double ahamLtaAreaFraction = 0.69;
+
+    // ---- Section III-D2 (Fig. 7): A-HAM detectable distance ------
+    static constexpr std::size_t ahamMinDet10kSingle = 43;
+    static constexpr std::size_t ahamMinDet10kMulti = 14;
+    static constexpr std::size_t ahamMultiStages = 14;
+    static constexpr std::size_t ahamMultiBits = 14;
+    /** LTA bit width meeting the moderate accuracy at D = 10,000. */
+    static constexpr std::size_t ahamModerateBits = 11;
+
+    // ---- Section III-D2: learned-hypervector margins --------------
+    static constexpr std::size_t paperMinClassMargin = 22;
+    static constexpr std::size_t paperNextClassMargin = 34;
+
+    // ---- Table II: average switching activity (fractions) ---------
+    static constexpr double dhamSwitching = 0.25;
+    static constexpr double rhamSwitching1 = 0.250;
+    static constexpr double rhamSwitching2 = 0.214;
+    static constexpr double rhamSwitching3 = 0.183;
+    static constexpr double rhamSwitching4 = 0.136;
+};
+
+} // namespace hdham::circuit
+
+#endif // HDHAM_CIRCUIT_TECHNOLOGY_HH

@@ -1,0 +1,56 @@
+#include "circuit/variation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdham::circuit
+{
+
+namespace
+{
+
+/** Analog rail and headroom of the LTA stack (Section IV-B). */
+constexpr double analogVdd = 1.8;
+constexpr double analogVth = 0.9;
+
+/** Offset growth exponent on the process-mismatch term. */
+constexpr double processExponent = 4.75;
+/** Cross-term strength between process and voltage variation. */
+constexpr double crossTerm = 0.3;
+
+} // namespace
+
+double
+sampleDeviceMultiplier(const VariationParams &params, Rng &rng)
+{
+    const double sigma = params.processSigma3 / 3.0;
+    const double mult = 1.0 + sigma * rng.nextGaussian();
+    return std::max(mult, 0.05);
+}
+
+double
+ltaOffsetGrowth(const VariationParams &params)
+{
+    const VariationParams design = VariationParams::designPoint();
+
+    // Mismatch offset grows superlinearly with device variation once
+    // the comparator leaves its design corner.
+    const double p =
+        std::max(params.processSigma3, 1e-3) / design.processSigma3;
+    const double processTerm = std::pow(p, processExponent);
+
+    // Supply droop eats the gate overdrive; offset referred to the
+    // input grows with the inverse square of the remaining overdrive.
+    const double overdriveNom = analogVdd - analogVth;
+    const double overdrive =
+        analogVdd * (1.0 - params.voltageDrop) - analogVth;
+    const double voltageTerm = overdriveNom / overdrive;
+
+    // Low overdrive amplifies threshold mismatch: cross term.
+    const double cross = 1.0 + crossTerm * params.processSigma3 *
+                                   params.voltageDrop;
+
+    return processTerm * voltageTerm * cross;
+}
+
+} // namespace hdham::circuit

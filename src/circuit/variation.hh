@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Process and voltage variation models (Section IV-F, Figure 13).
+ *
+ * The paper models transistor length and threshold-voltage variation
+ * as Gaussians with 3-sigma between 0% and 35% of the nominal value,
+ * and supply droop of 5% / 10% on the 1.8 V LTA rail. Both inflate
+ * the LTA's input-referred offset and therefore its minimum
+ * detectable distance. This module provides:
+ *
+ *  - Monte-Carlo samplers for per-device parameter multipliers, and
+ *  - the calibrated offset-growth factor fed into circuit::LtaConfig.
+ *
+ * The growth model: comparator offset scales with the mismatch sigma
+ * (linear in process variation) and with the inverse square of the
+ * gate overdrive (the 1.8 V rail droops toward the analog headroom
+ * limit), plus a cross term because low-overdrive comparators are
+ * more sensitive to threshold mismatch. The three free constants are
+ * calibrated in tests/bench so that the accuracy trajectory at 35%
+ * process variation reproduces the paper's 94.3% / 92.1% / 89.2% for
+ * 0% / 5% / 10% voltage variation.
+ */
+
+#ifndef HDHAM_CIRCUIT_VARIATION_HH
+#define HDHAM_CIRCUIT_VARIATION_HH
+
+#include <cstddef>
+
+#include "core/random.hh"
+
+namespace hdham::circuit
+{
+
+/** A variation corner. */
+struct VariationParams
+{
+    /**
+     * Process variation: 3-sigma of transistor length / threshold
+     * voltage as a fraction of nominal (paper sweeps 0 .. 0.35).
+     */
+    double processSigma3 = 0.10;
+    /** Supply droop as a fraction of nominal (0, 0.05 or 0.10). */
+    double voltageDrop = 0.0;
+
+    /** The design point the LTA offset spec is referenced to. */
+    static VariationParams designPoint()
+    {
+        return VariationParams{0.10, 0.0};
+    }
+};
+
+/**
+ * Monte-Carlo sampler of per-device multiplicative parameter
+ * variation: returns 1 + N(0, sigma3/3) (clamped positive).
+ */
+double sampleDeviceMultiplier(const VariationParams &params, Rng &rng);
+
+/**
+ * LTA input-referred offset growth factor relative to the design
+ * point (10% process, nominal 1.8 V supply). Returns 1.0 there and
+ * grows with both variation sources.
+ */
+double ltaOffsetGrowth(const VariationParams &params);
+
+} // namespace hdham::circuit
+
+#endif // HDHAM_CIRCUIT_VARIATION_HH

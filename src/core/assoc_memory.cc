@@ -1,0 +1,114 @@
+#include "core/assoc_memory.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace hdham
+{
+
+std::size_t
+SearchResult::margin() const
+{
+    if (distances.size() < 2)
+        return 0;
+    std::size_t runnerUp = std::numeric_limits<std::size_t>::max();
+    for (std::size_t id = 0; id < distances.size(); ++id)
+        if (id != classId)
+            runnerUp = std::min(runnerUp, distances[id]);
+    return runnerUp - bestDistance;
+}
+
+AssociativeMemory::AssociativeMemory(std::size_t dim) : dimension(dim)
+{
+}
+
+std::size_t
+AssociativeMemory::store(const Hypervector &hv, std::string label)
+{
+    if (hv.dim() != dimension)
+        throw std::invalid_argument("AssociativeMemory::store: "
+                                    "dimension mismatch");
+    learned.push_back(hv);
+    labels.push_back(std::move(label));
+    return learned.size() - 1;
+}
+
+const Hypervector &
+AssociativeMemory::vectorOf(std::size_t id) const
+{
+    assert(id < learned.size());
+    return learned[id];
+}
+
+const std::string &
+AssociativeMemory::labelOf(std::size_t id) const
+{
+    assert(id < labels.size());
+    return labels[id];
+}
+
+SearchResult
+AssociativeMemory::search(const Hypervector &query) const
+{
+    return searchSampled(query, dimension);
+}
+
+SearchResult
+AssociativeMemory::searchSampled(const Hypervector &query,
+                                 std::size_t prefix) const
+{
+    if (learned.empty())
+        throw std::logic_error("AssociativeMemory: empty search");
+    assert(query.dim() == dimension);
+    assert(prefix <= dimension);
+
+    SearchResult result;
+    result.distances.reserve(learned.size());
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (std::size_t id = 0; id < learned.size(); ++id) {
+        const std::size_t d = learned[id].hammingPrefix(query, prefix);
+        result.distances.push_back(d);
+        if (d < best) {
+            best = d;
+            result.classId = id;
+        }
+    }
+    result.bestDistance = best;
+    return result;
+}
+
+std::vector<RankedMatch>
+AssociativeMemory::searchTopK(const Hypervector &query,
+                              std::size_t k) const
+{
+    if (learned.empty())
+        throw std::logic_error("AssociativeMemory: empty search");
+    std::vector<RankedMatch> ranked;
+    ranked.reserve(learned.size());
+    for (std::size_t id = 0; id < learned.size(); ++id)
+        ranked.push_back({id, learned[id].hamming(query)});
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RankedMatch &a, const RankedMatch &b) {
+                  return a.distance != b.distance
+                             ? a.distance < b.distance
+                             : a.classId < b.classId;
+              });
+    if (ranked.size() > k)
+        ranked.resize(k);
+    return ranked;
+}
+
+std::size_t
+AssociativeMemory::minPairwiseDistance() const
+{
+    assert(learned.size() >= 2);
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < learned.size(); ++i)
+        for (std::size_t j = i + 1; j < learned.size(); ++j)
+            best = std::min(best, learned[i].hamming(learned[j]));
+    return best;
+}
+
+} // namespace hdham

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Software associative memory: the exact nearest-Hamming-distance
+ * oracle every hardware HAM design is measured against.
+ *
+ * Stores one learned hypervector per class; a query returns the class
+ * with the minimum Hamming distance (ties resolved to the lowest class
+ * id, matching a deterministic comparator tree).
+ */
+
+#ifndef HDHAM_CORE_ASSOC_MEMORY_HH
+#define HDHAM_CORE_ASSOC_MEMORY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/hypervector.hh"
+
+namespace hdham
+{
+
+/** Outcome of an associative search. */
+struct SearchResult
+{
+    /** Winning class id. */
+    std::size_t classId = 0;
+    /** Hamming distance of the winner. */
+    std::size_t bestDistance = 0;
+    /** Distance of every stored class to the query. */
+    std::vector<std::size_t> distances;
+
+    /**
+     * Decision margin: distance gap between the runner-up and the
+     * winner. Zero when fewer than two classes are stored. This is
+     * the quantity approximate hardware must resolve (e.g. A-HAM's
+     * minimum detectable distance).
+     */
+    std::size_t margin() const;
+};
+
+/** One ranked candidate of a top-k search. */
+struct RankedMatch
+{
+    std::size_t classId = 0;
+    std::size_t distance = 0;
+};
+
+/**
+ * Exact software associative memory over learned hypervectors.
+ */
+class AssociativeMemory
+{
+  public:
+    /** Create an empty memory for dimension @p dim. */
+    explicit AssociativeMemory(std::size_t dim);
+
+    /** Dimensionality. */
+    std::size_t dim() const { return dimension; }
+
+    /** Number of stored classes. */
+    std::size_t size() const { return learned.size(); }
+
+    /**
+     * Store a learned hypervector; returns its class id (insertion
+     * order). @pre hv.dim() == dim().
+     */
+    std::size_t store(const Hypervector &hv, std::string label = "");
+
+    /** Learned hypervector of class @p id. @pre id < size(). */
+    const Hypervector &vectorOf(std::size_t id) const;
+
+    /** Label of class @p id (may be empty). @pre id < size(). */
+    const std::string &labelOf(std::size_t id) const;
+
+    /**
+     * Exact nearest-distance search.
+     * @pre size() > 0 and query.dim() == dim().
+     */
+    SearchResult search(const Hypervector &query) const;
+
+    /**
+     * Search using only the first @p prefix components (structured
+     * sampling; the hypervector components are i.i.d. so any fixed
+     * subset is an unbiased scaled estimate of the full distance).
+     * @pre prefix <= dim().
+     */
+    SearchResult searchSampled(const Hypervector &query,
+                               std::size_t prefix) const;
+
+    /**
+     * The @p k nearest classes, sorted by ascending distance (ties
+     * by ascending class id). Returns fewer when fewer are stored.
+     * @pre size() > 0.
+     */
+    std::vector<RankedMatch> searchTopK(const Hypervector &query,
+                                        std::size_t k) const;
+
+    /**
+     * Minimum pairwise Hamming distance among the stored hypervectors.
+     * The paper reports 22 for its 21 learned language hypervectors;
+     * this is the safety margin approximate searches must respect.
+     * @pre size() >= 2.
+     */
+    std::size_t minPairwiseDistance() const;
+
+  private:
+    std::size_t dimension;
+    std::vector<Hypervector> learned;
+    std::vector<std::string> labels;
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_ASSOC_MEMORY_HH

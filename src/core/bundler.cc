@@ -1,0 +1,126 @@
+#include "core/bundler.hh"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace hdham
+{
+
+namespace
+{
+
+/**
+ * Byte-expansion table: entry [b] holds two 64-bit words whose four
+ * 16-bit lanes are the bits b0..b3 and b4..b7 of the byte, each as the
+ * value 0 or 1. Adding these words to the lane counters increments the
+ * counters of the byte's set components.
+ */
+struct ExpandTable
+{
+    std::array<std::array<std::uint64_t, 2>, 256> entries{};
+
+    constexpr ExpandTable()
+    {
+        for (unsigned b = 0; b < 256; ++b) {
+            std::uint64_t lo = 0, hi = 0;
+            for (unsigned i = 0; i < 4; ++i) {
+                if (b & (1u << i))
+                    lo |= 1ULL << (16 * i);
+                if (b & (1u << (4 + i)))
+                    hi |= 1ULL << (16 * i);
+            }
+            entries[b] = {lo, hi};
+        }
+    }
+};
+
+constexpr ExpandTable expandTable;
+
+} // namespace
+
+Bundler::Bundler(std::size_t dim)
+    : numBits(dim),
+      lanes((dim + lanesPerWord - 1) / lanesPerWord +
+            // Pad so the byte loop may write two lane words for every
+            // byte of the (word-padded) hypervector storage without
+            // bounds checks: 16 lane words per hypervector word.
+            16,
+          0),
+      totals(dim, 0)
+{
+}
+
+void
+Bundler::add(const Hypervector &hv)
+{
+    assert(hv.dim() == numBits);
+    if (pendingAdds == flushThreshold)
+        flush();
+
+    std::uint64_t *lane = lanes.data();
+    const std::size_t words = hv.words();
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t word = hv.word(w);
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            const auto &e =
+                expandTable.entries[static_cast<unsigned char>(word)];
+            lane[0] += e[0];
+            lane[1] += e[1];
+            lane += 2;
+            word >>= 8;
+        }
+    }
+    ++pendingAdds;
+    ++added;
+}
+
+std::uint32_t
+Bundler::onesCount(std::size_t i) const
+{
+    assert(i < numBits);
+    flush();
+    return totals[i];
+}
+
+Hypervector
+Bundler::majority(Rng &rng) const
+{
+    if (added == 0)
+        throw std::logic_error("Bundler::majority: nothing accumulated");
+    flush();
+    Hypervector result(numBits);
+    for (std::size_t i = 0; i < numBits; ++i) {
+        const std::uint64_t twice = 2ULL * totals[i];
+        if (twice > added)
+            result.set(i, true);
+        else if (twice == added)
+            result.set(i, rng.nextBool());
+    }
+    return result;
+}
+
+void
+Bundler::clear()
+{
+    added = 0;
+    pendingAdds = 0;
+    std::fill(lanes.begin(), lanes.end(), 0);
+    std::fill(totals.begin(), totals.end(), 0);
+}
+
+void
+Bundler::flush() const
+{
+    if (pendingAdds == 0)
+        return;
+    for (std::size_t i = 0; i < numBits; ++i) {
+        const std::uint64_t word = lanes[i / lanesPerWord];
+        totals[i] += static_cast<std::uint32_t>(
+            (word >> (16 * (i % lanesPerWord))) & 0xffffULL);
+    }
+    std::fill(lanes.begin(), lanes.end(), 0);
+    pendingAdds = 0;
+}
+
+} // namespace hdham

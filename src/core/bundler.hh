@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Streaming majority accumulator for bundling many hypervectors.
+ *
+ * Training a language hypervector bundles on the order of 10^5..10^6
+ * trigram hypervectors (Section II-A). Materializing them for
+ * ops::bundle would be prohibitively slow and large, so Bundler keeps
+ * per-component ones-counts and finalizes with a single majority pass.
+ *
+ * The hot path packs four 16-bit lane counters per 64-bit word and adds
+ * byte-expanded hypervector bits via a 256-entry lookup table; lanes are
+ * flushed into 32-bit counters before they can saturate, so any number
+ * of inputs up to 2^32 - 1 is exact.
+ */
+
+#ifndef HDHAM_CORE_BUNDLER_HH
+#define HDHAM_CORE_BUNDLER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/hypervector.hh"
+#include "core/random.hh"
+
+namespace hdham
+{
+
+/**
+ * Accumulates hypervectors and produces their component-wise majority.
+ */
+class Bundler
+{
+  public:
+    /** Create an accumulator for dimension @p dim. */
+    explicit Bundler(std::size_t dim);
+
+    /** Dimensionality of accepted hypervectors. */
+    std::size_t dim() const { return numBits; }
+
+    /** Number of hypervectors accumulated so far. */
+    std::uint64_t count() const { return added; }
+
+    /**
+     * Accumulate one hypervector.
+     * @pre hv.dim() == dim().
+     */
+    void add(const Hypervector &hv);
+
+    /**
+     * Ones-count of component @p i over everything added so far.
+     * @pre i < dim().
+     */
+    std::uint32_t onesCount(std::size_t i) const;
+
+    /**
+     * Finalize: component-wise majority of all added hypervectors.
+     * Components with an exact tie (possible only for an even count)
+     * are broken by a fair coin from @p rng, as the paper's augmented
+     * majority requires.
+     *
+     * The accumulator remains valid and can keep accepting inputs.
+     *
+     * @pre count() > 0.
+     */
+    Hypervector majority(Rng &rng) const;
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    /** Drain the 16-bit lane counters into the 32-bit counters. */
+    void flush() const;
+
+    static constexpr std::uint64_t lanesPerWord = 4;
+    /** Flush before a lane can reach 2^16. */
+    static constexpr std::uint64_t flushThreshold = 65535;
+
+    std::size_t numBits;
+    std::uint64_t added = 0;
+    /** Adds since the last flush (bounded by flushThreshold). */
+    mutable std::uint64_t pendingAdds = 0;
+    /** Four 16-bit lane counters per word; numBits/4 words (padded). */
+    mutable std::vector<std::uint64_t> lanes;
+    /** Full-precision per-component counters. */
+    mutable std::vector<std::uint32_t> totals;
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_BUNDLER_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * N-gram text encoder (Section II-A.1).
+ *
+ * A text is projected to a hypervector by bundling the hypervectors of
+ * all its letter n-grams. The n-gram a-b-c (n = 3) is encoded as
+ *
+ *     rho(rho(A) ^ B) ^ C  =  rho^2(A) ^ rho(B) ^ C
+ *
+ * where A, B, C are the seed hypervectors of the letters and rho is the
+ * cyclic permutation. Rotation of a seed by a fixed amount is
+ * precomputed per (symbol, position) so the hot loop is pure XOR.
+ */
+
+#ifndef HDHAM_CORE_ENCODER_HH
+#define HDHAM_CORE_ENCODER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/bundler.hh"
+#include "core/hypervector.hh"
+#include "core/item_memory.hh"
+#include "core/random.hh"
+
+namespace hdham
+{
+
+/**
+ * Encodes letter sequences into text hypervectors with the rotate-bind
+ * n-gram scheme.
+ */
+class Encoder
+{
+  public:
+    /**
+     * @param items item memory holding one seed per symbol id
+     * @param n     n-gram size (the paper uses trigrams, n = 3)
+     */
+    Encoder(const ItemMemory &items, std::size_t n = 3);
+
+    /** N-gram size. */
+    std::size_t ngramSize() const { return n; }
+
+    /** Hypervector dimensionality. */
+    std::size_t dim() const { return dimension; }
+
+    /**
+     * Hypervector of the n-gram whose symbol ids are @p symbols
+     * (exactly n of them, oldest first).
+     */
+    Hypervector
+    encodeNgram(const std::vector<std::size_t> &symbols) const;
+
+    /**
+     * Stream every n-gram of @p text (normalized to the 27-symbol
+     * alphabet) into @p bundler. Returns the number of n-grams added.
+     * Texts shorter than n contribute nothing.
+     *
+     * Used directly for training, where one Bundler accumulates
+     * n-grams across many samples of the same class.
+     */
+    std::size_t
+    encodeInto(const std::string &text, Bundler &bundler) const;
+
+    /**
+     * Encode a complete text into its text hypervector: bundle all of
+     * its n-grams and take the majority. @p rng breaks majority ties.
+     *
+     * @pre text contains at least n characters.
+     */
+    Hypervector encode(const std::string &text, Rng &rng) const;
+
+  private:
+    const ItemMemory &items;
+    std::size_t n;
+    std::size_t dimension;
+    /**
+     * rotatedSeeds[p][s] = rho^p(seed of symbol s), for p in [0, n).
+     * Position p counts from the newest element: the n-gram component
+     * at age a (0 = newest) uses rotation amount a.
+     */
+    std::vector<std::vector<Hypervector>> rotatedSeeds;
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_ENCODER_HH

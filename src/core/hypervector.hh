@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Bit-packed binary hypervector.
+ *
+ * A hypervector is a point in {0,1}^D with D typically in the thousands
+ * (the paper uses D = 10,000). Components are packed 64 per word so the
+ * core operations (XOR binding, Hamming distance) run at word rate with
+ * hardware popcount.
+ */
+
+#ifndef HDHAM_CORE_HYPERVECTOR_HH
+#define HDHAM_CORE_HYPERVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/random.hh"
+
+namespace hdham
+{
+
+/**
+ * A dense binary hypervector of runtime dimensionality.
+ *
+ * Invariant: any bits in the final storage word beyond the logical
+ * dimensionality are zero ("tail bits are clean"). All mutators preserve
+ * this so popcount-based distance never sees garbage.
+ */
+class Hypervector
+{
+  public:
+    /** Number of bits per storage word. */
+    static constexpr std::size_t bitsPerWord = 64;
+
+    /** Construct an empty (dimension 0) hypervector. */
+    Hypervector() = default;
+
+    /** Construct an all-zero hypervector of dimension @p dim. */
+    explicit Hypervector(std::size_t dim);
+
+    /**
+     * Construct a dense random hypervector: every component is an
+     * independent fair coin flip. For D in the thousands the number of
+     * ones concentrates tightly around D/2, which is what the paper's
+     * "equal number of randomly placed 0s and 1s" seed vectors need.
+     *
+     * @param dim dimensionality D
+     * @param rng randomness source (advanced by the call)
+     */
+    static Hypervector random(std::size_t dim, Rng &rng);
+
+    /**
+     * Construct an exactly balanced random hypervector: exactly
+     * floor(D/2) ones placed uniformly at random (Fisher-Yates over the
+     * component indices).
+     */
+    static Hypervector randomBalanced(std::size_t dim, Rng &rng);
+
+    /** Parse from a string of '0'/'1' characters (for tests). */
+    static Hypervector fromString(const std::string &bits);
+
+    /** Dimensionality D. */
+    std::size_t dim() const { return numBits; }
+
+    /** Number of storage words. */
+    std::size_t words() const { return storage.size(); }
+
+    /** Raw word access (tail bits of the last word are zero). */
+    std::uint64_t word(std::size_t i) const { return storage[i]; }
+
+    /** Raw word pointer for hot loops. */
+    const std::uint64_t *data() const { return storage.data(); }
+
+    /** Get component @p i. @pre i < dim(). */
+    bool get(std::size_t i) const;
+
+    /** Set component @p i to @p value. @pre i < dim(). */
+    void set(std::size_t i, bool value);
+
+    /** Flip component @p i. @pre i < dim(). */
+    void flip(std::size_t i);
+
+    /** Number of set components. */
+    std::size_t popcount() const;
+
+    /**
+     * Hamming distance to @p other.
+     * @pre other.dim() == dim().
+     */
+    std::size_t hamming(const Hypervector &other) const;
+
+    /**
+     * Hamming distance restricted to components [0, prefix).
+     * Used by structured sampling (D-HAM computes distance on d < D
+     * leading components). @pre prefix <= dim().
+     */
+    std::size_t hammingPrefix(const Hypervector &other,
+                              std::size_t prefix) const;
+
+    /**
+     * Component-wise XOR (the HD binding operator).
+     * @pre other.dim() == dim().
+     */
+    Hypervector operator^(const Hypervector &other) const;
+
+    /** In-place XOR. @pre other.dim() == dim(). */
+    Hypervector &operator^=(const Hypervector &other);
+
+    /**
+     * Cyclic rotation right by @p amount positions (the HD permutation
+     * operator rho). Component i of the result is component
+     * (i + dim - amount) % dim of the input... i.e. every component
+     * moves "up" by @p amount with wraparound.
+     */
+    Hypervector rotated(std::size_t amount = 1) const;
+
+    /** Flip @p count distinct random components (fault injection). */
+    void injectErrors(std::size_t count, Rng &rng);
+
+    /** Exact equality (same dim and same components). */
+    bool operator==(const Hypervector &other) const;
+    bool operator!=(const Hypervector &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Render as a '0'/'1' string (for tests and debugging). */
+    std::string toString() const;
+
+  private:
+    /** Zero any bits beyond numBits in the last storage word. */
+    void clearTail();
+
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> storage;
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_HYPERVECTOR_HH

@@ -1,0 +1,52 @@
+#include "core/item_memory.hh"
+
+#include <cassert>
+#include <cctype>
+
+namespace hdham
+{
+
+ItemMemory::ItemMemory(std::size_t size, std::size_t dim,
+                       std::uint64_t seed)
+    : dimension(dim)
+{
+    Rng rng(seed);
+    items.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+        items.push_back(Hypervector::randomBalanced(dim, rng));
+}
+
+const Hypervector &
+ItemMemory::operator[](std::size_t id) const
+{
+    assert(id < items.size());
+    return items[id];
+}
+
+std::size_t
+TextAlphabet::symbolOf(char c)
+{
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalpha(uc))
+        return static_cast<std::size_t>(std::tolower(uc) - 'a');
+    return spaceId;
+}
+
+char
+TextAlphabet::charOf(std::size_t id)
+{
+    assert(id < size);
+    return id == spaceId ? ' ' : static_cast<char>('a' + id);
+}
+
+std::string
+TextAlphabet::normalize(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text)
+        out.push_back(charOf(symbolOf(c)));
+    return out;
+}
+
+} // namespace hdham

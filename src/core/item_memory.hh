@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Item memory: the fixed table of orthogonal seed hypervectors.
+ *
+ * Random indexing assigns every basic symbol (the paper uses the 26
+ * Latin letters plus space, 27 symbols total) a random seed hypervector
+ * with an equal number of randomly placed 0s and 1s. The assignment is
+ * fixed for the lifetime of the computation; any two seeds are nearly
+ * orthogonal (distance ~ D/2).
+ */
+
+#ifndef HDHAM_CORE_ITEM_MEMORY_HH
+#define HDHAM_CORE_ITEM_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hypervector.hh"
+#include "core/random.hh"
+
+namespace hdham
+{
+
+/**
+ * Fixed store of seed hypervectors, one per symbol id in [0, size).
+ */
+class ItemMemory
+{
+  public:
+    /**
+     * Generate @p size balanced random seed hypervectors of dimension
+     * @p dim, deterministically from @p seed.
+     */
+    ItemMemory(std::size_t size, std::size_t dim, std::uint64_t seed);
+
+    /** Number of symbols. */
+    std::size_t size() const { return items.size(); }
+
+    /** Dimensionality of the seeds. */
+    std::size_t dim() const { return dimension; }
+
+    /** Seed hypervector of symbol @p id. @pre id < size(). */
+    const Hypervector &operator[](std::size_t id) const;
+
+  private:
+    std::size_t dimension;
+    std::vector<Hypervector> items;
+};
+
+/**
+ * The paper's text alphabet: 'a'..'z' plus space, 27 symbols.
+ *
+ * Maps a character to its symbol id; anything outside the alphabet
+ * (digits, punctuation, ...) collapses to space, and uppercase letters
+ * fold to lowercase, mirroring the usual preprocessing of the language
+ * recognition pipeline.
+ */
+class TextAlphabet
+{
+  public:
+    /** Number of symbols: 26 letters + space. */
+    static constexpr std::size_t size = 27;
+
+    /** Symbol id of the space character. */
+    static constexpr std::size_t spaceId = 26;
+
+    /** Map a character to a symbol id in [0, size). */
+    static std::size_t symbolOf(char c);
+
+    /** Map a symbol id back to its canonical character. */
+    static char charOf(std::size_t id);
+
+    /** Normalize a string to the 27-symbol alphabet. */
+    static std::string normalize(const std::string &text);
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_ITEM_MEMORY_HH

@@ -1,0 +1,59 @@
+#include "core/level_memory.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdham
+{
+
+LevelItemMemory::LevelItemMemory(std::size_t levels, std::size_t dim,
+                                 std::uint64_t seed)
+    : dimension(dim)
+{
+    if (levels < 2)
+        throw std::invalid_argument("LevelItemMemory: need at least "
+                                    "two levels");
+    Rng rng(seed);
+    items.reserve(levels);
+    items.push_back(Hypervector::random(dim, rng));
+
+    // Walk from the low endpoint flipping a fresh slice of
+    // components per step: d(level_i, level_j) ~ |i - j| * D /
+    // (levels - 1), and the top level is ~orthogonal to the bottom.
+    std::vector<std::uint32_t> order(dim);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = dim; i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBelow(i)]);
+
+    const std::size_t steps = levels - 1;
+    for (std::size_t level = 1; level <= steps; ++level) {
+        Hypervector hv = items.back();
+        const std::size_t from = (level - 1) * (dim / 2) / steps;
+        const std::size_t to = level * (dim / 2) / steps;
+        for (std::size_t k = from; k < to; ++k)
+            hv.flip(order[k]);
+        items.push_back(std::move(hv));
+    }
+}
+
+const Hypervector &
+LevelItemMemory::operator[](std::size_t level) const
+{
+    assert(level < items.size());
+    return items[level];
+}
+
+const Hypervector &
+LevelItemMemory::encode(double value, double lo, double hi) const
+{
+    assert(hi > lo);
+    const double clamped = std::clamp(value, lo, hi);
+    const double unit = (clamped - lo) / (hi - lo);
+    const auto level = static_cast<std::size_t>(
+        unit * static_cast<double>(items.size() - 1) + 0.5);
+    return items[std::min(level, items.size() - 1)];
+}
+
+} // namespace hdham

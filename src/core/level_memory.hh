@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Continuous item memory: hypervectors for quantized scalar levels.
+ *
+ * Text symbols are categorical, so their seeds are mutually
+ * orthogonal. Sensor amplitudes are ordinal: nearby levels should
+ * map to nearby hypervectors or the encoder throws away the metric
+ * structure of the signal. The standard construction (used by the
+ * HD biosignal work the paper cites as [7]) interpolates between
+ * two random endpoint hypervectors: level 0 uses the low endpoint,
+ * the top level the high endpoint, and level i flips a fresh
+ * 1/(levels-1) slice of the remaining components -- so the Hamming
+ * distance between two levels is proportional to their separation.
+ */
+
+#ifndef HDHAM_CORE_LEVEL_MEMORY_HH
+#define HDHAM_CORE_LEVEL_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/hypervector.hh"
+#include "core/random.hh"
+
+namespace hdham
+{
+
+/**
+ * Item memory over ordered quantization levels with distance
+ * proportional to level separation.
+ */
+class LevelItemMemory
+{
+  public:
+    /**
+     * Build @p levels hypervectors of dimension @p dim,
+     * deterministically from @p seed.
+     * @pre levels >= 2.
+     */
+    LevelItemMemory(std::size_t levels, std::size_t dim,
+                    std::uint64_t seed);
+
+    /** Number of quantization levels. */
+    std::size_t levels() const { return items.size(); }
+
+    /** Dimensionality. */
+    std::size_t dim() const { return dimension; }
+
+    /** Hypervector of level @p level. @pre level < levels(). */
+    const Hypervector &operator[](std::size_t level) const;
+
+    /**
+     * Quantize @p value in [lo, hi] to a level and return its
+     * hypervector; values outside the range clamp to the endpoints.
+     */
+    const Hypervector &encode(double value, double lo,
+                              double hi) const;
+
+  private:
+    std::size_t dimension;
+    std::vector<Hypervector> items;
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_LEVEL_MEMORY_HH

@@ -1,0 +1,48 @@
+#include "core/ops.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/bundler.hh"
+
+namespace hdham
+{
+
+Hypervector
+bind(const Hypervector &a, const Hypervector &b)
+{
+    return a ^ b;
+}
+
+Hypervector
+bundle(const std::vector<Hypervector> &inputs, Rng &rng)
+{
+    if (inputs.empty())
+        throw std::invalid_argument("bundle: no inputs");
+    Bundler acc(inputs.front().dim());
+    for (const auto &hv : inputs)
+        acc.add(hv);
+    return acc.majority(rng);
+}
+
+Hypervector
+permute(const Hypervector &a, std::size_t amount)
+{
+    return a.rotated(amount);
+}
+
+std::size_t
+distance(const Hypervector &a, const Hypervector &b)
+{
+    return a.hamming(b);
+}
+
+double
+normalizedDistance(const Hypervector &a, const Hypervector &b)
+{
+    assert(a.dim() > 0);
+    return static_cast<double>(a.hamming(b)) /
+           static_cast<double>(a.dim());
+}
+
+} // namespace hdham

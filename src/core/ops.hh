@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The HD computing arithmetic (Section II of the paper).
+ *
+ * Three operations over binary hypervectors:
+ *  - bind:    component-wise XOR; the result is dissimilar to both
+ *             operands (distance ~ D/2) and is self-inverse.
+ *  - bundle:  component-wise majority; the result stays similar to each
+ *             operand (distance < D/2). Ties (even operand counts) are
+ *             broken with a deterministic pseudo-random tie vector.
+ *  - permute: cyclic rotation rho; the result is dissimilar to the
+ *             input, used to encode sequence position.
+ */
+
+#ifndef HDHAM_CORE_OPS_HH
+#define HDHAM_CORE_OPS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/hypervector.hh"
+#include "core/random.hh"
+
+namespace hdham
+{
+
+/** Bind two hypervectors: component-wise XOR. */
+Hypervector bind(const Hypervector &a, const Hypervector &b);
+
+/**
+ * Bundle a set of hypervectors with the component-wise majority
+ * function.
+ *
+ * For an even number of inputs the majority is undefined on components
+ * with an exact split; the paper augments majority "with a method for
+ * breaking ties". We break ties with a random hypervector drawn from
+ * @p rng, which keeps the bundled components i.i.d.
+ *
+ * @pre all inputs share the same dimensionality; inputs are non-empty.
+ */
+Hypervector bundle(const std::vector<Hypervector> &inputs, Rng &rng);
+
+/** Permute (rotate) a hypervector by @p amount positions. */
+Hypervector permute(const Hypervector &a, std::size_t amount = 1);
+
+/** Hamming distance delta(a, b). */
+std::size_t distance(const Hypervector &a, const Hypervector &b);
+
+/**
+ * Normalized Hamming distance in [0, 1]: delta(a, b) / D.
+ * @pre a.dim() > 0.
+ */
+double normalizedDistance(const Hypervector &a, const Hypervector &b);
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_OPS_HH

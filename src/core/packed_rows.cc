@@ -1,0 +1,93 @@
+#include "core/packed_rows.hh"
+
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace hdham
+{
+
+PackedRows::PackedRows(std::size_t dim)
+    : numBits(dim),
+      rowWords((dim + Hypervector::bitsPerWord - 1) /
+               Hypervector::bitsPerWord)
+{
+    if (dim == 0)
+        throw std::invalid_argument("PackedRows: zero dimension");
+}
+
+std::size_t
+PackedRows::append(const Hypervector &hv)
+{
+    if (hv.dim() != numBits)
+        throw std::invalid_argument("PackedRows::append: dimension "
+                                    "mismatch");
+    words.reserve(words.size() + rowWords);
+    for (std::size_t w = 0; w < rowWords; ++w)
+        words.push_back(hv.word(w));
+    return numRows++;
+}
+
+Hypervector
+PackedRows::rowVector(std::size_t row) const
+{
+    assert(row < numRows);
+    Hypervector hv(numBits);
+    const std::uint64_t *data = rowData(row);
+    for (std::size_t i = 0; i < numBits; ++i)
+        hv.set(i, (data[i / 64] >> (i % 64)) & 1ULL);
+    return hv;
+}
+
+std::size_t
+PackedRows::distance(std::size_t row, const Hypervector &query,
+                     std::size_t prefix) const
+{
+    assert(row < numRows);
+    assert(query.dim() == numBits);
+    assert(prefix <= numBits);
+    const std::uint64_t *data = rowData(row);
+    const std::size_t fullWords = prefix / 64;
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < fullWords; ++w)
+        count += std::popcount(data[w] ^ query.word(w));
+    const std::size_t rem = prefix % 64;
+    if (rem) {
+        const std::uint64_t mask = (1ULL << rem) - 1;
+        count += std::popcount(
+            (data[fullWords] ^ query.word(fullWords)) & mask);
+    }
+    return count;
+}
+
+void
+PackedRows::distances(const Hypervector &query, std::size_t prefix,
+                      std::vector<std::size_t> &out) const
+{
+    out.resize(numRows);
+    for (std::size_t row = 0; row < numRows; ++row)
+        out[row] = distance(row, query, prefix);
+}
+
+std::size_t
+PackedRows::nearest(const Hypervector &query, std::size_t prefix,
+                    std::size_t *bestDistance) const
+{
+    if (numRows == 0)
+        throw std::logic_error("PackedRows::nearest: empty store");
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    std::size_t winner = 0;
+    for (std::size_t row = 0; row < numRows; ++row) {
+        const std::size_t d = distance(row, query, prefix);
+        if (d < best) {
+            best = d;
+            winner = row;
+        }
+    }
+    if (bestDistance != nullptr)
+        *bestDistance = best;
+    return winner;
+}
+
+} // namespace hdham

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Contiguous row-major storage for multi-row Hamming scans.
+ *
+ * An associative search touches every stored row once per query.
+ * PackedRows stores all rows in a single word array (rows padded to
+ * whole words) -- the software analogue of the hardware CAM array's
+ * dense layout -- and provides the scan primitives the D-HAM model
+ * builds on (prefix distances for structured sampling, lowest-index
+ * tie-breaking like the comparator tree). At the paper's scale
+ * (C <= 100 rows of 1.25 kB) the BM_PackedRowsScan microbenchmark
+ * measures parity with a scattered vector<Hypervector> scan: both
+ * fit comfortably in L2, so the win here is the API and the layout
+ * fidelity, not speed.
+ */
+
+#ifndef HDHAM_CORE_PACKED_ROWS_HH
+#define HDHAM_CORE_PACKED_ROWS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/hypervector.hh"
+
+namespace hdham
+{
+
+/**
+ * Dense row-major store of equal-dimensionality hypervectors.
+ */
+class PackedRows
+{
+  public:
+    /** Create an empty store for dimension @p dim. */
+    explicit PackedRows(std::size_t dim);
+
+    /** Dimensionality of stored rows. */
+    std::size_t dim() const { return numBits; }
+
+    /** Number of stored rows. */
+    std::size_t rows() const { return numRows; }
+
+    /** Words per row (including tail padding). */
+    std::size_t wordsPerRow() const { return rowWords; }
+
+    /**
+     * Append a row; returns its index.
+     * @pre hv.dim() == dim().
+     */
+    std::size_t append(const Hypervector &hv);
+
+    /** Reconstruct row @p row as a Hypervector. */
+    Hypervector rowVector(std::size_t row) const;
+
+    /**
+     * Hamming distance of row @p row to @p query over the first
+     * @p prefix components (dim() by default; pass a smaller value
+     * for structured sampling).
+     */
+    std::size_t distance(std::size_t row, const Hypervector &query,
+                         std::size_t prefix) const;
+
+    /**
+     * Distances of every row to @p query over the first @p prefix
+     * components, written into @p out (resized to rows()).
+     */
+    void distances(const Hypervector &query, std::size_t prefix,
+                   std::vector<std::size_t> &out) const;
+
+    /**
+     * Index of the row with the minimum distance to @p query over
+     * the first @p prefix components; ties resolve to the lowest
+     * index. @pre rows() > 0.
+     */
+    std::size_t nearest(const Hypervector &query,
+                        std::size_t prefix,
+                        std::size_t *bestDistance = nullptr) const;
+
+  private:
+    const std::uint64_t *rowData(std::size_t row) const
+    {
+        return words.data() + row * rowWords;
+    }
+
+    std::size_t numBits;
+    std::size_t rowWords;
+    std::size_t numRows = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_PACKED_ROWS_HH

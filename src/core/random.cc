@@ -1,0 +1,130 @@
+#include "core/random.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace hdham
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s)
+        word = sm.next();
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasSpare) {
+        hasSpare = false;
+        return spare;
+    }
+    double u, v, r2;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        r2 = u * u + v * v;
+    } while (r2 >= 1.0 || r2 == 0.0);
+    const double mag = std::sqrt(-2.0 * std::log(r2) / r2);
+    spare = v * mag;
+    hasSpare = true;
+    return u * mag;
+}
+
+std::uint64_t
+Rng::nextBinomial(std::uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    // Exploit symmetry so the inversion loop runs on the small tail.
+    if (p > 0.5)
+        return n - nextBinomial(n, 1.0 - p);
+
+    const double mean = static_cast<double>(n) * p;
+    if (mean <= 30.0) {
+        // BINV: sequential inversion of the binomial CDF.
+        const double q = 1.0 - p;
+        const double s = p / q;
+        double f = std::pow(q, static_cast<double>(n));
+        double u = nextDouble();
+        std::uint64_t k = 0;
+        while (u > f && k < n) {
+            u -= f;
+            ++k;
+            f *= s * static_cast<double>(n - k + 1) /
+                 static_cast<double>(k);
+        }
+        return k;
+    }
+    // Gaussian approximation for large means.
+    const double sd = std::sqrt(mean * (1.0 - p));
+    const double draw = mean + sd * nextGaussian();
+    if (draw <= 0.0)
+        return 0;
+    const auto k = static_cast<std::uint64_t>(draw + 0.5);
+    return k > n ? n : k;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace hdham

@@ -1,0 +1,48 @@
+#include "core/record.hh"
+
+#include <stdexcept>
+
+#include "core/bundler.hh"
+
+namespace hdham
+{
+
+Hypervector
+RecordEncoder::encode(const std::vector<Binding> &bindings, Rng &rng)
+{
+    if (bindings.empty())
+        throw std::invalid_argument("RecordEncoder::encode: no "
+                                    "bindings");
+    Bundler bundler(bindings.front().first.dim());
+    for (const auto &[role, filler] : bindings)
+        bundler.add(role ^ filler);
+    return bundler.majority(rng);
+}
+
+Hypervector
+RecordEncoder::probe(const Hypervector &record,
+                     const Hypervector &key)
+{
+    return record ^ key;
+}
+
+std::size_t
+RecordEncoder::probeAndCleanup(const Hypervector &record,
+                               const Hypervector &key,
+                               const AssociativeMemory &cleanup)
+{
+    return cleanup.search(probe(record, key)).classId;
+}
+
+std::size_t
+RecordEncoder::analogy(const Hypervector &source,
+                       const Hypervector &item,
+                       const Hypervector &target,
+                       const AssociativeMemory &cleanup)
+{
+    // noisy role = source ^ item; answer ~ target ^ noisy role.
+    const Hypervector noisyRole = source ^ item;
+    return cleanup.search(target ^ noisyRole).classId;
+}
+
+} // namespace hdham

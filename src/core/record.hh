@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Role-filler record encoding (Section II's binding/bundling use
+ * case, and the "what is the dollar of Mexico?" analogy mapping of
+ * the paper's reference [2]).
+ *
+ * A record binds each role hypervector with its filler and bundles
+ * the pairs:
+ *
+ *     R = [role1 ^ filler1 + role2 ^ filler2 + ...]
+ *
+ * Probing the record with a role approximately recovers the filler
+ * (R ^ role is closest to the filler among stored items); probing
+ * with a *filler* recovers the role, which enables analogical
+ * queries between two records: "dollar of Mexico" is
+ * usa_record ^ dollar -> currency role -> mexico_record ^ currency
+ * -> peso.
+ */
+
+#ifndef HDHAM_CORE_RECORD_HH
+#define HDHAM_CORE_RECORD_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "core/hypervector.hh"
+#include "core/random.hh"
+
+namespace hdham
+{
+
+/**
+ * Encodes and probes role-filler records.
+ */
+class RecordEncoder
+{
+  public:
+    /** A (role, filler) pair. */
+    using Binding = std::pair<Hypervector, Hypervector>;
+
+    /**
+     * Bundle the role-filler bindings into one record hypervector.
+     * @p rng breaks majority ties (records with an even number of
+     * fields need it).
+     * @pre bindings is non-empty and dimensions agree.
+     */
+    static Hypervector
+    encode(const std::vector<Binding> &bindings, Rng &rng);
+
+    /**
+     * Probe @p record with @p key (a role to recover its filler, or
+     * a filler to recover its role): returns the unbound vector,
+     * which is *approximately* the partner and should be cleaned up
+     * through an item memory.
+     */
+    static Hypervector probe(const Hypervector &record,
+                             const Hypervector &key);
+
+    /**
+     * Probe and clean up: returns the id of the stored item in
+     * @p cleanup closest to record ^ key.
+     */
+    static std::size_t probeAndCleanup(
+        const Hypervector &record, const Hypervector &key,
+        const AssociativeMemory &cleanup);
+
+    /**
+     * Analogical mapping between two records sharing a role
+     * vocabulary (reference [2]): find what plays in @p target the
+     * same role @p item plays in @p source. Returns the id of the
+     * best item in @p cleanup.
+     *
+     * Works by unbinding the item from the source record (yielding
+     * a noisy role) and applying that role to the target record.
+     */
+    static std::size_t analogy(const Hypervector &source,
+                               const Hypervector &item,
+                               const Hypervector &target,
+                               const AssociativeMemory &cleanup);
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_RECORD_HH

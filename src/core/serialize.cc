@@ -1,0 +1,159 @@
+#include "core/serialize.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace hdham::serialize
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> magic = {'H', 'D', 'H', 'A',
+                                       'M', 0,   0,   0};
+
+void
+writeU64(std::ostream &out, std::uint64_t value)
+{
+    std::array<char, 8> bytes;
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    out.write(bytes.data(), bytes.size());
+}
+
+std::uint64_t
+readU64(std::istream &in)
+{
+    std::array<char, 8> bytes;
+    in.read(bytes.data(), bytes.size());
+    if (!in)
+        throw std::runtime_error("serialize: truncated input");
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes[i]))
+                 << (8 * i);
+    }
+    return value;
+}
+
+void
+writeString(std::ostream &out, const std::string &s)
+{
+    writeU64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &in)
+{
+    const std::uint64_t len = readU64(in);
+    if (len > (1ULL << 20))
+        throw std::runtime_error("serialize: implausible label "
+                                 "length");
+    std::string s(len, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(len));
+    if (!in)
+        throw std::runtime_error("serialize: truncated label");
+    return s;
+}
+
+} // namespace
+
+void
+writeHypervector(std::ostream &out, const Hypervector &hv)
+{
+    writeU64(out, hv.dim());
+    for (std::size_t w = 0; w < hv.words(); ++w)
+        writeU64(out, hv.word(w));
+}
+
+Hypervector
+readHypervector(std::istream &in)
+{
+    const std::uint64_t dim = readU64(in);
+    if (dim > (1ULL << 28))
+        throw std::runtime_error("serialize: implausible "
+                                 "dimensionality");
+    Hypervector hv(static_cast<std::size_t>(dim));
+    const std::size_t words = hv.words();
+    for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t word = readU64(in);
+        // Rebuild through set() to preserve the clean-tail
+        // invariant even against malformed input.
+        for (std::size_t b = 0; b < 64; ++b) {
+            const std::size_t i = w * 64 + b;
+            if (i >= dim)
+                break;
+            hv.set(i, (word >> b) & 1ULL);
+        }
+    }
+    return hv;
+}
+
+void
+writeMemory(std::ostream &out, const AssociativeMemory &am)
+{
+    out.write(magic.data(), magic.size());
+    writeU64(out, formatVersion);
+    writeU64(out, am.dim());
+    writeU64(out, am.size());
+    for (std::size_t id = 0; id < am.size(); ++id) {
+        writeString(out, am.labelOf(id));
+        writeHypervector(out, am.vectorOf(id));
+    }
+}
+
+AssociativeMemory
+readMemory(std::istream &in)
+{
+    std::array<char, 8> header;
+    in.read(header.data(), header.size());
+    if (!in || std::memcmp(header.data(), magic.data(), 8) != 0)
+        throw std::runtime_error("serialize: bad magic");
+    const std::uint64_t version = readU64(in);
+    if (version != formatVersion)
+        throw std::runtime_error("serialize: unsupported version");
+    const auto dim = static_cast<std::size_t>(readU64(in));
+    const std::uint64_t count = readU64(in);
+    if (count > (1ULL << 24))
+        throw std::runtime_error("serialize: implausible class "
+                                 "count");
+    AssociativeMemory am(dim);
+    for (std::uint64_t id = 0; id < count; ++id) {
+        std::string label = readString(in);
+        Hypervector hv = readHypervector(in);
+        if (hv.dim() != dim)
+            throw std::runtime_error("serialize: row dimension "
+                                     "mismatch");
+        am.store(hv, std::move(label));
+    }
+    return am;
+}
+
+void
+saveMemory(const std::string &path, const AssociativeMemory &am)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("serialize: cannot open " + path +
+                                 " for writing");
+    writeMemory(out, am);
+    if (!out)
+        throw std::runtime_error("serialize: write failed: " + path);
+}
+
+AssociativeMemory
+loadMemory(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("serialize: cannot open " + path);
+    return readMemory(in);
+}
+
+} // namespace hdham::serialize

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Binary serialization of trained models.
+ *
+ * Training a language profile costs minutes of corpus processing;
+ * deployment needs only the learned hypervectors and the item
+ * memory. This module persists both in a small versioned binary
+ * format (little-endian, magic-tagged) so a trained associative
+ * memory can be written once and reloaded anywhere.
+ *
+ * Format (all integers little-endian u64 unless noted):
+ *   file      := magic version payload
+ *   magic     := "HDHAM\0\0\0" (8 bytes)
+ *   version   := u64 (currently 1)
+ *   hv        := dim words[ceil(dim/64)]
+ *   am        := dim count { label hv }*count
+ *   label     := len bytes[len]
+ */
+
+#ifndef HDHAM_CORE_SERIALIZE_HH
+#define HDHAM_CORE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/assoc_memory.hh"
+#include "core/hypervector.hh"
+
+namespace hdham::serialize
+{
+
+/** Current format version. */
+inline constexpr std::uint64_t formatVersion = 1;
+
+/** Write one hypervector (no header). */
+void writeHypervector(std::ostream &out, const Hypervector &hv);
+
+/** Read one hypervector (no header). @throws on malformed input. */
+Hypervector readHypervector(std::istream &in);
+
+/** Write a trained associative memory with header. */
+void writeMemory(std::ostream &out, const AssociativeMemory &am);
+
+/**
+ * Read a trained associative memory.
+ * @throws std::runtime_error on bad magic/version/truncation.
+ */
+AssociativeMemory readMemory(std::istream &in);
+
+/** Convenience: write to / read from a file path. */
+void saveMemory(const std::string &path,
+                const AssociativeMemory &am);
+AssociativeMemory loadMemory(const std::string &path);
+
+} // namespace hdham::serialize
+
+#endif // HDHAM_CORE_SERIALIZE_HH

@@ -1,0 +1,67 @@
+#include "core/trainable_memory.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hdham
+{
+
+TrainableMemory::TrainableMemory(std::size_t dim,
+                                 std::uint64_t seed)
+    : dimension(dim), rng(seed)
+{
+    if (dim == 0)
+        throw std::invalid_argument("TrainableMemory: zero "
+                                    "dimension");
+}
+
+std::size_t
+TrainableMemory::addClass(std::string label)
+{
+    bundlers.emplace_back(dimension);
+    labels.push_back(std::move(label));
+    return bundlers.size() - 1;
+}
+
+const std::string &
+TrainableMemory::labelOf(std::size_t id) const
+{
+    assert(id < labels.size());
+    return labels[id];
+}
+
+void
+TrainableMemory::addSample(std::size_t id, const Hypervector &hv)
+{
+    if (id >= bundlers.size())
+        throw std::invalid_argument("TrainableMemory::addSample: "
+                                    "unknown class");
+    bundlers[id].add(hv);
+}
+
+std::uint64_t
+TrainableMemory::sampleCount(std::size_t id) const
+{
+    assert(id < bundlers.size());
+    return bundlers[id].count();
+}
+
+Hypervector
+TrainableMemory::prototype(std::size_t id) const
+{
+    if (id >= bundlers.size() || bundlers[id].count() == 0)
+        throw std::logic_error("TrainableMemory::prototype: class "
+                               "has no samples");
+    return bundlers[id].majority(rng);
+}
+
+AssociativeMemory
+TrainableMemory::snapshot() const
+{
+    AssociativeMemory am(dimension);
+    for (std::size_t id = 0; id < bundlers.size(); ++id)
+        am.store(prototype(id), labels[id]);
+    return am;
+}
+
+} // namespace hdham

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Online-trainable associative memory.
+ *
+ * HD training is a running majority, so a classifier can keep
+ * learning after deployment by retaining the per-class ones-counters
+ * (one Bundler per class) instead of just the thresholded
+ * prototypes. TrainableMemory holds those counters, accepts new
+ * labeled encodings at any time, and emits an AssociativeMemory
+ * snapshot whenever the hardware should be reprogrammed -- which
+ * maps directly onto the paper's write-endurance argument: each
+ * retraining session costs exactly one crossbar programming pass.
+ */
+
+#ifndef HDHAM_CORE_TRAINABLE_MEMORY_HH
+#define HDHAM_CORE_TRAINABLE_MEMORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "core/bundler.hh"
+#include "core/hypervector.hh"
+#include "core/random.hh"
+
+namespace hdham
+{
+
+/**
+ * Per-class majority counters with snapshot extraction.
+ */
+class TrainableMemory
+{
+  public:
+    /**
+     * @param dim  hypervector dimensionality
+     * @param seed tie-break randomness for snapshot majorities
+     */
+    explicit TrainableMemory(std::size_t dim,
+                             std::uint64_t seed = 0x747261696eULL);
+
+    /** Dimensionality. */
+    std::size_t dim() const { return dimension; }
+
+    /** Number of classes created so far. */
+    std::size_t classes() const { return bundlers.size(); }
+
+    /** Create a new (empty) class; returns its id. */
+    std::size_t addClass(std::string label = "");
+
+    /** Label of class @p id. */
+    const std::string &labelOf(std::size_t id) const;
+
+    /**
+     * Accumulate one encoded training sample into class @p id.
+     * @pre id < classes() and hv.dim() == dim().
+     */
+    void addSample(std::size_t id, const Hypervector &hv);
+
+    /** Samples accumulated into class @p id so far. */
+    std::uint64_t sampleCount(std::size_t id) const;
+
+    /**
+     * Thresholded prototype of one class (majority of everything
+     * accumulated so far). @pre sampleCount(id) > 0.
+     */
+    Hypervector prototype(std::size_t id) const;
+
+    /**
+     * Snapshot every class into a ready-to-program
+     * AssociativeMemory. @pre every class has at least one sample.
+     */
+    AssociativeMemory snapshot() const;
+
+  private:
+    std::size_t dimension;
+    mutable Rng rng;
+    std::vector<Bundler> bundlers;
+    std::vector<std::string> labels;
+};
+
+} // namespace hdham
+
+#endif // HDHAM_CORE_TRAINABLE_MEMORY_HH

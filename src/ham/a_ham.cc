@@ -1,0 +1,84 @@
+#include "ham/a_ham.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hdham::ham
+{
+
+AHam::AHam(const AHamConfig &config)
+    : cfg(config),
+      summer(cfg.current, cfg.mirrorBeta,
+             (cfg.dim + cfg.effectiveStages() - 1) /
+                 cfg.effectiveStages()),
+      rng(cfg.seed)
+{
+    if (cfg.dim == 0)
+        throw std::invalid_argument("AHam: zero dimension");
+    if (cfg.effectiveStages() > cfg.dim)
+        throw std::invalid_argument("AHam: more stages than bits");
+    if (cfg.effectiveBits() == 0 || cfg.effectiveBits() >= 32)
+        throw std::invalid_argument("AHam: unsupported LTA bit "
+                                    "width");
+}
+
+std::size_t
+AHam::store(const Hypervector &hv)
+{
+    if (hv.dim() != cfg.dim)
+        throw std::invalid_argument("AHam::store: dimension mismatch");
+    rows.push_back(hv);
+    return rows.size() - 1;
+}
+
+HamResult
+AHam::search(const Hypervector &query)
+{
+    if (rows.empty())
+        throw std::logic_error("AHam::search: no stored classes");
+    assert(query.dim() == cfg.dim);
+
+    const std::size_t stages = cfg.effectiveStages();
+    const std::size_t stageWidth = (cfg.dim + stages - 1) / stages;
+
+    // Per-row total current: staged partial distances summed through
+    // the mirror chain.
+    std::vector<double> currents(rows.size());
+    std::vector<std::size_t> stageDist(stages);
+    for (std::size_t id = 0; id < rows.size(); ++id) {
+        std::size_t prev = 0;
+        for (std::size_t s = 0; s < stages; ++s) {
+            const std::size_t end =
+                std::min((s + 1) * stageWidth, cfg.dim);
+            const std::size_t upto =
+                rows[id].hammingPrefix(query, end);
+            stageDist[s] = upto - prev;
+            prev = upto;
+        }
+        currents[id] = summer.total(stageDist, rng);
+    }
+
+    // LTA comparator tree with variation-inflated offsets.
+    circuit::LtaConfig lta;
+    lta.bits = cfg.effectiveBits();
+    lta.fullScale = static_cast<double>(stages) *
+                    cfg.current.fullScale(stageWidth);
+    lta.variationGrowth = circuit::ltaOffsetGrowth(cfg.variation);
+    const circuit::LtaTree tree(lta);
+
+    HamResult result;
+    result.classId = tree.winner(currents, rng);
+    result.reportedDistance =
+        rows[result.classId].hamming(query);
+    return result;
+}
+
+std::size_t
+AHam::minDetectableDistance() const
+{
+    return circuit::minDetectableDistance(
+        cfg.dim, cfg.effectiveStages(), cfg.effectiveBits(),
+        circuit::ltaOffsetGrowth(cfg.variation));
+}
+
+} // namespace hdham::ham

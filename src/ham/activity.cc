@@ -1,0 +1,105 @@
+#include "ham/activity.hh"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace hdham::ham
+{
+
+namespace
+{
+
+void
+checkInputs(const std::vector<Hypervector> &rows,
+            const std::vector<Hypervector> &queries)
+{
+    if (rows.empty() || queries.size() < 2)
+        throw std::invalid_argument("activity: need rows and at "
+                                    "least two queries");
+    const std::size_t dim = rows.front().dim();
+    for (const auto &hv : rows)
+        if (hv.dim() != dim)
+            throw std::invalid_argument("activity: row dimension "
+                                        "mismatch");
+    for (const auto &hv : queries)
+        if (hv.dim() != dim)
+            throw std::invalid_argument("activity: query dimension "
+                                        "mismatch");
+}
+
+} // namespace
+
+ActivityReport
+measureDhamActivity(const std::vector<Hypervector> &rows,
+                    const std::vector<Hypervector> &queries)
+{
+    checkInputs(rows, queries);
+    const std::size_t dim = rows.front().dim();
+    const std::size_t words = rows.front().words();
+
+    ActivityReport report;
+    for (const Hypervector &row : rows) {
+        for (std::size_t q = 0; q + 1 < queries.size(); ++q) {
+            // XOR-array output words for consecutive queries.
+            for (std::size_t w = 0; w < words; ++w) {
+                const std::uint64_t prev =
+                    row.word(w) ^ queries[q].word(w);
+                const std::uint64_t next =
+                    row.word(w) ^ queries[q + 1].word(w);
+                report.risingTransitions += static_cast<std::size_t>(
+                    std::popcount(~prev & next));
+            }
+        }
+        report.wireCycles += dim * (queries.size() - 1);
+    }
+    return report;
+}
+
+ActivityReport
+measureRhamActivity(const std::vector<Hypervector> &rows,
+                    const std::vector<Hypervector> &queries,
+                    std::size_t blockBits)
+{
+    checkInputs(rows, queries);
+    if (blockBits == 0 || 64 % blockBits != 0)
+        throw std::invalid_argument("activity: block width must "
+                                    "divide 64");
+    const std::size_t dim = rows.front().dim();
+    const std::size_t blocks = (dim + blockBits - 1) / blockBits;
+    const std::uint64_t mask =
+        blockBits == 64 ? ~0ULL : ((1ULL << blockBits) - 1);
+
+    // Thermometer code of a block distance: popcount of the block
+    // diff d maps to (1 << d) - 1; adjacent codes differ in 1 bit.
+    const auto blockDistance = [&](const Hypervector &row,
+                                   const Hypervector &query,
+                                   std::size_t block) {
+        const std::size_t bitPos = block * blockBits;
+        const std::uint64_t diff =
+            (row.word(bitPos / 64) ^ query.word(bitPos / 64)) >>
+            (bitPos % 64);
+        return static_cast<std::size_t>(std::popcount(diff & mask));
+    };
+
+    ActivityReport report;
+    for (const Hypervector &row : rows) {
+        for (std::size_t q = 0; q + 1 < queries.size(); ++q) {
+            for (std::size_t b = 0; b < blocks; ++b) {
+                const std::size_t prev =
+                    blockDistance(row, queries[q], b);
+                const std::size_t next =
+                    blockDistance(row, queries[q + 1], b);
+                // Rising bits between thermometer codes: the level
+                // increase (if any).
+                if (next > prev)
+                    report.risingTransitions += next - prev;
+            }
+        }
+        report.wireCycles += blocks * blockBits *
+                             (queries.size() - 1);
+    }
+    return report;
+}
+
+} // namespace hdham::ham

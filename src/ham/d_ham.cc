@@ -1,0 +1,44 @@
+#include "ham/d_ham.hh"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace hdham::ham
+{
+
+DHam::DHam(const DHamConfig &config)
+    : cfg(config), rows(config.dim == 0 ? 1 : config.dim)
+{
+    if (cfg.dim == 0)
+        throw std::invalid_argument("DHam: zero dimension");
+    if (cfg.effectiveDim() > cfg.dim)
+        throw std::invalid_argument("DHam: sampled dimension exceeds "
+                                    "D");
+}
+
+std::size_t
+DHam::store(const Hypervector &hv)
+{
+    if (hv.dim() != cfg.dim)
+        throw std::invalid_argument("DHam::store: dimension mismatch");
+    return rows.append(hv);
+}
+
+HamResult
+DHam::search(const Hypervector &query)
+{
+    if (rows.rows() == 0)
+        throw std::logic_error("DHam::search: no stored classes");
+    assert(query.dim() == cfg.dim);
+
+    // The comparator tree resolves ties toward the lower row index,
+    // which is exactly PackedRows::nearest's tie rule.
+    HamResult result;
+    result.classId =
+        rows.nearest(query, cfg.effectiveDim(),
+                     &result.reportedDistance);
+    return result;
+}
+
+} // namespace hdham::ham

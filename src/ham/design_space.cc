@@ -1,0 +1,155 @@
+#include "ham/design_space.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "circuit/lta.hh"
+
+namespace hdham::ham
+{
+
+namespace
+{
+
+/** Error budget fraction of D for each accuracy target. */
+double
+errorFraction(AccuracyTarget target)
+{
+    switch (target) {
+      case AccuracyTarget::Exact:
+        return 0.0;
+      case AccuracyTarget::Maximum:
+        return 0.10; // 1,000 of 10,000 bits (Fig. 1)
+      case AccuracyTarget::Moderate:
+        return 0.30; // 3,000 of 10,000 bits
+    }
+    throw std::invalid_argument("unknown accuracy target");
+}
+
+std::string
+format(const char *fmt, std::size_t value)
+{
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer), fmt, value);
+    return buffer;
+}
+
+} // namespace
+
+const char *
+designName(Design design)
+{
+    switch (design) {
+      case Design::DHam:
+        return "D-HAM";
+      case Design::RHam:
+        return "R-HAM";
+      case Design::AHam:
+        return "A-HAM";
+    }
+    return "?";
+}
+
+const char *
+targetName(AccuracyTarget target)
+{
+    switch (target) {
+      case AccuracyTarget::Exact:
+        return "exact";
+      case AccuracyTarget::Maximum:
+        return "maximum";
+      case AccuracyTarget::Moderate:
+        return "moderate";
+    }
+    return "?";
+}
+
+DesignPoint
+designPoint(Design design, AccuracyTarget target, std::size_t dim,
+            std::size_t classes)
+{
+    const double fraction = errorFraction(target);
+    const auto budget =
+        static_cast<std::size_t>(fraction * static_cast<double>(dim));
+
+    DesignPoint point;
+    point.design = design;
+    point.target = target;
+    point.errorBudgetBits = budget;
+
+    switch (design) {
+      case Design::DHam:
+        // Structured sampling: ignore `budget` trailing columns.
+        point.sampledDim = dim - budget;
+        point.cost = DHamModel::query(dim, classes, point.sampledDim);
+        point.description =
+            format("sampling d = %zu", point.sampledDim);
+        point.errorBudgetBits = budget;
+        break;
+
+      case Design::RHam: {
+        // Distributed voltage overscaling: one bit of budget per
+        // overscaled 4-bit block.
+        const std::size_t blocks = (dim + 3) / 4;
+        point.overscaledBlocks = std::min(budget, blocks);
+        point.cost = RHamModel::query(dim, classes, 4, 0,
+                                      point.overscaledBlocks);
+        point.description = format("%zu blocks at 0.78 V",
+                                   point.overscaledBlocks);
+        break;
+      }
+
+      case Design::AHam: {
+        point.stages = circuit::defaultStagesFor(dim);
+        const std::size_t nominal = circuit::defaultLtaBitsFor(dim);
+        // The paper's resolution ladder at D = 10,000: 15 bits when
+        // exact, 14 at the maximum-accuracy point, 11 at moderate.
+        std::size_t bits = nominal;
+        if (target == AccuracyTarget::Exact)
+            bits = nominal + 1;
+        else if (target == AccuracyTarget::Moderate)
+            bits = nominal >= 4 ? nominal - 3 : 1;
+        point.ltaBits = bits;
+        point.cost =
+            AHamModel::query(dim, classes, point.stages, bits);
+        point.description = format("%zu-bit LTA", bits) + ", " +
+                            format("%zu stages", point.stages);
+        break;
+      }
+    }
+    return point;
+}
+
+std::vector<DesignPoint>
+fullDesignSpace(std::size_t dim, std::size_t classes)
+{
+    std::vector<DesignPoint> points;
+    for (const Design design :
+         {Design::DHam, Design::RHam, Design::AHam}) {
+        for (const AccuracyTarget target :
+             {AccuracyTarget::Exact, AccuracyTarget::Maximum,
+              AccuracyTarget::Moderate}) {
+            points.push_back(
+                designPoint(design, target, dim, classes));
+        }
+    }
+    return points;
+}
+
+DesignPoint
+bestByEdp(AccuracyTarget target, std::size_t dim,
+          std::size_t classes)
+{
+    DesignPoint best =
+        designPoint(Design::DHam, target, dim, classes);
+    for (const Design design : {Design::RHam, Design::AHam}) {
+        DesignPoint candidate =
+            designPoint(design, target, dim, classes);
+        if (candidate.cost.edp() < best.cost.edp())
+            best = candidate;
+    }
+    return best;
+}
+
+} // namespace hdham::ham

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Design-space navigation (Section IV): the paper's accuracy-target
+ * knob schedules as a queryable API.
+ *
+ * For each design the paper defines two operating points:
+ *  - maximum accuracy: tolerate up to 1,000 bits of distance error
+ *    (97.8% on the language task) -- D-HAM samples d = 9,000, R-HAM
+ *    overscales 40% of its blocks, A-HAM runs a 14-bit LTA;
+ *  - moderate accuracy: tolerate up to 3,000 bits (~94%) -- D-HAM
+ *    samples d = 7,000, R-HAM overscales every block, A-HAM drops
+ *    to an 11-bit LTA.
+ *
+ * designPoint() returns the corresponding configuration knobs, cost
+ * estimate and error budget, generalized over D and C with the same
+ * proportions the paper uses at D = 10,000.
+ */
+
+#ifndef HDHAM_HAM_DESIGN_SPACE_HH
+#define HDHAM_HAM_DESIGN_SPACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ham/energy_model.hh"
+
+namespace hdham::ham
+{
+
+/** The three architectures of the study. */
+enum class Design { DHam, RHam, AHam };
+
+/** The paper's two accuracy operating points, plus exactness. */
+enum class AccuracyTarget { Exact, Maximum, Moderate };
+
+/** A resolved operating point. */
+struct DesignPoint
+{
+    Design design;
+    AccuracyTarget target;
+    /** Human-readable knob description. */
+    std::string description;
+    /** Cost of one query search at this point. */
+    CostEstimate cost;
+    /** Worst-case error budget in distance bits. */
+    std::size_t errorBudgetBits = 0;
+
+    // Knob values (meaning depends on the design) ----------------
+    /** D-HAM: sampled dimension d. */
+    std::size_t sampledDim = 0;
+    /** R-HAM: blocks at the overscaled supply. */
+    std::size_t overscaledBlocks = 0;
+    /** A-HAM: LTA bit resolution. */
+    std::size_t ltaBits = 0;
+    /** A-HAM: search stages. */
+    std::size_t stages = 0;
+};
+
+/** Printable design name. */
+const char *designName(Design design);
+
+/** Printable accuracy-target name. */
+const char *targetName(AccuracyTarget target);
+
+/**
+ * Resolve the paper's operating point for @p design / @p target at
+ * dimensionality @p dim and @p classes stored rows.
+ */
+DesignPoint designPoint(Design design, AccuracyTarget target,
+                        std::size_t dim = 10000,
+                        std::size_t classes = 21);
+
+/** All nine (design x target) points, for exploration tables. */
+std::vector<DesignPoint> fullDesignSpace(std::size_t dim = 10000,
+                                         std::size_t classes = 21);
+
+/**
+ * The design with the lowest EDP at @p target -- the paper's
+ * conclusion is that this is always A-HAM.
+ */
+DesignPoint bestByEdp(AccuracyTarget target, std::size_t dim = 10000,
+                      std::size_t classes = 21);
+
+} // namespace hdham::ham
+
+#endif // HDHAM_HAM_DESIGN_SPACE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Device-level A-HAM reference model (Fig. 6).
+ *
+ * The production AHam computes row currents from Hamming distances
+ * through the analytic CurrentModel. This reference computes them
+ * from a manufactured memristive TCAM crossbar instead: each row's
+ * match line is held at the search voltage and the current through
+ * the actual (log-normally spread) device resistances is summed per
+ * stage through the mirror chain, then compared in the same LTA
+ * tree. It captures device-level effects the analytic path folds
+ * into single constants: per-cell ON-resistance spread, OFF-state
+ * leakage of the matching cells, and the exact (not smoothed)
+ * current-vs-distance relation.
+ *
+ * Used by tests and the abl_device_vs_behavioral bench to validate
+ * the fast model; too slow for full-corpus sweeps.
+ */
+
+#ifndef HDHAM_HAM_DEVICE_A_HAM_HH
+#define HDHAM_HAM_DEVICE_A_HAM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "circuit/crossbar.hh"
+#include "circuit/lta.hh"
+#include "circuit/variation.hh"
+#include "core/random.hh"
+#include "ham/ham.hh"
+
+namespace hdham::ham
+{
+
+/** DeviceAHam configuration. */
+struct DeviceAHamConfig
+{
+    /** Hypervector dimensionality D. */
+    std::size_t dim = 10000;
+    /** Crossbar rows manufactured. */
+    std::size_t capacity = 32;
+    /** Search stages (0 = paper default for D). */
+    std::size_t stages = 0;
+    /** LTA bit resolution (0 = paper default for D). */
+    std::size_t ltaBits = 0;
+    /** Search voltage on the stabilized match line (V). */
+    double searchVoltage = 1.0;
+    /** Device spread (1 sigma of log-normal resistance). */
+    double deviceSigma = 0.10;
+    /** Per-mirror summation error, in unit currents. */
+    double mirrorBeta = 1.0;
+    /** Variation corner of the LTA blocks. */
+    circuit::VariationParams variation =
+        circuit::VariationParams::designPoint();
+    /** Manufacturing / comparison randomness seed. */
+    std::uint64_t seed = 0x6465762d6168616dULL;
+
+    std::size_t effectiveStages() const
+    {
+        return stages == 0 ? circuit::defaultStagesFor(dim) : stages;
+    }
+
+    std::size_t effectiveBits() const
+    {
+        return ltaBits == 0 ? circuit::defaultLtaBitsFor(dim)
+                            : ltaBits;
+    }
+};
+
+/**
+ * A-HAM searched through a manufactured crossbar.
+ */
+class DeviceAHam : public Ham
+{
+  public:
+    explicit DeviceAHam(const DeviceAHamConfig &config);
+
+    std::string name() const override { return "A-HAM(device)"; }
+    std::size_t dim() const override { return cfg.dim; }
+    std::size_t size() const override { return storedRows; }
+    std::size_t store(const Hypervector &hv) override;
+    HamResult search(const Hypervector &query) override;
+
+    const DeviceAHamConfig &config() const { return cfg; }
+
+    /** The manufactured crossbar. */
+    const circuit::Crossbar &crossbar() const { return array; }
+
+    /**
+     * Total search current (A) drawn by a stored row for @p query,
+     * summed over the stages through the noisy mirror chain.
+     */
+    double rowCurrent(std::size_t row, const Hypervector &query);
+
+  private:
+    DeviceAHamConfig cfg;
+    circuit::Crossbar array;
+    std::size_t storedRows = 0;
+    Rng rng;
+};
+
+} // namespace hdham::ham
+
+#endif // HDHAM_HAM_DEVICE_A_HAM_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Device-level R-HAM reference model.
+ *
+ * The production RHam class senses block distances through the
+ * *analytic* error distribution of the match-line model, which is
+ * fast enough for full-corpus evaluation. DeviceRHam is the slow
+ * reference it is validated against: every block's crossing time is
+ * computed from a manufactured memristive crossbar (per-device
+ * log-normal resistance spread, OFF-state leakage, access-transistor
+ * series resistance) and sensed by the clocked SA ladder with
+ * per-sample jitter. Agreement between the two is asserted in the
+ * test suite and measured by the abl_device_vs_behavioral bench.
+ *
+ * Rows are programmed exactly once per training session, matching
+ * the paper's write-endurance argument; the write counters prove it.
+ */
+
+#ifndef HDHAM_HAM_DEVICE_R_HAM_HH
+#define HDHAM_HAM_DEVICE_R_HAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "circuit/crossbar.hh"
+#include "circuit/ml_discharge.hh"
+#include "core/random.hh"
+#include "ham/ham.hh"
+
+namespace hdham::ham
+{
+
+/** DeviceRHam configuration. */
+struct DeviceRHamConfig
+{
+    /** Hypervector dimensionality D. */
+    std::size_t dim = 10000;
+    /** Maximum number of rows the crossbar is manufactured with. */
+    std::size_t capacity = 32;
+    /** Bits per block (the paper uses 4). */
+    std::size_t blockBits = 4;
+    /** Block supply voltage (1.0 nominal, 0.78 overscaled). */
+    double vdd = 1.0;
+    /** Device spread (1 sigma of log-normal resistance). */
+    double deviceSigma = 0.10;
+    /** Fraction of devices stuck at manufacture (fault injection). */
+    double stuckFraction = 0.0;
+    /** Manufacturing / sensing randomness seed. */
+    std::uint64_t seed = 0x6465762d7268616dULL;
+};
+
+/**
+ * R-HAM searched through a manufactured crossbar, block by block.
+ */
+class DeviceRHam : public Ham
+{
+  public:
+    explicit DeviceRHam(const DeviceRHamConfig &config);
+
+    std::string name() const override { return "R-HAM(device)"; }
+    std::size_t dim() const override { return cfg.dim; }
+    std::size_t size() const override { return storedRows; }
+    std::size_t store(const Hypervector &hv) override;
+    HamResult search(const Hypervector &query) override;
+
+    const DeviceRHamConfig &config() const { return cfg; }
+
+    /** The manufactured crossbar (for endurance inspection). */
+    const circuit::Crossbar &crossbar() const { return array; }
+
+    /**
+     * Sensed distance of one stored row (sum of sensed block
+     * distances). Exposed for validation against RHam.
+     */
+    std::size_t senseRow(std::size_t row, const Hypervector &query);
+
+  private:
+    DeviceRHamConfig cfg;
+    circuit::Crossbar array;
+    /** Reference ladder providing the SA sampling times. */
+    circuit::MatchLineModel ladder;
+    std::size_t storedRows = 0;
+    Rng rng;
+};
+
+} // namespace hdham::ham
+
+#endif // HDHAM_HAM_DEVICE_R_HAM_HH

@@ -1,0 +1,85 @@
+#include "ham/digital_blocks.hh"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace hdham::ham
+{
+
+BinaryCounter::BinaryCounter(std::size_t dim)
+{
+    if (dim == 0)
+        throw std::invalid_argument("BinaryCounter: zero dimension");
+    bits = static_cast<std::size_t>(std::bit_width(dim));
+}
+
+std::size_t
+BinaryCounter::accumulate(const Hypervector &row,
+                          const Hypervector &query,
+                          std::size_t prefix)
+{
+    assert(row.dim() == query.dim());
+    assert(prefix <= row.dim());
+    for (std::size_t i = 0; i < prefix; ++i)
+        shiftIn(row.get(i) != query.get(i));
+    return prefix;
+}
+
+ComparatorTree::Result
+ComparatorTree::reduce(const std::vector<std::uint64_t> &values)
+{
+    if (values.empty())
+        throw std::invalid_argument("ComparatorTree: no inputs");
+    Result result;
+    std::vector<std::size_t> alive(values.size());
+    for (std::size_t i = 0; i < alive.size(); ++i)
+        alive[i] = i;
+    while (alive.size() > 1) {
+        ++result.height;
+        std::vector<std::size_t> next;
+        next.reserve((alive.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < alive.size(); i += 2) {
+            ++result.comparisons;
+            const std::size_t a = alive[i];
+            const std::size_t b = alive[i + 1];
+            // Keep the left operand on ties: the lower row index.
+            next.push_back(values[b] < values[a] ? b : a);
+        }
+        if (alive.size() % 2)
+            next.push_back(alive.back());
+        alive.swap(next);
+    }
+    result.index = alive.front();
+    result.value = values[result.index];
+    return result;
+}
+
+std::size_t
+ComparatorTree::heightFor(std::size_t inputs)
+{
+    assert(inputs > 0);
+    std::size_t height = 0;
+    while (inputs > 1) {
+        inputs = (inputs + 1) / 2;
+        ++height;
+    }
+    return height;
+}
+
+DhamCycleModel::Cycles
+DhamCycleModel::searchCycles(std::size_t sampledDim,
+                             std::size_t classes,
+                             std::size_t bitsPerCycle)
+{
+    if (sampledDim == 0 || classes == 0 || bitsPerCycle == 0)
+        throw std::invalid_argument("DhamCycleModel: degenerate "
+                                    "shape");
+    Cycles cycles;
+    cycles.counter =
+        (sampledDim + bitsPerCycle - 1) / bitsPerCycle;
+    cycles.tree = ComparatorTree::heightFor(classes);
+    return cycles;
+}
+
+} // namespace hdham::ham

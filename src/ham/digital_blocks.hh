@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Structural models of D-HAM's digital building blocks (Fig. 2):
+ * the per-row binary mismatch counter and the binary comparator
+ * tree that finds the minimum distance.
+ *
+ * DHam::search computes the same answer arithmetically; these
+ * models exist so tests and benches can check the architectural
+ * claims cycle-by-cycle: counter width log2(D), tree height
+ * ceil(log2(C)), tie resolution toward the lower row index, and the
+ * comparison count C - 1.
+ */
+
+#ifndef HDHAM_HAM_DIGITAL_BLOCKS_HH
+#define HDHAM_HAM_DIGITAL_BLOCKS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/hypervector.hh"
+
+namespace hdham::ham
+{
+
+/**
+ * Per-row binary counter: iterates serially over the XOR-array
+ * outputs of one row and counts the mismatches, exactly as the
+ * paper's "each counter is assigned to a row, and iterates through
+ * D output bits of the XOR gates".
+ */
+class BinaryCounter
+{
+  public:
+    /** Counter sized for dimension @p dim: width = ceil(log2 D). */
+    explicit BinaryCounter(std::size_t dim);
+
+    /** Counter register width in bits. */
+    std::size_t width() const { return bits; }
+
+    /** Reset the count register. */
+    void reset() { count = 0; }
+
+    /** Clock in one XOR-array output bit. */
+    void shiftIn(bool mismatch) { count += mismatch; }
+
+    /**
+     * Count the mismatches between @p row and @p query over the
+     * first @p prefix components, one bit per cycle; returns the
+     * number of cycles consumed.
+     */
+    std::size_t accumulate(const Hypervector &row,
+                           const Hypervector &query,
+                           std::size_t prefix);
+
+    /** Current count register value. */
+    std::uint64_t value() const { return count; }
+
+  private:
+    std::size_t bits;
+    std::uint64_t count = 0;
+};
+
+/**
+ * Binary tree of (value, index) minimum comparators with height
+ * ceil(log2 C); ties resolve to the lower index, matching a
+ * comparator that keeps its left operand on equality.
+ */
+class ComparatorTree
+{
+  public:
+    /** Result of one reduction. */
+    struct Result
+    {
+        std::size_t index = 0;
+        std::uint64_t value = 0;
+        /** Number of two-input comparisons performed (C - 1). */
+        std::size_t comparisons = 0;
+        /** Tree height actually traversed (ceil(log2 C)). */
+        std::size_t height = 0;
+    };
+
+    /**
+     * Reduce counter values to the minimum.
+     * @pre values is non-empty.
+     */
+    static Result reduce(const std::vector<std::uint64_t> &values);
+
+    /** Tree height for @p inputs leaves: ceil(log2(inputs)). */
+    static std::size_t heightFor(std::size_t inputs);
+};
+
+/**
+ * Cycle-accounting model of one D-HAM search (structural, not
+ * calibrated): counters drain the XOR-array outputs at
+ * @p bitsPerCycle per cycle in parallel across rows, then the
+ * comparator tree resolves one level per cycle. The calibrated
+ * wall-clock delay lives in ham::DHamModel; this model exposes the
+ * cycle structure behind it for tests and architectural what-ifs.
+ */
+class DhamCycleModel
+{
+  public:
+    /** Cycle breakdown of one search. */
+    struct Cycles
+    {
+        /** Cycles spent counting mismatches (d / bitsPerCycle). */
+        std::size_t counter = 0;
+        /** Cycles spent in the comparator tree (ceil(log2 C)). */
+        std::size_t tree = 0;
+
+        std::size_t total() const { return counter + tree; }
+    };
+
+    /**
+     * @param sampledDim  components compared (d)
+     * @param classes     stored rows C
+     * @param bitsPerCycle counter throughput per cycle
+     */
+    static Cycles searchCycles(std::size_t sampledDim,
+                               std::size_t classes,
+                               std::size_t bitsPerCycle = 64);
+};
+
+} // namespace hdham::ham
+
+#endif // HDHAM_HAM_DIGITAL_BLOCKS_HH

@@ -1,0 +1,328 @@
+#include "ham/energy_model.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/lta.hh"
+#include "circuit/technology.hh"
+
+namespace hdham::ham
+{
+
+namespace
+{
+
+double
+lg(double x)
+{
+    return std::log2(x);
+}
+
+// ---------------------------------------------------------------
+// D-HAM coefficients. Anchors: Table I (CAM 4976.9 pJ and logic
+// 1178.2 pJ at C=100, D=10,000, plus the sampled d=9,000/7,000
+// rows), Fig. 9 energy x8.3 / delay x2.2 for D 512->10,240 at C=21,
+// Fig. 10 energy x12.6 / delay x3.5 for C 6->100 at D=10,000.
+// ---------------------------------------------------------------
+
+/** XOR-cell compare energy (pJ/cell): 4976.9 / (100 * 10,000). */
+constexpr double dCamBit = 4.9769e-3;
+/** Per-row counter + comparator slice (pJ/row). */
+constexpr double dRow = 5.12945;
+/** Column driver / counter dynamic energy (pJ per bit * sqrt(C)). */
+constexpr double dBuf = 6.33706e-3;
+
+/** Digital interconnect delay (ns per sqrt(cell)). */
+constexpr double dDelayWire = 0.451957;
+/** Counter depth delay (ns per log2 D). */
+constexpr double dDelayCnt = 0.526283;
+/** Comparator tree delay (ns per log2 C). */
+constexpr double dDelayCmp = 19.5555;
+
+/** CAM cell area (mm^2/cell): 15.2 / (100 * 10,000). */
+constexpr double dAreaCamBit = 1.52e-5;
+/** Logic area per row fixed part (mm^2/row). */
+constexpr double dAreaRow = 0.039;
+/** Logic area per row per sampled bit (mm^2). */
+constexpr double dAreaRowBit = 7.0e-6;
+
+// Leakage constants (45 nm-class, high-VT, representative values;
+// the paper quotes no absolute idle numbers, only that CMOS CAM
+// idle power is "large" while the NVM crossbars retain for free).
+/** CMOS CAM cell leakage (uW/cell). */
+constexpr double dLeakBit = 5.0e-4;
+/** Digital row logic leakage (uW/row). */
+constexpr double leakRow = 0.2;
+/** LTA comparator bias power while biased (uW/comparator). */
+constexpr double aLtaBias = 18.0;
+/** Power-gating residue of one LTA comparator (uW). */
+constexpr double aLtaGated = 0.05;
+
+// ---------------------------------------------------------------
+// R-HAM coefficients. Anchors: absolute energy and the overscaling
+// saving fraction solved so the Fig. 11 EDP gains over D-HAM are
+// 7.3x at the max-accuracy point (1,000 bits error: 40% of blocks
+// overscaled vs D-HAM sampling d=9,000) and 9.6x at the moderate
+// point (all blocks overscaled vs d=7,000); Fig. 9 energy x8.2 /
+// delay x2.0; Fig. 10 energy x11.4 / delay x3.4. The resulting
+// Fig. 5 savings: 9.2% (250 blocks off), 20.9% (1,000 blocks
+// overscaled), 52.1% (all overscaled) against the paper's ~9%,
+// ~18%, ~50%.
+// ---------------------------------------------------------------
+
+/** Crossbar cell compare energy (pJ/cell). */
+constexpr double rCell = 1.60182e-3;
+/** Per-row counter + comparator slice (pJ/row). */
+constexpr double rRow = 1.92329;
+/** Column driver energy (pJ per bit * sqrt(C)). */
+constexpr double rBuf = 3.16302e-3;
+
+/** Effective voltage-scaling exponent of block dynamic energy. */
+constexpr double rVosExponent = 3.35;
+
+/** R-HAM delay coefficients (same functional form as D-HAM). */
+constexpr double rDelayWire = 0.179442;
+constexpr double rDelayCnt = 0.25449;
+constexpr double rDelayCmp = 10.2014;
+
+/** Memristive crossbar cell area (mm^2/cell): ~8x denser than the
+ *  CMOS XOR+storage cell. */
+constexpr double xbarBit = 1.9e-6;
+/** Per-block sense-amplifier bank area (mm^2/block). */
+constexpr double rAreaSense = 2.34e-5;
+
+// ---------------------------------------------------------------
+// A-HAM coefficients. Anchors: Fig. 9 energy x1.9 / delay x1.7
+// (driven almost entirely by the LTA resolution rising from 10 to
+// 14 bits), Fig. 10 energy x15.9 / delay x4.4, and the Fig. 11
+// EDP gains over D-HAM of 746x (14-bit LTA at the max-accuracy
+// point) and 1347x (11-bit LTA at the moderate point).
+// ---------------------------------------------------------------
+
+/** LTA comparator energy (pJ per comparator at 14-bit). */
+constexpr double aLta = 2.31895;
+/** LTA energy exponent in (b/14). */
+constexpr double aGammaE = 1.6975;
+/** Crossbar search energy (pJ/cell): negligible by fit. */
+constexpr double aCell = 4.59216e-10;
+/** Analog buffer/interconnect energy (pJ per bit * sqrt(C)). */
+constexpr double aBuf = 1.23266e-4;
+
+/** LTA tree delay scale (ns). */
+constexpr double aDelayLta = 1.99324;
+/** LTA tree delay exponent on C. */
+constexpr double aDelayCx = 0.5261;
+/** LTA delay exponent in (b/14). */
+constexpr double aGammaT = 1.7014;
+/** Residual digital delay (ns per log2 D). */
+constexpr double aDelayLog = 1.86444e-5;
+
+/** LTA comparator area (mm^2 per comparator bit). */
+constexpr double aAreaLtaBit = 4.33e-3;
+/** Sense-block area (mm^2 per row per stage). */
+constexpr double aAreaSense = 5.7e-4;
+
+double
+checkedDims(std::size_t dim, std::size_t classes)
+{
+    if (dim == 0 || classes == 0)
+        throw std::invalid_argument("HAM cost model: dim and classes "
+                                    "must be positive");
+    return static_cast<double>(dim) * static_cast<double>(classes);
+}
+
+} // namespace
+
+// ------------------------------ D-HAM ---------------------------
+
+CostBreakdown
+DHamModel::energyBreakdown(std::size_t dim, std::size_t classes,
+                           std::size_t sampledDim)
+{
+    checkedDims(dim, classes);
+    const double C = static_cast<double>(classes);
+    const double d = static_cast<double>(
+        sampledDim == 0 ? dim : sampledDim);
+    CostBreakdown br;
+    br.array = dCamBit * C * d;
+    br.logic = dRow * C;
+    br.periphery = dBuf * d * std::sqrt(C);
+    return br;
+}
+
+CostBreakdown
+DHamModel::areaBreakdown(std::size_t dim, std::size_t classes,
+                         std::size_t sampledDim)
+{
+    checkedDims(dim, classes);
+    const double C = static_cast<double>(classes);
+    const double d = static_cast<double>(
+        sampledDim == 0 ? dim : sampledDim);
+    CostBreakdown br;
+    br.array = dAreaCamBit * C * d;
+    br.logic = C * (dAreaRow + dAreaRowBit * d);
+    return br;
+}
+
+CostEstimate
+DHamModel::query(std::size_t dim, std::size_t classes,
+                 std::size_t sampledDim)
+{
+    const double C = static_cast<double>(classes);
+    const double D = static_cast<double>(dim);
+    CostEstimate cost;
+    cost.energyPj =
+        energyBreakdown(dim, classes, sampledDim).total();
+    cost.delayNs = dDelayWire * std::sqrt(C * D) +
+                   dDelayCnt * lg(D) + dDelayCmp * lg(C);
+    cost.areaMm2 = areaBreakdown(dim, classes, sampledDim).total();
+    return cost;
+}
+
+double
+DHamModel::idlePowerUw(std::size_t dim, std::size_t classes)
+{
+    checkedDims(dim, classes);
+    const double C = static_cast<double>(classes);
+    const double D = static_cast<double>(dim);
+    return dLeakBit * C * D + leakRow * C;
+}
+
+// ------------------------------ R-HAM ---------------------------
+
+double
+RHamModel::overscaledEnergyFactor()
+{
+    const circuit::Technology &tech = circuit::Technology::instance();
+    return std::pow(tech.vddOverscaled / tech.vddNominal,
+                    rVosExponent);
+}
+
+double
+RHamModel::deepOverscaledEnergyFactor()
+{
+    const circuit::Technology &tech = circuit::Technology::instance();
+    return std::pow(tech.vddOverscaled2 / tech.vddNominal,
+                    rVosExponent);
+}
+
+CostEstimate
+RHamModel::query(std::size_t dim, std::size_t classes,
+                 std::size_t blockBits, std::size_t blocksOff,
+                 std::size_t overscaled, std::size_t deepOverscaled)
+{
+    checkedDims(dim, classes);
+    if (blockBits == 0)
+        throw std::invalid_argument("RHamModel: zero block width");
+    const std::size_t totalBlocks =
+        (dim + blockBits - 1) / blockBits;
+    if (blocksOff > totalBlocks ||
+        overscaled + deepOverscaled > totalBlocks - blocksOff) {
+        throw std::invalid_argument("RHamModel: block budget "
+                                    "exceeded");
+    }
+
+    const double C = static_cast<double>(classes);
+    const double D = static_cast<double>(dim);
+    const double M = static_cast<double>(totalBlocks);
+    const double offFrac = static_cast<double>(blocksOff) / M;
+    const double ovsFrac = static_cast<double>(overscaled) / M;
+    const double deepFrac = static_cast<double>(deepOverscaled) / M;
+
+    // Dynamic energy of the crossbar + drivers scales with the
+    // active blocks; overscaled blocks pay the reduced-voltage
+    // factor.
+    const double blockTerm = rCell * C * D + rBuf * D * std::sqrt(C);
+    const double activity = (1.0 - offFrac - ovsFrac - deepFrac) +
+                            ovsFrac * overscaledEnergyFactor() +
+                            deepFrac * deepOverscaledEnergyFactor();
+
+    CostEstimate cost;
+    cost.energyPj = blockTerm * activity + rRow * C;
+    // Search latency is set by the nominal sensing ladder and the
+    // digital reduction; voltage overscaling does not slow it down
+    // (Section IV-D).
+    cost.delayNs = rDelayWire * std::sqrt(C * D) +
+                   rDelayCnt * lg(D) + rDelayCmp * lg(C);
+    cost.areaMm2 = areaBreakdown(dim, classes, blockBits).total();
+    return cost;
+}
+
+CostBreakdown
+RHamModel::areaBreakdown(std::size_t dim, std::size_t classes,
+                         std::size_t blockBits)
+{
+    checkedDims(dim, classes);
+    const double C = static_cast<double>(classes);
+    const double D = static_cast<double>(dim);
+    const double blocks = D / static_cast<double>(blockBits);
+    CostBreakdown br;
+    br.array = xbarBit * C * D;
+    // The digital counters and comparators cannot shrink with the
+    // crossbar: they are interleaved per block (Section IV-E).
+    br.logic = C * (dAreaRow + dAreaRowBit * D);
+    br.periphery = rAreaSense * C * blocks;
+    return br;
+}
+
+double
+RHamModel::idlePowerUw(std::size_t dim, std::size_t classes)
+{
+    checkedDims(dim, classes);
+    // The memristive crossbar is nonvolatile: zero retention power.
+    return leakRow * static_cast<double>(classes);
+}
+
+// ------------------------------ A-HAM ---------------------------
+
+CostEstimate
+AHamModel::query(std::size_t dim, std::size_t classes,
+                 std::size_t stages, std::size_t ltaBits)
+{
+    checkedDims(dim, classes);
+    const std::size_t n =
+        stages == 0 ? circuit::defaultStagesFor(dim) : stages;
+    const std::size_t b =
+        ltaBits == 0 ? circuit::defaultLtaBitsFor(dim) : ltaBits;
+    const double C = static_cast<double>(classes);
+    const double D = static_cast<double>(dim);
+    const double rb = static_cast<double>(b) / 14.0;
+
+    CostEstimate cost;
+    cost.energyPj = aLta * (C - 1.0) * std::pow(rb, aGammaE) +
+                    aCell * C * D + aBuf * D * std::sqrt(C);
+    cost.delayNs = aDelayLta * std::pow(C, aDelayCx) *
+                       std::pow(rb, aGammaT) +
+                   aDelayLog * lg(D);
+    cost.areaMm2 = areaBreakdown(dim, classes, n, b).total();
+    return cost;
+}
+
+CostBreakdown
+AHamModel::areaBreakdown(std::size_t dim, std::size_t classes,
+                         std::size_t stages, std::size_t ltaBits)
+{
+    checkedDims(dim, classes);
+    const std::size_t n =
+        stages == 0 ? circuit::defaultStagesFor(dim) : stages;
+    const std::size_t b =
+        ltaBits == 0 ? circuit::defaultLtaBitsFor(dim) : ltaBits;
+    const double C = static_cast<double>(classes);
+    const double D = static_cast<double>(dim);
+    CostBreakdown br;
+    br.array = xbarBit * C * D;
+    br.periphery = aAreaSense * C * static_cast<double>(n);
+    br.lta = aAreaLtaBit * (C - 1.0) * static_cast<double>(b);
+    return br;
+}
+
+double
+AHamModel::idlePowerUw(std::size_t dim, std::size_t classes,
+                       bool powerGated)
+{
+    checkedDims(dim, classes);
+    const double comparators = static_cast<double>(classes) - 1.0;
+    return (powerGated ? aLtaGated : aLtaBias) * comparators;
+}
+
+} // namespace hdham::ham

@@ -1,0 +1,13 @@
+#include "ham/ham.hh"
+
+namespace hdham::ham
+{
+
+void
+Ham::loadFrom(const AssociativeMemory &memory)
+{
+    for (std::size_t id = 0; id < memory.size(); ++id)
+        store(memory.vectorOf(id));
+}
+
+} // namespace hdham::ham

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Common interface of the three hyperdimensional associative memory
+ * designs (Section III).
+ *
+ * A HAM is trained by storing one learned hypervector per class and
+ * serves classification queries: find the stored hypervector with the
+ * minimum Hamming distance to the query. The three implementations
+ * model the paper's digital (D-HAM), resistive (R-HAM) and analog
+ * (A-HAM) architectures at behavior level, including each design's
+ * approximation knobs and error mechanisms.
+ */
+
+#ifndef HDHAM_HAM_HAM_HH
+#define HDHAM_HAM_HAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "core/hypervector.hh"
+
+namespace hdham::ham
+{
+
+/** Outcome of one hardware search. */
+struct HamResult
+{
+    /** Winning class id. */
+    std::size_t classId = 0;
+    /**
+     * The distance metric the hardware attributed to the winner, in
+     * the design's own units (bit distance for D-HAM/R-HAM; distance
+     * equivalent for A-HAM). Approximate designs may misreport it.
+     */
+    std::size_t reportedDistance = 0;
+};
+
+/**
+ * Abstract base of the HAM designs.
+ *
+ * Searches may be stochastic (R-HAM sensing jitter, A-HAM comparator
+ * noise), so search() is non-const only in its use of the internal
+ * random stream; stored contents never change during search.
+ */
+class Ham
+{
+  public:
+    virtual ~Ham() = default;
+
+    /** Design name ("D-HAM", "R-HAM", "A-HAM"). */
+    virtual std::string name() const = 0;
+
+    /** Dimensionality of stored hypervectors. */
+    virtual std::size_t dim() const = 0;
+
+    /** Number of stored classes. */
+    virtual std::size_t size() const = 0;
+
+    /** Store a learned hypervector; returns its class id. */
+    virtual std::size_t store(const Hypervector &hv) = 0;
+
+    /**
+     * Nearest-Hamming-distance search.
+     * @pre size() > 0 and query.dim() == dim().
+     */
+    virtual HamResult search(const Hypervector &query) = 0;
+
+    /** Convenience: store every vector of a trained software AM. */
+    void loadFrom(const AssociativeMemory &memory);
+};
+
+} // namespace hdham::ham
+
+#endif // HDHAM_HAM_HAM_HH

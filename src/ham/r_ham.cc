@@ -1,0 +1,158 @@
+#include "ham/r_ham.hh"
+
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace hdham::ham
+{
+
+namespace
+{
+
+circuit::MatchLineConfig
+blockConfig(std::size_t width, double vdd)
+{
+    circuit::MatchLineConfig cfg =
+        circuit::MatchLineConfig::rhamBlock(width);
+    cfg.v0 = vdd;
+    return cfg;
+}
+
+} // namespace
+
+RHam::RHam(const RHamConfig &config)
+    : cfg(config),
+      nominal(blockConfig(cfg.blockBits,
+                          circuit::Technology::instance().vddNominal)),
+      overscaled(blockConfig(cfg.blockBits, cfg.overscaledVdd)),
+      deepOverscaled(blockConfig(cfg.blockBits, cfg.deepOverscaledVdd)),
+      rng(cfg.seed)
+{
+    if (cfg.dim == 0)
+        throw std::invalid_argument("RHam: zero dimension");
+    if (cfg.blockBits == 0 || 64 % cfg.blockBits != 0)
+        throw std::invalid_argument("RHam: block width must divide "
+                                    "64");
+    if (cfg.blocksOff > cfg.totalBlocks())
+        throw std::invalid_argument("RHam: more blocks off than "
+                                    "exist");
+    if (cfg.overscaledBlocks + cfg.deepOverscaledBlocks >
+        cfg.activeBlocks()) {
+        throw std::invalid_argument("RHam: more overscaled blocks "
+                                    "than active blocks");
+    }
+
+    senseNominal.reserve(cfg.blockBits + 1);
+    senseOverscaled.reserve(cfg.blockBits + 1);
+    for (std::size_t d = 0; d <= cfg.blockBits; ++d) {
+        senseNominal.push_back(nominal.senseDistribution(d));
+        senseOverscaled.push_back(overscaled.senseDistribution(d));
+        senseDeep.push_back(deepOverscaled.senseDistribution(d));
+    }
+}
+
+std::size_t
+RHam::store(const Hypervector &hv)
+{
+    if (hv.dim() != cfg.dim)
+        throw std::invalid_argument("RHam::store: dimension mismatch");
+    rows.push_back(hv);
+    return rows.size() - 1;
+}
+
+void
+RHam::histogramRange(const Hypervector &row, const Hypervector &query,
+                     std::size_t firstBlock, std::size_t lastBlock,
+                     Histogram &hist) const
+{
+    const std::size_t w = cfg.blockBits;
+    const std::uint64_t mask =
+        w == 64 ? ~0ULL : ((1ULL << w) - 1);
+    for (std::size_t b = firstBlock; b < lastBlock; ++b) {
+        const std::size_t bitPos = b * w;
+        const std::size_t word = bitPos / 64;
+        const std::size_t shift = bitPos % 64;
+        const std::uint64_t diff =
+            (row.word(word) ^ query.word(word)) >> shift;
+        ++hist[std::popcount(diff & mask)];
+    }
+}
+
+std::size_t
+RHam::senseTotal(const Histogram &hist,
+                 const std::vector<std::vector<double>> &senseDist)
+{
+    std::size_t total = 0;
+    for (std::size_t d = 0; d <= cfg.blockBits; ++d) {
+        std::uint32_t remaining = hist[d];
+        if (remaining == 0)
+            continue;
+        // Multinomial draw over sensed levels via chained binomials.
+        const std::vector<double> &dist = senseDist[d];
+        double massLeft = 1.0;
+        for (std::size_t k = 0; k <= cfg.blockBits && remaining > 0;
+             ++k) {
+            const double p = dist[k];
+            if (p <= 0.0)
+                continue;
+            std::uint64_t n;
+            if (massLeft - p <= 1e-12) {
+                n = remaining;
+            } else {
+                n = rng.nextBinomial(remaining, p / massLeft);
+            }
+            total += k * n;
+            remaining -= static_cast<std::uint32_t>(n);
+            massLeft -= p;
+        }
+        // Any residual mass (numerical) senses at the true level.
+        total += d * remaining;
+    }
+    return total;
+}
+
+HamResult
+RHam::search(const Hypervector &query)
+{
+    if (rows.empty())
+        throw std::logic_error("RHam::search: no stored classes");
+    assert(query.dim() == cfg.dim);
+
+    const std::size_t active = cfg.activeBlocks();
+    const std::size_t overscaledCount = cfg.overscaledBlocks;
+    const std::size_t deepEnd =
+        overscaledCount + cfg.deepOverscaledBlocks;
+
+    HamResult result;
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (std::size_t id = 0; id < rows.size(); ++id) {
+        Histogram histOvs{};
+        Histogram histDeep{};
+        Histogram histNom{};
+        histogramRange(rows[id], query, 0, overscaledCount, histOvs);
+        histogramRange(rows[id], query, overscaledCount, deepEnd,
+                       histDeep);
+        histogramRange(rows[id], query, deepEnd, active, histNom);
+        const std::size_t sensed =
+            senseTotal(histOvs, senseOverscaled) +
+            senseTotal(histDeep, senseDeep) +
+            senseTotal(histNom, senseNominal);
+        if (sensed < best) {
+            best = sensed;
+            result.classId = id;
+        }
+    }
+    result.reportedDistance = best;
+    return result;
+}
+
+std::size_t
+RHam::worstCaseDistanceError() const
+{
+    return cfg.overscaledBlocks + 2 * cfg.deepOverscaledBlocks +
+           cfg.blocksOff * cfg.blockBits;
+}
+
+} // namespace hdham::ham

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * R-HAM: resistive (memristive) hyperdimensional associative memory
+ * (Section III-C, Figure 3).
+ *
+ * Architecture: the learned hypervectors live in a memristive
+ * crossbar partitioned into M = D / blockBits blocks. Each block's
+ * match-line discharge time encodes its local Hamming distance, which
+ * four staggered sense amplifiers convert into a thermometer code;
+ * per-row counters sum the block distances and a comparator tree
+ * (shared with D-HAM) picks the minimum row.
+ *
+ * Approximation knobs:
+ *  - block sampling: trailing blocks are powered off entirely (the
+ *    i.i.d. argument of D-HAM, at block granularity);
+ *  - distributed voltage overscaling: a subset of blocks runs at
+ *    0.78 V, where timing noise may mis-sense a block distance by
+ *    one bit -- but the errors spread across many blocks instead of
+ *    concentrating, which HD classification tolerates (Section
+ *    III-C2).
+ *
+ * The sensing error mechanism is the analytic distribution of
+ * circuit::MatchLineModel; per-query Monte Carlo draws the number of
+ * mis-sensed blocks per row from binomials instead of simulating all
+ * 2,500 blocks individually, which is exact in distribution and
+ * orders of magnitude faster.
+ */
+
+#ifndef HDHAM_HAM_R_HAM_HH
+#define HDHAM_HAM_R_HAM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/ml_discharge.hh"
+#include "core/random.hh"
+#include "ham/ham.hh"
+
+namespace hdham::ham
+{
+
+/** R-HAM configuration. */
+struct RHamConfig
+{
+    /** Hypervector dimensionality D. */
+    std::size_t dim = 10000;
+    /** Bits per crossbar block; must divide 64. The paper uses 4. */
+    std::size_t blockBits = 4;
+    /** Trailing blocks powered off (structured sampling). */
+    std::size_t blocksOff = 0;
+    /** Leading blocks run at the overscaled supply. */
+    std::size_t overscaledBlocks = 0;
+    /** Overscaled block supply (V). */
+    double overscaledVdd = 0.78;
+    /**
+     * Blocks (after the 0.78 V region) run at the deep overscaled
+     * supply, accepting up to 2 bits of error each (Section
+     * III-C2: "accepting more than 2,500 bits error requires some
+     * blocks to accept a Hamming distance of 2" at 720 mV).
+     */
+    std::size_t deepOverscaledBlocks = 0;
+    /** Deep overscaled block supply (V). */
+    double deepOverscaledVdd = 0.72;
+    /** Random stream seed for sensing noise. */
+    std::uint64_t seed = 0x722d68616d2d3137ULL;
+
+    /** Total number of blocks. */
+    std::size_t totalBlocks() const
+    {
+        return (dim + blockBits - 1) / blockBits;
+    }
+
+    /** Blocks that actually participate in the search. */
+    std::size_t activeBlocks() const
+    {
+        return totalBlocks() - blocksOff;
+    }
+};
+
+/**
+ * Behavioral model of the resistive HAM.
+ */
+class RHam : public Ham
+{
+  public:
+    explicit RHam(const RHamConfig &config);
+
+    std::string name() const override { return "R-HAM"; }
+    std::size_t dim() const override { return cfg.dim; }
+    std::size_t size() const override { return rows.size(); }
+    std::size_t store(const Hypervector &hv) override;
+    HamResult search(const Hypervector &query) override;
+
+    const RHamConfig &config() const { return cfg; }
+
+    /** Match-line model of the nominal-voltage blocks. */
+    const circuit::MatchLineModel &nominalBlock() const
+    {
+        return nominal;
+    }
+
+    /** Match-line model of the overscaled blocks. */
+    const circuit::MatchLineModel &overscaledBlock() const
+    {
+        return overscaled;
+    }
+
+    /** Match-line model of the deep overscaled blocks. */
+    const circuit::MatchLineModel &deepOverscaledBlock() const
+    {
+        return deepOverscaled;
+    }
+
+    /**
+     * Upper bound on the distance error this configuration can
+     * inject, matching the paper's error accounting: one bit per
+     * overscaled block, two bits per deep overscaled block, plus
+     * blockBits per sampled-out block.
+     */
+    std::size_t worstCaseDistanceError() const;
+
+  private:
+    /** Histogram of block distances over a contiguous block range. */
+    using Histogram = std::array<std::uint32_t, 65>;
+
+    /**
+     * Count block distances of row xor query for blocks in
+     * [firstBlock, lastBlock).
+     */
+    void histogramRange(const Hypervector &row,
+                        const Hypervector &query,
+                        std::size_t firstBlock, std::size_t lastBlock,
+                        Histogram &hist) const;
+
+    /**
+     * Draw the total sensed distance for @p hist blocks through the
+     * sensing distributions of @p senseDist.
+     */
+    std::size_t
+    senseTotal(const Histogram &hist,
+               const std::vector<std::vector<double>> &senseDist);
+
+    RHamConfig cfg;
+    circuit::MatchLineModel nominal;
+    circuit::MatchLineModel overscaled;
+    circuit::MatchLineModel deepOverscaled;
+    /** senseNominal[d][k] = P(sensed = k | true = d) at 1.0 V. */
+    std::vector<std::vector<double>> senseNominal;
+    /** Same at the overscaled supply. */
+    std::vector<std::vector<double>> senseOverscaled;
+    /** Same at the deep overscaled supply. */
+    std::vector<std::vector<double>> senseDeep;
+    std::vector<Hypervector> rows;
+    Rng rng;
+};
+
+} // namespace hdham::ham
+
+#endif // HDHAM_HAM_R_HAM_HH

@@ -1,0 +1,105 @@
+#include "ham/switching.hh"
+
+#include <bit>
+#include <cmath>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/sense_amp.hh"
+
+namespace hdham::ham
+{
+
+namespace
+{
+
+/** Binomial(w, 1/2) pmf. */
+std::vector<double>
+blockDistancePmf(std::size_t w)
+{
+    std::vector<double> pmf(w + 1);
+    double binom = 1.0;
+    const double scale = std::pow(0.5, static_cast<double>(w));
+    for (std::size_t d = 0; d <= w; ++d) {
+        pmf[d] = binom * scale;
+        binom = binom * static_cast<double>(w - d) /
+                static_cast<double>(d + 1);
+    }
+    return pmf;
+}
+
+} // namespace
+
+double
+dhamSwitchingActivity(std::size_t blockBits)
+{
+    if (blockBits == 0)
+        throw std::invalid_argument("switching: zero block width");
+    // Each XOR output is Bernoulli(1/2) i.i.d. per query:
+    // P(0 -> 1) = P(was 0) * P(is 1) = 1/4.
+    return 0.25;
+}
+
+double
+rhamSwitchingActivity(std::size_t blockBits)
+{
+    if (blockBits == 0 || blockBits > 62)
+        throw std::invalid_argument("switching: bad block width");
+    const std::vector<double> pmf = blockDistancePmf(blockBits);
+    // Rising bits between thermometer codes of two independent
+    // block distances: (d2 - d1)+.
+    double expectation = 0.0;
+    for (std::size_t d1 = 0; d1 <= blockBits; ++d1)
+        for (std::size_t d2 = d1 + 1; d2 <= blockBits; ++d2)
+            expectation += pmf[d1] * pmf[d2] *
+                           static_cast<double>(d2 - d1);
+    return expectation / static_cast<double>(blockBits);
+}
+
+double
+dhamSwitchingActivityMc(std::size_t blockBits, std::size_t samples,
+                        Rng &rng)
+{
+    assert(blockBits >= 1 && blockBits <= 64);
+    const std::uint64_t mask =
+        blockBits == 64 ? ~0ULL : ((1ULL << blockBits) - 1);
+    const std::uint64_t stored = rng.next() & mask;
+    std::uint64_t prev = (rng.next() & mask) ^ stored;
+    std::size_t rising = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const std::uint64_t next = (rng.next() & mask) ^ stored;
+        rising += std::popcount(~prev & next);
+        prev = next;
+    }
+    return static_cast<double>(rising) /
+           (static_cast<double>(samples) *
+            static_cast<double>(blockBits));
+}
+
+double
+rhamSwitchingActivityMc(std::size_t blockBits, std::size_t samples,
+                        Rng &rng)
+{
+    assert(blockBits >= 1 && blockBits <= 64);
+    const std::uint64_t mask =
+        blockBits == 64 ? ~0ULL : ((1ULL << blockBits) - 1);
+    const std::uint64_t stored = rng.next() & mask;
+    const auto codeOf = [&](std::uint64_t query) {
+        const auto d = static_cast<std::size_t>(
+            std::popcount((query ^ stored) & mask));
+        return circuit::thermometer::encode(d, blockBits);
+    };
+    std::uint64_t prev = codeOf(rng.next());
+    std::size_t rising = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const std::uint64_t next = codeOf(rng.next());
+        rising += circuit::thermometer::risingTransitions(prev, next);
+        prev = next;
+    }
+    return static_cast<double>(rising) /
+           (static_cast<double>(samples) *
+            static_cast<double>(blockBits));
+}
+
+} // namespace hdham::ham

@@ -1,0 +1,111 @@
+#include "lang/pipeline.hh"
+
+#include <cassert>
+
+#include "core/bundler.hh"
+#include "core/random.hh"
+
+namespace hdham::lang
+{
+
+double
+Evaluation::recall(std::size_t c) const
+{
+    if (c >= confusion.size())
+        return 0.0;
+    std::size_t samples = 0;
+    for (const std::size_t n : confusion[c])
+        samples += n;
+    return samples == 0 ? 0.0
+                        : static_cast<double>(confusion[c][c]) /
+                              static_cast<double>(samples);
+}
+
+double
+Evaluation::precision(std::size_t c) const
+{
+    if (c >= confusion.size())
+        return 0.0;
+    std::size_t predicted = 0;
+    for (const auto &row : confusion)
+        predicted += row[c];
+    return predicted == 0 ? 0.0
+                          : static_cast<double>(confusion[c][c]) /
+                                static_cast<double>(predicted);
+}
+
+double
+Evaluation::f1(std::size_t c) const
+{
+    const double p = precision(c);
+    const double r = recall(c);
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double
+Evaluation::macroF1() const
+{
+    if (confusion.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t c = 0; c < confusion.size(); ++c)
+        sum += f1(c);
+    return sum / static_cast<double>(confusion.size());
+}
+
+RecognitionPipeline::RecognitionPipeline(const SyntheticCorpus &corpus,
+                                         const PipelineConfig &config)
+    : cfg(config),
+      numLanguages(corpus.numLanguages()),
+      items(TextAlphabet::size, cfg.dim, cfg.seed),
+      encoder(items, cfg.ngram),
+      am(cfg.dim)
+{
+    Rng rng(cfg.seed ^ 0x747261696e696e67ULL); // "training"
+
+    // Training: one bundled hypervector per language.
+    Bundler bundler(cfg.dim);
+    for (std::size_t lang = 0; lang < numLanguages; ++lang) {
+        bundler.clear();
+        encoder.encodeInto(corpus.trainingText(lang), bundler);
+        am.store(bundler.majority(rng), corpus.labelOf(lang));
+    }
+
+    // Testing: encode every sentence once.
+    tests.reserve(corpus.totalTestSentences());
+    for (std::size_t lang = 0; lang < numLanguages; ++lang) {
+        for (const auto &sentence : corpus.testSentences(lang)) {
+            tests.push_back(
+                LabeledQuery{encoder.encode(sentence, rng), lang});
+        }
+    }
+}
+
+Evaluation
+RecognitionPipeline::evaluate(
+    const std::function<std::size_t(const Hypervector &)> &classify)
+    const
+{
+    Evaluation eval;
+    eval.confusion.assign(numLanguages,
+                          std::vector<std::size_t>(numLanguages, 0));
+    for (const auto &query : tests) {
+        const std::size_t predicted = classify(query.vector);
+        assert(predicted < numLanguages);
+        ++eval.confusion[query.trueLang][predicted];
+        if (predicted == query.trueLang)
+            ++eval.correct;
+        ++eval.total;
+    }
+    return eval;
+}
+
+Evaluation
+RecognitionPipeline::evaluateExact() const
+{
+    return evaluate([this](const Hypervector &query) {
+        return am.search(query).classId;
+    });
+}
+
+} // namespace hdham::lang

@@ -1,0 +1,101 @@
+#include "signal/emg.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hdham::signal
+{
+
+EmgCorpus::EmgCorpus(const EmgConfig &config) : cfg(config)
+{
+    if (cfg.numGestures == 0 || cfg.channels == 0 ||
+        cfg.windowLength == 0) {
+        throw std::invalid_argument("EmgCorpus: degenerate shape");
+    }
+    Rng master(cfg.seed);
+    Rng templateRng = master.fork();
+    Rng recordRng = master.fork();
+
+    // Characteristic envelopes: three random harmonics per
+    // (gesture, channel), biased to mid-range activation.
+    templates.resize(cfg.numGestures);
+    for (auto &gesture : templates) {
+        gesture.resize(cfg.channels);
+        for (auto &channel : gesture) {
+            channel.resize(3);
+            for (auto &harmonic : channel) {
+                harmonic.amplitude =
+                    0.10 + 0.15 * templateRng.nextDouble();
+                harmonic.frequency =
+                    1.0 + 3.0 * templateRng.nextDouble();
+                harmonic.phase = 2.0 * std::numbers::pi *
+                                 templateRng.nextDouble();
+            }
+        }
+    }
+
+    training.resize(cfg.numGestures);
+    for (std::size_t g = 0; g < cfg.numGestures; ++g) {
+        training[g].reserve(cfg.trainPerGesture);
+        for (std::size_t i = 0; i < cfg.trainPerGesture; ++i)
+            training[g].push_back(record(g, recordRng));
+    }
+    tests.reserve(cfg.numGestures * cfg.testPerGesture);
+    for (std::size_t g = 0; g < cfg.numGestures; ++g)
+        for (std::size_t i = 0; i < cfg.testPerGesture; ++i)
+            tests.push_back(record(g, recordRng));
+}
+
+double
+EmgCorpus::envelope(std::size_t gesture, std::size_t channel,
+                    std::size_t t) const
+{
+    assert(gesture < cfg.numGestures && channel < cfg.channels);
+    const double phase = static_cast<double>(t) /
+                         static_cast<double>(cfg.windowLength);
+    double value = 0.5;
+    for (const Harmonic &h : templates[gesture][channel]) {
+        value += h.amplitude *
+                 std::sin(2.0 * std::numbers::pi * h.frequency *
+                              phase +
+                          h.phase);
+    }
+    return std::clamp(value, 0.0, 1.0);
+}
+
+Recording
+EmgCorpus::record(std::size_t gesture, Rng &rng) const
+{
+    Recording rec;
+    rec.gesture = gesture;
+    rec.samples.resize(cfg.windowLength);
+    for (std::size_t t = 0; t < cfg.windowLength; ++t) {
+        rec.samples[t].resize(cfg.channels);
+        for (std::size_t ch = 0; ch < cfg.channels; ++ch) {
+            const double noisy =
+                envelope(gesture, ch, t) +
+                cfg.noiseSigma * rng.nextGaussian();
+            rec.samples[t][ch] = std::clamp(noisy, 0.0, 1.0);
+        }
+    }
+    return rec;
+}
+
+std::string
+EmgCorpus::labelOf(std::size_t id) const
+{
+    assert(id < cfg.numGestures);
+    return "gesture" + std::to_string(id);
+}
+
+const std::vector<Recording> &
+EmgCorpus::trainingSet(std::size_t id) const
+{
+    assert(id < training.size());
+    return training[id];
+}
+
+} // namespace hdham::signal

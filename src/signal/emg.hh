@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Synthetic EMG-like gesture source.
+ *
+ * The paper lists EMG-based hand-gesture recognition (its reference
+ * [7]) among the HD applications whose classification step is the
+ * associative search this library models. The real recordings are
+ * not redistributable, so gestures are synthesized: each gesture
+ * class has a characteristic smooth per-channel activation envelope
+ * (a small sum of random sinusoids) and every recorded instance is
+ * the envelope plus Gaussian sensor noise, sampled over a fixed
+ * window -- the same signal structure the HD encoder exploits in
+ * the real task.
+ */
+
+#ifndef HDHAM_SIGNAL_EMG_HH
+#define HDHAM_SIGNAL_EMG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/random.hh"
+
+namespace hdham::signal
+{
+
+/** One multi-channel recording window. */
+struct Recording
+{
+    /** samples[t][channel] in [0, 1]. */
+    std::vector<std::vector<double>> samples;
+    /** Ground-truth gesture id. */
+    std::size_t gesture = 0;
+};
+
+/** Generator configuration. */
+struct EmgConfig
+{
+    /** Gesture classes (reference [7] uses a small set). */
+    std::size_t numGestures = 5;
+    /** Electrode channels. */
+    std::size_t channels = 4;
+    /** Samples per recording window. */
+    std::size_t windowLength = 64;
+    /** Training recordings per gesture. */
+    std::size_t trainPerGesture = 10;
+    /** Test recordings per gesture. */
+    std::size_t testPerGesture = 40;
+    /** Sensor noise standard deviation. */
+    double noiseSigma = 0.15;
+    /** Master seed. */
+    std::uint64_t seed = 0x656d672d64617461ULL;
+};
+
+/**
+ * Deterministic synthetic gesture corpus.
+ */
+class EmgCorpus
+{
+  public:
+    explicit EmgCorpus(const EmgConfig &config = {});
+
+    const EmgConfig &config() const { return cfg; }
+
+    /** Number of gesture classes. */
+    std::size_t numGestures() const { return cfg.numGestures; }
+
+    /** Label of gesture @p id ("gesture0", ...). */
+    std::string labelOf(std::size_t id) const;
+
+    /** Training recordings of gesture @p id. */
+    const std::vector<Recording> &
+    trainingSet(std::size_t id) const;
+
+    /** All test recordings (shuffled across gestures). */
+    const std::vector<Recording> &testSet() const { return tests; }
+
+    /**
+     * Noise-free envelope of @p gesture on @p channel at window
+     * position @p t (for tests).
+     */
+    double envelope(std::size_t gesture, std::size_t channel,
+                    std::size_t t) const;
+
+    /**
+     * Draw a fresh noisy recording of @p gesture. Used by the
+     * multimodal fusion corpus, which pairs recordings from several
+     * EmgCorpus instances under shared activity labels.
+     */
+    Recording record(std::size_t gesture, Rng &rng) const;
+
+  private:
+
+    EmgConfig cfg;
+    /** templates[g][ch][harmonic] = {amplitude, freq, phase}. */
+    struct Harmonic
+    {
+        double amplitude, frequency, phase;
+    };
+    std::vector<std::vector<std::vector<Harmonic>>> templates;
+    std::vector<std::vector<Recording>> training;
+    std::vector<Recording> tests;
+};
+
+} // namespace hdham::signal
+
+#endif // HDHAM_SIGNAL_EMG_HH

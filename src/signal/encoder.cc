@@ -1,0 +1,73 @@
+#include "signal/encoder.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hdham::signal
+{
+
+SpatioTemporalEncoder::SpatioTemporalEncoder(
+    std::size_t numChannels, const SpatioTemporalConfig &config)
+    : cfg(config),
+      channels(numChannels),
+      channelItems(numChannels, cfg.dim, cfg.seed),
+      levelItems(cfg.levels, cfg.dim, cfg.seed ^ 0x6c766c73ULL)
+{
+    if (numChannels == 0)
+        throw std::invalid_argument("SpatioTemporalEncoder: no "
+                                    "channels");
+    if (cfg.ngram == 0)
+        throw std::invalid_argument("SpatioTemporalEncoder: n-gram "
+                                    "size must be positive");
+}
+
+Hypervector
+SpatioTemporalEncoder::encodeSample(
+    const std::vector<double> &sample, Rng &rng) const
+{
+    assert(sample.size() == channels);
+    Bundler spatial(cfg.dim);
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+        spatial.add(channelItems[ch] ^
+                    levelItems.encode(sample[ch], 0.0, 1.0));
+    }
+    return spatial.majority(rng);
+}
+
+std::size_t
+SpatioTemporalEncoder::encodeInto(const Recording &recording,
+                                  Bundler &bundler, Rng &rng) const
+{
+    const std::size_t window = recording.samples.size();
+    if (window < cfg.ngram)
+        return 0;
+
+    // Encode each time sample once, then slide the temporal n-gram.
+    std::vector<Hypervector> sampleHvs;
+    sampleHvs.reserve(window);
+    for (const auto &sample : recording.samples)
+        sampleHvs.push_back(encodeSample(sample, rng));
+
+    std::size_t count = 0;
+    for (std::size_t t = 0; t + cfg.ngram <= window; ++t) {
+        Hypervector gram = sampleHvs[t].rotated(cfg.ngram - 1);
+        for (std::size_t k = 1; k < cfg.ngram; ++k)
+            gram ^= sampleHvs[t + k].rotated(cfg.ngram - 1 - k);
+        bundler.add(gram);
+        ++count;
+    }
+    return count;
+}
+
+Hypervector
+SpatioTemporalEncoder::encode(const Recording &recording,
+                              Rng &rng) const
+{
+    Bundler bundler(cfg.dim);
+    if (encodeInto(recording, bundler, rng) == 0)
+        throw std::invalid_argument("SpatioTemporalEncoder::encode: "
+                                    "window shorter than the n-gram");
+    return bundler.majority(rng);
+}
+
+} // namespace hdham::signal

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Spatiotemporal HD encoder for multi-channel sensor windows.
+ *
+ * Follows the HD biosignal scheme of the paper's reference [7]:
+ *  - spatial: each time sample bundles, over channels, the binding
+ *    of the channel's (orthogonal) identity hypervector with the
+ *    (distance-preserving) level hypervector of its amplitude;
+ *  - temporal: consecutive sample hypervectors are combined with
+ *    the same rotate-and-bind n-gram the text encoder uses, and all
+ *    n-grams of the window are bundled into the record hypervector.
+ *
+ * The output feeds the identical associative-memory search as the
+ * language task -- which is the paper's point: every HD application
+ * ends in the same nearest-distance HAM operation.
+ */
+
+#ifndef HDHAM_SIGNAL_ENCODER_HH
+#define HDHAM_SIGNAL_ENCODER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bundler.hh"
+#include "core/hypervector.hh"
+#include "core/item_memory.hh"
+#include "core/level_memory.hh"
+#include "core/random.hh"
+#include "signal/emg.hh"
+
+namespace hdham::signal
+{
+
+/** Encoder configuration. */
+struct SpatioTemporalConfig
+{
+    /** Hypervector dimensionality D. */
+    std::size_t dim = 10000;
+    /** Amplitude quantization levels. */
+    std::size_t levels = 21;
+    /** Temporal n-gram size. */
+    std::size_t ngram = 3;
+    /** Seed for the channel and level item memories. */
+    std::uint64_t seed = 0x73696720656e6364ULL;
+};
+
+/**
+ * Encodes multi-channel recordings into hypervectors.
+ */
+class SpatioTemporalEncoder
+{
+  public:
+    /**
+     * @param channels number of sensor channels
+     * @param config   encoder configuration
+     */
+    SpatioTemporalEncoder(std::size_t channels,
+                          const SpatioTemporalConfig &config = {});
+
+    /** Dimensionality. */
+    std::size_t dim() const { return cfg.dim; }
+
+    /** Encoder configuration. */
+    const SpatioTemporalConfig &config() const { return cfg; }
+
+    /**
+     * Spatial hypervector of a single time sample (one amplitude
+     * per channel, values in [0, 1]).
+     * @pre sample.size() == channels.
+     */
+    Hypervector encodeSample(const std::vector<double> &sample,
+                             Rng &rng) const;
+
+    /**
+     * Stream every temporal n-gram of @p recording into
+     * @p bundler; returns the number of n-grams added.
+     */
+    std::size_t encodeInto(const Recording &recording,
+                           Bundler &bundler, Rng &rng) const;
+
+    /** Encode a full recording into its record hypervector. */
+    Hypervector encode(const Recording &recording, Rng &rng) const;
+
+  private:
+    SpatioTemporalConfig cfg;
+    std::size_t channels;
+    ItemMemory channelItems;
+    LevelItemMemory levelItems;
+};
+
+} // namespace hdham::signal
+
+#endif // HDHAM_SIGNAL_ENCODER_HH

@@ -1,0 +1,60 @@
+#include "signal/pipeline.hh"
+
+#include <cassert>
+
+#include "core/bundler.hh"
+
+namespace hdham::signal
+{
+
+GesturePipeline::GesturePipeline(const EmgCorpus &corpus,
+                                 const SpatioTemporalConfig &config)
+    : numGestures(corpus.numGestures()),
+      enc(corpus.config().channels, config),
+      am(config.dim)
+{
+    Rng rng(config.seed ^ 0x67657374757265ULL); // "gesture"
+
+    Bundler bundler(config.dim);
+    for (std::size_t g = 0; g < numGestures; ++g) {
+        bundler.clear();
+        for (const Recording &rec : corpus.trainingSet(g))
+            enc.encodeInto(rec, bundler, rng);
+        am.store(bundler.majority(rng), corpus.labelOf(g));
+    }
+
+    tests.reserve(corpus.testSet().size());
+    for (const Recording &rec : corpus.testSet()) {
+        tests.push_back(
+            lang::LabeledQuery{enc.encode(rec, rng), rec.gesture});
+    }
+}
+
+lang::Evaluation
+GesturePipeline::evaluate(
+    const std::function<std::size_t(const Hypervector &)> &classify)
+    const
+{
+    lang::Evaluation eval;
+    eval.confusion.assign(numGestures,
+                          std::vector<std::size_t>(numGestures, 0));
+    for (const auto &query : tests) {
+        const std::size_t predicted = classify(query.vector);
+        assert(predicted < numGestures);
+        ++eval.confusion[query.trueLang][predicted];
+        if (predicted == query.trueLang)
+            ++eval.correct;
+        ++eval.total;
+    }
+    return eval;
+}
+
+lang::Evaluation
+GesturePipeline::evaluateExact() const
+{
+    return evaluate([this](const Hypervector &query) {
+        return am.search(query).classId;
+    });
+}
+
+} // namespace hdham::signal

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Gesture-recognition pipeline: EMG corpus -> spatiotemporal
+ * encoder -> associative memory, mirroring lang::RecognitionPipeline
+ * so any HAM design can be evaluated on a second, structurally
+ * different workload.
+ */
+
+#ifndef HDHAM_SIGNAL_PIPELINE_HH
+#define HDHAM_SIGNAL_PIPELINE_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "lang/pipeline.hh"
+#include "signal/emg.hh"
+#include "signal/encoder.hh"
+
+namespace hdham::signal
+{
+
+/**
+ * Trains one gesture hypervector per class and caches the encoded
+ * test set. Reuses lang::Evaluation / lang::LabeledQuery so the
+ * evaluation plumbing is shared between the two applications.
+ */
+class GesturePipeline
+{
+  public:
+    GesturePipeline(const EmgCorpus &corpus,
+                    const SpatioTemporalConfig &config = {});
+
+    /** The trained associative memory (one row per gesture). */
+    const AssociativeMemory &memory() const { return am; }
+
+    /** The spatiotemporal encoder. */
+    const SpatioTemporalEncoder &encoder() const { return enc; }
+
+    /** Cached encoded test set. */
+    const std::vector<lang::LabeledQuery> &queries() const
+    {
+        return tests;
+    }
+
+    /** Evaluate an arbitrary classifier over the cached queries. */
+    lang::Evaluation
+    evaluate(const std::function<std::size_t(const Hypervector &)>
+                 &classify) const;
+
+    /** Evaluate the exact software associative memory. */
+    lang::Evaluation evaluateExact() const;
+
+  private:
+    std::size_t numGestures;
+    SpatioTemporalEncoder enc;
+    AssociativeMemory am;
+    std::vector<lang::LabeledQuery> tests;
+};
+
+} // namespace hdham::signal
+
+#endif // HDHAM_SIGNAL_PIPELINE_HH

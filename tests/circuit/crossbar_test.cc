@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the device-level memristive crossbar.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/crossbar.hh"
+#include "circuit/technology.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::Rng;
+using hdham::circuit::Crossbar;
+using hdham::circuit::MemristorSpec;
+using hdham::circuit::Technology;
+
+MemristorSpec
+nominalSpec(double sigma = 0.0)
+{
+    const Technology &tech = Technology::instance();
+    return MemristorSpec{tech.rhamRon, tech.rhamRoff, sigma};
+}
+
+TEST(CrossbarTest, RejectsDegenerateShapes)
+{
+    Rng rng(1);
+    const MemristorSpec spec = nominalSpec();
+    EXPECT_THROW(Crossbar(0, 8, spec, rng), std::invalid_argument);
+    EXPECT_THROW(Crossbar(8, 0, spec, rng), std::invalid_argument);
+}
+
+TEST(CrossbarTest, ProgramValidation)
+{
+    Rng rng(2);
+    Crossbar xbar(2, 16, nominalSpec(), rng);
+    Rng data(3);
+    EXPECT_THROW(xbar.programRow(0, Hypervector::random(8, data)),
+                 std::invalid_argument);
+    EXPECT_THROW(xbar.programRow(5, Hypervector::random(16, data)),
+                 std::invalid_argument);
+}
+
+TEST(CrossbarTest, MismatchConductsMatchLeaks)
+{
+    Rng rng(4);
+    Crossbar xbar(1, 16, nominalSpec(), rng);
+    Rng data(5);
+    const Hypervector row = Hypervector::random(16, data);
+    xbar.programRow(0, row);
+    const Technology &tech = Technology::instance();
+    for (std::size_t col = 0; col < 16; ++col) {
+        // Matching query bit: OFF-path leakage only.
+        const double match =
+            xbar.cellConductance(0, col, row.get(col));
+        EXPECT_NEAR(match, 1.0 / tech.rhamRoff,
+                    0.01 / tech.rhamRoff);
+        // Mismatching query bit: ON-path conduction.
+        const double mismatch =
+            xbar.cellConductance(0, col, !row.get(col));
+        EXPECT_NEAR(mismatch, 1.0 / tech.rhamRon,
+                    0.01 / tech.rhamRon);
+    }
+}
+
+TEST(CrossbarTest, RangeConductanceCountsMismatches)
+{
+    Rng rng(6);
+    Crossbar xbar(1, 64, nominalSpec(), rng);
+    Rng data(7);
+    const Hypervector row = Hypervector::random(64, data);
+    xbar.programRow(0, row);
+    for (std::size_t errs : {0u, 1u, 3u, 10u}) {
+        Hypervector query = row;
+        query.injectErrors(errs, data);
+        const double g = xbar.rangeConductance(0, query, 0, 64);
+        const double expected =
+            static_cast<double>(errs) /
+            Technology::instance().rhamRon;
+        // OFF leakage adds a small floor.
+        EXPECT_NEAR(g, expected,
+                    0.05 * expected + 70.0 / nominalSpec().roff);
+    }
+}
+
+TEST(CrossbarTest, SeriesResistanceLowersConductance)
+{
+    Rng rng(8);
+    Crossbar xbar(1, 8, nominalSpec(), rng);
+    Hypervector row(8);
+    xbar.programRow(0, row);
+    Hypervector query(8);
+    query.flip(0);
+    EXPECT_GT(xbar.rangeConductance(0, query, 0, 8, 0.0),
+              xbar.rangeConductance(0, query, 0, 8, 1e6));
+}
+
+TEST(CrossbarTest, CrossingTimeInverselyProportionalToDistance)
+{
+    Rng rng(9);
+    Crossbar xbar(1, 64, nominalSpec(), rng);
+    Hypervector row(64);
+    xbar.programRow(0, row);
+    Rng data(10);
+    double prev = 1e9;
+    for (std::size_t errs : {1u, 2u, 4u, 8u}) {
+        Hypervector query(64);
+        for (std::size_t i = 0; i < errs; ++i)
+            query.set(i, true);
+        const double t = xbar.blockCrossingTime(0, query, 0, 64,
+                                                0.25e-15, 1.0, 0.4);
+        EXPECT_LT(t, prev);
+        // Doubling the mismatches roughly halves the crossing time.
+        if (prev < 1e8) {
+            EXPECT_NEAR(t, prev / 2.0, 0.1 * prev);
+        }
+        prev = t;
+    }
+}
+
+TEST(CrossbarTest, WriteEndurenceAccounting)
+{
+    // The paper limits write stress to one programming per training
+    // session: one programRow per row = 2 writes per device.
+    Rng rng(11);
+    Crossbar xbar(4, 32, nominalSpec(), rng);
+    Rng data(12);
+    for (std::size_t row = 0; row < 4; ++row)
+        xbar.programRow(row, Hypervector::random(32, data));
+    EXPECT_EQ(xbar.totalWrites(), 4u * 32u * 2u);
+    EXPECT_EQ(xbar.maxWritesPerDevice(), 1u);
+    xbar.programRow(0, Hypervector::random(32, data));
+    EXPECT_EQ(xbar.maxWritesPerDevice(), 2u);
+}
+
+TEST(CrossbarTest, DeviceVariationSpreadsConductance)
+{
+    Rng rngA(13);
+    Crossbar varied(1, 256, nominalSpec(0.15), rngA);
+    Rng rngB(14);
+    Crossbar nominal(1, 256, nominalSpec(0.0), rngB);
+    Hypervector row(256);
+    varied.programRow(0, row);
+    nominal.programRow(0, row);
+    Hypervector query(256);
+    for (std::size_t i = 0; i < 256; ++i)
+        query.set(i, true); // all mismatch
+    // Same expected conductance, but only the varied array deviates
+    // from the exact nominal value.
+    const double gNom = nominal.rangeConductance(0, query, 0, 256);
+    const double gVar = varied.rangeConductance(0, query, 0, 256);
+    EXPECT_NEAR(gVar, gNom, 0.10 * gNom);
+    EXPECT_NE(gVar, gNom);
+}
+
+} // namespace

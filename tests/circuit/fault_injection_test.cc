@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Stuck-at fault injection tests: the HD robustness claim exercised
+ * at device level. Hypervectors have no critical components, so a
+ * crossbar with percent-level stuck devices must keep classifying.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/crossbar.hh"
+#include "circuit/technology.hh"
+#include "ham/device_r_ham.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::Rng;
+using hdham::circuit::Crossbar;
+using hdham::circuit::Memristor;
+using hdham::circuit::MemristorSpec;
+using hdham::circuit::Technology;
+using hdham::ham::DeviceRHam;
+using hdham::ham::DeviceRHamConfig;
+
+MemristorSpec
+spec()
+{
+    const Technology &tech = Technology::instance();
+    return MemristorSpec{tech.rhamRon, tech.rhamRoff, 0.0};
+}
+
+TEST(StuckFaultTest, StuckDeviceIgnoresProgramming)
+{
+    Memristor dev(spec());
+    dev.stickAt(true);
+    EXPECT_TRUE(dev.isStuck());
+    EXPECT_TRUE(dev.isOn());
+    dev.program(false);
+    EXPECT_TRUE(dev.isOn());      // state frozen
+    EXPECT_EQ(dev.writeCount(), 1u); // stress still counted
+}
+
+TEST(StuckFaultTest, InjectionCountsAndFractions)
+{
+    Rng rng(1);
+    Crossbar xbar(4, 256, spec(), rng);
+    EXPECT_EQ(xbar.stuckDevices(), 0u);
+    const std::size_t failed = xbar.injectStuckFaults(0.05, rng);
+    EXPECT_EQ(xbar.stuckDevices(), failed);
+    // 4 rows x 256 cols x 2 devices = 2,048 devices; ~5% fail.
+    EXPECT_NEAR(static_cast<double>(failed), 102.4, 40.0);
+    // Re-injection never un-sticks devices.
+    const std::size_t more = xbar.injectStuckFaults(0.05, rng);
+    EXPECT_EQ(xbar.stuckDevices(), failed + more);
+}
+
+TEST(StuckFaultTest, RejectsBadFraction)
+{
+    Rng rng(2);
+    Crossbar xbar(1, 8, spec(), rng);
+    EXPECT_THROW(xbar.injectStuckFaults(-0.1, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(xbar.injectStuckFaults(1.5, rng),
+                 std::invalid_argument);
+}
+
+TEST(StuckFaultTest, FullFailureBreaksEverything)
+{
+    Rng rng(3);
+    Crossbar xbar(1, 64, spec(), rng);
+    xbar.injectStuckFaults(1.0, rng);
+    EXPECT_EQ(xbar.stuckDevices(), 64u * 2u);
+    Hypervector row(64);
+    xbar.programRow(0, row); // ignored by every device
+    // Roughly half the probed paths now conduct regardless of the
+    // stored pattern: conductance far above the leakage floor.
+    const Hypervector query(64);
+    EXPECT_GT(xbar.rangeConductance(0, query, 0, 64),
+              10.0 / spec().roff * 64.0);
+}
+
+TEST(StuckFaultTest, ClassificationSurvivesPercentLevelFaults)
+{
+    // The headline robustness property, at device level: 2% of all
+    // devices stuck before programming, classification of near-row
+    // queries unaffected.
+    DeviceRHamConfig cfg;
+    cfg.dim = 1024;
+    cfg.capacity = 8;
+    cfg.stuckFraction = 0.02;
+    DeviceRHam ham(cfg);
+    EXPECT_GT(ham.crossbar().stuckDevices(), 0u);
+    Rng rng(4);
+
+    std::vector<Hypervector> rows;
+    for (int c = 0; c < 8; ++c) {
+        rows.push_back(Hypervector::random(1024, rng));
+        ham.store(rows.back());
+    }
+    int correct = 0;
+    const int trials = 40;
+    for (int q = 0; q < trials; ++q) {
+        const std::size_t target = rng.nextBelow(8);
+        Hypervector query = rows[target];
+        query.injectErrors(100, rng);
+        correct += ham.search(query).classId == target;
+    }
+    EXPECT_EQ(correct, trials);
+}
+
+TEST(StuckFaultTest, SensedDistanceDegradesGracefully)
+{
+    // Sweep the stuck fraction on a single-row crossbar and check
+    // the sensed distance error grows smoothly, not catastrophically.
+    Rng rng(5);
+    const Hypervector row = Hypervector::random(512, rng);
+    Hypervector query = row;
+    query.injectErrors(50, rng);
+
+    double prevErr = -1.0;
+    for (const double fraction : {0.0, 0.02, 0.05, 0.10}) {
+        Rng xrng(6);
+        Crossbar xbar(1, 512, spec(), xrng);
+        xbar.injectStuckFaults(fraction, xrng);
+        xbar.programRow(0, row);
+        // Count effective mismatching (conducting) cells.
+        const double g = xbar.rangeConductance(0, query, 0, 512);
+        const double sensed =
+            g * Technology::instance().rhamRon;
+        const double err = std::abs(sensed - 50.0);
+        if (fraction == 0.0)
+            EXPECT_LT(err, 1.0);
+        else
+            EXPECT_LT(err, 3.0 * 512.0 * fraction + 2.0);
+        EXPECT_GE(err + 1e-9, prevErr * 0.2); // no wild swings
+        prevErr = err;
+    }
+}
+
+} // namespace

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for the current model, LTA comparators and the Fig. 7
+ * minimum-detectable-distance law.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/lta.hh"
+
+namespace
+{
+
+using hdham::Rng;
+using hdham::circuit::CurrentModel;
+using hdham::circuit::defaultLtaBitsFor;
+using hdham::circuit::defaultStagesFor;
+using hdham::circuit::LtaConfig;
+using hdham::circuit::LtaTree;
+using hdham::circuit::minDetectableDistance;
+using hdham::circuit::MultistageCurrentSum;
+
+TEST(CurrentModelTest, CurrentGrowsWithDistance)
+{
+    CurrentModel model;
+    double prev = 0.0;
+    for (int d = 1; d <= 1000; d += 37) {
+        const double i = model.current(d);
+        EXPECT_GT(i, prev);
+        prev = i;
+    }
+}
+
+TEST(CurrentModelTest, SmallDistancesAreLinear)
+{
+    CurrentModel model;
+    EXPECT_NEAR(model.current(1), model.unitCurrent,
+                0.001 * model.unitCurrent);
+    EXPECT_NEAR(model.current(10), 10 * model.unitCurrent,
+                0.01 * 10 * model.unitCurrent);
+}
+
+TEST(CurrentModelTest, LargeDistancesCompress)
+{
+    // The ML droop: sensitivity shrinks at high distance, the root
+    // cause of the paper's single-stage resolution loss.
+    CurrentModel model;
+    const double sensLow = model.current(11) - model.current(10);
+    const double sensHigh =
+        model.current(10000) - model.current(9999);
+    EXPECT_LT(sensHigh, sensLow / 10.0);
+}
+
+TEST(MinDetectableTest, PaperAnchors)
+{
+    // Fig. 7: D<=256 single-stage 10-bit -> 1; D=512 -> 1;
+    // D=10,000 single-stage 10-bit -> 43; 14 stages 14-bit -> 14.
+    EXPECT_EQ(minDetectableDistance(64, 1, 10), 1u);
+    EXPECT_EQ(minDetectableDistance(256, 1, 10), 1u);
+    EXPECT_EQ(minDetectableDistance(512, 1, 10), 1u);
+    EXPECT_EQ(minDetectableDistance(10000, 1, 10), 43u);
+    EXPECT_EQ(minDetectableDistance(10000, 14, 14), 14u);
+}
+
+TEST(MinDetectableTest, MonotoneInDimension)
+{
+    std::size_t prev = 0;
+    for (std::size_t dim : {256u, 512u, 1024u, 2048u, 4096u, 10000u}) {
+        const std::size_t md = minDetectableDistance(dim, 1, 10);
+        EXPECT_GE(md, prev);
+        prev = md;
+    }
+}
+
+TEST(MinDetectableTest, MoreBitsHelpWhileQuantizationDominates)
+{
+    // At moderate stage widths the LTA resolution is the limiter...
+    EXPECT_LT(minDetectableDistance(2000, 1, 12),
+              minDetectableDistance(2000, 1, 8));
+}
+
+TEST(MinDetectableTest, MoreBitsCannotFixStabilizerBreakdown)
+{
+    // ...but at D = 10,000 the un-held ML voltage floors the
+    // resolution: the paper's "even using the LTA with higher
+    // resolution cannot provide acceptable accuracy".
+    EXPECT_EQ(minDetectableDistance(10000, 1, 14),
+              minDetectableDistance(10000, 1, 10));
+}
+
+TEST(MinDetectableTest, StagingHelpsLargeDimensions)
+{
+    EXPECT_LT(minDetectableDistance(10000, 14, 14),
+              minDetectableDistance(10000, 1, 14));
+}
+
+TEST(MinDetectableTest, TooManyStagesHurt)
+{
+    // Each mirror costs ~1 bit: beyond the sweet spot the staging
+    // overhead dominates.
+    EXPECT_GT(minDetectableDistance(10000, 100, 14),
+              minDetectableDistance(10000, 14, 14));
+}
+
+TEST(MinDetectableTest, VariationGrowthScalesResult)
+{
+    const std::size_t base = minDetectableDistance(10000, 14, 14);
+    const std::size_t grown =
+        minDetectableDistance(10000, 14, 14, 3.0);
+    EXPECT_NEAR(static_cast<double>(grown), 3.0 * base,
+                0.1 * 3.0 * base);
+}
+
+TEST(DefaultsTest, StageSchedule)
+{
+    EXPECT_EQ(defaultStagesFor(256), 1u);
+    EXPECT_EQ(defaultStagesFor(512), 1u);
+    EXPECT_EQ(defaultStagesFor(10000), 14u);
+    EXPECT_GE(defaultStagesFor(4000), 5u);
+}
+
+TEST(DefaultsTest, BitSchedule)
+{
+    EXPECT_EQ(defaultLtaBitsFor(256), 10u);
+    EXPECT_EQ(defaultLtaBitsFor(512), 10u);
+    EXPECT_EQ(defaultLtaBitsFor(10000), 14u);
+    std::size_t prev = 0;
+    for (std::size_t dim : {512u, 1024u, 2048u, 4096u, 10000u}) {
+        EXPECT_GE(defaultLtaBitsFor(dim), prev);
+        prev = defaultLtaBitsFor(dim);
+    }
+}
+
+TEST(LtaTreeTest, RejectsEmptyInput)
+{
+    LtaConfig cfg;
+    LtaTree tree(cfg);
+    Rng rng(1);
+    EXPECT_THROW(tree.winner({}, rng), std::invalid_argument);
+}
+
+TEST(LtaTreeTest, SingleInputWins)
+{
+    LtaConfig cfg;
+    LtaTree tree(cfg);
+    Rng rng(2);
+    EXPECT_EQ(tree.winner({1e-3}, rng), 0u);
+}
+
+TEST(LtaTreeTest, WellSeparatedCurrentsAreExact)
+{
+    LtaConfig cfg;
+    cfg.bits = 10;
+    cfg.fullScale = 1e-3;
+    LtaTree tree(cfg);
+    Rng rng(3);
+    // Currents separated by >> lsb: the minimum must always win.
+    std::vector<double> currents = {8e-4, 5e-4, 1e-4, 9e-4, 3e-4};
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(tree.winner(currents, rng), 2u);
+}
+
+TEST(LtaTreeTest, SubLsbGapsAreAmbiguous)
+{
+    LtaConfig cfg;
+    cfg.bits = 10;
+    cfg.fullScale = 1e-3;
+    LtaTree tree(cfg);
+    Rng rng(4);
+    const double lsb = cfg.lsb();
+    // Two currents 0.1 lsb apart: both should win sometimes.
+    std::vector<double> currents = {5e-4, 5e-4 + 0.1 * lsb};
+    int firstWins = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i)
+        firstWins += tree.winner(currents, rng) == 0;
+    EXPECT_GT(firstWins, trials / 5);
+    EXPECT_LT(firstWins, trials - trials / 5);
+}
+
+TEST(LtaTreeTest, HandlesOddFieldSizes)
+{
+    LtaConfig cfg;
+    cfg.bits = 12;
+    cfg.fullScale = 1e-3;
+    LtaTree tree(cfg);
+    Rng rng(5);
+    for (std::size_t n : {2u, 3u, 5u, 7u, 21u, 100u}) {
+        std::vector<double> currents(n, 9e-4);
+        currents[n - 1] = 1e-4;
+        EXPECT_EQ(tree.winner(currents, rng), n - 1) << "n=" << n;
+    }
+}
+
+TEST(MultistageSumTest, IdealSumIsAdditive)
+{
+    CurrentModel model;
+    MultistageCurrentSum summer(model, 0.0);
+    const double total = summer.totalIdeal({10, 20, 30});
+    EXPECT_NEAR(total,
+                model.current(10) + model.current(20) +
+                    model.current(30),
+                1e-18);
+}
+
+TEST(MultistageSumTest, ZeroBetaHasNoNoise)
+{
+    CurrentModel model;
+    MultistageCurrentSum summer(model, 0.0);
+    Rng rng(6);
+    EXPECT_DOUBLE_EQ(summer.total({5, 5, 5}, rng),
+                     summer.totalIdeal({5, 5, 5}));
+}
+
+TEST(MultistageSumTest, StabilizerBlurOnWideStages)
+{
+    // A single wide stage is noisy even with perfect mirrors.
+    CurrentModel model;
+    MultistageCurrentSum narrow(model, 0.0, 512);
+    MultistageCurrentSum wide(model, 0.0, 10000);
+    Rng rng(12);
+    EXPECT_DOUBLE_EQ(narrow.total({100}, rng),
+                     narrow.totalIdeal({100}));
+    bool sawNoise = false;
+    for (int i = 0; i < 50 && !sawNoise; ++i)
+        sawNoise = wide.total({100}, rng) != wide.totalIdeal({100});
+    EXPECT_TRUE(sawNoise);
+}
+
+TEST(MultistageSumTest, MirrorErrorIsBounded)
+{
+    CurrentModel model;
+    const double beta = 1.07;
+    MultistageCurrentSum summer(model, beta);
+    Rng rng(7);
+    const std::vector<std::size_t> dists(14, 100);
+    const double ideal = summer.totalIdeal(dists);
+    const double bound = beta * 13 * model.unitCurrent;
+    for (int i = 0; i < 2000; ++i) {
+        const double noisy = summer.total(dists, rng);
+        EXPECT_LE(std::abs(noisy - ideal), bound + 1e-18);
+    }
+}
+
+TEST(MultistageSumTest, SingleStageHasNoMirrorError)
+{
+    CurrentModel model;
+    MultistageCurrentSum summer(model, 5.0);
+    Rng rng(8);
+    EXPECT_DOUBLE_EQ(summer.total({123}, rng),
+                     summer.totalIdeal({123}));
+}
+
+TEST(EmpiricalMinDetectableTest, TreeTracksClosedForm)
+{
+    // Behavioral check: with the design-point configuration for
+    // D = 10,000 (14 stages, 14 bits), distances separated by 3x the
+    // closed-form minimum detectable distance must be resolved
+    // nearly always; separations far below it must be ambiguous.
+    const std::size_t dim = 10000, stages = 14, bits = 14;
+    const std::size_t md = minDetectableDistance(dim, stages, bits);
+    CurrentModel model;
+    MultistageCurrentSum summer(model, 1.0, dim / stages);
+    LtaConfig cfg;
+    cfg.bits = bits;
+    cfg.fullScale =
+        static_cast<double>(stages) * model.fullScale(dim / stages);
+    LtaTree tree(cfg);
+    Rng rng(9);
+
+    const auto winRate = [&](std::size_t d0, std::size_t d1) {
+        const std::size_t perStage0 = d0 / stages;
+        const std::size_t perStage1 = d1 / stages;
+        int wins = 0;
+        const int trials = 600;
+        for (int i = 0; i < trials; ++i) {
+            const std::vector<std::size_t> a(stages, perStage0);
+            const std::vector<std::size_t> b(stages, perStage1);
+            const std::vector<double> currents = {
+                summer.total(a, rng), summer.total(b, rng)};
+            wins += tree.winner(currents, rng) == 0;
+        }
+        return wins / double(trials);
+    };
+
+    // 3x separation: reliably resolved.
+    EXPECT_GT(winRate(4200, 4200 + 3 * md * stages / stages + 3 * md),
+              0.95);
+    // Equal inputs: a coin flip.
+    const double equal = winRate(4200, 4200);
+    EXPECT_GT(equal, 0.3);
+    EXPECT_LT(equal, 0.7);
+}
+
+} // namespace

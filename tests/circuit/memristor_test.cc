@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the memristor device model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/memristor.hh"
+#include "circuit/technology.hh"
+
+namespace
+{
+
+using hdham::Rng;
+using hdham::circuit::Memristor;
+using hdham::circuit::MemristorSpec;
+using hdham::circuit::Technology;
+
+MemristorSpec
+ahamSpec()
+{
+    const Technology &tech = Technology::instance();
+    return MemristorSpec{tech.ahamRon, tech.ahamRoff, 0.10};
+}
+
+TEST(MemristorTest, NominalDeviceMatchesSpec)
+{
+    const MemristorSpec spec = ahamSpec();
+    Memristor dev(spec);
+    dev.program(true);
+    EXPECT_DOUBLE_EQ(dev.resistance(), spec.ron);
+    dev.program(false);
+    EXPECT_DOUBLE_EQ(dev.resistance(), spec.roff);
+}
+
+TEST(MemristorTest, StartsOffAndTracksWrites)
+{
+    Memristor dev(ahamSpec());
+    EXPECT_FALSE(dev.isOn());
+    EXPECT_EQ(dev.writeCount(), 0u);
+    dev.program(true);
+    dev.program(true);
+    dev.program(false);
+    EXPECT_FALSE(dev.isOn());
+    EXPECT_EQ(dev.writeCount(), 3u);
+}
+
+TEST(MemristorTest, ReadCurrentIsOhmic)
+{
+    const MemristorSpec spec = ahamSpec();
+    Memristor dev(spec);
+    dev.program(true);
+    EXPECT_DOUBLE_EQ(dev.readCurrent(1.0), 1.0 / spec.ron);
+    EXPECT_DOUBLE_EQ(dev.readCurrent(0.5), 0.5 / spec.ron);
+    dev.program(false);
+    EXPECT_DOUBLE_EQ(dev.readCurrent(1.0), 1.0 / spec.roff);
+}
+
+TEST(MemristorTest, OnOffRatioIsLarge)
+{
+    // The A-HAM device of [25]: RON ~500k, ROFF ~100G.
+    Memristor dev(ahamSpec());
+    EXPECT_GT(dev.onOffRatio(), 1e4);
+}
+
+TEST(MemristorTest, VariationSpreadsResistance)
+{
+    const MemristorSpec spec = ahamSpec();
+    Rng rng(1);
+    double logSum = 0.0, logSq = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        Memristor dev(spec, rng);
+        dev.program(true);
+        const double l = std::log(dev.resistance() / spec.ron);
+        logSum += l;
+        logSq += l * l;
+    }
+    const double mean = logSum / n;
+    const double sd = std::sqrt(logSq / n - mean * mean);
+    EXPECT_NEAR(mean, 0.0, 0.01);
+    EXPECT_NEAR(sd, spec.sigma, 0.01);
+}
+
+TEST(MemristorTest, VariedDevicesAreAlwaysPositive)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        Memristor dev(ahamSpec(), rng);
+        dev.program(true);
+        EXPECT_GT(dev.resistance(), 0.0);
+        dev.program(false);
+        EXPECT_GT(dev.resistance(), 0.0);
+    }
+}
+
+TEST(TechnologyTest, SingletonIsStable)
+{
+    const Technology &a = Technology::instance();
+    const Technology &b = Technology::instance();
+    EXPECT_EQ(&a, &b);
+    EXPECT_DOUBLE_EQ(a.vddNominal, 1.0);
+    EXPECT_DOUBLE_EQ(a.vddAnalog, 1.8);
+    EXPECT_DOUBLE_EQ(a.vddOverscaled, 0.78);
+}
+
+} // namespace

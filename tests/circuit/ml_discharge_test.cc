@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the match-line discharge model (Fig. 4 physics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ml_discharge.hh"
+
+namespace
+{
+
+using hdham::Rng;
+using hdham::circuit::MatchLineConfig;
+using hdham::circuit::MatchLineModel;
+
+TEST(MatchLineTest, ValidatesConfig)
+{
+    MatchLineConfig bad = MatchLineConfig::rhamBlock(4);
+    bad.width = 0;
+    EXPECT_THROW(MatchLineModel{bad}, std::invalid_argument);
+
+    bad = MatchLineConfig::rhamBlock(4);
+    bad.v0 = 0.3; // below the 0.4 V threshold
+    EXPECT_THROW(MatchLineModel{bad}, std::invalid_argument);
+}
+
+TEST(MatchLineTest, VoltageStartsAtPrechargeAndDecays)
+{
+    MatchLineModel ml(MatchLineConfig::rhamBlock(4));
+    EXPECT_DOUBLE_EQ(ml.voltageAt(0.0, 3), 1.0);
+    // Zero mismatches: the ML never discharges.
+    EXPECT_DOUBLE_EQ(ml.voltageAt(1e-6, 0), 1.0);
+    // More time, lower voltage.
+    EXPECT_LT(ml.voltageAt(2e-9, 2), ml.voltageAt(1e-9, 2));
+    EXPECT_GT(ml.voltageAt(2e-9, 2), 0.0);
+}
+
+TEST(MatchLineTest, MoreMismatchesDischargeFaster)
+{
+    MatchLineModel ml(MatchLineConfig::rhamBlock(10));
+    for (std::size_t m = 1; m < 10; ++m)
+        EXPECT_LT(ml.voltageAt(1e-9, m + 1), ml.voltageAt(1e-9, m));
+}
+
+TEST(MatchLineTest, CrossingTimeFallsLikeOneOverM)
+{
+    // t_th(m) = tau * ln(V0/Vth) / m: the Fig. 4(a) saturation law.
+    MatchLineModel ml(MatchLineConfig::rhamBlock(10));
+    const double t1 = ml.timeToThreshold(1);
+    for (std::size_t m = 2; m <= 10; ++m)
+        EXPECT_NEAR(ml.timeToThreshold(m), t1 / m, 1e-15);
+    EXPECT_TRUE(std::isinf(ml.timeToThreshold(0)));
+}
+
+TEST(MatchLineTest, FirstMismatchMattersMost)
+{
+    // Gaps between adjacent crossing times shrink with distance:
+    // exactly the "current saturation" the paper reports.
+    MatchLineModel ml(MatchLineConfig::rhamBlock(10));
+    double prevGap = 1e9;
+    for (std::size_t m = 1; m < 10; ++m) {
+        const double gap =
+            ml.timeToThreshold(m) - ml.timeToThreshold(m + 1);
+        EXPECT_LT(gap, prevGap);
+        prevGap = gap;
+    }
+}
+
+TEST(MatchLineTest, SamplingTimesSeparateAdjacentLevels)
+{
+    MatchLineModel ml(MatchLineConfig::rhamBlock(4));
+    const auto &times = ml.samplingTimes();
+    ASSERT_EQ(times.size(), 4u);
+    for (std::size_t j = 1; j <= 4; ++j) {
+        EXPECT_GT(times[j - 1], ml.timeToThreshold(j));
+        if (j >= 2) {
+            EXPECT_LT(times[j - 1], ml.timeToThreshold(j - 1));
+        }
+    }
+    // Later SAs sample earlier (they detect larger distances).
+    for (std::size_t j = 1; j < 4; ++j)
+        EXPECT_GT(times[j - 1], times[j]);
+}
+
+TEST(MatchLineTest, IdealSensingIsExact)
+{
+    MatchLineModel ml(MatchLineConfig::rhamBlock(4));
+    for (std::size_t m = 0; m <= 4; ++m)
+        EXPECT_EQ(ml.senseIdeal(m), m);
+}
+
+TEST(MatchLineTest, NominalMonteCarloSensingIsNearlyExact)
+{
+    MatchLineModel ml(MatchLineConfig::rhamBlock(4));
+    Rng rng(1);
+    const int trials = 4000;
+    for (std::size_t m = 0; m <= 4; ++m) {
+        int wrong = 0;
+        for (int i = 0; i < trials; ++i)
+            wrong += ml.sense(m, rng) != m;
+        EXPECT_LT(wrong, trials / 100) << "distance " << m;
+    }
+}
+
+TEST(MatchLineTest, MaxReliableBlockWidthIsFour)
+{
+    // The paper's design choice emerges from the timing model.
+    MatchLineModel ml(MatchLineConfig::rhamBlock(4));
+    EXPECT_EQ(ml.maxReliableWidth(2.0), 4u);
+}
+
+TEST(MatchLineTest, OverscalingRaisesConfusion)
+{
+    MatchLineConfig nominal = MatchLineConfig::rhamBlock(4);
+    MatchLineConfig overscaled = nominal;
+    overscaled.v0 = 0.78;
+    MatchLineModel nom(nominal), ovs(overscaled);
+    for (std::size_t m = 2; m <= 4; ++m) {
+        EXPECT_GT(ovs.adjacentConfusionProbability(m),
+                  nom.adjacentConfusionProbability(m));
+    }
+    // But stays in the "about one bit per block" regime.
+    EXPECT_LT(ovs.adjacentConfusionProbability(4), 0.25);
+}
+
+TEST(MatchLineTest, DeepOverscalingIsWorse)
+{
+    MatchLineConfig a = MatchLineConfig::rhamBlock(4);
+    a.v0 = 0.78;
+    MatchLineConfig b = MatchLineConfig::rhamBlock(4);
+    b.v0 = 0.72;
+    MatchLineModel ovs(a), deep(b);
+    EXPECT_GT(deep.adjacentConfusionProbability(3),
+              ovs.adjacentConfusionProbability(3));
+}
+
+TEST(MatchLineTest, SenseDistributionIsNormalized)
+{
+    MatchLineConfig cfg = MatchLineConfig::rhamBlock(4);
+    cfg.v0 = 0.78;
+    MatchLineModel ml(cfg);
+    for (std::size_t m = 0; m <= 4; ++m) {
+        const auto dist = ml.senseDistribution(m);
+        ASSERT_EQ(dist.size(), 5u);
+        double sum = 0.0;
+        for (const double p : dist) {
+            EXPECT_GE(p, 0.0);
+            sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+        // Mass concentrates on the true level.
+        EXPECT_GT(dist[m], 0.5);
+    }
+}
+
+TEST(MatchLineTest, SenseDistributionMatchesMonteCarlo)
+{
+    MatchLineConfig cfg = MatchLineConfig::rhamBlock(4);
+    cfg.v0 = 0.78;
+    MatchLineModel ml(cfg);
+    Rng rng(2);
+    const int trials = 20000;
+    for (std::size_t m : {1u, 3u}) {
+        std::vector<double> mc(5, 0.0);
+        for (int i = 0; i < trials; ++i)
+            mc[ml.sense(m, rng)] += 1.0 / trials;
+        const auto analytic = ml.senseDistribution(m);
+        for (std::size_t k = 0; k <= 4; ++k)
+            EXPECT_NEAR(mc[k], analytic[k], 0.03)
+                << "m=" << m << " k=" << k;
+    }
+}
+
+TEST(MatchLineTest, ZeroDistanceNeverMissensed)
+{
+    // A row with no mismatches never discharges, so no SA can fire
+    // regardless of jitter: distance 0 is exact even overscaled.
+    MatchLineConfig cfg = MatchLineConfig::rhamBlock(4);
+    cfg.v0 = 0.72;
+    MatchLineModel ml(cfg);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(ml.sense(0, rng), 0u);
+}
+
+TEST(MatchLineTest, PrechargeEnergyIsQuadraticInSupply)
+{
+    MatchLineConfig nom = MatchLineConfig::rhamBlock(4);
+    MatchLineConfig ovs = nom;
+    ovs.v0 = 0.78;
+    MatchLineModel a(nom), b(ovs);
+    EXPECT_NEAR(b.prechargeEnergy() / a.prechargeEnergy(),
+                0.78 * 0.78, 1e-12);
+    // Order of magnitude: 1 fF at 1 V -> 1 fJ per block cycle.
+    EXPECT_NEAR(a.prechargeEnergy(), 1.0e-15, 0.2e-15);
+}
+
+TEST(MatchLineTest, CapacitanceScalesWithWidth)
+{
+    MatchLineModel a(MatchLineConfig::rhamBlock(4));
+    MatchLineModel b(MatchLineConfig::rhamBlock(8));
+    EXPECT_NEAR(b.capacitance(), 2.0 * a.capacitance(), 1e-20);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parameterized property tests of the match-line model over a grid
+ * of block widths and supply voltages: structural invariants that
+ * must hold at every configuration, not just the paper's design
+ * point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ml_discharge.hh"
+
+namespace
+{
+
+using hdham::Rng;
+using hdham::circuit::MatchLineConfig;
+using hdham::circuit::MatchLineModel;
+
+class MlGridTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>>
+{
+  protected:
+    MatchLineConfig
+    config() const
+    {
+        const auto [width, v0] = GetParam();
+        MatchLineConfig cfg = MatchLineConfig::rhamBlock(width);
+        cfg.v0 = v0;
+        return cfg;
+    }
+};
+
+TEST_P(MlGridTest, CrossingTimesStrictlyDecrease)
+{
+    MatchLineModel ml(config());
+    double prev = 1e9;
+    for (std::size_t m = 1; m <= ml.config().width; ++m) {
+        const double t = ml.timeToThreshold(m);
+        EXPECT_LT(t, prev);
+        EXPECT_GT(t, 0.0);
+        prev = t;
+    }
+}
+
+TEST_P(MlGridTest, VoltageIsMonotoneInTimeAndDistance)
+{
+    MatchLineModel ml(config());
+    const double horizon = ml.timeToThreshold(1);
+    for (int step = 1; step <= 5; ++step) {
+        const double t = horizon * step / 5.0;
+        EXPECT_LE(ml.voltageAt(t, 2), ml.voltageAt(t, 1));
+        EXPECT_LE(ml.voltageAt(t, 1),
+                  ml.voltageAt(t * 0.5, 1) + 1e-12);
+    }
+}
+
+TEST_P(MlGridTest, SamplingLadderIsStrictlyOrdered)
+{
+    MatchLineModel ml(config());
+    const auto &times = ml.samplingTimes();
+    ASSERT_EQ(times.size(), ml.config().width);
+    for (std::size_t j = 1; j < times.size(); ++j)
+        EXPECT_GT(times[j - 1], times[j]);
+    EXPECT_DOUBLE_EQ(ml.evaluationTime(), times.back());
+}
+
+TEST_P(MlGridTest, IdealSensingIsTheIdentity)
+{
+    MatchLineModel ml(config());
+    for (std::size_t m = 0; m <= ml.config().width; ++m)
+        EXPECT_EQ(ml.senseIdeal(m), m);
+}
+
+TEST_P(MlGridTest, SenseDistributionsAreProperAndCentered)
+{
+    MatchLineModel ml(config());
+    for (std::size_t m = 0; m <= ml.config().width; ++m) {
+        const auto dist = ml.senseDistribution(m);
+        double sum = 0.0, mean = 0.0;
+        for (std::size_t k = 0; k < dist.size(); ++k) {
+            EXPECT_GE(dist[k], 0.0);
+            sum += dist[k];
+            mean += static_cast<double>(k) * dist[k];
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+        // The sensed level is unbiased to within half a level.
+        EXPECT_NEAR(mean, static_cast<double>(m), 0.5)
+            << "true distance " << m;
+        // The true level always carries the largest mass.
+        for (std::size_t k = 0; k < dist.size(); ++k) {
+            if (k != m) {
+                EXPECT_GE(dist[m], dist[k]);
+            }
+        }
+    }
+}
+
+TEST_P(MlGridTest, MonteCarloMeanTracksTruth)
+{
+    MatchLineModel ml(config());
+    Rng rng(GetParam().first * 100 +
+            static_cast<std::uint64_t>(GetParam().second * 100));
+    for (std::size_t m = 0; m <= ml.config().width; ++m) {
+        double sum = 0.0;
+        const int trials = 2000;
+        for (int i = 0; i < trials; ++i)
+            sum += static_cast<double>(ml.sense(m, rng));
+        EXPECT_NEAR(sum / trials, static_cast<double>(m), 0.35)
+            << "true distance " << m;
+    }
+}
+
+TEST_P(MlGridTest, ConfusionNeverExceedsHalf)
+{
+    // Even deep overscaling must keep adjacent confusion bounded,
+    // or the "<= 1 bit per block" design target is meaningless.
+    MatchLineModel ml(config());
+    for (std::size_t m = 1; m <= ml.config().width; ++m)
+        EXPECT_LT(ml.adjacentConfusionProbability(m), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MlGridTest,
+    ::testing::Values(std::pair<std::size_t, double>{1, 1.0},
+                      std::pair<std::size_t, double>{2, 1.0},
+                      std::pair<std::size_t, double>{4, 1.0},
+                      std::pair<std::size_t, double>{8, 1.0},
+                      std::pair<std::size_t, double>{2, 0.78},
+                      std::pair<std::size_t, double>{4, 0.78},
+                      std::pair<std::size_t, double>{8, 0.78},
+                      std::pair<std::size_t, double>{4, 0.72},
+                      std::pair<std::size_t, double>{4, 0.9}));
+
+TEST(MlSupplySweepTest, ConfusionGrowsAsSupplyDrops)
+{
+    double prev = -1.0;
+    for (const double v0 : {1.0, 0.9, 0.84, 0.78, 0.72}) {
+        MatchLineConfig cfg = MatchLineConfig::rhamBlock(4);
+        cfg.v0 = v0;
+        MatchLineModel ml(cfg);
+        const double confusion = ml.adjacentConfusionProbability(4);
+        EXPECT_GT(confusion, prev);
+        prev = confusion;
+    }
+}
+
+TEST(MlSupplySweepTest, EvaluationTimeShrinksWithSupply)
+{
+    // Lower precharge crosses the threshold sooner: the paper's
+    // overscaled blocks are not slower, just noisier.
+    MatchLineConfig nom = MatchLineConfig::rhamBlock(4);
+    MatchLineConfig ovs = nom;
+    ovs.v0 = 0.78;
+    EXPECT_LT(MatchLineModel(ovs).evaluationTime(),
+              MatchLineModel(nom).evaluationTime());
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the thermometer code and sense-amplifier bank.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/sense_amp.hh"
+
+namespace
+{
+
+using hdham::Rng;
+using hdham::circuit::MatchLineConfig;
+using hdham::circuit::SenseAmpBank;
+namespace thermometer = hdham::circuit::thermometer;
+
+TEST(ThermometerTest, EncodesFig3cTable)
+{
+    // d = 0 -> 0000, 1 -> 1000, 2 -> 1100, 3 -> 1110, 4 -> 1111
+    EXPECT_EQ(thermometer::encode(0, 4), 0b0000u);
+    EXPECT_EQ(thermometer::encode(1, 4), 0b0001u);
+    EXPECT_EQ(thermometer::encode(2, 4), 0b0011u);
+    EXPECT_EQ(thermometer::encode(3, 4), 0b0111u);
+    EXPECT_EQ(thermometer::encode(4, 4), 0b1111u);
+}
+
+TEST(ThermometerTest, RoundTripAllWidths)
+{
+    for (std::size_t w = 1; w <= 16; ++w)
+        for (std::size_t d = 0; d <= w; ++d)
+            EXPECT_EQ(thermometer::decode(thermometer::encode(d, w)),
+                      d);
+}
+
+TEST(ThermometerTest, AdjacentCodesDifferInOneBit)
+{
+    // The low-switching property behind Table II.
+    for (std::size_t w = 1; w <= 8; ++w) {
+        for (std::size_t d = 0; d < w; ++d) {
+            const auto a = thermometer::encode(d, w);
+            const auto b = thermometer::encode(d + 1, w);
+            EXPECT_EQ(thermometer::risingTransitions(a, b), 1u);
+            EXPECT_EQ(thermometer::risingTransitions(b, a), 0u);
+        }
+    }
+}
+
+TEST(ThermometerTest, RisingTransitionsCountsUpMoves)
+{
+    EXPECT_EQ(thermometer::risingTransitions(0b0001, 0b0111), 2u);
+    EXPECT_EQ(thermometer::risingTransitions(0b0111, 0b0001), 0u);
+    EXPECT_EQ(thermometer::risingTransitions(0b0101, 0b1010), 2u);
+    EXPECT_EQ(thermometer::risingTransitions(0, 0), 0u);
+}
+
+TEST(ThermometerTest, BinaryCodeSwitchesMoreThanThermometer)
+{
+    // Paper's example: 3 -> 4 flips three bits in binary (0011 vs
+    // 0100) but a single bit in the thermometer code.
+    const auto binaryRising = [](std::uint64_t a, std::uint64_t b) {
+        return thermometer::risingTransitions(a, b) +
+               thermometer::risingTransitions(b, a);
+    };
+    EXPECT_EQ(binaryRising(0b0011, 0b0100), 3u);
+    EXPECT_EQ(binaryRising(thermometer::encode(3, 4),
+                           thermometer::encode(4, 4)),
+              1u);
+}
+
+TEST(SenseAmpBankTest, IdealCodesMatchDistances)
+{
+    SenseAmpBank bank(MatchLineConfig::rhamBlock(4));
+    EXPECT_EQ(bank.width(), 4u);
+    for (std::size_t d = 0; d <= 4; ++d)
+        EXPECT_EQ(bank.senseCodeIdeal(d), thermometer::encode(d, 4));
+}
+
+TEST(SenseAmpBankTest, NominalSensingMatchesIdeal)
+{
+    SenseAmpBank bank(MatchLineConfig::rhamBlock(4));
+    Rng rng(1);
+    int wrong = 0;
+    for (int i = 0; i < 2000; ++i)
+        for (std::size_t d = 0; d <= 4; ++d)
+            wrong += bank.senseDistance(d, rng) != d;
+    EXPECT_LT(wrong, 100);
+}
+
+TEST(SenseAmpBankTest, OverscaledErrorsAreAdjacent)
+{
+    MatchLineConfig cfg = MatchLineConfig::rhamBlock(4);
+    cfg.v0 = 0.78;
+    SenseAmpBank bank(cfg);
+    Rng rng(2);
+    for (int i = 0; i < 5000; ++i) {
+        for (std::size_t d = 0; d <= 4; ++d) {
+            const std::size_t sensed = bank.senseDistance(d, rng);
+            EXPECT_LE(sensed > d ? sensed - d : d - sensed, 1u)
+                << "true distance " << d;
+        }
+    }
+}
+
+} // namespace

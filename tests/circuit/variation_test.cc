@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the process/voltage variation models (Fig. 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/variation.hh"
+
+namespace
+{
+
+using hdham::Rng;
+using hdham::circuit::ltaOffsetGrowth;
+using hdham::circuit::sampleDeviceMultiplier;
+using hdham::circuit::VariationParams;
+
+TEST(VariationTest, DesignPointHasUnitGrowth)
+{
+    EXPECT_NEAR(ltaOffsetGrowth(VariationParams::designPoint()), 1.0,
+                1e-9);
+}
+
+TEST(VariationTest, GrowthIncreasesWithProcessVariation)
+{
+    double prev = 0.0;
+    for (double p : {0.05, 0.10, 0.15, 0.25, 0.35}) {
+        const double g = ltaOffsetGrowth({p, 0.0});
+        EXPECT_GT(g, prev);
+        prev = g;
+    }
+}
+
+TEST(VariationTest, GrowthIncreasesWithVoltageDrop)
+{
+    for (double p : {0.10, 0.35}) {
+        const double v0 = ltaOffsetGrowth({p, 0.0});
+        const double v5 = ltaOffsetGrowth({p, 0.05});
+        const double v10 = ltaOffsetGrowth({p, 0.10});
+        EXPECT_LT(v0, v5);
+        EXPECT_LT(v5, v10);
+    }
+}
+
+TEST(VariationTest, VoltageDropHurtsMoreUnderHighProcessVariation)
+{
+    // The paper: "in the lower voltages, the process variation has
+    // more destructive impact" -- the cross term.
+    const double lowRatio =
+        ltaOffsetGrowth({0.10, 0.10}) / ltaOffsetGrowth({0.10, 0.0});
+    const double highRatio =
+        ltaOffsetGrowth({0.35, 0.10}) / ltaOffsetGrowth({0.35, 0.0});
+    EXPECT_GT(highRatio, lowRatio);
+}
+
+TEST(VariationTest, Paper35PercentCornerOrdering)
+{
+    // Accuracy at 35% process: 94.3% > 92.1% > 89.2% for growing
+    // voltage variation -- so the offset growth must be ordered.
+    const double g0 = ltaOffsetGrowth({0.35, 0.0});
+    const double g5 = ltaOffsetGrowth({0.35, 0.05});
+    const double g10 = ltaOffsetGrowth({0.35, 0.10});
+    EXPECT_GT(g5 / g0, 1.08);
+    EXPECT_GT(g10 / g5, 1.08);
+}
+
+TEST(VariationTest, DeviceMultiplierStats)
+{
+    Rng rng(1);
+    const VariationParams params{0.30, 0.0};
+    const int n = 20000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double m = sampleDeviceMultiplier(params, rng);
+        EXPECT_GT(m, 0.0);
+        sum += m;
+        sq += m * m;
+    }
+    const double mean = sum / n;
+    const double sd = std::sqrt(sq / n - mean * mean);
+    EXPECT_NEAR(mean, 1.0, 0.01);
+    // 3-sigma spec of 30% -> 1-sigma of 10%.
+    EXPECT_NEAR(sd, 0.10, 0.01);
+}
+
+TEST(VariationTest, ZeroVariationGivesUnitMultiplier)
+{
+    Rng rng(2);
+    const VariationParams params{0.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(sampleDeviceMultiplier(params, rng), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the exact software associative memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assoc_memory.hh"
+#include "core/hypervector.hh"
+#include "core/random.hh"
+
+namespace
+{
+
+using hdham::AssociativeMemory;
+using hdham::Hypervector;
+using hdham::Rng;
+
+TEST(AssocMemoryTest, StoreAssignsSequentialIds)
+{
+    AssociativeMemory am(64);
+    Rng rng(1);
+    EXPECT_EQ(am.store(Hypervector::random(64, rng), "a"), 0u);
+    EXPECT_EQ(am.store(Hypervector::random(64, rng), "b"), 1u);
+    EXPECT_EQ(am.size(), 2u);
+    EXPECT_EQ(am.labelOf(0), "a");
+    EXPECT_EQ(am.labelOf(1), "b");
+}
+
+TEST(AssocMemoryTest, StoreRejectsWrongDimension)
+{
+    AssociativeMemory am(64);
+    Rng rng(2);
+    EXPECT_THROW(am.store(Hypervector::random(65, rng)),
+                 std::invalid_argument);
+}
+
+TEST(AssocMemoryTest, EmptySearchThrows)
+{
+    AssociativeMemory am(64);
+    Rng rng(3);
+    EXPECT_THROW(am.search(Hypervector::random(64, rng)),
+                 std::logic_error);
+}
+
+TEST(AssocMemoryTest, FindsExactMatch)
+{
+    AssociativeMemory am(256);
+    Rng rng(4);
+    std::vector<Hypervector> stored;
+    for (int i = 0; i < 8; ++i) {
+        stored.push_back(Hypervector::random(256, rng));
+        am.store(stored.back());
+    }
+    for (std::size_t i = 0; i < stored.size(); ++i) {
+        const auto result = am.search(stored[i]);
+        EXPECT_EQ(result.classId, i);
+        EXPECT_EQ(result.bestDistance, 0u);
+    }
+}
+
+TEST(AssocMemoryTest, FindsNearestUnderNoise)
+{
+    AssociativeMemory am(1024);
+    Rng rng(5);
+    std::vector<Hypervector> stored;
+    for (int i = 0; i < 10; ++i) {
+        stored.push_back(Hypervector::random(1024, rng));
+        am.store(stored.back());
+    }
+    for (std::size_t i = 0; i < stored.size(); ++i) {
+        Hypervector noisy = stored[i];
+        noisy.injectErrors(100, rng); // well under D/4 margin
+        const auto result = am.search(noisy);
+        EXPECT_EQ(result.classId, i);
+        EXPECT_EQ(result.bestDistance, 100u);
+    }
+}
+
+TEST(AssocMemoryTest, DistancesVectorIsComplete)
+{
+    AssociativeMemory am(128);
+    Rng rng(6);
+    std::vector<Hypervector> stored;
+    for (int i = 0; i < 5; ++i) {
+        stored.push_back(Hypervector::random(128, rng));
+        am.store(stored.back());
+    }
+    const Hypervector query = Hypervector::random(128, rng);
+    const auto result = am.search(query);
+    ASSERT_EQ(result.distances.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(result.distances[i], stored[i].hamming(query));
+}
+
+TEST(AssocMemoryTest, TiesResolveToLowestId)
+{
+    AssociativeMemory am(8);
+    am.store(Hypervector::fromString("00000000"));
+    am.store(Hypervector::fromString("00000000"));
+    const auto result =
+        am.search(Hypervector::fromString("10000000"));
+    EXPECT_EQ(result.classId, 0u);
+}
+
+TEST(AssocMemoryTest, SampledSearchUsesPrefixOnly)
+{
+    AssociativeMemory am(16);
+    // Rows differ from the query only in the tail.
+    am.store(Hypervector::fromString("0000000011111111"));
+    am.store(Hypervector::fromString("1000000000000000"));
+    const Hypervector query(16);
+    // Full search: row 1 (distance 1) beats row 0 (distance 8).
+    EXPECT_EQ(am.search(query).classId, 1u);
+    // Prefix-8 search: row 0 has distance 0, row 1 distance 1.
+    EXPECT_EQ(am.searchSampled(query, 8).classId, 0u);
+}
+
+TEST(AssocMemoryTest, SampledDistanceIsUnbiasedEstimate)
+{
+    // E[(D/d) * delta_prefix] == delta for i.i.d. components.
+    Rng rng(7);
+    const std::size_t dim = 10000, prefix = 5000;
+    double scaledSum = 0.0, fullSum = 0.0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        Hypervector a = Hypervector::random(dim, rng);
+        Hypervector b = Hypervector::random(dim, rng);
+        scaledSum += 2.0 * a.hammingPrefix(b, prefix);
+        fullSum += a.hamming(b);
+    }
+    EXPECT_NEAR(scaledSum / trials, fullSum / trials,
+                0.02 * fullSum / trials);
+}
+
+TEST(AssocMemoryTest, MinPairwiseDistance)
+{
+    AssociativeMemory am(8);
+    am.store(Hypervector::fromString("00000000"));
+    am.store(Hypervector::fromString("00000111"));
+    am.store(Hypervector::fromString("11111111"));
+    EXPECT_EQ(am.minPairwiseDistance(), 3u);
+}
+
+TEST(AssocMemoryTest, VectorOfReturnsStored)
+{
+    AssociativeMemory am(32);
+    Rng rng(8);
+    const Hypervector hv = Hypervector::random(32, rng);
+    am.store(hv);
+    EXPECT_EQ(am.vectorOf(0), hv);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the n-gram text encoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bundler.hh"
+#include "core/encoder.hh"
+#include "core/item_memory.hh"
+#include "core/ops.hh"
+#include "core/random.hh"
+
+namespace
+{
+
+using hdham::Bundler;
+using hdham::Encoder;
+using hdham::Hypervector;
+using hdham::ItemMemory;
+using hdham::Rng;
+using hdham::TextAlphabet;
+
+class EncoderTest : public ::testing::Test
+{
+  protected:
+    ItemMemory items{TextAlphabet::size, 2048, 99};
+    Encoder encoder{items, 3};
+};
+
+TEST_F(EncoderTest, TrigramMatchesPaperFormula)
+{
+    // rho(rho(A) ^ B) ^ C == rho^2(A) ^ rho(B) ^ C (Section II-A.1)
+    const Hypervector &A = items[0];
+    const Hypervector &B = items[1];
+    const Hypervector &C = items[2];
+    const Hypervector viaNesting =
+        hdham::permute(hdham::permute(A) ^ B) ^ C;
+    const Hypervector viaFlat =
+        A.rotated(2) ^ B.rotated(1) ^ C;
+    EXPECT_EQ(viaNesting, viaFlat);
+    EXPECT_EQ(encoder.encodeNgram({0, 1, 2}), viaFlat);
+}
+
+TEST_F(EncoderTest, DistinguishesSequenceOrder)
+{
+    // a-b-c must be uncorrelated with a-c-b.
+    const Hypervector abc = encoder.encodeNgram({0, 1, 2});
+    const Hypervector acb = encoder.encodeNgram({0, 2, 1});
+    EXPECT_NEAR(abc.hamming(acb), 1024.0, 150.0);
+}
+
+TEST_F(EncoderTest, NgramIsDissimilarToItsLetters)
+{
+    const Hypervector abc = encoder.encodeNgram({0, 1, 2});
+    for (std::size_t s : {0u, 1u, 2u})
+        EXPECT_NEAR(abc.hamming(items[s]), 1024.0, 150.0);
+}
+
+TEST_F(EncoderTest, EncodeIntoCountsNgrams)
+{
+    Bundler bundler(2048);
+    EXPECT_EQ(encoder.encodeInto("abcde", bundler), 3u);
+    EXPECT_EQ(encoder.encodeInto("abc", bundler), 1u);
+    EXPECT_EQ(encoder.encodeInto("ab", bundler), 0u);
+    EXPECT_EQ(encoder.encodeInto("", bundler), 0u);
+}
+
+TEST_F(EncoderTest, EncodeIntoMatchesManualBundling)
+{
+    const std::string text = "the cat";
+    Bundler viaEncoder(2048);
+    encoder.encodeInto(text, viaEncoder);
+
+    Bundler manual(2048);
+    for (std::size_t i = 0; i + 3 <= text.size(); ++i) {
+        manual.add(encoder.encodeNgram(
+            {TextAlphabet::symbolOf(text[i]),
+             TextAlphabet::symbolOf(text[i + 1]),
+             TextAlphabet::symbolOf(text[i + 2])}));
+    }
+    Rng a(1), b(1);
+    EXPECT_EQ(viaEncoder.majority(a), manual.majority(b));
+}
+
+TEST_F(EncoderTest, EncodeRejectsShortText)
+{
+    Rng rng(2);
+    EXPECT_THROW(encoder.encode("ab", rng), std::invalid_argument);
+}
+
+TEST_F(EncoderTest, EncodeIsDeterministicGivenSeed)
+{
+    Rng a(3), b(3);
+    EXPECT_EQ(encoder.encode("hello world", a),
+              encoder.encode("hello world", b));
+}
+
+TEST_F(EncoderTest, SimilarTextsAreCloserThanDissimilar)
+{
+    Rng rng(4);
+    const std::string base =
+        "the quick brown fox jumps over the lazy dog";
+    const std::string similar =
+        "the quick brown fox jumps over the lazy cat";
+    const std::string different =
+        "zyx wvu tsr qpo nml kji hgf edc ba zz yy xx";
+    const Hypervector hvBase = encoder.encode(base, rng);
+    const Hypervector hvSim = encoder.encode(similar, rng);
+    const Hypervector hvDiff = encoder.encode(different, rng);
+    EXPECT_LT(hvBase.hamming(hvSim), hvBase.hamming(hvDiff));
+}
+
+TEST_F(EncoderTest, CaseAndPunctuationInsensitive)
+{
+    Rng a(5), b(5);
+    EXPECT_EQ(encoder.encode("Hello World", a),
+              encoder.encode("hello world", b));
+}
+
+TEST(EncoderConfigTest, RejectsZeroN)
+{
+    ItemMemory items(27, 256, 1);
+    EXPECT_THROW(Encoder(items, 0), std::invalid_argument);
+}
+
+class EncoderNgramSizeTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(EncoderNgramSizeTest, NgramCountAndDeterminism)
+{
+    const std::size_t n = GetParam();
+    ItemMemory items(TextAlphabet::size, 1024, 7);
+    Encoder encoder(items, n);
+    EXPECT_EQ(encoder.ngramSize(), n);
+    Bundler bundler(1024);
+    const std::string text = "abcdefghij";
+    EXPECT_EQ(encoder.encodeInto(text, bundler),
+              text.size() - n + 1);
+    Rng a(6), b(6);
+    EXPECT_EQ(encoder.encode(text, a), encoder.encode(text, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EncoderNgramSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(EncoderNgramSizeTest, UnigramEncoderBundlesLetters)
+{
+    ItemMemory items(TextAlphabet::size, 1024, 8);
+    Encoder encoder(items, 1);
+    EXPECT_EQ(encoder.encodeNgram({4}), items[4]);
+}
+
+} // namespace

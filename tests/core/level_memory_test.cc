@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the continuous (level) item memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/level_memory.hh"
+
+namespace
+{
+
+using hdham::LevelItemMemory;
+
+TEST(LevelMemoryTest, RejectsDegenerateLevelCount)
+{
+    EXPECT_THROW(LevelItemMemory(0, 100, 1), std::invalid_argument);
+    EXPECT_THROW(LevelItemMemory(1, 100, 1), std::invalid_argument);
+}
+
+TEST(LevelMemoryTest, ShapeAndDeterminism)
+{
+    LevelItemMemory a(21, 2048, 7), b(21, 2048, 7);
+    EXPECT_EQ(a.levels(), 21u);
+    EXPECT_EQ(a.dim(), 2048u);
+    for (std::size_t level = 0; level < 21; ++level)
+        EXPECT_EQ(a[level], b[level]);
+}
+
+TEST(LevelMemoryTest, DistanceIsProportionalToLevelSeparation)
+{
+    const std::size_t dim = 10000, levels = 21;
+    LevelItemMemory mem(levels, dim, 3);
+    const double step =
+        static_cast<double>(dim) / 2.0 / (levels - 1);
+    for (std::size_t i = 0; i < levels; ++i) {
+        for (std::size_t j = i; j < levels; ++j) {
+            const double expect = step * static_cast<double>(j - i);
+            EXPECT_NEAR(mem[i].hamming(mem[j]), expect,
+                        0.05 * expect + 2.0)
+                << "levels " << i << "," << j;
+        }
+    }
+}
+
+TEST(LevelMemoryTest, EndpointsAreNearlyOrthogonal)
+{
+    LevelItemMemory mem(21, 10000, 4);
+    EXPECT_NEAR(mem[0].hamming(mem[20]), 5000.0, 20.0);
+}
+
+TEST(LevelMemoryTest, AdjacentLevelsAreHighlySimilar)
+{
+    LevelItemMemory mem(21, 10000, 5);
+    for (std::size_t level = 0; level + 1 < 21; ++level)
+        EXPECT_LT(mem[level].hamming(mem[level + 1]), 300u);
+}
+
+TEST(LevelMemoryTest, EncodeQuantizesAndClamps)
+{
+    LevelItemMemory mem(11, 512, 6);
+    EXPECT_EQ(&mem.encode(0.0, 0.0, 1.0), &mem[0]);
+    EXPECT_EQ(&mem.encode(1.0, 0.0, 1.0), &mem[10]);
+    EXPECT_EQ(&mem.encode(0.5, 0.0, 1.0), &mem[5]);
+    EXPECT_EQ(&mem.encode(-3.0, 0.0, 1.0), &mem[0]);
+    EXPECT_EQ(&mem.encode(42.0, 0.0, 1.0), &mem[10]);
+}
+
+TEST(LevelMemoryTest, EncodeHonorsCustomRange)
+{
+    LevelItemMemory mem(5, 256, 7);
+    EXPECT_EQ(&mem.encode(-10.0, -10.0, 10.0), &mem[0]);
+    EXPECT_EQ(&mem.encode(0.0, -10.0, 10.0), &mem[2]);
+    EXPECT_EQ(&mem.encode(10.0, -10.0, 10.0), &mem[4]);
+}
+
+TEST(LevelMemoryTest, TwoLevelMemoryIsAPair)
+{
+    LevelItemMemory mem(2, 10000, 8);
+    EXPECT_NEAR(mem[0].hamming(mem[1]), 5000.0, 20.0);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Property-based tests of the HD computing algebra (Section II):
+ * statistical invariants of binding, bundling and permutation over a
+ * sweep of dimensionalities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ops.hh"
+#include "core/random.hh"
+
+namespace
+{
+
+using hdham::bind;
+using hdham::bundle;
+using hdham::distance;
+using hdham::Hypervector;
+using hdham::normalizedDistance;
+using hdham::permute;
+using hdham::Rng;
+
+class HdAlgebraTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    std::size_t dim() const { return GetParam(); }
+    /** 6-sigma band around D/2 for random-pair distances. */
+    double halfBand() const { return 3.0 * std::sqrt(dim()) + 1.0; }
+};
+
+TEST_P(HdAlgebraTest, BindingIsDissimilarToOperands)
+{
+    Rng rng(dim());
+    const Hypervector a = Hypervector::random(dim(), rng);
+    const Hypervector b = Hypervector::random(dim(), rng);
+    const Hypervector bound = bind(a, b);
+    EXPECT_NEAR(distance(bound, a), dim() / 2.0, 2 * halfBand());
+    EXPECT_NEAR(distance(bound, b), dim() / 2.0, 2 * halfBand());
+}
+
+TEST_P(HdAlgebraTest, BindingIsCommutativeAndSelfInverse)
+{
+    Rng rng(dim() + 1);
+    const Hypervector a = Hypervector::random(dim(), rng);
+    const Hypervector b = Hypervector::random(dim(), rng);
+    EXPECT_EQ(bind(a, b), bind(b, a));
+    EXPECT_EQ(bind(bind(a, b), b), a);
+}
+
+TEST_P(HdAlgebraTest, BindingPreservesDistance)
+{
+    // delta(A^X, B^X) == delta(A, B): binding is an isometry.
+    Rng rng(dim() + 2);
+    const Hypervector a = Hypervector::random(dim(), rng);
+    const Hypervector b = Hypervector::random(dim(), rng);
+    const Hypervector x = Hypervector::random(dim(), rng);
+    EXPECT_EQ(distance(bind(a, x), bind(b, x)), distance(a, b));
+}
+
+TEST_P(HdAlgebraTest, BundlingPreservesSimilarity)
+{
+    // delta([A+B+C], A) < D/2 (expected D/4).
+    Rng rng(dim() + 3);
+    const Hypervector a = Hypervector::random(dim(), rng);
+    const Hypervector b = Hypervector::random(dim(), rng);
+    const Hypervector c = Hypervector::random(dim(), rng);
+    const Hypervector maj = bundle({a, b, c}, rng);
+    EXPECT_NEAR(distance(maj, a), dim() / 4.0, 2 * halfBand());
+    EXPECT_LT(distance(maj, a), dim() / 2 - halfBand());
+}
+
+TEST_P(HdAlgebraTest, BundleIsCloserToMembersThanToOutsiders)
+{
+    Rng rng(dim() + 4);
+    std::vector<Hypervector> members;
+    for (int i = 0; i < 5; ++i)
+        members.push_back(Hypervector::random(dim(), rng));
+    const Hypervector maj = bundle(members, rng);
+    const Hypervector outsider = Hypervector::random(dim(), rng);
+    for (const auto &m : members)
+        EXPECT_LT(distance(maj, m), distance(maj, outsider));
+}
+
+TEST_P(HdAlgebraTest, PermutationIsDissimilar)
+{
+    Rng rng(dim() + 5);
+    const Hypervector a = Hypervector::random(dim(), rng);
+    EXPECT_NEAR(distance(permute(a), a), dim() / 2.0, 2 * halfBand());
+}
+
+TEST_P(HdAlgebraTest, PermutationIsAnIsometry)
+{
+    Rng rng(dim() + 6);
+    const Hypervector a = Hypervector::random(dim(), rng);
+    const Hypervector b = Hypervector::random(dim(), rng);
+    EXPECT_EQ(distance(permute(a), permute(b)), distance(a, b));
+}
+
+TEST_P(HdAlgebraTest, PermutationDistributesOverBinding)
+{
+    // rho(A ^ B) == rho(A) ^ rho(B): the identity behind the paper's
+    // trigram encoding rewrite.
+    Rng rng(dim() + 7);
+    const Hypervector a = Hypervector::random(dim(), rng);
+    const Hypervector b = Hypervector::random(dim(), rng);
+    EXPECT_EQ(permute(bind(a, b)), bind(permute(a), permute(b)));
+}
+
+TEST_P(HdAlgebraTest, NormalizedDistanceInUnitRange)
+{
+    Rng rng(dim() + 8);
+    const Hypervector a = Hypervector::random(dim(), rng);
+    const Hypervector b = Hypervector::random(dim(), rng);
+    const double nd = normalizedDistance(a, b);
+    EXPECT_GE(nd, 0.0);
+    EXPECT_LE(nd, 1.0);
+    EXPECT_DOUBLE_EQ(normalizedDistance(a, a), 0.0);
+}
+
+TEST_P(HdAlgebraTest, SampledDistanceConcentratesAroundScaledFull)
+{
+    // The i.i.d.-components property behind every sampling knob.
+    Rng rng(dim() + 9);
+    const Hypervector a = Hypervector::random(dim(), rng);
+    const Hypervector b = Hypervector::random(dim(), rng);
+    const std::size_t prefix = dim() / 2;
+    const double scaled =
+        2.0 * static_cast<double>(a.hammingPrefix(b, prefix));
+    EXPECT_NEAR(scaled, static_cast<double>(distance(a, b)),
+                8.0 * std::sqrt(static_cast<double>(dim())) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HdAlgebraTest,
+                         ::testing::Values(256, 512, 1000, 2048, 4096,
+                                           10000));
+
+TEST(HdAlgebraEdgeTest, BundleOfEmptySetThrows)
+{
+    Rng rng(1);
+    EXPECT_THROW(bundle({}, rng), std::invalid_argument);
+}
+
+TEST(HdAlgebraEdgeTest, BundleOfOneIsIdentity)
+{
+    Rng rng(2);
+    const Hypervector a = Hypervector::random(777, rng);
+    EXPECT_EQ(bundle({a}, rng), a);
+}
+
+TEST(HdAlgebraEdgeTest, MajorityDominatedByRepeatedMember)
+{
+    Rng rng(3);
+    const Hypervector a = Hypervector::random(512, rng);
+    const Hypervector b = Hypervector::random(512, rng);
+    EXPECT_EQ(bundle({a, a, a, b}, rng), a);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for role-filler record encoding and analogy probing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/record.hh"
+
+namespace
+{
+
+using hdham::AssociativeMemory;
+using hdham::Hypervector;
+using hdham::RecordEncoder;
+using hdham::Rng;
+
+class RecordTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t dim = 10000;
+    Rng rng{42};
+
+    Hypervector hv() { return Hypervector::random(dim, rng); }
+};
+
+TEST_F(RecordTest, EncodeRejectsEmpty)
+{
+    EXPECT_THROW(RecordEncoder::encode({}, rng),
+                 std::invalid_argument);
+}
+
+TEST_F(RecordTest, SingleBindingIsExactlyRecoverable)
+{
+    const Hypervector role = hv(), filler = hv();
+    const Hypervector record =
+        RecordEncoder::encode({{role, filler}}, rng);
+    EXPECT_EQ(RecordEncoder::probe(record, role), filler);
+    EXPECT_EQ(RecordEncoder::probe(record, filler), role);
+}
+
+TEST_F(RecordTest, ProbeRecoversFillersApproximately)
+{
+    const Hypervector country = hv(), capital = hv(),
+                      currency = hv();
+    const Hypervector usa = hv(), washington = hv(), dollar = hv();
+    const Hypervector record = RecordEncoder::encode(
+        {{country, usa}, {capital, washington}, {currency, dollar}},
+        rng);
+    // The unbound probe is much closer to the filler than chance.
+    const Hypervector probe =
+        RecordEncoder::probe(record, currency);
+    EXPECT_LT(probe.hamming(dollar), dim / 2 - 1000);
+    EXPECT_NEAR(probe.hamming(washington), dim / 2.0, 400.0);
+}
+
+TEST_F(RecordTest, CleanupRetrievesTheRightItem)
+{
+    const Hypervector country = hv(), capital = hv(),
+                      currency = hv();
+    const Hypervector usa = hv(), washington = hv(), dollar = hv();
+    const Hypervector record = RecordEncoder::encode(
+        {{country, usa}, {capital, washington}, {currency, dollar}},
+        rng);
+    AssociativeMemory items(dim);
+    items.store(usa, "usa");
+    items.store(washington, "washington");
+    items.store(dollar, "dollar");
+    EXPECT_EQ(
+        RecordEncoder::probeAndCleanup(record, country, items), 0u);
+    EXPECT_EQ(
+        RecordEncoder::probeAndCleanup(record, capital, items), 1u);
+    EXPECT_EQ(
+        RecordEncoder::probeAndCleanup(record, currency, items), 2u);
+}
+
+TEST_F(RecordTest, RolesAreRecoverableFromFillers)
+{
+    const Hypervector roleA = hv(), roleB = hv();
+    const Hypervector fillA = hv(), fillB = hv();
+    const Hypervector record = RecordEncoder::encode(
+        {{roleA, fillA}, {roleB, fillB}}, rng);
+    AssociativeMemory roles(dim);
+    roles.store(roleA);
+    roles.store(roleB);
+    EXPECT_EQ(RecordEncoder::probeAndCleanup(record, fillA, roles),
+              0u);
+    EXPECT_EQ(RecordEncoder::probeAndCleanup(record, fillB, roles),
+              1u);
+}
+
+TEST_F(RecordTest, DollarOfMexico)
+{
+    // The paper's reference [2]: "what is the dollar of Mexico?"
+    const Hypervector country = hv(), capital = hv(),
+                      currency = hv();
+    const Hypervector usa = hv(), washington = hv(), dollar = hv();
+    const Hypervector mexico = hv(), mexicoCity = hv(), peso = hv();
+
+    const Hypervector usaRecord = RecordEncoder::encode(
+        {{country, usa}, {capital, washington}, {currency, dollar}},
+        rng);
+    const Hypervector mexRecord = RecordEncoder::encode(
+        {{country, mexico},
+         {capital, mexicoCity},
+         {currency, peso}},
+        rng);
+
+    AssociativeMemory items(dim);
+    items.store(mexico, "mexico");
+    items.store(mexicoCity, "mexico-city");
+    const std::size_t pesoId = items.store(peso, "peso");
+
+    EXPECT_EQ(RecordEncoder::analogy(usaRecord, dollar, mexRecord,
+                                     items),
+              pesoId);
+}
+
+TEST_F(RecordTest, ManyFieldRecordsStillResolve)
+{
+    std::vector<RecordEncoder::Binding> bindings;
+    std::vector<Hypervector> fillers;
+    AssociativeMemory cleanup(dim);
+    for (int i = 0; i < 9; ++i) {
+        bindings.emplace_back(hv(), hv());
+        fillers.push_back(bindings.back().second);
+        cleanup.store(fillers.back());
+    }
+    const Hypervector record = RecordEncoder::encode(bindings, rng);
+    for (int i = 0; i < 9; ++i) {
+        EXPECT_EQ(RecordEncoder::probeAndCleanup(
+                      record, bindings[i].first, cleanup),
+                  static_cast<std::size_t>(i))
+            << "field " << i;
+    }
+}
+
+} // namespace

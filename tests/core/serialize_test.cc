@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for trained-model serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/random.hh"
+#include "core/serialize.hh"
+
+namespace
+{
+
+using hdham::AssociativeMemory;
+using hdham::Hypervector;
+using hdham::Rng;
+namespace serialize = hdham::serialize;
+
+TEST(SerializeTest, HypervectorRoundTrip)
+{
+    Rng rng(1);
+    for (std::size_t dim : {1u, 63u, 64u, 65u, 1000u, 10000u}) {
+        const Hypervector hv = Hypervector::random(dim, rng);
+        std::stringstream stream;
+        serialize::writeHypervector(stream, hv);
+        EXPECT_EQ(serialize::readHypervector(stream), hv)
+            << "dim " << dim;
+    }
+}
+
+TEST(SerializeTest, MemoryRoundTrip)
+{
+    Rng rng(2);
+    AssociativeMemory am(512);
+    for (int c = 0; c < 21; ++c) {
+        am.store(Hypervector::random(512, rng),
+                 "class" + std::to_string(c));
+    }
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    const AssociativeMemory loaded = serialize::readMemory(stream);
+    ASSERT_EQ(loaded.size(), am.size());
+    ASSERT_EQ(loaded.dim(), am.dim());
+    for (std::size_t id = 0; id < am.size(); ++id) {
+        EXPECT_EQ(loaded.vectorOf(id), am.vectorOf(id));
+        EXPECT_EQ(loaded.labelOf(id), am.labelOf(id));
+    }
+}
+
+TEST(SerializeTest, EmptyMemoryRoundTrip)
+{
+    AssociativeMemory am(128);
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    const AssociativeMemory loaded = serialize::readMemory(stream);
+    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_EQ(loaded.dim(), 128u);
+}
+
+TEST(SerializeTest, LoadedMemorySearchesIdentically)
+{
+    Rng rng(3);
+    AssociativeMemory am(1024);
+    for (int c = 0; c < 8; ++c)
+        am.store(Hypervector::random(1024, rng));
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    const AssociativeMemory loaded = serialize::readMemory(stream);
+    for (int q = 0; q < 20; ++q) {
+        const Hypervector query = Hypervector::random(1024, rng);
+        EXPECT_EQ(loaded.search(query).classId,
+                  am.search(query).classId);
+    }
+}
+
+TEST(SerializeTest, RejectsBadMagic)
+{
+    std::stringstream stream;
+    stream << "NOTHDHAMxxxxxxxxxxxxxxxx";
+    EXPECT_THROW(serialize::readMemory(stream), std::runtime_error);
+}
+
+TEST(SerializeTest, RejectsTruncation)
+{
+    Rng rng(4);
+    AssociativeMemory am(256);
+    am.store(Hypervector::random(256, rng), "x");
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    const std::string full = stream.str();
+    for (const std::size_t cut :
+         {std::size_t{4}, std::size_t{10}, full.size() / 2,
+          full.size() - 3}) {
+        std::stringstream truncated(full.substr(0, cut));
+        EXPECT_THROW(serialize::readMemory(truncated),
+                     std::runtime_error)
+            << "cut at " << cut;
+    }
+}
+
+TEST(SerializeTest, RejectsWrongVersion)
+{
+    Rng rng(5);
+    AssociativeMemory am(64);
+    am.store(Hypervector::random(64, rng));
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    std::string bytes = stream.str();
+    bytes[8] = 99; // corrupt the version field
+    std::stringstream corrupted(bytes);
+    EXPECT_THROW(serialize::readMemory(corrupted),
+                 std::runtime_error);
+}
+
+TEST(SerializeTest, FileRoundTrip)
+{
+    Rng rng(6);
+    AssociativeMemory am(300);
+    am.store(Hypervector::random(300, rng), "english");
+    am.store(Hypervector::random(300, rng), "german");
+    const std::string path = ::testing::TempDir() + "hdham_am.bin";
+    serialize::saveMemory(path, am);
+    const AssociativeMemory loaded = serialize::loadMemory(path);
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.labelOf(1), "german");
+    EXPECT_EQ(loaded.vectorOf(0), am.vectorOf(0));
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileThrows)
+{
+    EXPECT_THROW(serialize::loadMemory("/nonexistent/nope.bin"),
+                 std::runtime_error);
+}
+
+} // namespace

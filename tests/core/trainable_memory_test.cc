@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the online-trainable associative memory: incremental
+ * learning, snapshot consistency, and continual-learning behavior
+ * on the language task.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/trainable_memory.hh"
+#include "lang/corpus.hh"
+#include "lang/pipeline.hh"
+
+namespace
+{
+
+using hdham::AssociativeMemory;
+using hdham::Hypervector;
+using hdham::Rng;
+using hdham::TrainableMemory;
+
+TEST(TrainableMemoryTest, RejectsZeroDimension)
+{
+    EXPECT_THROW(TrainableMemory{0}, std::invalid_argument);
+}
+
+TEST(TrainableMemoryTest, ClassBookkeeping)
+{
+    TrainableMemory memory(256);
+    EXPECT_EQ(memory.classes(), 0u);
+    EXPECT_EQ(memory.addClass("alpha"), 0u);
+    EXPECT_EQ(memory.addClass("beta"), 1u);
+    EXPECT_EQ(memory.classes(), 2u);
+    EXPECT_EQ(memory.labelOf(1), "beta");
+    EXPECT_EQ(memory.sampleCount(0), 0u);
+}
+
+TEST(TrainableMemoryTest, ValidatesSamples)
+{
+    TrainableMemory memory(256);
+    memory.addClass();
+    Rng rng(1);
+    EXPECT_THROW(memory.addSample(3, Hypervector::random(256, rng)),
+                 std::invalid_argument);
+    EXPECT_THROW(memory.prototype(0), std::logic_error);
+}
+
+TEST(TrainableMemoryTest, SingleSamplePrototypeIsTheSample)
+{
+    TrainableMemory memory(512);
+    const std::size_t id = memory.addClass("x");
+    Rng rng(2);
+    const Hypervector hv = Hypervector::random(512, rng);
+    memory.addSample(id, hv);
+    EXPECT_EQ(memory.prototype(id), hv);
+    EXPECT_EQ(memory.sampleCount(id), 1u);
+}
+
+TEST(TrainableMemoryTest, PrototypeIsTheRunningMajority)
+{
+    TrainableMemory memory(1024);
+    const std::size_t id = memory.addClass();
+    Rng rng(3);
+    const Hypervector base = Hypervector::random(1024, rng);
+    for (int i = 0; i < 5; ++i) {
+        Hypervector noisy = base;
+        noisy.injectErrors(100, rng);
+        memory.addSample(id, noisy);
+    }
+    // Majority of five noisy copies is closer to the base than any
+    // single copy's expected 100 bits.
+    EXPECT_LT(memory.prototype(id).hamming(base), 60u);
+}
+
+TEST(TrainableMemoryTest, SnapshotMatchesPrototypes)
+{
+    TrainableMemory memory(512);
+    Rng rng(4);
+    for (int c = 0; c < 4; ++c) {
+        const std::size_t id =
+            memory.addClass("c" + std::to_string(c));
+        memory.addSample(id, Hypervector::random(512, rng));
+    }
+    const AssociativeMemory am = memory.snapshot();
+    ASSERT_EQ(am.size(), 4u);
+    for (std::size_t id = 0; id < 4; ++id) {
+        EXPECT_EQ(am.vectorOf(id), memory.prototype(id));
+        EXPECT_EQ(am.labelOf(id), "c" + std::to_string(id));
+    }
+}
+
+TEST(TrainableMemoryTest, ContinualLearningImprovesAccuracy)
+{
+    // Train incrementally on growing slices of the language corpus:
+    // accuracy after more data must not be worse. This is the
+    // "retrain by reprogramming the crossbar once per session"
+    // workflow.
+    hdham::lang::CorpusConfig corpusCfg;
+    corpusCfg.trainChars = 24000;
+    corpusCfg.testSentences = 20;
+    const hdham::lang::SyntheticCorpus corpus(corpusCfg);
+    hdham::lang::PipelineConfig pipeCfg;
+    pipeCfg.dim = 2048;
+    const hdham::lang::RecognitionPipeline pipeline(corpus, pipeCfg);
+
+    TrainableMemory memory(pipeCfg.dim);
+    for (std::size_t lang = 0; lang < 21; ++lang)
+        memory.addClass(corpus.labelOf(lang));
+
+    const auto accuracyOf = [&](const AssociativeMemory &am) {
+        return pipeline
+            .evaluate([&](const Hypervector &query) {
+                return am.search(query).classId;
+            })
+            .accuracy();
+    };
+
+    // Session 1: first third of each training text.
+    hdham::Rng rng(5);
+    const auto feed = [&](double from, double to) {
+        for (std::size_t lang = 0; lang < 21; ++lang) {
+            const std::string &text = corpus.trainingText(lang);
+            const auto a = static_cast<std::size_t>(
+                from * static_cast<double>(text.size()));
+            const auto b = static_cast<std::size_t>(
+                to * static_cast<double>(text.size()));
+            hdham::Bundler chunk(pipeCfg.dim);
+            pipeline.textEncoder().encodeInto(
+                text.substr(a, b - a), chunk);
+            // Stream the chunk's trigram majority as one sample
+            // batch; finer-grained streaming also works.
+            memory.addSample(lang, chunk.majority(rng));
+        }
+    };
+    feed(0.0, 0.05);
+    const double early = accuracyOf(memory.snapshot());
+    feed(0.05, 0.5);
+    feed(0.5, 1.0);
+    const double late = accuracyOf(memory.snapshot());
+    EXPECT_GT(early, 0.5);       // already useful after 5% of data
+    EXPECT_GE(late + 0.02, early); // more data never hurts much
+    EXPECT_GT(late, 0.85);
+}
+
+} // namespace

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the analog HAM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assoc_memory.hh"
+#include "core/random.hh"
+#include "ham/a_ham.hh"
+
+namespace
+{
+
+using hdham::AssociativeMemory;
+using hdham::Hypervector;
+using hdham::Rng;
+using hdham::circuit::VariationParams;
+using hdham::ham::AHam;
+using hdham::ham::AHamConfig;
+
+TEST(AHamTest, ValidatesConfig)
+{
+    AHamConfig bad;
+    bad.dim = 0;
+    EXPECT_THROW(AHam{bad}, std::invalid_argument);
+
+    bad = AHamConfig{};
+    bad.dim = 8;
+    bad.stages = 16;
+    EXPECT_THROW(AHam{bad}, std::invalid_argument);
+
+    bad = AHamConfig{};
+    bad.ltaBits = 40;
+    EXPECT_THROW(AHam{bad}, std::invalid_argument);
+}
+
+TEST(AHamTest, DefaultsFollowThePaperSchedule)
+{
+    AHamConfig cfg;
+    cfg.dim = 10000;
+    EXPECT_EQ(cfg.effectiveStages(), 14u);
+    EXPECT_EQ(cfg.effectiveBits(), 14u);
+    cfg.dim = 256;
+    EXPECT_EQ(cfg.effectiveStages(), 1u);
+    EXPECT_EQ(cfg.effectiveBits(), 10u);
+}
+
+TEST(AHamTest, MinDetectableDistanceAnchors)
+{
+    AHamConfig cfg;
+    cfg.dim = 10000;
+    AHam ham(cfg);
+    EXPECT_EQ(ham.minDetectableDistance(), 14u);
+
+    AHamConfig small;
+    small.dim = 256;
+    AHam smallHam(small);
+    EXPECT_EQ(smallHam.minDetectableDistance(), 1u);
+}
+
+TEST(AHamTest, VariationInflatesMinDetectableDistance)
+{
+    AHamConfig nominal;
+    nominal.dim = 10000;
+    AHamConfig stressed = nominal;
+    stressed.variation = VariationParams{0.35, 0.10};
+    AHam a(nominal), b(stressed);
+    EXPECT_GT(b.minDetectableDistance(),
+              10 * a.minDetectableDistance());
+}
+
+TEST(AHamTest, NoiseFreeConfigMatchesOracle)
+{
+    const std::size_t dim = 2048;
+    Rng rng(1);
+    AssociativeMemory oracle(dim);
+    AHamConfig cfg;
+    cfg.dim = dim;
+    cfg.stages = 1;
+    cfg.ltaBits = 30;      // quantization far below 1 distance unit
+    cfg.mirrorBeta = 0.0;  // no mirror noise
+    cfg.current.stabilizerSlope = 0.0; // ideal ML stabilizer
+    cfg.variation = VariationParams{1e-3, 0.0}; // ~zero offset
+    AHam ham(cfg);
+    for (int c = 0; c < 21; ++c)
+        oracle.store(Hypervector::random(dim, rng));
+    ham.loadFrom(oracle);
+    for (int q = 0; q < 100; ++q) {
+        // Near-row queries: random ones can produce exact distance
+        // ties, which the tree and the oracle break differently.
+        Hypervector query = oracle.vectorOf(rng.nextBelow(21));
+        query.injectErrors(300, rng);
+        EXPECT_EQ(ham.search(query).classId,
+                  oracle.search(query).classId);
+    }
+}
+
+TEST(AHamTest, DesignPointClassifiesSeparatedRows)
+{
+    const std::size_t dim = 10000;
+    Rng rng(2);
+    AHamConfig cfg;
+    cfg.dim = dim;
+    AHam ham(cfg);
+    std::vector<Hypervector> rows;
+    for (int c = 0; c < 21; ++c) {
+        rows.push_back(Hypervector::random(dim, rng));
+        ham.store(rows.back());
+    }
+    int correct = 0;
+    const int trials = 200;
+    for (int q = 0; q < trials; ++q) {
+        const std::size_t target = rng.nextBelow(21);
+        Hypervector query = rows[target];
+        query.injectErrors(1000, rng);
+        correct += ham.search(query).classId == target;
+    }
+    // Margins (~4,000 bits) dwarf minDet = 14: essentially exact.
+    EXPECT_GE(correct, trials - 1);
+}
+
+TEST(AHamTest, SubMinDetGapsAreAmbiguous)
+{
+    // Two rows whose distances to the query differ by far less than
+    // the minimum detectable distance: the winner should flip
+    // between searches.
+    const std::size_t dim = 10000;
+    Rng rng(3);
+    AHamConfig cfg;
+    cfg.dim = dim;
+    cfg.ltaBits = 8; // coarse: minDet >> 2
+    AHam ham(cfg);
+    const Hypervector base = Hypervector::random(dim, rng);
+    Hypervector near = base;
+    near.injectErrors(500, rng);
+    Hypervector nearer = base;
+    nearer.injectErrors(498, rng);
+    ham.store(near);
+    ham.store(nearer);
+    int firstWins = 0;
+    const int trials = 400;
+    for (int i = 0; i < trials; ++i)
+        firstWins += ham.search(base).classId == 0;
+    EXPECT_GT(firstWins, trials / 10);
+    EXPECT_LT(firstWins, trials - trials / 10);
+}
+
+TEST(AHamTest, GapsAboveMinDetAreResolved)
+{
+    const std::size_t dim = 10000;
+    Rng rng(4);
+    AHamConfig cfg;
+    cfg.dim = dim;
+    AHam ham(cfg);
+    const std::size_t md = ham.minDetectableDistance();
+    const Hypervector base = Hypervector::random(dim, rng);
+    Hypervector winner = base;
+    winner.injectErrors(500, rng);
+    Hypervector loser = base;
+    loser.injectErrors(500 + 5 * md, rng);
+    ham.store(loser);
+    ham.store(winner);
+    int wins = 0;
+    const int trials = 300;
+    for (int i = 0; i < trials; ++i)
+        wins += ham.search(base).classId == 1;
+    EXPECT_GT(wins, trials * 95 / 100);
+}
+
+TEST(AHamTest, MoreVariationMeansMoreMistakes)
+{
+    const std::size_t dim = 10000;
+    Rng rng(5);
+    const Hypervector base = Hypervector::random(dim, rng);
+    Hypervector winner = base;
+    winner.injectErrors(500, rng);
+    Hypervector loser = base;
+    loser.injectErrors(700, rng);
+
+    const auto errorRate = [&](VariationParams variation) {
+        AHamConfig cfg;
+        cfg.dim = dim;
+        cfg.variation = variation;
+        AHam ham(cfg);
+        ham.store(loser);
+        ham.store(winner);
+        int wrong = 0;
+        const int trials = 300;
+        for (int i = 0; i < trials; ++i)
+            wrong += ham.search(base).classId == 0;
+        return wrong;
+    };
+    const int nominal = errorRate(VariationParams::designPoint());
+    const int stressed = errorRate(VariationParams{0.35, 0.10});
+    EXPECT_LT(nominal, 5);
+    EXPECT_GT(stressed, nominal + 20);
+}
+
+TEST(AHamTest, ReportedDistanceIsTheWinnersTrueDistance)
+{
+    const std::size_t dim = 1024;
+    Rng rng(6);
+    AHamConfig cfg;
+    cfg.dim = dim;
+    AHam ham(cfg);
+    const Hypervector row = Hypervector::random(dim, rng);
+    ham.store(row);
+    Hypervector query = row;
+    query.injectErrors(100, rng);
+    EXPECT_EQ(ham.search(query).reportedDistance, 100u);
+}
+
+TEST(AHamTest, SearchBeforeStoreThrows)
+{
+    AHamConfig cfg;
+    cfg.dim = 512;
+    AHam ham(cfg);
+    Rng rng(7);
+    EXPECT_THROW(ham.search(Hypervector::random(512, rng)),
+                 std::logic_error);
+}
+
+TEST(AHamTest, StoreRejectsWrongDimension)
+{
+    AHamConfig cfg;
+    cfg.dim = 512;
+    AHam ham(cfg);
+    Rng rng(8);
+    EXPECT_THROW(ham.store(Hypervector::random(256, rng)),
+                 std::invalid_argument);
+}
+
+} // namespace

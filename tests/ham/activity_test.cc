@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the switching-activity monitor: stream
+ * measurements must agree with the Table II closed forms on random
+ * inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/random.hh"
+#include "ham/activity.hh"
+#include "ham/switching.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::Rng;
+using hdham::ham::measureDhamActivity;
+using hdham::ham::measureRhamActivity;
+
+std::vector<Hypervector>
+randomSet(std::size_t count, std::size_t dim, Rng &rng)
+{
+    std::vector<Hypervector> set;
+    set.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        set.push_back(Hypervector::random(dim, rng));
+    return set;
+}
+
+TEST(ActivityTest, ValidatesInputs)
+{
+    Rng rng(1);
+    const auto rows = randomSet(2, 64, rng);
+    const auto queries = randomSet(2, 64, rng);
+    EXPECT_THROW(measureDhamActivity({}, queries),
+                 std::invalid_argument);
+    EXPECT_THROW(measureDhamActivity(rows, {queries[0]}),
+                 std::invalid_argument);
+    EXPECT_THROW(measureRhamActivity(rows, queries, 3),
+                 std::invalid_argument);
+    const auto shortQueries = randomSet(2, 32, rng);
+    EXPECT_THROW(measureDhamActivity(rows, shortQueries),
+                 std::invalid_argument);
+}
+
+TEST(ActivityTest, IdenticalQueriesNeverSwitch)
+{
+    Rng rng(2);
+    const auto rows = randomSet(4, 256, rng);
+    const Hypervector q = Hypervector::random(256, rng);
+    const std::vector<Hypervector> queries{q, q, q};
+    EXPECT_EQ(measureDhamActivity(rows, queries).risingTransitions,
+              0u);
+    EXPECT_EQ(measureRhamActivity(rows, queries).risingTransitions,
+              0u);
+}
+
+TEST(ActivityTest, ComplementQueryFlipsHalfTheWires)
+{
+    // prev and next XOR outputs are complements: exactly the zero
+    // outputs rise, ~half the array.
+    Rng rng(3);
+    const auto rows = randomSet(1, 10000, rng);
+    Hypervector q = Hypervector::random(10000, rng);
+    Hypervector qc = q;
+    for (std::size_t i = 0; i < 10000; ++i)
+        qc.flip(i);
+    const auto report = measureDhamActivity(rows, {q, qc});
+    EXPECT_NEAR(report.activity(), 0.5, 0.02);
+}
+
+TEST(ActivityTest, RandomStreamMatchesClosedFormDham)
+{
+    Rng rng(4);
+    const auto rows = randomSet(4, 10000, rng);
+    const auto queries = randomSet(40, 10000, rng);
+    const auto report = measureDhamActivity(rows, queries);
+    EXPECT_NEAR(report.activity(),
+                hdham::ham::dhamSwitchingActivity(4), 0.005);
+}
+
+class ActivityWidthTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ActivityWidthTest, RandomStreamMatchesClosedFormRham)
+{
+    const std::size_t width = GetParam();
+    Rng rng(5 + width);
+    const auto rows = randomSet(4, 9984, rng);
+    const auto queries = randomSet(40, 9984, rng);
+    const auto report = measureRhamActivity(rows, queries, width);
+    EXPECT_NEAR(report.activity(),
+                hdham::ham::rhamSwitchingActivity(width), 0.006);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ActivityWidthTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ActivityTest, WireCycleAccounting)
+{
+    Rng rng(6);
+    const auto rows = randomSet(3, 128, rng);
+    const auto queries = randomSet(5, 128, rng);
+    EXPECT_EQ(measureDhamActivity(rows, queries).wireCycles,
+              3u * 128u * 4u);
+    EXPECT_EQ(measureRhamActivity(rows, queries, 4).wireCycles,
+              3u * 128u * 4u);
+}
+
+TEST(ActivityTest, RhamSwitchesLessThanDhamOnTheSameStream)
+{
+    Rng rng(7);
+    const auto rows = randomSet(4, 10000, rng);
+    const auto queries = randomSet(30, 10000, rng);
+    EXPECT_LT(measureRhamActivity(rows, queries, 4).activity(),
+              measureDhamActivity(rows, queries).activity());
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the design-space navigation API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ham/design_space.hh"
+
+namespace
+{
+
+using hdham::ham::AccuracyTarget;
+using hdham::ham::bestByEdp;
+using hdham::ham::Design;
+using hdham::ham::designName;
+using hdham::ham::designPoint;
+using hdham::ham::fullDesignSpace;
+using hdham::ham::targetName;
+
+TEST(DesignSpaceTest, Names)
+{
+    EXPECT_STREQ(designName(Design::DHam), "D-HAM");
+    EXPECT_STREQ(designName(Design::RHam), "R-HAM");
+    EXPECT_STREQ(designName(Design::AHam), "A-HAM");
+    EXPECT_STREQ(targetName(AccuracyTarget::Exact), "exact");
+    EXPECT_STREQ(targetName(AccuracyTarget::Maximum), "maximum");
+    EXPECT_STREQ(targetName(AccuracyTarget::Moderate), "moderate");
+}
+
+TEST(DesignSpaceTest, PaperKnobsAtTenThousand)
+{
+    const auto dMax =
+        designPoint(Design::DHam, AccuracyTarget::Maximum);
+    EXPECT_EQ(dMax.sampledDim, 9000u);
+    EXPECT_EQ(dMax.errorBudgetBits, 1000u);
+    const auto dMod =
+        designPoint(Design::DHam, AccuracyTarget::Moderate);
+    EXPECT_EQ(dMod.sampledDim, 7000u);
+
+    const auto rMax =
+        designPoint(Design::RHam, AccuracyTarget::Maximum);
+    EXPECT_EQ(rMax.overscaledBlocks, 1000u); // 40% of 2,500
+    const auto rMod =
+        designPoint(Design::RHam, AccuracyTarget::Moderate);
+    EXPECT_EQ(rMod.overscaledBlocks, 2500u); // all blocks
+
+    const auto aMax =
+        designPoint(Design::AHam, AccuracyTarget::Maximum);
+    EXPECT_EQ(aMax.ltaBits, 14u);
+    EXPECT_EQ(aMax.stages, 14u);
+    const auto aMod =
+        designPoint(Design::AHam, AccuracyTarget::Moderate);
+    EXPECT_EQ(aMod.ltaBits, 11u);
+}
+
+TEST(DesignSpaceTest, MoreApproximationIsNeverMoreExpensive)
+{
+    for (const Design design :
+         {Design::DHam, Design::RHam, Design::AHam}) {
+        const double exact =
+            designPoint(design, AccuracyTarget::Exact).cost.edp();
+        const double maximum =
+            designPoint(design, AccuracyTarget::Maximum).cost.edp();
+        const double moderate =
+            designPoint(design, AccuracyTarget::Moderate).cost.edp();
+        EXPECT_LE(maximum, exact) << designName(design);
+        EXPECT_LE(moderate, maximum) << designName(design);
+    }
+}
+
+TEST(DesignSpaceTest, AhamAlwaysWinsByEdp)
+{
+    // The paper's conclusion holds across targets and shapes.
+    for (const AccuracyTarget target :
+         {AccuracyTarget::Exact, AccuracyTarget::Maximum,
+          AccuracyTarget::Moderate}) {
+        for (const std::size_t classes : {6u, 21u, 100u}) {
+            EXPECT_EQ(bestByEdp(target, 10000, classes).design,
+                      Design::AHam);
+        }
+    }
+}
+
+TEST(DesignSpaceTest, FullSpaceEnumeratesNinePoints)
+{
+    const auto points = fullDesignSpace();
+    EXPECT_EQ(points.size(), 9u);
+    for (const auto &point : points) {
+        EXPECT_GT(point.cost.energyPj, 0.0);
+        EXPECT_GT(point.cost.delayNs, 0.0);
+        EXPECT_FALSE(point.description.empty());
+    }
+}
+
+TEST(DesignSpaceTest, GeneralizesAcrossDimensions)
+{
+    const auto point =
+        designPoint(Design::DHam, AccuracyTarget::Moderate, 2000, 8);
+    EXPECT_EQ(point.sampledDim, 1400u); // 70% of 2,000
+    EXPECT_EQ(point.errorBudgetBits, 600u);
+
+    const auto aham =
+        designPoint(Design::AHam, AccuracyTarget::Maximum, 512, 8);
+    EXPECT_EQ(aham.stages, 1u);
+    EXPECT_EQ(aham.ltaBits, 10u);
+}
+
+TEST(DesignSpaceTest, EdpGainsMatchFig11)
+{
+    const double dMax =
+        designPoint(Design::DHam, AccuracyTarget::Maximum)
+            .cost.edp();
+    const double aMax =
+        designPoint(Design::AHam, AccuracyTarget::Maximum)
+            .cost.edp();
+    EXPECT_NEAR(dMax / aMax, 746.0, 75.0);
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for D-HAM's structural digital blocks (Fig. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/random.hh"
+#include "ham/digital_blocks.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::Rng;
+using hdham::ham::BinaryCounter;
+using hdham::ham::ComparatorTree;
+
+TEST(BinaryCounterTest, WidthIsLogOfDimension)
+{
+    // The paper: "C counters each with log D bits".
+    EXPECT_EQ(BinaryCounter(10000).width(), 14u);
+    EXPECT_EQ(BinaryCounter(1024).width(), 11u);
+    EXPECT_EQ(BinaryCounter(1023).width(), 10u);
+    EXPECT_EQ(BinaryCounter(1).width(), 1u);
+}
+
+TEST(BinaryCounterTest, RejectsZeroDimension)
+{
+    EXPECT_THROW(BinaryCounter(0), std::invalid_argument);
+}
+
+TEST(BinaryCounterTest, CountsSerialMismatches)
+{
+    BinaryCounter counter(8);
+    counter.shiftIn(true);
+    counter.shiftIn(false);
+    counter.shiftIn(true);
+    EXPECT_EQ(counter.value(), 2u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(BinaryCounterTest, AccumulateMatchesHamming)
+{
+    Rng rng(1);
+    const Hypervector a = Hypervector::random(500, rng);
+    const Hypervector b = Hypervector::random(500, rng);
+    BinaryCounter counter(500);
+    const std::size_t cycles = counter.accumulate(a, b, 500);
+    EXPECT_EQ(cycles, 500u);
+    EXPECT_EQ(counter.value(), a.hamming(b));
+}
+
+TEST(BinaryCounterTest, AccumulatePrefixMatchesSampledDistance)
+{
+    Rng rng(2);
+    const Hypervector a = Hypervector::random(500, rng);
+    const Hypervector b = Hypervector::random(500, rng);
+    BinaryCounter counter(500);
+    counter.accumulate(a, b, 200);
+    EXPECT_EQ(counter.value(), a.hammingPrefix(b, 200));
+}
+
+TEST(ComparatorTreeTest, RejectsEmptyInput)
+{
+    EXPECT_THROW(ComparatorTree::reduce({}), std::invalid_argument);
+}
+
+TEST(ComparatorTreeTest, FindsMinimum)
+{
+    const auto result = ComparatorTree::reduce({9, 4, 7, 2, 8});
+    EXPECT_EQ(result.index, 3u);
+    EXPECT_EQ(result.value, 2u);
+}
+
+TEST(ComparatorTreeTest, TiesGoToLowerIndex)
+{
+    const auto result = ComparatorTree::reduce({5, 3, 3, 3});
+    EXPECT_EQ(result.index, 1u);
+}
+
+TEST(ComparatorTreeTest, UsesExactlyCMinusOneComparisons)
+{
+    // The paper's comparator budget: C - 1 two-input comparators.
+    for (std::size_t c : {2u, 3u, 5u, 21u, 100u}) {
+        std::vector<std::uint64_t> values(c, 7);
+        values[c / 2] = 1;
+        const auto result = ComparatorTree::reduce(values);
+        EXPECT_EQ(result.comparisons, c - 1) << "C=" << c;
+        EXPECT_EQ(result.index, c / 2);
+    }
+}
+
+TEST(ComparatorTreeTest, HeightIsCeilLogC)
+{
+    EXPECT_EQ(ComparatorTree::heightFor(1), 0u);
+    EXPECT_EQ(ComparatorTree::heightFor(2), 1u);
+    EXPECT_EQ(ComparatorTree::heightFor(21), 5u);
+    EXPECT_EQ(ComparatorTree::heightFor(100), 7u);
+    const auto result =
+        ComparatorTree::reduce(std::vector<std::uint64_t>(21, 3));
+    EXPECT_EQ(result.height, 5u);
+}
+
+TEST(ComparatorTreeTest, SingleInput)
+{
+    const auto result = ComparatorTree::reduce({42});
+    EXPECT_EQ(result.index, 0u);
+    EXPECT_EQ(result.value, 42u);
+    EXPECT_EQ(result.comparisons, 0u);
+    EXPECT_EQ(result.height, 0u);
+}
+
+TEST(ComparatorTreeTest, AgreesWithStdMinElement)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + rng.nextBelow(64);
+        std::vector<std::uint64_t> values(n);
+        for (auto &v : values)
+            v = rng.nextBelow(1000);
+        const auto result = ComparatorTree::reduce(values);
+        const auto expect =
+            std::min_element(values.begin(), values.end());
+        EXPECT_EQ(result.value, *expect);
+        EXPECT_EQ(result.index, static_cast<std::size_t>(
+                                    expect - values.begin()));
+    }
+}
+
+TEST(StructuralDhamTest, FullPipelineMatchesArithmetic)
+{
+    // Counter bank + comparator tree = D-HAM search, structurally.
+    Rng rng(4);
+    const std::size_t dim = 1000, classes = 21;
+    std::vector<Hypervector> rows;
+    for (std::size_t c = 0; c < classes; ++c)
+        rows.push_back(Hypervector::random(dim, rng));
+    const Hypervector query = Hypervector::random(dim, rng);
+
+    std::vector<std::uint64_t> counts;
+    for (const auto &row : rows) {
+        BinaryCounter counter(dim);
+        counter.accumulate(row, query, dim);
+        counts.push_back(counter.value());
+    }
+    const auto winner = ComparatorTree::reduce(counts);
+
+    std::size_t expectBest = 0;
+    for (std::size_t c = 1; c < classes; ++c)
+        if (rows[c].hamming(query) < rows[expectBest].hamming(query))
+            expectBest = c;
+    EXPECT_EQ(winner.index, expectBest);
+    EXPECT_EQ(winner.value, rows[expectBest].hamming(query));
+}
+
+} // namespace

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Calibration tests: the cost models must reproduce every published
+ * anchor (see circuit/technology.hh) within tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/technology.hh"
+#include "ham/energy_model.hh"
+
+namespace
+{
+
+using hdham::circuit::PaperAnchors;
+using hdham::ham::AHamModel;
+using hdham::ham::CostEstimate;
+using hdham::ham::DHamModel;
+using hdham::ham::RHamModel;
+
+constexpr std::size_t kD = 10000;
+constexpr std::size_t kC100 = 100;
+constexpr std::size_t kC21 = 21;
+
+void
+expectWithin(double value, double target, double relTol,
+             const char *what)
+{
+    EXPECT_NEAR(value, target, relTol * target) << what;
+}
+
+// ----------------------- Table I anchors ------------------------
+
+TEST(DHamModelTest, TableOneCamEnergy)
+{
+    const auto br = DHamModel::energyBreakdown(kD, kC100);
+    expectWithin(br.array, PaperAnchors::dhamCamEnergy, 0.01,
+                 "CAM energy at D=10,000");
+    // Sampling scales the CAM linearly, as in Table I.
+    expectWithin(DHamModel::energyBreakdown(kD, kC100, 9000).array,
+                 0.9 * PaperAnchors::dhamCamEnergy, 0.01, "d=9,000");
+    expectWithin(DHamModel::energyBreakdown(kD, kC100, 7000).array,
+                 0.7 * PaperAnchors::dhamCamEnergy, 0.01, "d=7,000");
+}
+
+TEST(DHamModelTest, TableOneLogicEnergy)
+{
+    const auto logic = [](std::size_t d) {
+        const auto br = DHamModel::energyBreakdown(kD, kC100, d);
+        return br.logic + br.periphery;
+    };
+    expectWithin(logic(10000), PaperAnchors::dhamLogicEnergy, 0.10,
+                 "logic energy at d=10,000");
+    expectWithin(logic(9000), 1131.1, 0.10, "logic at d=9,000");
+    expectWithin(logic(7000), 883.6, 0.10, "logic at d=7,000");
+}
+
+TEST(DHamModelTest, TableOneArea)
+{
+    const auto area = DHamModel::areaBreakdown(kD, kC100);
+    expectWithin(area.array, PaperAnchors::dhamCamArea, 0.01,
+                 "CAM area");
+    expectWithin(area.logic, PaperAnchors::dhamLogicArea, 0.01,
+                 "logic area");
+    expectWithin(DHamModel::areaBreakdown(kD, kC100, 9000).array,
+                 13.7, 0.02, "CAM area d=9,000");
+    expectWithin(DHamModel::areaBreakdown(kD, kC100, 7000).logic,
+                 8.3, 0.10, "logic area d=7,000");
+}
+
+// -------------------- Fig. 9: D scaling (C=21) ------------------
+
+TEST(ScalingTest, DimensionEnergyRatios)
+{
+    const auto ratio = [](CostEstimate hi, CostEstimate lo) {
+        return hi.energyPj / lo.energyPj;
+    };
+    expectWithin(ratio(DHamModel::query(10240, kC21),
+                       DHamModel::query(512, kC21)),
+                 PaperAnchors::dhamEnergyScaleD, 0.05, "D-HAM");
+    expectWithin(ratio(RHamModel::query(10240, kC21),
+                       RHamModel::query(512, kC21)),
+                 PaperAnchors::rhamEnergyScaleD, 0.05, "R-HAM");
+    expectWithin(ratio(AHamModel::query(10240, kC21),
+                       AHamModel::query(512, kC21)),
+                 PaperAnchors::ahamEnergyScaleD, 0.08, "A-HAM");
+}
+
+TEST(ScalingTest, DimensionDelayRatios)
+{
+    const auto ratio = [](CostEstimate hi, CostEstimate lo) {
+        return hi.delayNs / lo.delayNs;
+    };
+    expectWithin(ratio(DHamModel::query(10240, kC21),
+                       DHamModel::query(512, kC21)),
+                 PaperAnchors::dhamDelayScaleD, 0.05, "D-HAM");
+    expectWithin(ratio(RHamModel::query(10240, kC21),
+                       RHamModel::query(512, kC21)),
+                 PaperAnchors::rhamDelayScaleD, 0.05, "R-HAM");
+    expectWithin(ratio(AHamModel::query(10240, kC21),
+                       AHamModel::query(512, kC21)),
+                 PaperAnchors::ahamDelayScaleD, 0.08, "A-HAM");
+}
+
+// -------------------- Fig. 10: C scaling (D=10k) ----------------
+
+TEST(ScalingTest, ClassEnergyRatios)
+{
+    const auto ratio = [](CostEstimate hi, CostEstimate lo) {
+        return hi.energyPj / lo.energyPj;
+    };
+    expectWithin(ratio(DHamModel::query(kD, 100),
+                       DHamModel::query(kD, 6)),
+                 PaperAnchors::dhamEnergyScaleC, 0.05, "D-HAM");
+    expectWithin(ratio(RHamModel::query(kD, 100),
+                       RHamModel::query(kD, 6)),
+                 PaperAnchors::rhamEnergyScaleC, 0.05, "R-HAM");
+    expectWithin(ratio(AHamModel::query(kD, 100),
+                       AHamModel::query(kD, 6)),
+                 PaperAnchors::ahamEnergyScaleC, 0.08, "A-HAM");
+}
+
+TEST(ScalingTest, ClassDelayRatios)
+{
+    const auto ratio = [](CostEstimate hi, CostEstimate lo) {
+        return hi.delayNs / lo.delayNs;
+    };
+    expectWithin(ratio(DHamModel::query(kD, 100),
+                       DHamModel::query(kD, 6)),
+                 PaperAnchors::dhamDelayScaleC, 0.05, "D-HAM");
+    expectWithin(ratio(RHamModel::query(kD, 100),
+                       RHamModel::query(kD, 6)),
+                 PaperAnchors::rhamDelayScaleC, 0.05, "R-HAM");
+    expectWithin(ratio(AHamModel::query(kD, 100),
+                       AHamModel::query(kD, 6)),
+                 PaperAnchors::ahamDelayScaleC, 0.08, "A-HAM");
+}
+
+// ------------------- Fig. 11: EDP improvements ------------------
+
+TEST(EdpTest, RhamGainsOverDham)
+{
+    // Max accuracy point: D-HAM samples d=9,000; R-HAM overscales
+    // 40% of its 2,500 blocks.
+    const double maxGain =
+        DHamModel::query(kD, kC21, 9000).edp() /
+        RHamModel::query(kD, kC21, 4, 0, 1000).edp();
+    expectWithin(maxGain, PaperAnchors::rhamEdpGainMax, 0.05,
+                 "R-HAM max-accuracy EDP gain");
+    // Moderate: d=7,000 vs all blocks overscaled.
+    const double modGain =
+        DHamModel::query(kD, kC21, 7000).edp() /
+        RHamModel::query(kD, kC21, 4, 0, 2500).edp();
+    expectWithin(modGain, PaperAnchors::rhamEdpGainModerate, 0.05,
+                 "R-HAM moderate-accuracy EDP gain");
+}
+
+TEST(EdpTest, AhamGainsOverDham)
+{
+    const double maxGain =
+        DHamModel::query(kD, kC21, 9000).edp() /
+        AHamModel::query(kD, kC21, 14, 14).edp();
+    expectWithin(maxGain, PaperAnchors::ahamEdpGainMax, 0.10,
+                 "A-HAM max-accuracy EDP gain");
+    const double modGain =
+        DHamModel::query(kD, kC21, 7000).edp() /
+        AHamModel::query(kD, kC21, 14, 11).edp();
+    expectWithin(modGain, PaperAnchors::ahamEdpGainModerate, 0.10,
+                 "A-HAM moderate-accuracy EDP gain");
+}
+
+TEST(EdpTest, AhamBitReductionGain)
+{
+    // Section III-D3: dropping the LTA from 14 to 11 bits buys
+    // ~2.4x EDP.
+    const double gain = AHamModel::query(kD, kC21, 14, 14).edp() /
+                        AHamModel::query(kD, kC21, 14, 11).edp();
+    expectWithin(gain, 2.4, 0.15, "A-HAM 14->11 bit EDP gain");
+}
+
+// ----------------------- Fig. 12: area --------------------------
+
+TEST(AreaTest, RatiosMatchFig12)
+{
+    const double dham = DHamModel::query(kD, kC100).areaMm2;
+    const double rham = RHamModel::query(kD, kC100).areaMm2;
+    const double aham = AHamModel::query(kD, kC100).areaMm2;
+    expectWithin(dham / rham, PaperAnchors::rhamAreaGain, 0.03,
+                 "R-HAM area gain");
+    expectWithin(dham / aham, PaperAnchors::ahamAreaGain, 0.03,
+                 "A-HAM area gain");
+    const auto br = AHamModel::areaBreakdown(kD, kC100);
+    expectWithin(br.lta / br.total(),
+                 PaperAnchors::ahamLtaAreaFraction, 0.03,
+                 "LTA fraction of A-HAM area");
+}
+
+// ------------------- Fig. 5: R-HAM energy saving ----------------
+
+TEST(RhamSavingTest, SamplingIsLinear)
+{
+    const double base = RHamModel::query(kD, kC21).energyPj;
+    const double off250 =
+        RHamModel::query(kD, kC21, 4, 250, 0).energyPj;
+    const double off750 =
+        RHamModel::query(kD, kC21, 4, 750, 0).energyPj;
+    // ~9% for 250 blocks, ~3x that for 750 blocks.
+    EXPECT_NEAR(1.0 - off250 / base, 0.092, 0.02);
+    EXPECT_NEAR((1.0 - off750 / base) / (1.0 - off250 / base), 3.0,
+                0.1);
+}
+
+TEST(RhamSavingTest, OverscalingBeatsSamplingAtEqualAccuracy)
+{
+    // The Fig. 5 headline: at the max-accuracy error budget the
+    // voltage overscaling saving (1,000 blocks at <= 1 bit each) is
+    // about twice the sampling saving (250 blocks off).
+    const double base = RHamModel::query(kD, kC21).energyPj;
+    const double sampling =
+        1.0 - RHamModel::query(kD, kC21, 4, 250, 0).energyPj / base;
+    const double overscaling =
+        1.0 - RHamModel::query(kD, kC21, 4, 0, 1000).energyPj / base;
+    EXPECT_GT(overscaling, 1.8 * sampling);
+    // Moderate accuracy: all blocks overscaled saves ~half.
+    const double full =
+        1.0 - RHamModel::query(kD, kC21, 4, 0, 2500).energyPj / base;
+    EXPECT_NEAR(full, 0.52, 0.05);
+}
+
+TEST(RhamSavingTest, DelayUnaffectedByOverscaling)
+{
+    // Section IV-D: the search latency does not change with VOS.
+    EXPECT_DOUBLE_EQ(RHamModel::query(kD, kC21).delayNs,
+                     RHamModel::query(kD, kC21, 4, 0, 2500).delayNs);
+}
+
+// ----------------------- General sanity --------------------------
+
+TEST(CostModelSanity, EnergyMonotoneInDimAndClasses)
+{
+    for (std::size_t d1 = 512; d1 < 10000; d1 *= 2) {
+        EXPECT_LT(DHamModel::query(d1, kC21).energyPj,
+                  DHamModel::query(d1 * 2, kC21).energyPj);
+        EXPECT_LT(RHamModel::query(d1, kC21).energyPj,
+                  RHamModel::query(d1 * 2, kC21).energyPj);
+        EXPECT_LE(AHamModel::query(d1, kC21).energyPj,
+                  AHamModel::query(d1 * 2, kC21).energyPj);
+    }
+    for (std::size_t c = 6; c < 100; c *= 2) {
+        EXPECT_LT(DHamModel::query(kD, c).energyPj,
+                  DHamModel::query(kD, c * 2).energyPj);
+        EXPECT_LT(RHamModel::query(kD, c).energyPj,
+                  RHamModel::query(kD, c * 2).energyPj);
+        EXPECT_LT(AHamModel::query(kD, c).energyPj,
+                  AHamModel::query(kD, c * 2).energyPj);
+    }
+}
+
+TEST(CostModelSanity, EverythingPositive)
+{
+    for (const auto &cost :
+         {DHamModel::query(512, 6), RHamModel::query(512, 6),
+          AHamModel::query(512, 6)}) {
+        EXPECT_GT(cost.energyPj, 0.0);
+        EXPECT_GT(cost.delayNs, 0.0);
+        EXPECT_GT(cost.areaMm2, 0.0);
+        EXPECT_GT(cost.edp(), 0.0);
+    }
+}
+
+TEST(CostModelSanity, HierarchyAtThePaperDesignPoint)
+{
+    // A-HAM < R-HAM < D-HAM in energy, delay, area and EDP.
+    const auto d = DHamModel::query(kD, kC21);
+    const auto r = RHamModel::query(kD, kC21);
+    const auto a = AHamModel::query(kD, kC21);
+    EXPECT_LT(r.energyPj, d.energyPj);
+    EXPECT_LT(a.energyPj, r.energyPj);
+    EXPECT_LT(r.delayNs, d.delayNs);
+    EXPECT_LT(a.delayNs, r.delayNs);
+    EXPECT_LT(r.areaMm2, d.areaMm2);
+    EXPECT_LT(a.areaMm2, r.areaMm2);
+}
+
+TEST(CostModelSanity, InvalidArgumentsThrow)
+{
+    EXPECT_THROW(DHamModel::query(0, 10), std::invalid_argument);
+    EXPECT_THROW(RHamModel::query(100, 0), std::invalid_argument);
+    EXPECT_THROW(RHamModel::query(100, 10, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(RHamModel::query(100, 10, 4, 30, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(RHamModel::query(100, 10, 4, 10, 20),
+                 std::invalid_argument);
+}
+
+} // namespace

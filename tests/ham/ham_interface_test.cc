@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Contract tests of the polymorphic Ham interface: every design
+ * (including the device-level references) must honor the same
+ * store/search/loadFrom semantics through a base-class pointer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "core/random.hh"
+#include "ham/a_ham.hh"
+#include "ham/d_ham.hh"
+#include "ham/device_a_ham.hh"
+#include "ham/device_r_ham.hh"
+#include "ham/r_ham.hh"
+
+namespace
+{
+
+using hdham::AssociativeMemory;
+using hdham::Hypervector;
+using hdham::Rng;
+using namespace hdham::ham;
+
+constexpr std::size_t kDim = 1024;
+
+std::vector<std::unique_ptr<Ham>>
+allDesigns()
+{
+    std::vector<std::unique_ptr<Ham>> designs;
+    DHamConfig d;
+    d.dim = kDim;
+    designs.push_back(std::make_unique<DHam>(d));
+    RHamConfig r;
+    r.dim = kDim;
+    designs.push_back(std::make_unique<RHam>(r));
+    AHamConfig a;
+    a.dim = kDim;
+    designs.push_back(std::make_unique<AHam>(a));
+    DeviceRHamConfig dr;
+    dr.dim = kDim;
+    dr.capacity = 8;
+    designs.push_back(std::make_unique<DeviceRHam>(dr));
+    DeviceAHamConfig da;
+    da.dim = kDim;
+    da.capacity = 8;
+    designs.push_back(std::make_unique<DeviceAHam>(da));
+    return designs;
+}
+
+TEST(HamInterfaceTest, NamesAreDistinctAndStable)
+{
+    std::set<std::string> names;
+    for (const auto &ham : allDesigns())
+        names.insert(ham->name());
+    EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(HamInterfaceTest, DimAndSizeContracts)
+{
+    Rng rng(1);
+    for (const auto &ham : allDesigns()) {
+        EXPECT_EQ(ham->dim(), kDim) << ham->name();
+        EXPECT_EQ(ham->size(), 0u) << ham->name();
+        EXPECT_EQ(ham->store(Hypervector::random(kDim, rng)), 0u);
+        EXPECT_EQ(ham->store(Hypervector::random(kDim, rng)), 1u);
+        EXPECT_EQ(ham->size(), 2u) << ham->name();
+    }
+}
+
+TEST(HamInterfaceTest, EveryDesignRejectsBadInput)
+{
+    Rng rng(2);
+    for (const auto &ham : allDesigns()) {
+        EXPECT_THROW(ham->store(Hypervector::random(kDim / 2, rng)),
+                     std::invalid_argument)
+            << ham->name();
+        EXPECT_THROW(ham->search(Hypervector::random(kDim, rng)),
+                     std::logic_error)
+            << ham->name();
+    }
+}
+
+TEST(HamInterfaceTest, LoadFromCopiesEveryRow)
+{
+    Rng rng(3);
+    AssociativeMemory oracle(kDim);
+    for (int c = 0; c < 7; ++c)
+        oracle.store(Hypervector::random(kDim, rng));
+    for (const auto &ham : allDesigns()) {
+        ham->loadFrom(oracle);
+        EXPECT_EQ(ham->size(), oracle.size()) << ham->name();
+    }
+}
+
+TEST(HamInterfaceTest, AllDesignsFindNearRowQueries)
+{
+    Rng rng(4);
+    AssociativeMemory oracle(kDim);
+    std::vector<Hypervector> rows;
+    for (int c = 0; c < 8; ++c) {
+        rows.push_back(Hypervector::random(kDim, rng));
+        oracle.store(rows.back());
+    }
+    for (const auto &ham : allDesigns()) {
+        ham->loadFrom(oracle);
+        for (int q = 0; q < 10; ++q) {
+            const std::size_t target = rng.nextBelow(8);
+            Hypervector query = rows[target];
+            query.injectErrors(kDim / 16, rng);
+            EXPECT_EQ(ham->search(query).classId, target)
+                << ham->name();
+        }
+    }
+}
+
+TEST(HamInterfaceTest, SearchDoesNotMutateContents)
+{
+    // Repeated searches of the same query return the same winner on
+    // the deterministic designs, and never change size().
+    Rng rng(5);
+    AssociativeMemory oracle(kDim);
+    for (int c = 0; c < 5; ++c)
+        oracle.store(Hypervector::random(kDim, rng));
+    const Hypervector query = Hypervector::random(kDim, rng);
+    for (const auto &ham : allDesigns()) {
+        ham->loadFrom(oracle);
+        const std::size_t before = ham->size();
+        ham->search(query);
+        ham->search(query);
+        EXPECT_EQ(ham->size(), before) << ham->name();
+    }
+    // The digital design is fully deterministic.
+    DHamConfig cfg;
+    cfg.dim = kDim;
+    DHam dham(cfg);
+    dham.loadFrom(oracle);
+    EXPECT_EQ(dham.search(query).classId,
+              dham.search(query).classId);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Edge-case tests for R-HAM: dimensions that do not fill the last
+ * block, unusual block widths, mixed approximation knobs, and
+ * consistency between the sensed distance and the software truth
+ * over random configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/random.hh"
+#include "ham/r_ham.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::Rng;
+using hdham::ham::RHam;
+using hdham::ham::RHamConfig;
+
+TEST(RHamEdgeTest, PartialLastBlockCountsCorrectly)
+{
+    // dim = 10 with 4-bit blocks: blocks cover bits [0,4), [4,8),
+    // [8,10); the last block has only 2 live cells.
+    RHamConfig cfg;
+    cfg.dim = 10;
+    cfg.blockBits = 4;
+    EXPECT_EQ(cfg.totalBlocks(), 3u);
+    RHam ham(cfg);
+    Hypervector row(10);
+    ham.store(row);
+    Hypervector query(10);
+    query.set(8, true);
+    query.set(9, true);
+    const auto result = ham.search(query);
+    EXPECT_EQ(result.reportedDistance, 2u);
+}
+
+TEST(RHamEdgeTest, SingleClassAlwaysWins)
+{
+    RHamConfig cfg;
+    cfg.dim = 256;
+    RHam ham(cfg);
+    Rng rng(1);
+    ham.store(Hypervector::random(256, rng));
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(ham.search(Hypervector::random(256, rng)).classId,
+                  0u);
+    }
+}
+
+TEST(RHamEdgeTest, SixtyFourBitBlocks)
+{
+    RHamConfig cfg;
+    cfg.dim = 640;
+    cfg.blockBits = 64;
+    RHam ham(cfg);
+    Rng rng(2);
+    const Hypervector row = Hypervector::random(640, rng);
+    ham.store(row);
+    Hypervector query = row;
+    query.injectErrors(40, rng);
+    // Wide blocks saturate their sensing at some point, but the
+    // histogram bookkeeping must stay exact at nominal voltage
+    // because the ideal ladder is calibrated per width.
+    const auto result = ham.search(query);
+    EXPECT_EQ(result.classId, 0u);
+}
+
+TEST(RHamEdgeTest, MixedKnobsRespectRegions)
+{
+    // 100 blocks: 20 overscaled, 30 deep, 25 off, 25 nominal.
+    RHamConfig cfg;
+    cfg.dim = 400;
+    cfg.blockBits = 4;
+    cfg.overscaledBlocks = 20;
+    cfg.deepOverscaledBlocks = 30;
+    cfg.blocksOff = 25;
+    RHam ham(cfg);
+    EXPECT_EQ(ham.worstCaseDistanceError(), 20u + 60u + 100u);
+
+    Rng rng(3);
+    const Hypervector row = Hypervector::random(400, rng);
+    ham.store(row);
+    // A mismatch only in the powered-off tail region (last 25
+    // blocks = bits [300, 400)) must never be sensed.
+    Hypervector query = row;
+    query.flip(399);
+    query.flip(320);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(ham.search(query).reportedDistance, 0u);
+}
+
+TEST(RHamEdgeTest, AllBlocksOffSensesZero)
+{
+    RHamConfig cfg;
+    cfg.dim = 64;
+    cfg.blocksOff = cfg.totalBlocks();
+    RHam ham(cfg);
+    Rng rng(4);
+    ham.store(Hypervector::random(64, rng));
+    EXPECT_EQ(ham.search(Hypervector::random(64, rng))
+                  .reportedDistance,
+              0u);
+}
+
+TEST(RHamEdgeTest, SensedDistanceTracksTruthAcrossRandomConfigs)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 15; ++trial) {
+        const std::size_t blockChoices[] = {1, 2, 4, 8};
+        RHamConfig cfg;
+        cfg.dim = 64 * (2 + rng.nextBelow(30));
+        cfg.blockBits = blockChoices[rng.nextBelow(4)];
+        cfg.seed = rng.next();
+        RHam ham(cfg);
+        const Hypervector row = Hypervector::random(cfg.dim, rng);
+        ham.store(row);
+        const std::size_t errs = rng.nextBelow(cfg.dim / 8 + 1);
+        Hypervector query = row;
+        query.injectErrors(errs, rng);
+        const auto result = ham.search(query);
+        EXPECT_NEAR(static_cast<double>(result.reportedDistance),
+                    static_cast<double>(errs),
+                    3.0 + 0.05 * static_cast<double>(errs))
+            << "dim=" << cfg.dim << " width=" << cfg.blockBits
+            << " errs=" << errs;
+    }
+}
+
+TEST(RHamEdgeTest, DistinctSeedsGiveIndependentNoise)
+{
+    RHamConfig a, b;
+    a.dim = b.dim = 10000;
+    a.overscaledBlocks = b.overscaledBlocks = 2500;
+    b.seed = a.seed ^ 0xdeadbeefULL;
+    RHam hamA(a), hamB(b);
+    Rng rng(6);
+    const Hypervector row = Hypervector::random(10000, rng);
+    hamA.store(row);
+    hamB.store(row);
+    Hypervector query = row;
+    query.injectErrors(2000, rng);
+    int equal = 0;
+    const int trials = 30;
+    for (int i = 0; i < trials; ++i) {
+        equal += hamA.search(query).reportedDistance ==
+                 hamB.search(query).reportedDistance;
+    }
+    EXPECT_LT(equal, trials);
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the resistive HAM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/assoc_memory.hh"
+#include "core/random.hh"
+#include "ham/r_ham.hh"
+
+namespace
+{
+
+using hdham::AssociativeMemory;
+using hdham::Hypervector;
+using hdham::Rng;
+using hdham::ham::RHam;
+using hdham::ham::RHamConfig;
+
+TEST(RHamTest, ValidatesConfig)
+{
+    RHamConfig bad;
+    bad.dim = 0;
+    EXPECT_THROW(RHam{bad}, std::invalid_argument);
+
+    bad = RHamConfig{};
+    bad.blockBits = 3; // does not divide 64
+    EXPECT_THROW(RHam{bad}, std::invalid_argument);
+
+    bad = RHamConfig{};
+    bad.dim = 100;
+    bad.blocksOff = 26; // only 25 blocks exist
+    EXPECT_THROW(RHam{bad}, std::invalid_argument);
+
+    bad = RHamConfig{};
+    bad.dim = 100;
+    bad.blocksOff = 10;
+    bad.overscaledBlocks = 16; // only 15 active remain
+    EXPECT_THROW(RHam{bad}, std::invalid_argument);
+}
+
+TEST(RHamTest, BlockBookkeeping)
+{
+    RHamConfig cfg;
+    cfg.dim = 10000;
+    cfg.blockBits = 4;
+    EXPECT_EQ(cfg.totalBlocks(), 2500u);
+    cfg.blocksOff = 250;
+    EXPECT_EQ(cfg.activeBlocks(), 2250u);
+}
+
+TEST(RHamTest, WorstCaseErrorAccounting)
+{
+    RHamConfig cfg;
+    cfg.dim = 10000;
+    cfg.blocksOff = 250;
+    cfg.overscaledBlocks = 1000;
+    RHam ham(cfg);
+    // 250 * 4 bits sampled away + 1,000 overscaled blocks at <= 1
+    // bit each: the paper's error budget arithmetic.
+    EXPECT_EQ(ham.worstCaseDistanceError(), 2000u);
+}
+
+TEST(RHamTest, NominalSearchMatchesOracleOnSeparatedRows)
+{
+    // Queries near a stored row (margin ~D/2 - noise): nominal
+    // R-HAM sensing must agree with the oracle. Random queries are
+    // deliberately avoided: they can land in exact distance ties,
+    // which hardware may legitimately break differently.
+    const std::size_t dim = 4096;
+    Rng rng(1);
+    AssociativeMemory oracle(dim);
+    RHamConfig cfg;
+    cfg.dim = dim;
+    RHam ham(cfg);
+    for (int c = 0; c < 21; ++c)
+        oracle.store(Hypervector::random(dim, rng));
+    ham.loadFrom(oracle);
+    for (int q = 0; q < 100; ++q) {
+        Hypervector query =
+            oracle.vectorOf(rng.nextBelow(21));
+        query.injectErrors(600, rng);
+        EXPECT_EQ(ham.search(query).classId,
+                  oracle.search(query).classId);
+    }
+}
+
+TEST(RHamTest, NominalSensedDistanceIsNearlyExact)
+{
+    const std::size_t dim = 10000;
+    Rng rng(2);
+    RHamConfig cfg;
+    cfg.dim = dim;
+    RHam ham(cfg);
+    const Hypervector row = Hypervector::random(dim, rng);
+    ham.store(row);
+    for (int q = 0; q < 20; ++q) {
+        Hypervector query = row;
+        query.injectErrors(500, rng);
+        const auto result = ham.search(query);
+        // Nominal sensing error is ~5e-4 per block: a few bits over
+        // 2,500 blocks.
+        EXPECT_NEAR(static_cast<double>(result.reportedDistance),
+                    500.0, 25.0);
+    }
+}
+
+TEST(RHamTest, OverscaledSensedDistanceStaysNearTruth)
+{
+    const std::size_t dim = 10000;
+    Rng rng(3);
+    RHamConfig cfg;
+    cfg.dim = dim;
+    cfg.overscaledBlocks = 2500;
+    RHam ham(cfg);
+    const Hypervector row = Hypervector::random(dim, rng);
+    ham.store(row);
+    double worstErr = 0.0;
+    for (int q = 0; q < 20; ++q) {
+        Hypervector query = row;
+        query.injectErrors(2000, rng);
+        const auto result = ham.search(query);
+        const double err = std::abs(
+            static_cast<double>(result.reportedDistance) - 2000.0);
+        worstErr = std::max(worstErr, err);
+        // Distributed +-1-per-block errors largely cancel; the
+        // residual must stay far below the worst-case budget.
+        EXPECT_LT(err, cfg.totalBlocks() * 0.2);
+    }
+    // But overscaling is not error-free either.
+    EXPECT_GT(worstErr, 0.0);
+}
+
+TEST(RHamTest, OverscalingAddsNoise)
+{
+    const std::size_t dim = 10000;
+    Rng rng(4);
+    const Hypervector row = Hypervector::random(dim, rng);
+    Hypervector query = row;
+    query.injectErrors(1000, rng);
+
+    const auto spread = [&](std::size_t overscaled) {
+        RHamConfig cfg;
+        cfg.dim = dim;
+        cfg.overscaledBlocks = overscaled;
+        RHam ham(cfg);
+        ham.store(row);
+        double sq = 0.0;
+        const int n = 40;
+        for (int i = 0; i < n; ++i) {
+            const double d = static_cast<double>(
+                ham.search(query).reportedDistance);
+            sq += (d - 1000.0) * (d - 1000.0);
+        }
+        return std::sqrt(sq / n);
+    };
+    EXPECT_GT(spread(2500), 2.0 * spread(0));
+}
+
+TEST(RHamTest, SamplingScalesReportedDistance)
+{
+    const std::size_t dim = 10000;
+    Rng rng(5);
+    const Hypervector row = Hypervector::random(dim, rng);
+    const Hypervector query = Hypervector::random(dim, rng);
+    RHamConfig full, sampled;
+    full.dim = dim;
+    sampled.dim = dim;
+    sampled.blocksOff = 1250; // half the blocks
+    RHam fullHam(full), sampledHam(sampled);
+    fullHam.store(row);
+    sampledHam.store(row);
+    const double fullDist = static_cast<double>(
+        fullHam.search(query).reportedDistance);
+    const double halfDist = static_cast<double>(
+        sampledHam.search(query).reportedDistance);
+    EXPECT_NEAR(2.0 * halfDist, fullDist, 0.1 * fullDist);
+}
+
+TEST(RHamTest, SampledSearchIgnoresTailBlocks)
+{
+    // Rows that differ from the query only in the powered-off tail
+    // must be sensed at distance zero.
+    RHamConfig cfg;
+    cfg.dim = 64;
+    cfg.blockBits = 4;
+    cfg.blocksOff = 8; // keep blocks 0..7 = bits 0..31
+    RHam ham(cfg);
+    Hypervector row(64);
+    for (std::size_t i = 32; i < 64; ++i)
+        row.set(i, true);
+    ham.store(row);
+    const Hypervector query(64);
+    const auto result = ham.search(query);
+    EXPECT_EQ(result.reportedDistance, 0u);
+}
+
+class RHamBlockWidthTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(RHamBlockWidthTest, ExactForKnownBlockPattern)
+{
+    // Construct a row/query pair with one mismatch in every block
+    // and check the sensed distance equals the block count at
+    // nominal voltage.
+    const std::size_t width = GetParam();
+    RHamConfig cfg;
+    cfg.dim = 64;
+    cfg.blockBits = width;
+    RHam ham(cfg);
+    Hypervector row(64);
+    ham.store(row);
+    Hypervector query(64);
+    const std::size_t blocks = 64 / width;
+    for (std::size_t b = 0; b < blocks; ++b)
+        query.set(b * width, true);
+    const auto result = ham.search(query);
+    EXPECT_EQ(result.reportedDistance, blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RHamBlockWidthTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(RHamTest, ClassificationSurvivesFullOverscaling)
+{
+    // The headline robustness claim: with every block overscaled the
+    // nearest neighbor of well-separated rows still wins.
+    const std::size_t dim = 10000;
+    Rng rng(6);
+    RHamConfig cfg;
+    cfg.dim = dim;
+    cfg.overscaledBlocks = 2500;
+    RHam ham(cfg);
+    std::vector<Hypervector> rows;
+    for (int c = 0; c < 21; ++c) {
+        rows.push_back(Hypervector::random(dim, rng));
+        ham.store(rows.back());
+    }
+    int correct = 0;
+    const int trials = 100;
+    for (int q = 0; q < trials; ++q) {
+        const std::size_t target = rng.nextBelow(21);
+        Hypervector query = rows[target];
+        query.injectErrors(1500, rng);
+        correct += ham.search(query).classId == target;
+    }
+    EXPECT_EQ(correct, trials);
+}
+
+} // namespace

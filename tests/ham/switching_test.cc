@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the Table II switching-activity models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ham/switching.hh"
+
+namespace
+{
+
+using hdham::Rng;
+using hdham::ham::dhamSwitchingActivity;
+using hdham::ham::dhamSwitchingActivityMc;
+using hdham::ham::rhamSwitchingActivity;
+using hdham::ham::rhamSwitchingActivityMc;
+
+TEST(SwitchingTest, DhamIsQuarterForEveryBlockSize)
+{
+    for (std::size_t w = 1; w <= 8; ++w)
+        EXPECT_DOUBLE_EQ(dhamSwitchingActivity(w), 0.25);
+}
+
+TEST(SwitchingTest, RhamClosedFormValues)
+{
+    EXPECT_NEAR(rhamSwitchingActivity(1), 0.2500, 1e-4);
+    EXPECT_NEAR(rhamSwitchingActivity(2), 0.1875, 1e-4);
+    EXPECT_NEAR(rhamSwitchingActivity(3), 0.15625, 1e-4);
+    // 0.13672 exactly -- the paper's synthesis reports 13.6%.
+    EXPECT_NEAR(rhamSwitchingActivity(4), 0.13672, 1e-4);
+}
+
+TEST(SwitchingTest, RhamDecreasesWithBlockWidth)
+{
+    double prev = 1.0;
+    for (std::size_t w = 1; w <= 16; ++w) {
+        const double activity = rhamSwitchingActivity(w);
+        EXPECT_LT(activity, prev);
+        prev = activity;
+    }
+}
+
+TEST(SwitchingTest, RhamBeatsDhamForWideBlocks)
+{
+    // Table II's point: the thermometer coding switches less for
+    // every block size above one bit.
+    EXPECT_DOUBLE_EQ(rhamSwitchingActivity(1),
+                     dhamSwitchingActivity(1));
+    for (std::size_t w = 2; w <= 8; ++w)
+        EXPECT_LT(rhamSwitchingActivity(w), dhamSwitchingActivity(w));
+}
+
+TEST(SwitchingTest, RejectsDegenerateWidths)
+{
+    EXPECT_THROW(dhamSwitchingActivity(0), std::invalid_argument);
+    EXPECT_THROW(rhamSwitchingActivity(0), std::invalid_argument);
+    EXPECT_THROW(rhamSwitchingActivity(63), std::invalid_argument);
+}
+
+class SwitchingMcTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SwitchingMcTest, MonteCarloMatchesClosedFormDham)
+{
+    const std::size_t w = GetParam();
+    Rng rng(w);
+    const double mc = dhamSwitchingActivityMc(w, 200000, rng);
+    EXPECT_NEAR(mc, dhamSwitchingActivity(w), 0.01);
+}
+
+TEST_P(SwitchingMcTest, MonteCarloMatchesClosedFormRham)
+{
+    const std::size_t w = GetParam();
+    Rng rng(100 + w);
+    const double mc = rhamSwitchingActivityMc(w, 200000, rng);
+    EXPECT_NEAR(mc, rhamSwitchingActivity(w), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SwitchingMcTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+} // namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Golden tests for the calibrated models: exact pinned values for
+ * the cost models and the A-HAM resolution law. These encode the
+ * calibration documented in docs/MODELS.md; if a constant is
+ * retuned, re-record here and refresh EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/lta.hh"
+#include "circuit/ml_discharge.hh"
+#include "ham/energy_model.hh"
+
+namespace
+{
+
+using hdham::circuit::MatchLineConfig;
+using hdham::circuit::MatchLineModel;
+using hdham::circuit::minDetectableDistance;
+using hdham::ham::AHamModel;
+using hdham::ham::DHamModel;
+using hdham::ham::RHamModel;
+
+TEST(ModelGoldenTest, DhamCostAtThePaperDesignPoint)
+{
+    const auto cost = DHamModel::query(10000, 100);
+    EXPECT_NEAR(cost.energyPj, 6123.6, 0.1);
+    EXPECT_NEAR(cost.delayNs, 588.9, 0.1);
+    EXPECT_NEAR(cost.areaMm2, 26.1, 0.01);
+}
+
+TEST(ModelGoldenTest, RhamCostAtThePaperDesignPoint)
+{
+    const auto cost = RHamModel::query(10000, 100);
+    EXPECT_NEAR(cost.energyPj, 2110.5, 0.1);
+    EXPECT_NEAR(cost.delayNs, 250.6, 0.1);
+    EXPECT_NEAR(cost.areaMm2, 18.65, 0.01);
+}
+
+TEST(ModelGoldenTest, AhamCostAtThePaperDesignPoint)
+{
+    const auto cost = AHamModel::query(10000, 100);
+    EXPECT_NEAR(cost.energyPj, 241.9, 0.5);
+    EXPECT_NEAR(cost.delayNs, 22.48, 0.05);
+    EXPECT_NEAR(cost.areaMm2, 8.70, 0.01);
+}
+
+TEST(ModelGoldenTest, VosFactors)
+{
+    EXPECT_NEAR(RHamModel::overscaledEnergyFactor(), 0.4350, 1e-3);
+    EXPECT_NEAR(RHamModel::deepOverscaledEnergyFactor(), 0.3329,
+                1e-3);
+}
+
+TEST(ModelGoldenTest, MinDetTable)
+{
+    // The Fig. 7 series with the default stage/bit schedules.
+    const std::size_t expected[][2] = {
+        {256, 1}, {512, 1},   {1000, 2},  {2000, 3},
+        {4000, 6}, {10000, 14},
+    };
+    for (const auto &[dim, md] : expected) {
+        EXPECT_EQ(minDetectableDistance(
+                      dim, hdham::circuit::defaultStagesFor(dim),
+                      hdham::circuit::defaultLtaBitsFor(dim)),
+                  md)
+            << "D = " << dim;
+    }
+}
+
+TEST(ModelGoldenTest, MatchLineTimingLadder)
+{
+    MatchLineModel ml(MatchLineConfig::rhamBlock(4));
+    EXPECT_NEAR(ml.timeToThreshold(1) * 1e9, 1.851, 0.005);
+    EXPECT_NEAR(ml.timeToThreshold(4) * 1e9, 0.463, 0.005);
+    const auto &times = ml.samplingTimes();
+    ASSERT_EQ(times.size(), 4u);
+    EXPECT_NEAR(times[0] * 1e9, 3.702, 0.01); // 2x guard band
+    EXPECT_NEAR(times[3] * 1e9,
+                std::sqrt(ml.timeToThreshold(3) *
+                          ml.timeToThreshold(4)) *
+                    1e9,
+                1e-4);
+}
+
+TEST(ModelGoldenTest, SenseDistributionAtOverscaledSupply)
+{
+    MatchLineConfig cfg = MatchLineConfig::rhamBlock(4);
+    cfg.v0 = 0.78;
+    MatchLineModel ml(cfg);
+    const auto dist = ml.senseDistribution(4);
+    // Mass concentrated on the true level with a known-size ±1
+    // shoulder (values pinned at calibration time).
+    EXPECT_NEAR(dist[4], 0.926, 0.01);
+    EXPECT_NEAR(dist[3], 0.074, 0.01);
+    EXPECT_LT(dist[2], 1e-3);
+}
+
+} // namespace

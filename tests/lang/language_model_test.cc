@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the synthetic language (Markov) source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/item_memory.hh"
+#include "lang/language_model.hh"
+
+namespace
+{
+
+using hdham::Rng;
+using hdham::TextAlphabet;
+using hdham::lang::LanguageModel;
+
+TEST(LanguageModelTest, ProbabilitiesSumToOnePerContext)
+{
+    Rng rng(1);
+    const LanguageModel model = LanguageModel::random(rng);
+    for (std::size_t c1 = 0; c1 < LanguageModel::alphabet; c1 += 5) {
+        for (std::size_t c2 = 0; c2 < LanguageModel::alphabet;
+             c2 += 5) {
+            double sum = 0.0;
+            for (std::size_t s = 0; s < LanguageModel::alphabet; ++s)
+                sum += model.probability(c1, c2, s);
+            EXPECT_NEAR(sum, 1.0, 1e-9);
+        }
+    }
+}
+
+TEST(LanguageModelTest, GeneratesOnlyAlphabetCharacters)
+{
+    Rng rng(2);
+    const LanguageModel model = LanguageModel::random(rng);
+    const std::string text = model.generate(2000, rng);
+    ASSERT_EQ(text.size(), 2000u);
+    for (const char c : text)
+        EXPECT_TRUE(c == ' ' || (c >= 'a' && c <= 'z'));
+}
+
+TEST(LanguageModelTest, GenerationIsDeterministic)
+{
+    Rng modelRng(3);
+    const LanguageModel model = LanguageModel::random(modelRng);
+    Rng a(4), b(4);
+    EXPECT_EQ(model.generate(500, a), model.generate(500, b));
+}
+
+TEST(LanguageModelTest, SpaceBiasControlsWordLength)
+{
+    Rng rng(5);
+    const LanguageModel wordy = LanguageModel::random(rng, 0.30);
+    const LanguageModel dense = LanguageModel::random(rng, 0.02);
+    Rng gen(6);
+    const std::string a = wordy.generate(5000, gen);
+    const std::string b = dense.generate(5000, gen);
+    const auto spaces = [](const std::string &s) {
+        std::size_t n = 0;
+        for (const char c : s)
+            n += c == ' ';
+        return n;
+    };
+    EXPECT_GT(spaces(a), 2 * spaces(b));
+}
+
+TEST(LanguageModelTest, MixEndpointsReproduceInputs)
+{
+    Rng rng(7);
+    const LanguageModel a = LanguageModel::random(rng);
+    const LanguageModel b = LanguageModel::random(rng);
+    const LanguageModel onlyA = LanguageModel::mix(a, b, 0.0);
+    const LanguageModel onlyB = LanguageModel::mix(a, b, 1.0);
+    EXPECT_NEAR(a.divergence(onlyA), 0.0, 1e-12);
+    EXPECT_NEAR(b.divergence(onlyB), 0.0, 1e-12);
+}
+
+TEST(LanguageModelTest, MixRejectsBadWeight)
+{
+    Rng rng(8);
+    const LanguageModel a = LanguageModel::random(rng);
+    const LanguageModel b = LanguageModel::random(rng);
+    EXPECT_THROW(LanguageModel::mix(a, b, -0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(LanguageModel::mix(a, b, 1.1),
+                 std::invalid_argument);
+}
+
+TEST(LanguageModelTest, DivergenceAxioms)
+{
+    Rng rng(9);
+    const LanguageModel a = LanguageModel::random(rng);
+    const LanguageModel b = LanguageModel::random(rng);
+    EXPECT_NEAR(a.divergence(a), 0.0, 1e-12);
+    EXPECT_NEAR(a.divergence(b), b.divergence(a), 1e-12);
+    EXPECT_GT(a.divergence(b), 0.0);
+    EXPECT_LE(a.divergence(b), 1.0);
+}
+
+TEST(LanguageModelTest, MixingShrinksDivergence)
+{
+    Rng rng(10);
+    const LanguageModel a = LanguageModel::random(rng);
+    const LanguageModel b = LanguageModel::random(rng);
+    const LanguageModel mixed = LanguageModel::mix(a, b, 0.3);
+    EXPECT_LT(a.divergence(mixed), a.divergence(b));
+    // Linear mixing: divergence scales with the weight.
+    EXPECT_NEAR(a.divergence(mixed), 0.3 * a.divergence(b), 1e-9);
+}
+
+TEST(LanguageModelTest, ConcentrationSkewsDistributions)
+{
+    Rng rng(11);
+    const LanguageModel flat = LanguageModel::random(rng, 0.15, 1.0);
+    const LanguageModel peaky =
+        LanguageModel::random(rng, 0.15, 24.0);
+    const auto maxProb = [](const LanguageModel &m) {
+        double total = 0.0;
+        for (std::size_t c1 = 0; c1 < 27; ++c1) {
+            for (std::size_t c2 = 0; c2 < 27; ++c2) {
+                double best = 0.0;
+                for (std::size_t s = 0; s < 27; ++s)
+                    best = std::max(best, m.probability(c1, c2, s));
+                total += best;
+            }
+        }
+        return total / (27.0 * 27.0);
+    };
+    EXPECT_GT(maxProb(peaky), maxProb(flat) + 0.2);
+}
+
+} // namespace

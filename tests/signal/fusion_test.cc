@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the multimodal fusion substrate: corpus ambiguity
+ * structure, pipeline training, and the headline property that the
+ * fused view disambiguates what either modality alone cannot.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ham/a_ham.hh"
+#include "signal/fusion.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::Rng;
+using namespace hdham::signal;
+
+FusionConfig
+smallFusion()
+{
+    FusionConfig cfg;
+    cfg.windowLength = 48;
+    cfg.trainPerActivity = 5;
+    cfg.testPerActivity = 10;
+    return cfg;
+}
+
+TEST(FusionCorpusTest, ValidatesConfig)
+{
+    FusionConfig bad = smallFusion();
+    bad.numActivities = 5; // odd
+    EXPECT_THROW(FusionCorpus{bad}, std::invalid_argument);
+    bad.numActivities = 2; // too few
+    EXPECT_THROW(FusionCorpus{bad}, std::invalid_argument);
+}
+
+TEST(FusionCorpusTest, TemplateSharingStructure)
+{
+    FusionCorpus corpus(smallFusion());
+    // Pairs (0,1), (2,3), (4,5) share a motion template...
+    EXPECT_EQ(corpus.motionTemplateOf(0),
+              corpus.motionTemplateOf(1));
+    EXPECT_NE(corpus.motionTemplateOf(1),
+              corpus.motionTemplateOf(2));
+    // ...and the (motion, biosignal) template pair is unique.
+    std::set<std::pair<std::size_t, std::size_t>> combos;
+    for (std::size_t a = 0; a < corpus.numActivities(); ++a) {
+        combos.emplace(corpus.motionTemplateOf(a),
+                       corpus.biosignalTemplateOf(a));
+    }
+    EXPECT_EQ(combos.size(), corpus.numActivities());
+}
+
+TEST(FusionCorpusTest, SampleShapes)
+{
+    const FusionConfig cfg = smallFusion();
+    FusionCorpus corpus(cfg);
+    EXPECT_EQ(corpus.testSet().size(),
+              cfg.numActivities * cfg.testPerActivity);
+    const FusionSample &s = corpus.testSet().front();
+    EXPECT_EQ(s.motion.samples.size(), cfg.windowLength);
+    EXPECT_EQ(s.motion.samples[0].size(), cfg.motionChannels);
+    EXPECT_EQ(s.biosignal.samples[0].size(),
+              cfg.biosignalChannels);
+}
+
+TEST(FusionCorpusTest, Deterministic)
+{
+    FusionCorpus a(smallFusion()), b(smallFusion());
+    EXPECT_EQ(a.testSet()[5].motion.samples,
+              b.testSet()[5].motion.samples);
+    EXPECT_EQ(a.testSet()[5].biosignal.samples,
+              b.testSet()[5].biosignal.samples);
+}
+
+class FusionPipelineTest : public ::testing::Test
+{
+  protected:
+    static const FusionPipeline &
+    pipeline()
+    {
+        static const FusionCorpus corpus(smallFusion());
+        static const FusionPipeline instance(corpus, 4096);
+        return instance;
+    }
+};
+
+TEST_F(FusionPipelineTest, TrainsOneRowPerActivity)
+{
+    EXPECT_EQ(pipeline().memory().size(), 6u);
+    EXPECT_EQ(pipeline().memory().labelOf(3), "activity3");
+}
+
+TEST_F(FusionPipelineTest, SingleModalitiesAreAmbiguous)
+{
+    // Each modality groups activities in indistinguishable pairs:
+    // its accuracy is pinned near 50%, far above chance (16.7%)
+    // but far below the fused classifier.
+    const double motion = pipeline().evaluateMotionOnly().accuracy();
+    const double bio =
+        pipeline().evaluateBiosignalOnly().accuracy();
+    EXPECT_GT(motion, 0.30);
+    EXPECT_LT(motion, 0.70);
+    EXPECT_GT(bio, 0.30);
+    EXPECT_LT(bio, 0.70);
+}
+
+TEST_F(FusionPipelineTest, FusionDisambiguates)
+{
+    const double fused = pipeline().evaluateFused().accuracy();
+    EXPECT_GT(fused, 0.62);
+    EXPECT_GT(fused,
+              pipeline().evaluateMotionOnly().accuracy() + 0.10);
+    EXPECT_GT(fused,
+              pipeline().evaluateBiosignalOnly().accuracy() + 0.10);
+}
+
+TEST_F(FusionPipelineTest, FusedQueriesWorkOnHardware)
+{
+    using hdham::ham::AHam;
+    using hdham::ham::AHamConfig;
+    AHamConfig cfg;
+    cfg.dim = 4096;
+    AHam aham(cfg);
+    aham.loadFrom(pipeline().memory());
+    const FusionCorpus corpus(smallFusion());
+    Rng rng(1);
+    std::size_t agree = 0;
+    for (const FusionSample &s : corpus.testSet()) {
+        const Hypervector q = pipeline().encode(s, rng);
+        agree += aham.search(q).classId ==
+                 pipeline().memory().search(q).classId;
+    }
+    EXPECT_GE(agree, corpus.testSet().size() - 2);
+}
+
+} // namespace

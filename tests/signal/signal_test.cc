@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the EMG gesture substrate: corpus, spatiotemporal
+ * encoder and pipeline, plus HAM integration on the second
+ * workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ham/a_ham.hh"
+#include "ham/r_ham.hh"
+#include "signal/emg.hh"
+#include "signal/encoder.hh"
+#include "signal/pipeline.hh"
+
+namespace
+{
+
+using hdham::Bundler;
+using hdham::Hypervector;
+using hdham::Rng;
+using namespace hdham::signal;
+
+EmgConfig
+smallEmg()
+{
+    EmgConfig cfg;
+    cfg.windowLength = 32;
+    cfg.trainPerGesture = 5;
+    cfg.testPerGesture = 10;
+    return cfg;
+}
+
+TEST(EmgCorpusTest, ValidatesConfig)
+{
+    EmgConfig bad = smallEmg();
+    bad.numGestures = 0;
+    EXPECT_THROW(EmgCorpus{bad}, std::invalid_argument);
+    bad = smallEmg();
+    bad.channels = 0;
+    EXPECT_THROW(EmgCorpus{bad}, std::invalid_argument);
+}
+
+TEST(EmgCorpusTest, ShapesMatchConfig)
+{
+    const EmgConfig cfg = smallEmg();
+    EmgCorpus corpus(cfg);
+    EXPECT_EQ(corpus.numGestures(), cfg.numGestures);
+    EXPECT_EQ(corpus.testSet().size(),
+              cfg.numGestures * cfg.testPerGesture);
+    for (std::size_t g = 0; g < cfg.numGestures; ++g) {
+        ASSERT_EQ(corpus.trainingSet(g).size(),
+                  cfg.trainPerGesture);
+        for (const Recording &rec : corpus.trainingSet(g)) {
+            EXPECT_EQ(rec.gesture, g);
+            ASSERT_EQ(rec.samples.size(), cfg.windowLength);
+            for (const auto &sample : rec.samples) {
+                ASSERT_EQ(sample.size(), cfg.channels);
+                for (const double v : sample) {
+                    EXPECT_GE(v, 0.0);
+                    EXPECT_LE(v, 1.0);
+                }
+            }
+        }
+    }
+}
+
+TEST(EmgCorpusTest, DeterministicPerSeed)
+{
+    EmgCorpus a(smallEmg()), b(smallEmg());
+    EXPECT_EQ(a.testSet()[3].samples, b.testSet()[3].samples);
+}
+
+TEST(EmgCorpusTest, EnvelopesAreSmoothAndBounded)
+{
+    EmgCorpus corpus(smallEmg());
+    for (std::size_t g = 0; g < corpus.numGestures(); ++g) {
+        for (std::size_t t = 0; t + 1 < 32; ++t) {
+            const double a = corpus.envelope(g, 0, t);
+            const double b = corpus.envelope(g, 0, t + 1);
+            EXPECT_GE(a, 0.0);
+            EXPECT_LE(a, 1.0);
+            EXPECT_LT(std::abs(a - b), 0.5) << "jump at " << t;
+        }
+    }
+}
+
+TEST(EmgCorpusTest, GesturesAreDistinct)
+{
+    EmgCorpus corpus(smallEmg());
+    // Envelope L1 distance between any two gestures is nonzero.
+    for (std::size_t g1 = 0; g1 < corpus.numGestures(); ++g1) {
+        for (std::size_t g2 = g1 + 1; g2 < corpus.numGestures();
+             ++g2) {
+            double l1 = 0.0;
+            for (std::size_t t = 0; t < 32; ++t)
+                l1 += std::abs(corpus.envelope(g1, 0, t) -
+                               corpus.envelope(g2, 0, t));
+            EXPECT_GT(l1, 0.5) << g1 << " vs " << g2;
+        }
+    }
+}
+
+class EncoderFixture : public ::testing::Test
+{
+  protected:
+    SpatioTemporalConfig
+    config() const
+    {
+        SpatioTemporalConfig cfg;
+        cfg.dim = 2048;
+        return cfg;
+    }
+};
+
+TEST_F(EncoderFixture, ValidatesConfig)
+{
+    EXPECT_THROW(SpatioTemporalEncoder(0, config()),
+                 std::invalid_argument);
+    SpatioTemporalConfig bad = config();
+    bad.ngram = 0;
+    EXPECT_THROW(SpatioTemporalEncoder(4, bad),
+                 std::invalid_argument);
+}
+
+TEST_F(EncoderFixture, SampleEncodingIsDeterministic)
+{
+    SpatioTemporalEncoder enc(4, config());
+    Rng a(1), b(1);
+    const std::vector<double> sample{0.1, 0.5, 0.9, 0.3};
+    EXPECT_EQ(enc.encodeSample(sample, a),
+              enc.encodeSample(sample, b));
+}
+
+TEST_F(EncoderFixture, SimilarSamplesEncodeSimilarly)
+{
+    SpatioTemporalEncoder enc(4, config());
+    Rng rng(2);
+    const std::vector<double> base{0.2, 0.5, 0.8, 0.4};
+    std::vector<double> nearby = base;
+    nearby[0] += 0.05;
+    std::vector<double> far{0.9, 0.1, 0.2, 0.9};
+    const Hypervector hvBase = enc.encodeSample(base, rng);
+    const Hypervector hvNear = enc.encodeSample(nearby, rng);
+    const Hypervector hvFar = enc.encodeSample(far, rng);
+    EXPECT_LT(hvBase.hamming(hvNear), hvBase.hamming(hvFar));
+}
+
+TEST_F(EncoderFixture, WindowShorterThanNgramThrows)
+{
+    SpatioTemporalEncoder enc(2, config());
+    Recording rec;
+    rec.samples = {{0.1, 0.2}, {0.3, 0.4}}; // 2 < ngram 3
+    Rng rng(3);
+    EXPECT_THROW(enc.encode(rec, rng), std::invalid_argument);
+    Bundler bundler(2048);
+    EXPECT_EQ(enc.encodeInto(rec, bundler, rng), 0u);
+}
+
+TEST_F(EncoderFixture, NgramCountMatchesWindow)
+{
+    SpatioTemporalEncoder enc(2, config());
+    Recording rec;
+    rec.samples.assign(10, std::vector<double>{0.5, 0.5});
+    Bundler bundler(2048);
+    Rng rng(4);
+    EXPECT_EQ(enc.encodeInto(rec, bundler, rng), 8u);
+}
+
+TEST(GesturePipelineTest, AccurateOnTheSyntheticTask)
+{
+    EmgCorpus corpus(smallEmg());
+    SpatioTemporalConfig cfg;
+    cfg.dim = 4096;
+    GesturePipeline pipeline(corpus, cfg);
+    const auto eval = pipeline.evaluateExact();
+    EXPECT_EQ(eval.total, corpus.testSet().size());
+    EXPECT_GT(eval.accuracy(), 0.9);
+}
+
+TEST(GesturePipelineTest, HamDesignsMatchOracleAccuracy)
+{
+    using hdham::ham::AHam;
+    using hdham::ham::AHamConfig;
+    using hdham::ham::RHam;
+    using hdham::ham::RHamConfig;
+
+    EmgCorpus corpus(smallEmg());
+    SpatioTemporalConfig cfg;
+    cfg.dim = 4096;
+    GesturePipeline pipeline(corpus, cfg);
+    const double exact = pipeline.evaluateExact().accuracy();
+
+    RHamConfig rCfg;
+    rCfg.dim = cfg.dim;
+    rCfg.overscaledBlocks = rCfg.totalBlocks();
+    RHam rham(rCfg);
+    rham.loadFrom(pipeline.memory());
+    const double rAcc =
+        pipeline
+            .evaluate([&](const Hypervector &q) {
+                return rham.search(q).classId;
+            })
+            .accuracy();
+    EXPECT_NEAR(rAcc, exact, 0.03);
+
+    AHamConfig aCfg;
+    aCfg.dim = cfg.dim;
+    AHam aham(aCfg);
+    aham.loadFrom(pipeline.memory());
+    const double aAcc =
+        pipeline
+            .evaluate([&](const Hypervector &q) {
+                return aham.search(q).classId;
+            })
+            .accuracy();
+    EXPECT_NEAR(aAcc, exact, 0.03);
+}
+
+} // namespace

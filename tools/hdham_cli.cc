@@ -1,0 +1,241 @@
+/**
+ * @file
+ * hdham command-line tool.
+ *
+ * Subcommands:
+ *   train    --out PATH [--dim N] [--train-chars N] [--sentences N]
+ *            train the 21-language classifier on the synthetic
+ *            corpus and persist the learned hypervectors
+ *   classify --model PATH [--design dham|rham|aham] TEXT...
+ *            classify text samples with the chosen HAM design
+ *   info     --model PATH
+ *            describe a saved model
+ *   cost     [--dim N] [--classes N]
+ *            print the design-space cost table
+ *
+ * The encoder configuration (item-memory seed, trigram size) is the
+ * library default, so any model trained by this tool can be reloaded
+ * and queried by it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serialize.hh"
+#include "ham/a_ham.hh"
+#include "ham/d_ham.hh"
+#include "ham/design_space.hh"
+#include "ham/r_ham.hh"
+#include "lang/corpus.hh"
+#include "lang/pipeline.hh"
+
+namespace
+{
+
+using namespace hdham;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  hdham train --out PATH [--dim N] [--train-chars N] "
+        "[--sentences N]\n"
+        "  hdham classify --model PATH [--design dham|rham|aham] "
+        "TEXT...\n"
+        "  hdham info --model PATH\n"
+        "  hdham cost [--dim N] [--classes N]\n");
+    return 2;
+}
+
+/** Pull `--flag value` out of the argument list. */
+std::string
+option(std::vector<std::string> &args, const std::string &flag,
+       const std::string &fallback)
+{
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            const std::string value = args[i + 1];
+            args.erase(args.begin() + static_cast<long>(i),
+                       args.begin() + static_cast<long>(i) + 2);
+            return value;
+        }
+    }
+    return fallback;
+}
+
+std::size_t
+numericOption(std::vector<std::string> &args, const std::string &flag,
+              std::size_t fallback)
+{
+    const std::string value =
+        option(args, flag, std::to_string(fallback));
+    return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+int
+cmdTrain(std::vector<std::string> args)
+{
+    const std::string out = option(args, "--out", "");
+    if (out.empty()) {
+        std::fprintf(stderr, "train: --out is required\n");
+        return 2;
+    }
+    lang::CorpusConfig corpusCfg;
+    corpusCfg.trainChars = numericOption(args, "--train-chars",
+                                         corpusCfg.trainChars);
+    corpusCfg.testSentences = numericOption(args, "--sentences",
+                                            corpusCfg.testSentences);
+    lang::PipelineConfig pipeCfg;
+    pipeCfg.dim = numericOption(args, "--dim", pipeCfg.dim);
+
+    std::printf("training %zu languages at D = %zu...\n",
+                corpusCfg.numLanguages, pipeCfg.dim);
+    const lang::SyntheticCorpus corpus(corpusCfg);
+    const lang::RecognitionPipeline pipeline(corpus, pipeCfg);
+    const auto eval = pipeline.evaluateExact();
+    std::printf("held-out accuracy: %.1f%% (%zu/%zu)\n",
+                100.0 * eval.accuracy(), eval.correct, eval.total);
+
+    serialize::saveMemory(out, pipeline.memory());
+    std::printf("model written to %s\n", out.c_str());
+    return 0;
+}
+
+std::unique_ptr<ham::Ham>
+makeDesign(const std::string &name, std::size_t dim)
+{
+    if (name == "dham") {
+        ham::DHamConfig cfg;
+        cfg.dim = dim;
+        return std::make_unique<ham::DHam>(cfg);
+    }
+    if (name == "rham") {
+        ham::RHamConfig cfg;
+        cfg.dim = dim;
+        return std::make_unique<ham::RHam>(cfg);
+    }
+    if (name == "aham") {
+        ham::AHamConfig cfg;
+        cfg.dim = dim;
+        return std::make_unique<ham::AHam>(cfg);
+    }
+    return nullptr;
+}
+
+int
+cmdClassify(std::vector<std::string> args)
+{
+    const std::string path = option(args, "--model", "");
+    const std::string design = option(args, "--design", "dham");
+    if (path.empty() || args.empty()) {
+        std::fprintf(stderr, "classify: need --model and at least "
+                             "one TEXT argument\n");
+        return 2;
+    }
+    const AssociativeMemory memory = serialize::loadMemory(path);
+    std::unique_ptr<ham::Ham> hardware =
+        makeDesign(design, memory.dim());
+    if (!hardware) {
+        std::fprintf(stderr, "classify: unknown design '%s'\n",
+                     design.c_str());
+        return 2;
+    }
+    hardware->loadFrom(memory);
+
+    // Rebuild the encoder with the library-default configuration
+    // the model was trained with.
+    const lang::PipelineConfig defaults;
+    const ItemMemory items(TextAlphabet::size, memory.dim(),
+                           defaults.seed);
+    const Encoder encoder(items, defaults.ngram);
+    Rng rng(defaults.seed ^ 0x636c6966ULL);
+
+    for (const std::string &text : args) {
+        if (text.size() < defaults.ngram) {
+            std::printf("%-14s <- \"%s\" (too short)\n", "?",
+                        text.c_str());
+            continue;
+        }
+        const Hypervector query = encoder.encode(text, rng);
+        const auto hit = hardware->search(query);
+        std::printf("%-14s <- \"%.60s\"\n",
+                    memory.labelOf(hit.classId).c_str(),
+                    text.c_str());
+    }
+    return 0;
+}
+
+int
+cmdInfo(std::vector<std::string> args)
+{
+    const std::string path = option(args, "--model", "");
+    if (path.empty()) {
+        std::fprintf(stderr, "info: --model is required\n");
+        return 2;
+    }
+    const AssociativeMemory memory = serialize::loadMemory(path);
+    std::printf("dimensionality : %zu\n", memory.dim());
+    std::printf("classes        : %zu\n", memory.size());
+    if (memory.size() >= 2) {
+        std::printf("min class margin: %zu bits\n",
+                    memory.minPairwiseDistance());
+    }
+    for (std::size_t id = 0; id < memory.size(); ++id) {
+        std::printf("  [%2zu] %-14s (%zu ones)\n", id,
+                    memory.labelOf(id).c_str(),
+                    memory.vectorOf(id).popcount());
+    }
+    return 0;
+}
+
+int
+cmdCost(std::vector<std::string> args)
+{
+    const std::size_t dim = numericOption(args, "--dim", 10000);
+    const std::size_t classes =
+        numericOption(args, "--classes", 21);
+    std::printf("design space at D = %zu, C = %zu:\n", dim, classes);
+    std::printf("%8s %10s | %-26s %10s %9s %10s\n", "design",
+                "target", "knobs", "energy/pJ", "delay/ns", "EDP");
+    for (const ham::DesignPoint &point :
+         ham::fullDesignSpace(dim, classes)) {
+        std::printf("%8s %10s | %-26s %10.2f %9.2f %10.3g\n",
+                    ham::designName(point.design),
+                    ham::targetName(point.target),
+                    point.description.c_str(), point.cost.energyPj,
+                    point.cost.delayNs, point.cost.edp());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (command == "train")
+            return cmdTrain(std::move(args));
+        if (command == "classify")
+            return cmdClassify(std::move(args));
+        if (command == "info")
+            return cmdInfo(std::move(args));
+        if (command == "cost")
+            return cmdCost(std::move(args));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "hdham %s: %s\n", command.c_str(),
+                     e.what());
+        return 1;
+    }
+    return usage();
+}
