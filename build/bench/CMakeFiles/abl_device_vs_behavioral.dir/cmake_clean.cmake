@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_device_vs_behavioral.dir/abl_device_vs_behavioral.cc.o"
+  "CMakeFiles/abl_device_vs_behavioral.dir/abl_device_vs_behavioral.cc.o.d"
+  "abl_device_vs_behavioral"
+  "abl_device_vs_behavioral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_device_vs_behavioral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_duty_cycle.dir/abl_duty_cycle.cc.o"
+  "CMakeFiles/abl_duty_cycle.dir/abl_duty_cycle.cc.o.d"
+  "abl_duty_cycle"
+  "abl_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_margins.dir/abl_margins.cc.o"
+  "CMakeFiles/abl_margins.dir/abl_margins.cc.o.d"
+  "abl_margins"
+  "abl_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

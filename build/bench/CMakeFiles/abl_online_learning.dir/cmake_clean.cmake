@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_online_learning.dir/abl_online_learning.cc.o"
+  "CMakeFiles/abl_online_learning.dir/abl_online_learning.cc.o.d"
+  "abl_online_learning"
+  "abl_online_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_online_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

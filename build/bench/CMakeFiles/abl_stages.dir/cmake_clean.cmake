@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stages.dir/abl_stages.cc.o"
+  "CMakeFiles/abl_stages.dir/abl_stages.cc.o.d"
+  "abl_stages"
+  "abl_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_accuracy_vs_error.dir/fig01_accuracy_vs_error.cc.o"
+  "CMakeFiles/fig01_accuracy_vs_error.dir/fig01_accuracy_vs_error.cc.o.d"
+  "fig01_accuracy_vs_error"
+  "fig01_accuracy_vs_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_accuracy_vs_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_ml_discharge.dir/fig04_ml_discharge.cc.o"
+  "CMakeFiles/fig04_ml_discharge.dir/fig04_ml_discharge.cc.o.d"
+  "fig04_ml_discharge"
+  "fig04_ml_discharge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_ml_discharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_rham_energy_saving.dir/fig05_rham_energy_saving.cc.o"
+  "CMakeFiles/fig05_rham_energy_saving.dir/fig05_rham_energy_saving.cc.o.d"
+  "fig05_rham_energy_saving"
+  "fig05_rham_energy_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_rham_energy_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_rham_energy_saving.
+# This may be replaced when dependencies are built.

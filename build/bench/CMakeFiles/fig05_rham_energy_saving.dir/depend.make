@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_rham_energy_saving.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_aham_min_distance.dir/fig07_aham_min_distance.cc.o"
+  "CMakeFiles/fig07_aham_min_distance.dir/fig07_aham_min_distance.cc.o.d"
+  "fig07_aham_min_distance"
+  "fig07_aham_min_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_aham_min_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_aham_min_distance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scaling_dimension.dir/fig09_scaling_dimension.cc.o"
+  "CMakeFiles/fig09_scaling_dimension.dir/fig09_scaling_dimension.cc.o.d"
+  "fig09_scaling_dimension"
+  "fig09_scaling_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scaling_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scaling_classes.dir/fig10_scaling_classes.cc.o"
+  "CMakeFiles/fig10_scaling_classes.dir/fig10_scaling_classes.cc.o.d"
+  "fig10_scaling_classes"
+  "fig10_scaling_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scaling_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

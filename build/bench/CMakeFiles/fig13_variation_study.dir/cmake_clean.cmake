@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_variation_study.dir/fig13_variation_study.cc.o"
+  "CMakeFiles/fig13_variation_study.dir/fig13_variation_study.cc.o.d"
+  "fig13_variation_study"
+  "fig13_variation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_variation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

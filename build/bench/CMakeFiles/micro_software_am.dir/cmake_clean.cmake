@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_software_am.dir/micro_software_am.cc.o"
+  "CMakeFiles/micro_software_am.dir/micro_software_am.cc.o.d"
+  "micro_software_am"
+  "micro_software_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_software_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

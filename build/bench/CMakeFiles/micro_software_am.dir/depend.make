@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_software_am.
+# This may be replaced when dependencies are built.

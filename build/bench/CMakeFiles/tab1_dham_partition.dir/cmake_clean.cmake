@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_dham_partition.dir/tab1_dham_partition.cc.o"
+  "CMakeFiles/tab1_dham_partition.dir/tab1_dham_partition.cc.o.d"
+  "tab1_dham_partition"
+  "tab1_dham_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_dham_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

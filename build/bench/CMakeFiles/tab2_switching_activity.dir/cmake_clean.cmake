@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_switching_activity.dir/tab2_switching_activity.cc.o"
+  "CMakeFiles/tab2_switching_activity.dir/tab2_switching_activity.cc.o.d"
+  "tab2_switching_activity"
+  "tab2_switching_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_switching_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_accuracy_vs_dimension.dir/tab3_accuracy_vs_dimension.cc.o"
+  "CMakeFiles/tab3_accuracy_vs_dimension.dir/tab3_accuracy_vs_dimension.cc.o.d"
+  "tab3_accuracy_vs_dimension"
+  "tab3_accuracy_vs_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_accuracy_vs_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_recognition.dir/language_recognition.cc.o"
+  "CMakeFiles/language_recognition.dir/language_recognition.cc.o.d"
+  "language_recognition"
+  "language_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_topics.dir/news_topics.cc.o"
+  "CMakeFiles/news_topics.dir/news_topics.cc.o.d"
+  "news_topics"
+  "news_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

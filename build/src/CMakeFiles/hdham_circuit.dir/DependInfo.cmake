@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/crossbar.cc" "src/CMakeFiles/hdham_circuit.dir/circuit/crossbar.cc.o" "gcc" "src/CMakeFiles/hdham_circuit.dir/circuit/crossbar.cc.o.d"
+  "/root/repo/src/circuit/lta.cc" "src/CMakeFiles/hdham_circuit.dir/circuit/lta.cc.o" "gcc" "src/CMakeFiles/hdham_circuit.dir/circuit/lta.cc.o.d"
+  "/root/repo/src/circuit/memristor.cc" "src/CMakeFiles/hdham_circuit.dir/circuit/memristor.cc.o" "gcc" "src/CMakeFiles/hdham_circuit.dir/circuit/memristor.cc.o.d"
+  "/root/repo/src/circuit/ml_discharge.cc" "src/CMakeFiles/hdham_circuit.dir/circuit/ml_discharge.cc.o" "gcc" "src/CMakeFiles/hdham_circuit.dir/circuit/ml_discharge.cc.o.d"
+  "/root/repo/src/circuit/sense_amp.cc" "src/CMakeFiles/hdham_circuit.dir/circuit/sense_amp.cc.o" "gcc" "src/CMakeFiles/hdham_circuit.dir/circuit/sense_amp.cc.o.d"
+  "/root/repo/src/circuit/technology.cc" "src/CMakeFiles/hdham_circuit.dir/circuit/technology.cc.o" "gcc" "src/CMakeFiles/hdham_circuit.dir/circuit/technology.cc.o.d"
+  "/root/repo/src/circuit/variation.cc" "src/CMakeFiles/hdham_circuit.dir/circuit/variation.cc.o" "gcc" "src/CMakeFiles/hdham_circuit.dir/circuit/variation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdham_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdham_circuit.dir/circuit/crossbar.cc.o"
+  "CMakeFiles/hdham_circuit.dir/circuit/crossbar.cc.o.d"
+  "CMakeFiles/hdham_circuit.dir/circuit/lta.cc.o"
+  "CMakeFiles/hdham_circuit.dir/circuit/lta.cc.o.d"
+  "CMakeFiles/hdham_circuit.dir/circuit/memristor.cc.o"
+  "CMakeFiles/hdham_circuit.dir/circuit/memristor.cc.o.d"
+  "CMakeFiles/hdham_circuit.dir/circuit/ml_discharge.cc.o"
+  "CMakeFiles/hdham_circuit.dir/circuit/ml_discharge.cc.o.d"
+  "CMakeFiles/hdham_circuit.dir/circuit/sense_amp.cc.o"
+  "CMakeFiles/hdham_circuit.dir/circuit/sense_amp.cc.o.d"
+  "CMakeFiles/hdham_circuit.dir/circuit/technology.cc.o"
+  "CMakeFiles/hdham_circuit.dir/circuit/technology.cc.o.d"
+  "CMakeFiles/hdham_circuit.dir/circuit/variation.cc.o"
+  "CMakeFiles/hdham_circuit.dir/circuit/variation.cc.o.d"
+  "libhdham_circuit.a"
+  "libhdham_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdham_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

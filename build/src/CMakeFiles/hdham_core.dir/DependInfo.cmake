@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assoc_memory.cc" "src/CMakeFiles/hdham_core.dir/core/assoc_memory.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/assoc_memory.cc.o.d"
+  "/root/repo/src/core/bundler.cc" "src/CMakeFiles/hdham_core.dir/core/bundler.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/bundler.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "src/CMakeFiles/hdham_core.dir/core/encoder.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/encoder.cc.o.d"
+  "/root/repo/src/core/hypervector.cc" "src/CMakeFiles/hdham_core.dir/core/hypervector.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/hypervector.cc.o.d"
+  "/root/repo/src/core/item_memory.cc" "src/CMakeFiles/hdham_core.dir/core/item_memory.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/item_memory.cc.o.d"
+  "/root/repo/src/core/level_memory.cc" "src/CMakeFiles/hdham_core.dir/core/level_memory.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/level_memory.cc.o.d"
+  "/root/repo/src/core/ops.cc" "src/CMakeFiles/hdham_core.dir/core/ops.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/ops.cc.o.d"
+  "/root/repo/src/core/packed_rows.cc" "src/CMakeFiles/hdham_core.dir/core/packed_rows.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/packed_rows.cc.o.d"
+  "/root/repo/src/core/random.cc" "src/CMakeFiles/hdham_core.dir/core/random.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/random.cc.o.d"
+  "/root/repo/src/core/record.cc" "src/CMakeFiles/hdham_core.dir/core/record.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/record.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/hdham_core.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/trainable_memory.cc" "src/CMakeFiles/hdham_core.dir/core/trainable_memory.cc.o" "gcc" "src/CMakeFiles/hdham_core.dir/core/trainable_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdham_core.dir/core/assoc_memory.cc.o"
+  "CMakeFiles/hdham_core.dir/core/assoc_memory.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/bundler.cc.o"
+  "CMakeFiles/hdham_core.dir/core/bundler.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/encoder.cc.o"
+  "CMakeFiles/hdham_core.dir/core/encoder.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/hypervector.cc.o"
+  "CMakeFiles/hdham_core.dir/core/hypervector.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/item_memory.cc.o"
+  "CMakeFiles/hdham_core.dir/core/item_memory.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/level_memory.cc.o"
+  "CMakeFiles/hdham_core.dir/core/level_memory.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/ops.cc.o"
+  "CMakeFiles/hdham_core.dir/core/ops.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/packed_rows.cc.o"
+  "CMakeFiles/hdham_core.dir/core/packed_rows.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/random.cc.o"
+  "CMakeFiles/hdham_core.dir/core/random.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/record.cc.o"
+  "CMakeFiles/hdham_core.dir/core/record.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/serialize.cc.o"
+  "CMakeFiles/hdham_core.dir/core/serialize.cc.o.d"
+  "CMakeFiles/hdham_core.dir/core/trainable_memory.cc.o"
+  "CMakeFiles/hdham_core.dir/core/trainable_memory.cc.o.d"
+  "libhdham_core.a"
+  "libhdham_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdham_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

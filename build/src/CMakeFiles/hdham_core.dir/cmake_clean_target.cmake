@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdham_core.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ham/a_ham.cc" "src/CMakeFiles/hdham_ham.dir/ham/a_ham.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/a_ham.cc.o.d"
+  "/root/repo/src/ham/activity.cc" "src/CMakeFiles/hdham_ham.dir/ham/activity.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/activity.cc.o.d"
+  "/root/repo/src/ham/d_ham.cc" "src/CMakeFiles/hdham_ham.dir/ham/d_ham.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/d_ham.cc.o.d"
+  "/root/repo/src/ham/design_space.cc" "src/CMakeFiles/hdham_ham.dir/ham/design_space.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/design_space.cc.o.d"
+  "/root/repo/src/ham/device_a_ham.cc" "src/CMakeFiles/hdham_ham.dir/ham/device_a_ham.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/device_a_ham.cc.o.d"
+  "/root/repo/src/ham/device_r_ham.cc" "src/CMakeFiles/hdham_ham.dir/ham/device_r_ham.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/device_r_ham.cc.o.d"
+  "/root/repo/src/ham/digital_blocks.cc" "src/CMakeFiles/hdham_ham.dir/ham/digital_blocks.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/digital_blocks.cc.o.d"
+  "/root/repo/src/ham/energy_model.cc" "src/CMakeFiles/hdham_ham.dir/ham/energy_model.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/energy_model.cc.o.d"
+  "/root/repo/src/ham/ham.cc" "src/CMakeFiles/hdham_ham.dir/ham/ham.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/ham.cc.o.d"
+  "/root/repo/src/ham/r_ham.cc" "src/CMakeFiles/hdham_ham.dir/ham/r_ham.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/r_ham.cc.o.d"
+  "/root/repo/src/ham/switching.cc" "src/CMakeFiles/hdham_ham.dir/ham/switching.cc.o" "gcc" "src/CMakeFiles/hdham_ham.dir/ham/switching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdham_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdham_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdham_ham.dir/ham/a_ham.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/a_ham.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/activity.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/activity.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/d_ham.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/d_ham.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/design_space.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/design_space.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/device_a_ham.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/device_a_ham.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/device_r_ham.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/device_r_ham.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/digital_blocks.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/digital_blocks.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/energy_model.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/energy_model.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/ham.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/ham.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/r_ham.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/r_ham.cc.o.d"
+  "CMakeFiles/hdham_ham.dir/ham/switching.cc.o"
+  "CMakeFiles/hdham_ham.dir/ham/switching.cc.o.d"
+  "libhdham_ham.a"
+  "libhdham_ham.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdham_ham.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdham_ham.a"
+)

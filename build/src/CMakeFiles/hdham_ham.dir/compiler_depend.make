@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hdham_ham.
+# This may be replaced when dependencies are built.

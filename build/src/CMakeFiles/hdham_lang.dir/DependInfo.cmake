@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/corpus.cc" "src/CMakeFiles/hdham_lang.dir/lang/corpus.cc.o" "gcc" "src/CMakeFiles/hdham_lang.dir/lang/corpus.cc.o.d"
+  "/root/repo/src/lang/language_model.cc" "src/CMakeFiles/hdham_lang.dir/lang/language_model.cc.o" "gcc" "src/CMakeFiles/hdham_lang.dir/lang/language_model.cc.o.d"
+  "/root/repo/src/lang/pipeline.cc" "src/CMakeFiles/hdham_lang.dir/lang/pipeline.cc.o" "gcc" "src/CMakeFiles/hdham_lang.dir/lang/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdham_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

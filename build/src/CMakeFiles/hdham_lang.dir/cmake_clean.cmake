@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdham_lang.dir/lang/corpus.cc.o"
+  "CMakeFiles/hdham_lang.dir/lang/corpus.cc.o.d"
+  "CMakeFiles/hdham_lang.dir/lang/language_model.cc.o"
+  "CMakeFiles/hdham_lang.dir/lang/language_model.cc.o.d"
+  "CMakeFiles/hdham_lang.dir/lang/pipeline.cc.o"
+  "CMakeFiles/hdham_lang.dir/lang/pipeline.cc.o.d"
+  "libhdham_lang.a"
+  "libhdham_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdham_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/emg.cc" "src/CMakeFiles/hdham_signal.dir/signal/emg.cc.o" "gcc" "src/CMakeFiles/hdham_signal.dir/signal/emg.cc.o.d"
+  "/root/repo/src/signal/encoder.cc" "src/CMakeFiles/hdham_signal.dir/signal/encoder.cc.o" "gcc" "src/CMakeFiles/hdham_signal.dir/signal/encoder.cc.o.d"
+  "/root/repo/src/signal/fusion.cc" "src/CMakeFiles/hdham_signal.dir/signal/fusion.cc.o" "gcc" "src/CMakeFiles/hdham_signal.dir/signal/fusion.cc.o.d"
+  "/root/repo/src/signal/pipeline.cc" "src/CMakeFiles/hdham_signal.dir/signal/pipeline.cc.o" "gcc" "src/CMakeFiles/hdham_signal.dir/signal/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdham_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdham_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdham_signal.dir/signal/emg.cc.o"
+  "CMakeFiles/hdham_signal.dir/signal/emg.cc.o.d"
+  "CMakeFiles/hdham_signal.dir/signal/encoder.cc.o"
+  "CMakeFiles/hdham_signal.dir/signal/encoder.cc.o.d"
+  "CMakeFiles/hdham_signal.dir/signal/fusion.cc.o"
+  "CMakeFiles/hdham_signal.dir/signal/fusion.cc.o.d"
+  "CMakeFiles/hdham_signal.dir/signal/pipeline.cc.o"
+  "CMakeFiles/hdham_signal.dir/signal/pipeline.cc.o.d"
+  "libhdham_signal.a"
+  "libhdham_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdham_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

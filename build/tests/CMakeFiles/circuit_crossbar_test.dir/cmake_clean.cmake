@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_crossbar_test.dir/circuit/crossbar_test.cc.o"
+  "CMakeFiles/circuit_crossbar_test.dir/circuit/crossbar_test.cc.o.d"
+  "circuit_crossbar_test"
+  "circuit_crossbar_test.pdb"
+  "circuit_crossbar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_crossbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

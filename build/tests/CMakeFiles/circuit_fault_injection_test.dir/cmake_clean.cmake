@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_fault_injection_test.dir/circuit/fault_injection_test.cc.o"
+  "CMakeFiles/circuit_fault_injection_test.dir/circuit/fault_injection_test.cc.o.d"
+  "circuit_fault_injection_test"
+  "circuit_fault_injection_test.pdb"
+  "circuit_fault_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_fault_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_lta_test.dir/circuit/lta_test.cc.o"
+  "CMakeFiles/circuit_lta_test.dir/circuit/lta_test.cc.o.d"
+  "circuit_lta_test"
+  "circuit_lta_test.pdb"
+  "circuit_lta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_lta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

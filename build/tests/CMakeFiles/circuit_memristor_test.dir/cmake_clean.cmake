@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_memristor_test.dir/circuit/memristor_test.cc.o"
+  "CMakeFiles/circuit_memristor_test.dir/circuit/memristor_test.cc.o.d"
+  "circuit_memristor_test"
+  "circuit_memristor_test.pdb"
+  "circuit_memristor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_memristor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/ml_discharge_test.cc" "tests/CMakeFiles/circuit_ml_discharge_test.dir/circuit/ml_discharge_test.cc.o" "gcc" "tests/CMakeFiles/circuit_ml_discharge_test.dir/circuit/ml_discharge_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdham_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdham_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdham_ham.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdham_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdham_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for circuit_ml_discharge_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_ml_properties_test.dir/circuit/ml_properties_test.cc.o"
+  "CMakeFiles/circuit_ml_properties_test.dir/circuit/ml_properties_test.cc.o.d"
+  "circuit_ml_properties_test"
+  "circuit_ml_properties_test.pdb"
+  "circuit_ml_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_ml_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_sense_amp_test.dir/circuit/sense_amp_test.cc.o"
+  "CMakeFiles/circuit_sense_amp_test.dir/circuit/sense_amp_test.cc.o.d"
+  "circuit_sense_amp_test"
+  "circuit_sense_amp_test.pdb"
+  "circuit_sense_amp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_sense_amp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

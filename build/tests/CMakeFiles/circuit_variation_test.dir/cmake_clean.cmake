@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_variation_test.dir/circuit/variation_test.cc.o"
+  "CMakeFiles/circuit_variation_test.dir/circuit/variation_test.cc.o.d"
+  "circuit_variation_test"
+  "circuit_variation_test.pdb"
+  "circuit_variation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_variation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bundler_test.dir/core/bundler_test.cc.o"
+  "CMakeFiles/core_bundler_test.dir/core/bundler_test.cc.o.d"
+  "core_bundler_test"
+  "core_bundler_test.pdb"
+  "core_bundler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bundler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_encoder_test.dir/core/encoder_test.cc.o"
+  "CMakeFiles/core_encoder_test.dir/core/encoder_test.cc.o.d"
+  "core_encoder_test"
+  "core_encoder_test.pdb"
+  "core_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

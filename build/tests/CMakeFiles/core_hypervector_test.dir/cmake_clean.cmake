@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hypervector_test.dir/core/hypervector_test.cc.o"
+  "CMakeFiles/core_hypervector_test.dir/core/hypervector_test.cc.o.d"
+  "core_hypervector_test"
+  "core_hypervector_test.pdb"
+  "core_hypervector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hypervector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_level_memory_test.dir/core/level_memory_test.cc.o"
+  "CMakeFiles/core_level_memory_test.dir/core/level_memory_test.cc.o.d"
+  "core_level_memory_test"
+  "core_level_memory_test.pdb"
+  "core_level_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_level_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

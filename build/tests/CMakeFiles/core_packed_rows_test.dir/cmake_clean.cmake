@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_packed_rows_test.dir/core/packed_rows_test.cc.o"
+  "CMakeFiles/core_packed_rows_test.dir/core/packed_rows_test.cc.o.d"
+  "core_packed_rows_test"
+  "core_packed_rows_test.pdb"
+  "core_packed_rows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_packed_rows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

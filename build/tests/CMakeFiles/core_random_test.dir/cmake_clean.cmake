@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_random_test.dir/core/random_test.cc.o"
+  "CMakeFiles/core_random_test.dir/core/random_test.cc.o.d"
+  "core_random_test"
+  "core_random_test.pdb"
+  "core_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ham_activity_test.dir/ham/activity_test.cc.o"
+  "CMakeFiles/ham_activity_test.dir/ham/activity_test.cc.o.d"
+  "ham_activity_test"
+  "ham_activity_test.pdb"
+  "ham_activity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ham_activity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ham_design_space_test.dir/ham/design_space_test.cc.o"
+  "CMakeFiles/ham_design_space_test.dir/ham/design_space_test.cc.o.d"
+  "ham_design_space_test"
+  "ham_design_space_test.pdb"
+  "ham_design_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ham_design_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ham_device_a_ham_test.dir/ham/device_a_ham_test.cc.o"
+  "CMakeFiles/ham_device_a_ham_test.dir/ham/device_a_ham_test.cc.o.d"
+  "ham_device_a_ham_test"
+  "ham_device_a_ham_test.pdb"
+  "ham_device_a_ham_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ham_device_a_ham_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

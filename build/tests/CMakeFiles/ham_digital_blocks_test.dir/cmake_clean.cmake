@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ham_digital_blocks_test.dir/ham/digital_blocks_test.cc.o"
+  "CMakeFiles/ham_digital_blocks_test.dir/ham/digital_blocks_test.cc.o.d"
+  "ham_digital_blocks_test"
+  "ham_digital_blocks_test.pdb"
+  "ham_digital_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ham_digital_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ham_digital_blocks_test.
+# This may be replaced when dependencies are built.

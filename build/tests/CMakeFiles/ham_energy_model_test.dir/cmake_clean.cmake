@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ham_energy_model_test.dir/ham/energy_model_test.cc.o"
+  "CMakeFiles/ham_energy_model_test.dir/ham/energy_model_test.cc.o.d"
+  "ham_energy_model_test"
+  "ham_energy_model_test.pdb"
+  "ham_energy_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ham_energy_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ham_interface_test.dir/ham/ham_interface_test.cc.o"
+  "CMakeFiles/ham_interface_test.dir/ham/ham_interface_test.cc.o.d"
+  "ham_interface_test"
+  "ham_interface_test.pdb"
+  "ham_interface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ham_interface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ham_r_ham_edge_test.
+# This may be replaced when dependencies are built.

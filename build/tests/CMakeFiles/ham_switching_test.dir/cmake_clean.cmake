@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ham_switching_test.dir/ham/switching_test.cc.o"
+  "CMakeFiles/ham_switching_test.dir/ham/switching_test.cc.o.d"
+  "ham_switching_test"
+  "ham_switching_test.pdb"
+  "ham_switching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ham_switching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

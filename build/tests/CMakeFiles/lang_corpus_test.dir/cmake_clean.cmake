@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_corpus_test.dir/lang/corpus_test.cc.o"
+  "CMakeFiles/lang_corpus_test.dir/lang/corpus_test.cc.o.d"
+  "lang_corpus_test"
+  "lang_corpus_test.pdb"
+  "lang_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

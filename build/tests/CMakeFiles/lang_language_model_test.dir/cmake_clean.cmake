@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_language_model_test.dir/lang/language_model_test.cc.o"
+  "CMakeFiles/lang_language_model_test.dir/lang/language_model_test.cc.o.d"
+  "lang_language_model_test"
+  "lang_language_model_test.pdb"
+  "lang_language_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_language_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

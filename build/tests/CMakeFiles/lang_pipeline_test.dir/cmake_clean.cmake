@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_pipeline_test.dir/lang/pipeline_test.cc.o"
+  "CMakeFiles/lang_pipeline_test.dir/lang/pipeline_test.cc.o.d"
+  "lang_pipeline_test"
+  "lang_pipeline_test.pdb"
+  "lang_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_golden_test.dir/integration/model_golden_test.cc.o"
+  "CMakeFiles/model_golden_test.dir/integration/model_golden_test.cc.o.d"
+  "model_golden_test"
+  "model_golden_test.pdb"
+  "model_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_fusion_test.dir/signal/fusion_test.cc.o"
+  "CMakeFiles/signal_fusion_test.dir/signal/fusion_test.cc.o.d"
+  "signal_fusion_test"
+  "signal_fusion_test.pdb"
+  "signal_fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdham_cli.dir/hdham_cli.cc.o"
+  "CMakeFiles/hdham_cli.dir/hdham_cli.cc.o.d"
+  "hdham"
+  "hdham.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdham_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
