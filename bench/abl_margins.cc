@@ -36,7 +36,8 @@ main()
     RunningStats margins(true);
     RunningStats correctMargins(true);
     for (const auto &query : pipeline->queries()) {
-        const auto result = pipeline->memory().search(query.vector);
+        const auto result =
+            pipeline->memory().searchDetailed(query.vector);
         margins.add(static_cast<double>(result.margin()));
         if (result.classId == query.trueLang)
             correctMargins.add(static_cast<double>(result.margin()));
@@ -75,7 +76,7 @@ main()
         double atRisk = 0.0;
         for (const auto &query : pipeline->queries()) {
             const auto result =
-                pipeline->memory().search(query.vector);
+                pipeline->memory().searchDetailed(query.vector);
             atRisk += result.margin() < md;
         }
         atRisk /= static_cast<double>(pipeline->queries().size());

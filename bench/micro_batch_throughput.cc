@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Batched-search throughput microbenchmarks (google-benchmark):
+ * queries/second of the software associative memory and of each
+ * behavioral HAM design when a batch of queries is scanned with
+ * 1, 2, 4 and 8 worker threads.
+ *
+ * Wall-clock time is what matters for a parallel scan, so every
+ * benchmark uses UseRealTime(). Emit machine-readable results with
+ * --benchmark_format=json, as for micro_software_am.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "core/hypervector.hh"
+#include "core/random.hh"
+#include "ham/a_ham.hh"
+#include "ham/d_ham.hh"
+#include "ham/r_ham.hh"
+
+namespace
+{
+
+using namespace hdham;
+
+constexpr std::size_t kDim = 10000;
+constexpr std::size_t kClasses = 100;
+constexpr std::size_t kBatch = 256;
+
+std::vector<Hypervector>
+makeQueries(std::size_t dim, std::size_t count, Rng &rng)
+{
+    std::vector<Hypervector> queries;
+    queries.reserve(count);
+    for (std::size_t q = 0; q < count; ++q)
+        queries.push_back(Hypervector::random(dim, rng));
+    return queries;
+}
+
+void
+BM_SoftwareBatchSearch(benchmark::State &state)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    Rng rng(11);
+    AssociativeMemory am(kDim);
+    for (std::size_t c = 0; c < kClasses; ++c)
+        am.store(Hypervector::random(kDim, rng));
+    const auto queries = makeQueries(kDim, kBatch, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(am.searchBatch(queries, threads));
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SoftwareBatchSearch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+template <typename HamT, typename ConfigT>
+void
+hamBatchBenchmark(benchmark::State &state,
+                  const ConfigT &config)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    Rng rng(12);
+    HamT ham(config);
+    for (std::size_t c = 0; c < 21; ++c)
+        ham.store(Hypervector::random(config.dim, rng));
+    const auto queries = makeQueries(config.dim, kBatch, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ham.searchBatch(queries, threads));
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+BM_DHamBatchSearch(benchmark::State &state)
+{
+    ham::DHamConfig cfg;
+    cfg.dim = kDim;
+    hamBatchBenchmark<ham::DHam>(state, cfg);
+}
+BENCHMARK(BM_DHamBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
+
+void
+BM_RHamBatchSearch(benchmark::State &state)
+{
+    ham::RHamConfig cfg;
+    cfg.dim = kDim;
+    cfg.overscaledBlocks = cfg.totalBlocks();
+    hamBatchBenchmark<ham::RHam>(state, cfg);
+}
+BENCHMARK(BM_RHamBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
+
+void
+BM_AHamBatchSearch(benchmark::State &state)
+{
+    ham::AHamConfig cfg;
+    cfg.dim = kDim;
+    hamBatchBenchmark<ham::AHam>(state, cfg);
+}
+BENCHMARK(BM_AHamBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -9,7 +9,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "core/parallel_for.hh"
 #include "ham/a_ham.hh"
 #include "ham/d_ham.hh"
 #include "ham/r_ham.hh"
@@ -33,10 +35,12 @@ main()
     SpatioTemporalConfig encCfg;
     const GesturePipeline pipeline(corpus, encCfg);
 
-    const auto exact = pipeline.evaluateExact();
-    std::printf("\nexact search: %.1f%% (%zu/%zu), min class margin "
-                "%zu bits\n",
-                100.0 * exact.accuracy(), exact.correct, exact.total,
+    const std::size_t threads = resolveThreads(0);
+    const auto exact = pipeline.evaluateExact(threads);
+    std::printf("\nexact search (%zu threads): %.1f%% (%zu/%zu), min "
+                "class margin %zu bits\n",
+                threads, 100.0 * exact.accuracy(), exact.correct,
+                exact.total,
                 pipeline.memory().minPairwiseDistance());
 
     std::printf("\nper-gesture recall (exact):\n");
@@ -51,9 +55,13 @@ main()
 
     const auto evaluate = [&](Ham &ham) {
         ham.loadFrom(pipeline.memory());
-        const auto eval =
-            pipeline.evaluate([&](const Hypervector &query) {
-                return ham.search(query).classId;
+        const auto eval = pipeline.evaluateBatch(
+            [&](const std::vector<Hypervector> &queries) {
+                std::vector<std::size_t> predictions;
+                for (const auto &hit :
+                     ham.searchBatch(queries, threads))
+                    predictions.push_back(hit.classId);
+                return predictions;
             });
         std::printf("  %-20s %.1f%%\n", ham.name().c_str(),
                     100.0 * eval.accuracy());

@@ -13,7 +13,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "core/parallel_for.hh"
 #include "ham/a_ham.hh"
 #include "ham/d_ham.hh"
 #include "ham/energy_model.hh"
@@ -45,19 +47,25 @@ main(int argc, char **argv)
     std::printf("training and encoding at D = %zu...\n", dim);
     const RecognitionPipeline pipeline(corpus, pipeCfg);
 
-    const auto exact = pipeline.evaluateExact();
-    std::printf("\nexact software search: %.1f%% (%zu/%zu), "
-                "macro-F1 %.3f, min class margin %zu bits\n\n",
-                100.0 * exact.accuracy(), exact.correct, exact.total,
-                exact.macroF1(),
+    const std::size_t threads = resolveThreads(0);
+    const auto exact = pipeline.evaluateExact(threads);
+    std::printf("\nexact software search (%zu threads): %.1f%% "
+                "(%zu/%zu), macro-F1 %.3f, min class margin %zu "
+                "bits\n\n",
+                threads, 100.0 * exact.accuracy(), exact.correct,
+                exact.total, exact.macroF1(),
                 pipeline.memory().minPairwiseDistance());
 
     const std::size_t classes = pipeline.memory().size();
     const auto report = [&](Ham &ham, const CostEstimate &cost) {
         ham.loadFrom(pipeline.memory());
-        const auto eval =
-            pipeline.evaluate([&](const Hypervector &query) {
-                return ham.search(query).classId;
+        const auto eval = pipeline.evaluateBatch(
+            [&](const std::vector<Hypervector> &queries) {
+                std::vector<std::size_t> predictions;
+                for (const auto &hit :
+                     ham.searchBatch(queries, threads))
+                    predictions.push_back(hit.classId);
+                return predictions;
             });
         std::printf("%-6s accuracy %.1f%% | energy %9.2f pJ | "
                     "delay %7.2f ns | area %5.2f mm^2\n",

@@ -10,7 +10,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "core/parallel_for.hh"
 #include "core/serialize.hh"
 #include "ham/r_ham.hh"
 #include "lang/corpus.hh"
@@ -44,12 +46,17 @@ main(int argc, char **argv)
                 deployed.size(), deployed.labelOf(0).c_str(),
                 deployed.labelOf(deployed.size() - 1).c_str());
 
+    // Batch the agreement check through both memories at once.
+    const std::size_t threads = resolveThreads(0);
+    const auto deployedHits =
+        deployed.searchBatch(pipeline.queryVectors(), threads);
+    const auto trainedHits =
+        pipeline.memory().searchBatch(pipeline.queryVectors(),
+                                      threads);
     std::size_t agreements = 0;
-    for (const auto &query : pipeline.queries()) {
-        if (deployed.search(query.vector).classId ==
-            pipeline.memory().search(query.vector).classId) {
+    for (std::size_t q = 0; q < deployedHits.size(); ++q) {
+        if (deployedHits[q].classId == trainedHits[q].classId)
             ++agreements;
-        }
     }
     std::printf("deployed software AM agrees on %zu/%zu queries\n",
                 agreements, pipeline.queries().size());

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/parallel_for.hh"
+
 namespace hdham
 {
 
@@ -20,26 +22,25 @@ SearchResult::margin() const
     return runnerUp - bestDistance;
 }
 
-AssociativeMemory::AssociativeMemory(std::size_t dim) : dimension(dim)
+AssociativeMemory::AssociativeMemory(std::size_t dim) : rows(dim)
 {
 }
 
 std::size_t
 AssociativeMemory::store(const Hypervector &hv, std::string label)
 {
-    if (hv.dim() != dimension)
+    if (hv.dim() != rows.dim())
         throw std::invalid_argument("AssociativeMemory::store: "
                                     "dimension mismatch");
-    learned.push_back(hv);
     labels.push_back(std::move(label));
-    return learned.size() - 1;
+    return rows.append(hv);
 }
 
-const Hypervector &
+Hypervector
 AssociativeMemory::vectorOf(std::size_t id) const
 {
-    assert(id < learned.size());
-    return learned[id];
+    assert(id < rows.rows());
+    return rows.rowVector(id);
 }
 
 const std::string &
@@ -52,26 +53,35 @@ AssociativeMemory::labelOf(std::size_t id) const
 SearchResult
 AssociativeMemory::search(const Hypervector &query) const
 {
-    return searchSampled(query, dimension);
+    return searchSampled(query, rows.dim());
 }
 
 SearchResult
 AssociativeMemory::searchSampled(const Hypervector &query,
                                  std::size_t prefix) const
 {
-    if (learned.empty())
+    if (rows.rows() == 0)
         throw std::logic_error("AssociativeMemory: empty search");
-    assert(query.dim() == dimension);
-    assert(prefix <= dimension);
+    assert(query.dim() == rows.dim());
+    assert(prefix <= rows.dim());
 
     SearchResult result;
-    result.distances.reserve(learned.size());
+    result.classId =
+        rows.nearest(query, prefix, &result.bestDistance);
+    return result;
+}
+
+SearchResult
+AssociativeMemory::searchDetailed(const Hypervector &query) const
+{
+    if (rows.rows() == 0)
+        throw std::logic_error("AssociativeMemory: empty search");
+    SearchResult result;
+    rows.distances(query, rows.dim(), result.distances);
     std::size_t best = std::numeric_limits<std::size_t>::max();
-    for (std::size_t id = 0; id < learned.size(); ++id) {
-        const std::size_t d = learned[id].hammingPrefix(query, prefix);
-        result.distances.push_back(d);
-        if (d < best) {
-            best = d;
+    for (std::size_t id = 0; id < result.distances.size(); ++id) {
+        if (result.distances[id] < best) {
+            best = result.distances[id];
             result.classId = id;
         }
     }
@@ -79,16 +89,35 @@ AssociativeMemory::searchSampled(const Hypervector &query,
     return result;
 }
 
+std::vector<SearchResult>
+AssociativeMemory::searchBatch(const std::vector<Hypervector> &queries,
+                               std::size_t threads) const
+{
+    if (rows.rows() == 0)
+        throw std::logic_error("AssociativeMemory: empty search");
+    std::vector<SearchResult> results(queries.size());
+    const std::size_t prefix = rows.dim();
+    parallelFor(queries.size(), threads,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t q = begin; q < end; ++q) {
+                        results[q].classId =
+                            rows.nearest(queries[q], prefix,
+                                         &results[q].bestDistance);
+                    }
+                });
+    return results;
+}
+
 std::vector<RankedMatch>
 AssociativeMemory::searchTopK(const Hypervector &query,
                               std::size_t k) const
 {
-    if (learned.empty())
+    if (rows.rows() == 0)
         throw std::logic_error("AssociativeMemory: empty search");
     std::vector<RankedMatch> ranked;
-    ranked.reserve(learned.size());
-    for (std::size_t id = 0; id < learned.size(); ++id)
-        ranked.push_back({id, learned[id].hamming(query)});
+    ranked.reserve(rows.rows());
+    for (std::size_t id = 0; id < rows.rows(); ++id)
+        ranked.push_back({id, rows.distance(id, query, rows.dim())});
     std::sort(ranked.begin(), ranked.end(),
               [](const RankedMatch &a, const RankedMatch &b) {
                   return a.distance != b.distance
@@ -103,11 +132,13 @@ AssociativeMemory::searchTopK(const Hypervector &query,
 std::size_t
 AssociativeMemory::minPairwiseDistance() const
 {
-    assert(learned.size() >= 2);
+    assert(rows.rows() >= 2);
     std::size_t best = std::numeric_limits<std::size_t>::max();
-    for (std::size_t i = 0; i < learned.size(); ++i)
-        for (std::size_t j = i + 1; j < learned.size(); ++j)
-            best = std::min(best, learned[i].hamming(learned[j]));
+    for (std::size_t j = 1; j < rows.rows(); ++j) {
+        const Hypervector hv = rows.rowVector(j);
+        for (std::size_t i = 0; i < j; ++i)
+            best = std::min(best, rows.distance(i, hv, rows.dim()));
+    }
     return best;
 }
 

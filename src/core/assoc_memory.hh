@@ -3,9 +3,18 @@
  * Software associative memory: the exact nearest-Hamming-distance
  * oracle every hardware HAM design is measured against.
  *
- * Stores one learned hypervector per class; a query returns the class
- * with the minimum Hamming distance (ties resolved to the lowest class
- * id, matching a deterministic comparator tree).
+ * Stores one learned hypervector per class in a dense PackedRows
+ * array -- the software analogue of the hardware CAM array -- so a
+ * query (or a whole batch of queries) is a straight scan over
+ * contiguous words. A query returns the class with the minimum
+ * Hamming distance (ties resolved to the lowest class id, matching a
+ * deterministic comparator tree).
+ *
+ * The fast paths (search, searchSampled, searchBatch) never allocate
+ * per query: they report only the winner and its distance. The full
+ * per-class distance vector is opt-in via searchDetailed, which is
+ * what margin analysis needs and the only path that pays for the
+ * vector.
  */
 
 #ifndef HDHAM_CORE_ASSOC_MEMORY_HH
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "core/hypervector.hh"
+#include "core/packed_rows.hh"
 
 namespace hdham
 {
@@ -27,14 +37,19 @@ struct SearchResult
     std::size_t classId = 0;
     /** Hamming distance of the winner. */
     std::size_t bestDistance = 0;
-    /** Distance of every stored class to the query. */
+    /**
+     * Distance of every stored class to the query. Filled only by
+     * searchDetailed; the fast paths leave it empty so serving a
+     * query costs no heap allocation.
+     */
     std::vector<std::size_t> distances;
 
     /**
      * Decision margin: distance gap between the runner-up and the
-     * winner. Zero when fewer than two classes are stored. This is
-     * the quantity approximate hardware must resolve (e.g. A-HAM's
-     * minimum detectable distance).
+     * winner. Requires the full distance vector (searchDetailed);
+     * zero when distances are absent or fewer than two classes are
+     * stored. This is the quantity approximate hardware must resolve
+     * (e.g. A-HAM's minimum detectable distance).
      */
     std::size_t margin() const;
 };
@@ -56,10 +71,10 @@ class AssociativeMemory
     explicit AssociativeMemory(std::size_t dim);
 
     /** Dimensionality. */
-    std::size_t dim() const { return dimension; }
+    std::size_t dim() const { return rows.dim(); }
 
     /** Number of stored classes. */
-    std::size_t size() const { return learned.size(); }
+    std::size_t size() const { return rows.rows(); }
 
     /**
      * Store a learned hypervector; returns its class id (insertion
@@ -67,15 +82,21 @@ class AssociativeMemory
      */
     std::size_t store(const Hypervector &hv, std::string label = "");
 
-    /** Learned hypervector of class @p id. @pre id < size(). */
-    const Hypervector &vectorOf(std::size_t id) const;
+    /**
+     * Learned hypervector of class @p id, rematerialized from the
+     * dense row store. @pre id < size().
+     */
+    Hypervector vectorOf(std::size_t id) const;
 
     /** Label of class @p id (may be empty). @pre id < size(). */
     const std::string &labelOf(std::size_t id) const;
 
+    /** The dense row store backing the scans. */
+    const PackedRows &storage() const { return rows; }
+
     /**
-     * Exact nearest-distance search.
-     * @pre size() > 0 and query.dim() == dim().
+     * Exact nearest-distance search (winner + distance only; no
+     * allocation). @pre size() > 0 and query.dim() == dim().
      */
     SearchResult search(const Hypervector &query) const;
 
@@ -87,6 +108,24 @@ class AssociativeMemory
      */
     SearchResult searchSampled(const Hypervector &query,
                                std::size_t prefix) const;
+
+    /**
+     * Exact search that additionally fills SearchResult::distances
+     * with every class's distance (enables margin()).
+     * @pre size() > 0.
+     */
+    SearchResult searchDetailed(const Hypervector &query) const;
+
+    /**
+     * Batched exact search: one result per query, parallelized over
+     * the batch with @p threads workers (0 = all hardware threads).
+     * Bit-identical to calling search() per query in order, for
+     * every thread count and batch split.
+     * @pre size() > 0 and every query.dim() == dim().
+     */
+    std::vector<SearchResult>
+    searchBatch(const std::vector<Hypervector> &queries,
+                std::size_t threads = 1) const;
 
     /**
      * The @p k nearest classes, sorted by ascending distance (ties
@@ -105,8 +144,8 @@ class AssociativeMemory
     std::size_t minPairwiseDistance() const;
 
   private:
-    std::size_t dimension;
-    std::vector<Hypervector> learned;
+    /** Dense row-major class store (the CAM array analogue). */
+    PackedRows rows;
     std::vector<std::string> labels;
 };
 

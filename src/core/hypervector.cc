@@ -54,6 +54,16 @@ Hypervector::fromString(const std::string &bits)
     return hv;
 }
 
+Hypervector
+Hypervector::fromWords(std::size_t dim, const std::uint64_t *words)
+{
+    Hypervector hv(dim);
+    std::copy(words, words + hv.storage.size(),
+              hv.storage.begin());
+    hv.clearTail();
+    return hv;
+}
+
 bool
 Hypervector::get(std::size_t i) const
 {

@@ -61,6 +61,16 @@ class Hypervector
     /** Parse from a string of '0'/'1' characters (for tests). */
     static Hypervector fromString(const std::string &bits);
 
+    /**
+     * Construct from packed little-endian words (bit i of the vector
+     * is bit i%64 of words[i/64]); reads ceil(dim/64) words. Any set
+     * bits beyond @p dim in the final word are cleared, preserving
+     * the clean-tail invariant. This is the word-rate path dense row
+     * stores use to rematerialize a row.
+     */
+    static Hypervector fromWords(std::size_t dim,
+                                 const std::uint64_t *words);
+
     /** Dimensionality D. */
     std::size_t dim() const { return numBits; }
 

@@ -33,11 +33,7 @@ Hypervector
 PackedRows::rowVector(std::size_t row) const
 {
     assert(row < numRows);
-    Hypervector hv(numBits);
-    const std::uint64_t *data = rowData(row);
-    for (std::size_t i = 0; i < numBits; ++i)
-        hv.set(i, (data[i / 64] >> (i % 64)) & 1ULL);
-    return hv;
+    return Hypervector::fromWords(numBits, rowData(row));
 }
 
 std::size_t

@@ -102,6 +102,26 @@ class Rng
     double spare = 0.0;
 };
 
+/**
+ * Seed of the @p index -th counter-derived substream of @p seed.
+ *
+ * Substream k is seeded with the k-th output of SplitMix64(seed), so
+ * sibling substreams are decorrelated and a substream depends only on
+ * (seed, index) -- never on how many draws other substreams made.
+ * This is what makes batched stochastic searches bit-identical to the
+ * sequential loop regardless of thread count or batch split: query k
+ * always senses through Rng(substreamSeed(seed, k)).
+ */
+inline std::uint64_t
+substreamSeed(std::uint64_t seed, std::uint64_t index)
+{
+    constexpr std::uint64_t gamma = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = seed + (index + 1) * gamma;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace hdham
 
 #endif // HDHAM_CORE_RANDOM_HH

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/parallel_for.hh"
+
 namespace hdham::ham
 {
 
@@ -10,8 +12,7 @@ AHam::AHam(const AHamConfig &config)
     : cfg(config),
       summer(cfg.current, cfg.mirrorBeta,
              (cfg.dim + cfg.effectiveStages() - 1) /
-                 cfg.effectiveStages()),
-      rng(cfg.seed)
+                 cfg.effectiveStages())
 {
     if (cfg.dim == 0)
         throw std::invalid_argument("AHam: zero dimension");
@@ -32,12 +33,12 @@ AHam::store(const Hypervector &hv)
 }
 
 HamResult
-AHam::search(const Hypervector &query)
+AHam::searchIndexed(const Hypervector &query,
+                    std::uint64_t index) const
 {
-    if (rows.empty())
-        throw std::logic_error("AHam::search: no stored classes");
     assert(query.dim() == cfg.dim);
 
+    Rng rng(substreamSeed(cfg.seed, index));
     const std::size_t stages = cfg.effectiveStages();
     const std::size_t stageWidth = (cfg.dim + stages - 1) / stages;
 
@@ -71,6 +72,34 @@ AHam::search(const Hypervector &query)
     result.reportedDistance =
         rows[result.classId].hamming(query);
     return result;
+}
+
+HamResult
+AHam::search(const Hypervector &query)
+{
+    if (rows.empty())
+        throw std::logic_error("AHam::search: no stored classes");
+    return searchIndexed(query, nextQueryIndex++);
+}
+
+std::vector<HamResult>
+AHam::searchBatch(const std::vector<Hypervector> &queries,
+                  std::size_t threads)
+{
+    if (rows.empty())
+        throw std::logic_error("AHam::searchBatch: no stored "
+                               "classes");
+    const std::uint64_t first = nextQueryIndex;
+    nextQueryIndex += queries.size();
+    std::vector<HamResult> results(queries.size());
+    parallelFor(queries.size(), threads,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t q = begin; q < end; ++q) {
+                        results[q] =
+                            searchIndexed(queries[q], first + q);
+                    }
+                });
+    return results;
 }
 
 std::size_t

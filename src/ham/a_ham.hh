@@ -82,6 +82,17 @@ class AHam : public Ham
     std::size_t store(const Hypervector &hv) override;
     HamResult search(const Hypervector &query) override;
 
+    /**
+     * Batched search parallelized over queries. Mirror and
+     * comparator noise for query k comes from
+     * substreamSeed(seed, n + k) where n is the number of queries
+     * served so far, so the results match the sequential search()
+     * loop bit for bit regardless of thread count or batch split.
+     */
+    std::vector<HamResult>
+    searchBatch(const std::vector<Hypervector> &queries,
+                std::size_t threads = 1) override;
+
     const AHamConfig &config() const { return cfg; }
 
     /**
@@ -91,10 +102,18 @@ class AHam : public Ham
     std::size_t minDetectableDistance() const;
 
   private:
+    /**
+     * One search with noise drawn from the substream of query
+     * @p index.
+     */
+    HamResult searchIndexed(const Hypervector &query,
+                            std::uint64_t index) const;
+
     AHamConfig cfg;
     circuit::MultistageCurrentSum summer;
     std::vector<Hypervector> rows;
-    Rng rng;
+    /** Lifetime query counter selecting the per-query substream. */
+    std::uint64_t nextQueryIndex = 0;
 };
 
 } // namespace hdham::ham

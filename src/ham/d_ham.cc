@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/parallel_for.hh"
+
 namespace hdham::ham
 {
 
@@ -39,6 +41,27 @@ DHam::search(const Hypervector &query)
         rows.nearest(query, cfg.effectiveDim(),
                      &result.reportedDistance);
     return result;
+}
+
+std::vector<HamResult>
+DHam::searchBatch(const std::vector<Hypervector> &queries,
+                  std::size_t threads)
+{
+    if (rows.rows() == 0)
+        throw std::logic_error("DHam::searchBatch: no stored "
+                               "classes");
+    std::vector<HamResult> results(queries.size());
+    const std::size_t prefix = cfg.effectiveDim();
+    parallelFor(queries.size(), threads,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t q = begin; q < end; ++q) {
+                        assert(queries[q].dim() == cfg.dim);
+                        results[q].classId = rows.nearest(
+                            queries[q], prefix,
+                            &results[q].reportedDistance);
+                    }
+                });
+    return results;
 }
 
 } // namespace hdham::ham

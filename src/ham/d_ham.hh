@@ -59,6 +59,15 @@ class DHam : public Ham
     std::size_t store(const Hypervector &hv) override;
     HamResult search(const Hypervector &query) override;
 
+    /**
+     * Batched search: the dense array scan parallelized over
+     * queries. D-HAM is exact, so this is trivially identical to
+     * the sequential loop.
+     */
+    std::vector<HamResult>
+    searchBatch(const std::vector<Hypervector> &queries,
+                std::size_t threads = 1) override;
+
     const DHamConfig &config() const { return cfg; }
 
   private:

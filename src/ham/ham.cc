@@ -3,6 +3,20 @@
 namespace hdham::ham
 {
 
+std::vector<HamResult>
+Ham::searchBatch(const std::vector<Hypervector> &queries,
+                 std::size_t /*threads*/)
+{
+    // Sequential reference path; designs with an index-derived noise
+    // stream override this with a parallel scan that matches it
+    // bit for bit.
+    std::vector<HamResult> results;
+    results.reserve(queries.size());
+    for (const Hypervector &query : queries)
+        results.push_back(search(query));
+    return results;
+}
+
 void
 Ham::loadFrom(const AssociativeMemory &memory)
 {

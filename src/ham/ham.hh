@@ -43,6 +43,14 @@ struct HamResult
  * Searches may be stochastic (R-HAM sensing jitter, A-HAM comparator
  * noise), so search() is non-const only in its use of the internal
  * random stream; stored contents never change during search.
+ *
+ * Stochastic designs draw their noise from per-query counter-derived
+ * substreams (substreamSeed(seed, queryIndex), where the query index
+ * counts every query served over the design's lifetime). That makes
+ * the result of a query depend only on the seed and its position in
+ * the query stream -- so searchBatch() is bit-identical to the
+ * equivalent sequence of search() calls, for any thread count and
+ * any batch split.
  */
 class Ham
 {
@@ -66,6 +74,18 @@ class Ham
      * @pre size() > 0 and query.dim() == dim().
      */
     virtual HamResult search(const Hypervector &query) = 0;
+
+    /**
+     * Batched search: one result per query, in order. The base
+     * implementation is the sequential loop; the behavioral designs
+     * override it with a scan parallelized over queries (@p threads
+     * workers, 0 = all hardware threads) that is guaranteed
+     * bit-identical to that loop.
+     * @pre size() > 0 and every query.dim() == dim().
+     */
+    virtual std::vector<HamResult>
+    searchBatch(const std::vector<Hypervector> &queries,
+                std::size_t threads = 1);
 
     /** Convenience: store every vector of a trained software AM. */
     void loadFrom(const AssociativeMemory &memory);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/parallel_for.hh"
+
 namespace hdham::ham
 {
 
@@ -27,8 +29,7 @@ RHam::RHam(const RHamConfig &config)
       nominal(blockConfig(cfg.blockBits,
                           circuit::Technology::instance().vddNominal)),
       overscaled(blockConfig(cfg.blockBits, cfg.overscaledVdd)),
-      deepOverscaled(blockConfig(cfg.blockBits, cfg.deepOverscaledVdd)),
-      rng(cfg.seed)
+      deepOverscaled(blockConfig(cfg.blockBits, cfg.deepOverscaledVdd))
 {
     if (cfg.dim == 0)
         throw std::invalid_argument("RHam: zero dimension");
@@ -82,7 +83,8 @@ RHam::histogramRange(const Hypervector &row, const Hypervector &query,
 
 std::size_t
 RHam::senseTotal(const Histogram &hist,
-                 const std::vector<std::vector<double>> &senseDist)
+                 const std::vector<std::vector<double>> &senseDist,
+                 Rng &rng) const
 {
     std::size_t total = 0;
     for (std::size_t d = 0; d <= cfg.blockBits; ++d) {
@@ -114,10 +116,9 @@ RHam::senseTotal(const Histogram &hist,
 }
 
 HamResult
-RHam::search(const Hypervector &query)
+RHam::searchIndexed(const Hypervector &query,
+                    std::uint64_t index) const
 {
-    if (rows.empty())
-        throw std::logic_error("RHam::search: no stored classes");
     assert(query.dim() == cfg.dim);
 
     const std::size_t active = cfg.activeBlocks();
@@ -125,6 +126,7 @@ RHam::search(const Hypervector &query)
     const std::size_t deepEnd =
         overscaledCount + cfg.deepOverscaledBlocks;
 
+    Rng rng(substreamSeed(cfg.seed, index));
     HamResult result;
     std::size_t best = std::numeric_limits<std::size_t>::max();
     for (std::size_t id = 0; id < rows.size(); ++id) {
@@ -136,9 +138,9 @@ RHam::search(const Hypervector &query)
                        histDeep);
         histogramRange(rows[id], query, deepEnd, active, histNom);
         const std::size_t sensed =
-            senseTotal(histOvs, senseOverscaled) +
-            senseTotal(histDeep, senseDeep) +
-            senseTotal(histNom, senseNominal);
+            senseTotal(histOvs, senseOverscaled, rng) +
+            senseTotal(histDeep, senseDeep, rng) +
+            senseTotal(histNom, senseNominal, rng);
         if (sensed < best) {
             best = sensed;
             result.classId = id;
@@ -146,6 +148,34 @@ RHam::search(const Hypervector &query)
     }
     result.reportedDistance = best;
     return result;
+}
+
+HamResult
+RHam::search(const Hypervector &query)
+{
+    if (rows.empty())
+        throw std::logic_error("RHam::search: no stored classes");
+    return searchIndexed(query, nextQueryIndex++);
+}
+
+std::vector<HamResult>
+RHam::searchBatch(const std::vector<Hypervector> &queries,
+                  std::size_t threads)
+{
+    if (rows.empty())
+        throw std::logic_error("RHam::searchBatch: no stored "
+                               "classes");
+    const std::uint64_t first = nextQueryIndex;
+    nextQueryIndex += queries.size();
+    std::vector<HamResult> results(queries.size());
+    parallelFor(queries.size(), threads,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t q = begin; q < end; ++q) {
+                        results[q] =
+                            searchIndexed(queries[q], first + q);
+                    }
+                });
+    return results;
 }
 
 std::size_t

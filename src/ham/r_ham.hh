@@ -93,6 +93,17 @@ class RHam : public Ham
     std::size_t store(const Hypervector &hv) override;
     HamResult search(const Hypervector &query) override;
 
+    /**
+     * Batched search parallelized over queries. Sensing noise for
+     * query k of the batch comes from substreamSeed(seed, n + k)
+     * where n is the number of queries served so far, so the results
+     * match the sequential search() loop bit for bit regardless of
+     * thread count or batch split.
+     */
+    std::vector<HamResult>
+    searchBatch(const std::vector<Hypervector> &queries,
+                std::size_t threads = 1) override;
+
     const RHamConfig &config() const { return cfg; }
 
     /** Match-line model of the nominal-voltage blocks. */
@@ -136,11 +147,19 @@ class RHam : public Ham
 
     /**
      * Draw the total sensed distance for @p hist blocks through the
-     * sensing distributions of @p senseDist.
+     * sensing distributions of @p senseDist, consuming @p rng.
      */
     std::size_t
     senseTotal(const Histogram &hist,
-               const std::vector<std::vector<double>> &senseDist);
+               const std::vector<std::vector<double>> &senseDist,
+               Rng &rng) const;
+
+    /**
+     * One search with noise drawn from the substream of query
+     * @p index.
+     */
+    HamResult searchIndexed(const Hypervector &query,
+                            std::uint64_t index) const;
 
     RHamConfig cfg;
     circuit::MatchLineModel nominal;
@@ -153,7 +172,8 @@ class RHam : public Ham
     /** Same at the deep overscaled supply. */
     std::vector<std::vector<double>> senseDeep;
     std::vector<Hypervector> rows;
-    Rng rng;
+    /** Lifetime query counter selecting the per-query substream. */
+    std::uint64_t nextQueryIndex = 0;
 };
 
 } // namespace hdham::ham

@@ -1,6 +1,7 @@
 #include "lang/pipeline.hh"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "core/bundler.hh"
 #include "core/random.hh"
@@ -53,6 +54,28 @@ Evaluation::macroF1() const
     return sum / static_cast<double>(confusion.size());
 }
 
+Evaluation
+scorePredictions(const std::vector<LabeledQuery> &queries,
+                 std::size_t numClasses,
+                 const std::vector<std::size_t> &predictions)
+{
+    if (predictions.size() != queries.size())
+        throw std::invalid_argument("scorePredictions: one prediction "
+                                    "per query required");
+    Evaluation eval;
+    eval.confusion.assign(numClasses,
+                          std::vector<std::size_t>(numClasses, 0));
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const std::size_t predicted = predictions[q];
+        assert(predicted < numClasses);
+        ++eval.confusion[queries[q].trueLang][predicted];
+        if (predicted == queries[q].trueLang)
+            ++eval.correct;
+        ++eval.total;
+    }
+    return eval;
+}
+
 RecognitionPipeline::RecognitionPipeline(const SyntheticCorpus &corpus,
                                          const PipelineConfig &config)
     : cfg(config),
@@ -79,6 +102,9 @@ RecognitionPipeline::RecognitionPipeline(const SyntheticCorpus &corpus,
                 LabeledQuery{encoder.encode(sentence, rng), lang});
         }
     }
+    encodedQueries.reserve(tests.size());
+    for (const LabeledQuery &test : tests)
+        encodedQueries.push_back(test.vector);
 }
 
 Evaluation
@@ -86,26 +112,31 @@ RecognitionPipeline::evaluate(
     const std::function<std::size_t(const Hypervector &)> &classify)
     const
 {
-    Evaluation eval;
-    eval.confusion.assign(numLanguages,
-                          std::vector<std::size_t>(numLanguages, 0));
-    for (const auto &query : tests) {
-        const std::size_t predicted = classify(query.vector);
-        assert(predicted < numLanguages);
-        ++eval.confusion[query.trueLang][predicted];
-        if (predicted == query.trueLang)
-            ++eval.correct;
-        ++eval.total;
-    }
-    return eval;
+    std::vector<std::size_t> predictions;
+    predictions.reserve(tests.size());
+    for (const auto &query : tests)
+        predictions.push_back(classify(query.vector));
+    return scorePredictions(tests, numLanguages, predictions);
 }
 
 Evaluation
-RecognitionPipeline::evaluateExact() const
+RecognitionPipeline::evaluateBatch(const BatchClassifier &classify)
+    const
 {
-    return evaluate([this](const Hypervector &query) {
-        return am.search(query).classId;
-    });
+    return scorePredictions(tests, numLanguages,
+                            classify(encodedQueries));
+}
+
+Evaluation
+RecognitionPipeline::evaluateExact(std::size_t threads) const
+{
+    const std::vector<SearchResult> results =
+        am.searchBatch(encodedQueries, threads);
+    std::vector<std::size_t> predictions;
+    predictions.reserve(results.size());
+    for (const SearchResult &result : results)
+        predictions.push_back(result.classId);
+    return scorePredictions(tests, numLanguages, predictions);
 }
 
 } // namespace hdham::lang

@@ -88,6 +88,25 @@ struct Evaluation
 };
 
 /**
+ * Score a vector of predicted class ids (one per labeled query, in
+ * order) against the ground truth. The shared back half of every
+ * evaluate path, so the sequential and batched front ends cannot
+ * disagree on metrics.
+ * @throws std::invalid_argument when the sizes differ.
+ */
+Evaluation scorePredictions(const std::vector<LabeledQuery> &queries,
+                            std::size_t numClasses,
+                            const std::vector<std::size_t> &predictions);
+
+/**
+ * A batched classifier: maps the whole encoded test set to predicted
+ * class ids, one per query, in order. Lets hardware models serve the
+ * workload through their searchBatch() path.
+ */
+using BatchClassifier = std::function<std::vector<std::size_t>(
+    const std::vector<Hypervector> &)>;
+
+/**
  * Trains the HD classifier on a corpus and evaluates arbitrary
  * classifiers (the software oracle or any hardware HAM model) on the
  * cached encoded test set.
@@ -118,6 +137,15 @@ class RecognitionPipeline
     const std::vector<LabeledQuery> &queries() const { return tests; }
 
     /**
+     * The bare query hypervectors, in the same order as queries().
+     * This is the batch a BatchClassifier receives.
+     */
+    const std::vector<Hypervector> &queryVectors() const
+    {
+        return encodedQueries;
+    }
+
+    /**
      * Evaluate a classifier: @p classify maps a query hypervector to a
      * predicted language id.
      */
@@ -125,8 +153,18 @@ class RecognitionPipeline
     evaluate(const std::function<std::size_t(const Hypervector &)>
                  &classify) const;
 
-    /** Evaluate the exact software associative memory. */
-    Evaluation evaluateExact() const;
+    /**
+     * Evaluate a batched classifier: @p classify sees the whole
+     * cached test set at once and returns one prediction per query.
+     */
+    Evaluation evaluateBatch(const BatchClassifier &classify) const;
+
+    /**
+     * Evaluate the exact software associative memory through its
+     * batch path, scanning with @p threads workers (0 = all hardware
+     * threads). The result is identical for every thread count.
+     */
+    Evaluation evaluateExact(std::size_t threads = 1) const;
 
   private:
     PipelineConfig cfg;
@@ -135,6 +173,8 @@ class RecognitionPipeline
     Encoder encoder;
     AssociativeMemory am;
     std::vector<LabeledQuery> tests;
+    /** tests[i].vector copied out once, batch-search ready. */
+    std::vector<Hypervector> encodedQueries;
 };
 
 } // namespace hdham::lang

@@ -28,6 +28,9 @@ GesturePipeline::GesturePipeline(const EmgCorpus &corpus,
         tests.push_back(
             lang::LabeledQuery{enc.encode(rec, rng), rec.gesture});
     }
+    encodedQueries.reserve(tests.size());
+    for (const lang::LabeledQuery &test : tests)
+        encodedQueries.push_back(test.vector);
 }
 
 lang::Evaluation
@@ -35,26 +38,31 @@ GesturePipeline::evaluate(
     const std::function<std::size_t(const Hypervector &)> &classify)
     const
 {
-    lang::Evaluation eval;
-    eval.confusion.assign(numGestures,
-                          std::vector<std::size_t>(numGestures, 0));
-    for (const auto &query : tests) {
-        const std::size_t predicted = classify(query.vector);
-        assert(predicted < numGestures);
-        ++eval.confusion[query.trueLang][predicted];
-        if (predicted == query.trueLang)
-            ++eval.correct;
-        ++eval.total;
-    }
-    return eval;
+    std::vector<std::size_t> predictions;
+    predictions.reserve(tests.size());
+    for (const auto &query : tests)
+        predictions.push_back(classify(query.vector));
+    return lang::scorePredictions(tests, numGestures, predictions);
 }
 
 lang::Evaluation
-GesturePipeline::evaluateExact() const
+GesturePipeline::evaluateBatch(const lang::BatchClassifier &classify)
+    const
 {
-    return evaluate([this](const Hypervector &query) {
-        return am.search(query).classId;
-    });
+    return lang::scorePredictions(tests, numGestures,
+                                  classify(encodedQueries));
+}
+
+lang::Evaluation
+GesturePipeline::evaluateExact(std::size_t threads) const
+{
+    const std::vector<SearchResult> results =
+        am.searchBatch(encodedQueries, threads);
+    std::vector<std::size_t> predictions;
+    predictions.reserve(results.size());
+    for (const SearchResult &result : results)
+        predictions.push_back(result.classId);
+    return lang::scorePredictions(tests, numGestures, predictions);
 }
 
 } // namespace hdham::signal

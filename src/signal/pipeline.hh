@@ -44,19 +44,41 @@ class GesturePipeline
         return tests;
     }
 
+    /**
+     * The bare query hypervectors, in the same order as queries().
+     * This is the batch a lang::BatchClassifier receives.
+     */
+    const std::vector<Hypervector> &queryVectors() const
+    {
+        return encodedQueries;
+    }
+
     /** Evaluate an arbitrary classifier over the cached queries. */
     lang::Evaluation
     evaluate(const std::function<std::size_t(const Hypervector &)>
                  &classify) const;
 
-    /** Evaluate the exact software associative memory. */
-    lang::Evaluation evaluateExact() const;
+    /**
+     * Evaluate a batched classifier: @p classify sees the whole
+     * cached test set at once and returns one prediction per query.
+     */
+    lang::Evaluation
+    evaluateBatch(const lang::BatchClassifier &classify) const;
+
+    /**
+     * Evaluate the exact software associative memory through its
+     * batch path, scanning with @p threads workers (0 = all hardware
+     * threads). The result is identical for every thread count.
+     */
+    lang::Evaluation evaluateExact(std::size_t threads = 1) const;
 
   private:
     std::size_t numGestures;
     SpatioTemporalEncoder enc;
     AssociativeMemory am;
     std::vector<lang::LabeledQuery> tests;
+    /** tests[i].vector copied out once, batch-search ready. */
+    std::vector<Hypervector> encodedQueries;
 };
 
 } // namespace hdham::signal

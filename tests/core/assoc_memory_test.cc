@@ -77,7 +77,7 @@ TEST(AssocMemoryTest, FindsNearestUnderNoise)
     }
 }
 
-TEST(AssocMemoryTest, DistancesVectorIsComplete)
+TEST(AssocMemoryTest, DetailedDistancesVectorIsComplete)
 {
     AssociativeMemory am(128);
     Rng rng(6);
@@ -87,10 +87,62 @@ TEST(AssocMemoryTest, DistancesVectorIsComplete)
         am.store(stored.back());
     }
     const Hypervector query = Hypervector::random(128, rng);
-    const auto result = am.search(query);
+    const auto result = am.searchDetailed(query);
     ASSERT_EQ(result.distances.size(), 5u);
     for (std::size_t i = 0; i < 5; ++i)
         EXPECT_EQ(result.distances[i], stored[i].hamming(query));
+}
+
+TEST(AssocMemoryTest, FastSearchLeavesDistancesEmpty)
+{
+    AssociativeMemory am(128);
+    Rng rng(6);
+    for (int i = 0; i < 5; ++i)
+        am.store(Hypervector::random(128, rng));
+    const Hypervector query = Hypervector::random(128, rng);
+    EXPECT_TRUE(am.search(query).distances.empty());
+
+    const auto detailed = am.searchDetailed(query);
+    EXPECT_EQ(am.search(query).classId, detailed.classId);
+    EXPECT_EQ(am.search(query).bestDistance, detailed.bestDistance);
+}
+
+TEST(AssocMemoryTest, BatchSearchMatchesSequential)
+{
+    AssociativeMemory am(512);
+    Rng rng(9);
+    for (int i = 0; i < 12; ++i)
+        am.store(Hypervector::random(512, rng));
+    std::vector<Hypervector> queries;
+    for (int q = 0; q < 33; ++q)
+        queries.push_back(Hypervector::random(512, rng));
+
+    const auto batch1 = am.searchBatch(queries, 1);
+    ASSERT_EQ(batch1.size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto sequential = am.search(queries[q]);
+        EXPECT_EQ(batch1[q].classId, sequential.classId);
+        EXPECT_EQ(batch1[q].bestDistance, sequential.bestDistance);
+    }
+
+    for (const std::size_t threads : {2u, 8u, 0u}) {
+        const auto batchN = am.searchBatch(queries, threads);
+        ASSERT_EQ(batchN.size(), queries.size());
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            EXPECT_EQ(batchN[q].classId, batch1[q].classId);
+            EXPECT_EQ(batchN[q].bestDistance,
+                      batch1[q].bestDistance);
+        }
+    }
+}
+
+TEST(AssocMemoryTest, BatchSearchOnEmptyMemoryThrows)
+{
+    AssociativeMemory am(64);
+    Rng rng(10);
+    const std::vector<Hypervector> queries{
+        Hypervector::random(64, rng)};
+    EXPECT_THROW(am.searchBatch(queries), std::logic_error);
 }
 
 TEST(AssocMemoryTest, TiesResolveToLowestId)

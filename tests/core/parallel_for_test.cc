@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the chunked fork-join helper behind the batched query
+ * engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel_for.hh"
+
+namespace
+{
+
+using hdham::parallelFor;
+using hdham::resolveThreads;
+
+TEST(ResolveThreadsTest, NeverReturnsZero)
+{
+    EXPECT_GE(resolveThreads(0), 1u);
+    EXPECT_EQ(resolveThreads(1), 1u);
+    EXPECT_EQ(resolveThreads(7), 7u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce)
+{
+    for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+        const std::size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        parallelFor(n, threads,
+                    [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                            ++hits[i];
+                    });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelForTest, ChunksAreContiguousAndOrdered)
+{
+    // The determinism contract: the partition into chunks is a
+    // function of (n, workers) only, and chunks tile [0, n) in
+    // order.
+    const std::size_t n = 37;
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    parallelFor(n, 4, [&](std::size_t begin, std::size_t end) {
+        const std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(begin, end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    std::size_t next = 0;
+    for (const auto &[begin, end] : chunks) {
+        EXPECT_EQ(begin, next);
+        EXPECT_LT(begin, end);
+        next = end;
+    }
+    EXPECT_EQ(next, n);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork)
+{
+    std::vector<std::atomic<int>> hits(3);
+    parallelFor(3, 16, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            ++hits[i];
+    });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing)
+{
+    bool ran = false;
+    parallelFor(0, 4, [&](std::size_t, std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, PropagatesWorkerException)
+{
+    EXPECT_THROW(
+        parallelFor(100, 4,
+                    [&](std::size_t begin, std::size_t) {
+                        if (begin >= 25)
+                            throw std::runtime_error("worker boom");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelForTest, ZeroThreadsMeansAllHardwareThreads)
+{
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(64, 0, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            ++hits[i];
+    });
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+} // namespace

@@ -76,7 +76,8 @@ TEST(MarginTest, ComputesRunnerUpGap)
     am.store(Hypervector::fromString("00000000"));
     am.store(Hypervector::fromString("00011111"));
     am.store(Hypervector::fromString("11111111"));
-    const auto result = am.search(Hypervector::fromString("00000001"));
+    const auto result =
+        am.searchDetailed(Hypervector::fromString("00000001"));
     EXPECT_EQ(result.classId, 0u);
     EXPECT_EQ(result.bestDistance, 1u);
     EXPECT_EQ(result.margin(), 3u); // runner-up at distance 4
@@ -86,7 +87,7 @@ TEST(MarginTest, SingleClassHasZeroMargin)
 {
     AssociativeMemory am(8);
     am.store(Hypervector::fromString("00000000"));
-    EXPECT_EQ(am.search(Hypervector(8)).margin(), 0u);
+    EXPECT_EQ(am.searchDetailed(Hypervector(8)).margin(), 0u);
 }
 
 TEST(MetricsTest, PerfectClassifier)

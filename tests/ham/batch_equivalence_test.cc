@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The batched query engine's determinism contract: for every HAM
+ * design, searchBatch() is bit-identical to the equivalent sequence
+ * of search() calls, for any thread count and any batch split.
+ * Stochastic designs (R-HAM, A-HAM) satisfy this by drawing noise
+ * from per-query counter-derived RNG substreams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/hypervector.hh"
+#include "core/random.hh"
+#include "ham/a_ham.hh"
+#include "ham/d_ham.hh"
+#include "ham/ham.hh"
+#include "ham/r_ham.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::Rng;
+namespace ham = hdham::ham;
+
+constexpr std::size_t kDim = 2048;
+constexpr std::size_t kClasses = 21;
+constexpr std::size_t kQueries = 32;
+
+/** Factory making a fresh, identically-configured design instance. */
+template <typename HamT> std::unique_ptr<ham::Ham> makeFresh();
+
+template <> std::unique_ptr<ham::Ham> makeFresh<ham::DHam>()
+{
+    ham::DHamConfig cfg;
+    cfg.dim = kDim;
+    return std::make_unique<ham::DHam>(cfg);
+}
+
+template <> std::unique_ptr<ham::Ham> makeFresh<ham::RHam>()
+{
+    ham::RHamConfig cfg;
+    cfg.dim = kDim;
+    // Every block overscaled so stochastic sensing actually fires.
+    cfg.overscaledBlocks = cfg.totalBlocks();
+    return std::make_unique<ham::RHam>(cfg);
+}
+
+template <> std::unique_ptr<ham::Ham> makeFresh<ham::AHam>()
+{
+    ham::AHamConfig cfg;
+    cfg.dim = kDim;
+    return std::make_unique<ham::AHam>(cfg);
+}
+
+std::vector<Hypervector>
+corpus(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Hypervector> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(Hypervector::random(kDim, rng));
+    return out;
+}
+
+template <typename HamT>
+std::unique_ptr<ham::Ham>
+trainedFresh()
+{
+    auto design = makeFresh<HamT>();
+    for (const Hypervector &hv : corpus(kClasses, 101))
+        design->store(hv);
+    return design;
+}
+
+void
+expectSameResults(const std::vector<ham::HamResult> &a,
+                  const std::vector<ham::HamResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t q = 0; q < a.size(); ++q) {
+        EXPECT_EQ(a[q].classId, b[q].classId) << "query " << q;
+        EXPECT_EQ(a[q].reportedDistance, b[q].reportedDistance)
+            << "query " << q;
+    }
+}
+
+template <typename HamT> class BatchEquivalenceTest
+    : public ::testing::Test
+{
+};
+
+using Designs = ::testing::Types<ham::DHam, ham::RHam, ham::AHam>;
+TYPED_TEST_SUITE(BatchEquivalenceTest, Designs);
+
+TYPED_TEST(BatchEquivalenceTest, BatchMatchesSequentialLoop)
+{
+    const auto queries = corpus(kQueries, 202);
+
+    auto sequentialHam = trainedFresh<TypeParam>();
+    std::vector<ham::HamResult> sequential;
+    for (const Hypervector &query : queries)
+        sequential.push_back(sequentialHam->search(query));
+
+    auto batchHam = trainedFresh<TypeParam>();
+    expectSameResults(batchHam->searchBatch(queries, 1), sequential);
+}
+
+TYPED_TEST(BatchEquivalenceTest, IdenticalAcrossThreadCounts)
+{
+    const auto queries = corpus(kQueries, 303);
+
+    auto reference = trainedFresh<TypeParam>();
+    const auto expected = reference->searchBatch(queries, 1);
+
+    for (const std::size_t threads : {2u, 8u, 0u}) {
+        auto design = trainedFresh<TypeParam>();
+        expectSameResults(design->searchBatch(queries, threads),
+                          expected);
+    }
+}
+
+TYPED_TEST(BatchEquivalenceTest, InvariantUnderBatchSplit)
+{
+    const auto queries = corpus(kQueries, 404);
+
+    auto wholeHam = trainedFresh<TypeParam>();
+    const auto whole = wholeHam->searchBatch(queries, 2);
+
+    auto splitHam = trainedFresh<TypeParam>();
+    const std::vector<Hypervector> front(queries.begin(),
+                                         queries.begin() + 16);
+    const std::vector<Hypervector> back(queries.begin() + 16,
+                                        queries.end());
+    std::vector<ham::HamResult> split =
+        splitHam->searchBatch(front, 8);
+    for (const auto &hit : splitHam->searchBatch(back, 3))
+        split.push_back(hit);
+
+    expectSameResults(split, whole);
+}
+
+TYPED_TEST(BatchEquivalenceTest, CounterAdvancesAcrossMixedCalls)
+{
+    // search() and searchBatch() share the lifetime query counter,
+    // so interleaving them must replay the same substream sequence.
+    const auto queries = corpus(kQueries, 505);
+
+    auto mixedHam = trainedFresh<TypeParam>();
+    std::vector<ham::HamResult> mixed;
+    mixed.push_back(mixedHam->search(queries[0]));
+    const std::vector<Hypervector> middle(queries.begin() + 1,
+                                          queries.end() - 1);
+    for (const auto &hit : mixedHam->searchBatch(middle, 4))
+        mixed.push_back(hit);
+    mixed.push_back(mixedHam->search(queries.back()));
+
+    auto batchHam = trainedFresh<TypeParam>();
+    expectSameResults(mixed, batchHam->searchBatch(queries, 1));
+}
+
+TYPED_TEST(BatchEquivalenceTest, EmptyDesignThrows)
+{
+    auto design = makeFresh<TypeParam>();
+    const auto queries = corpus(1, 606);
+    EXPECT_THROW(design->searchBatch(queries), std::logic_error);
+}
+
+} // namespace

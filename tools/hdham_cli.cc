@@ -4,10 +4,13 @@
  *
  * Subcommands:
  *   train    --out PATH [--dim N] [--train-chars N] [--sentences N]
+ *            [--threads N]
  *            train the 21-language classifier on the synthetic
  *            corpus and persist the learned hypervectors
- *   classify --model PATH [--design dham|rham|aham] TEXT...
- *            classify text samples with the chosen HAM design
+ *   classify --model PATH [--design dham|rham|aham] [--threads N]
+ *            [--batch N] TEXT...
+ *            classify text samples with the chosen HAM design,
+ *            batching queries through searchBatch()
  *   info     --model PATH
  *            describe a saved model
  *   cost     [--dim N] [--classes N]
@@ -18,6 +21,7 @@
  * and queried by it.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,11 +49,16 @@ usage()
         stderr,
         "usage:\n"
         "  hdham train --out PATH [--dim N] [--train-chars N] "
-        "[--sentences N]\n"
+        "[--sentences N] [--threads N]\n"
         "  hdham classify --model PATH [--design dham|rham|aham] "
-        "TEXT...\n"
+        "[--threads N] [--batch N] TEXT...\n"
         "  hdham info --model PATH\n"
-        "  hdham cost [--dim N] [--classes N]\n");
+        "  hdham cost [--dim N] [--classes N]\n"
+        "\n"
+        "  --threads N  scan workers for batched search (0 = all "
+        "hardware threads; default 1)\n"
+        "  --batch N    queries per searchBatch() call (0 = all at "
+        "once; default 0)\n");
     return 2;
 }
 
@@ -93,12 +102,13 @@ cmdTrain(std::vector<std::string> args)
                                             corpusCfg.testSentences);
     lang::PipelineConfig pipeCfg;
     pipeCfg.dim = numericOption(args, "--dim", pipeCfg.dim);
+    const std::size_t threads = numericOption(args, "--threads", 1);
 
     std::printf("training %zu languages at D = %zu...\n",
                 corpusCfg.numLanguages, pipeCfg.dim);
     const lang::SyntheticCorpus corpus(corpusCfg);
     const lang::RecognitionPipeline pipeline(corpus, pipeCfg);
-    const auto eval = pipeline.evaluateExact();
+    const auto eval = pipeline.evaluateExact(threads);
     std::printf("held-out accuracy: %.1f%% (%zu/%zu)\n",
                 100.0 * eval.accuracy(), eval.correct, eval.total);
 
@@ -133,6 +143,8 @@ cmdClassify(std::vector<std::string> args)
 {
     const std::string path = option(args, "--model", "");
     const std::string design = option(args, "--design", "dham");
+    const std::size_t threads = numericOption(args, "--threads", 1);
+    const std::size_t batch = numericOption(args, "--batch", 0);
     if (path.empty() || args.empty()) {
         std::fprintf(stderr, "classify: need --model and at least "
                              "one TEXT argument\n");
@@ -156,17 +168,42 @@ cmdClassify(std::vector<std::string> args)
     const Encoder encoder(items, defaults.ngram);
     Rng rng(defaults.seed ^ 0x636c6966ULL);
 
-    for (const std::string &text : args) {
-        if (text.size() < defaults.ngram) {
+    // Encode every usable sample up front, then classify through the
+    // batch path in --batch sized chunks (0 = one shot).
+    std::vector<Hypervector> queries;
+    std::vector<std::size_t> queryOf(args.size(),
+                                     args.size()); // skip marker
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i].size() < defaults.ngram)
+            continue;
+        queryOf[i] = queries.size();
+        queries.push_back(encoder.encode(args[i], rng));
+    }
+
+    std::vector<ham::HamResult> hits;
+    hits.reserve(queries.size());
+    const std::size_t chunk = batch == 0 ? queries.size() : batch;
+    for (std::size_t start = 0; start < queries.size();
+         start += chunk) {
+        const std::size_t end =
+            std::min(start + chunk, queries.size());
+        const std::vector<Hypervector> slice(
+            queries.begin() + static_cast<long>(start),
+            queries.begin() + static_cast<long>(end));
+        for (const auto &hit : hardware->searchBatch(slice, threads))
+            hits.push_back(hit);
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (queryOf[i] == args.size()) {
             std::printf("%-14s <- \"%s\" (too short)\n", "?",
-                        text.c_str());
+                        args[i].c_str());
             continue;
         }
-        const Hypervector query = encoder.encode(text, rng);
-        const auto hit = hardware->search(query);
+        const auto &hit = hits[queryOf[i]];
         std::printf("%-14s <- \"%.60s\"\n",
                     memory.labelOf(hit.classId).c_str(),
-                    text.c_str());
+                    args[i].c_str());
     }
     return 0;
 }
