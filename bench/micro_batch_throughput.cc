@@ -8,14 +8,23 @@
  * Wall-clock time is what matters for a parallel scan, so every
  * benchmark uses UseRealTime(). Emit machine-readable results with
  * --benchmark_format=json, as for micro_software_am.
+ *
+ * --stats-json PATH additionally attaches a metrics sink per engine
+ * and dumps the aggregated query-path observability snapshot -- the
+ * same hdham.metrics.v1 schema the hdham CLI emits -- after the
+ * benchmarks finish. Without the flag no sink is attached, so the
+ * numbers measure the metrics-disabled path.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/assoc_memory.hh"
 #include "core/hypervector.hh"
+#include "core/metrics.hh"
 #include "core/random.hh"
 #include "ham/a_ham.hh"
 #include "ham/d_ham.hh"
@@ -29,6 +38,12 @@ using namespace hdham;
 constexpr std::size_t kDim = 10000;
 constexpr std::size_t kClasses = 100;
 constexpr std::size_t kBatch = 256;
+
+/** Shared sinks, attached only when --stats-json was requested. */
+metrics::QueryMetrics *gAmMetrics = nullptr;
+metrics::QueryMetrics *gDHamMetrics = nullptr;
+metrics::QueryMetrics *gRHamMetrics = nullptr;
+metrics::QueryMetrics *gAHamMetrics = nullptr;
 
 std::vector<Hypervector>
 makeQueries(std::size_t dim, std::size_t count, Rng &rng)
@@ -46,6 +61,7 @@ BM_SoftwareBatchSearch(benchmark::State &state)
     const auto threads = static_cast<std::size_t>(state.range(0));
     Rng rng(11);
     AssociativeMemory am(kDim);
+    am.attachMetrics(gAmMetrics);
     for (std::size_t c = 0; c < kClasses; ++c)
         am.store(Hypervector::random(kDim, rng));
     const auto queries = makeQueries(kDim, kBatch, rng);
@@ -62,12 +78,13 @@ BENCHMARK(BM_SoftwareBatchSearch)
 
 template <typename HamT, typename ConfigT>
 void
-hamBatchBenchmark(benchmark::State &state,
-                  const ConfigT &config)
+hamBatchBenchmark(benchmark::State &state, const ConfigT &config,
+                  metrics::QueryMetrics *sink)
 {
     const auto threads = static_cast<std::size_t>(state.range(0));
     Rng rng(12);
     HamT ham(config);
+    ham.attachMetrics(sink);
     for (std::size_t c = 0; c < 21; ++c)
         ham.store(Hypervector::random(config.dim, rng));
     const auto queries = makeQueries(config.dim, kBatch, rng);
@@ -81,7 +98,7 @@ BM_DHamBatchSearch(benchmark::State &state)
 {
     ham::DHamConfig cfg;
     cfg.dim = kDim;
-    hamBatchBenchmark<ham::DHam>(state, cfg);
+    hamBatchBenchmark<ham::DHam>(state, cfg, gDHamMetrics);
 }
 BENCHMARK(BM_DHamBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
 
@@ -91,7 +108,7 @@ BM_RHamBatchSearch(benchmark::State &state)
     ham::RHamConfig cfg;
     cfg.dim = kDim;
     cfg.overscaledBlocks = cfg.totalBlocks();
-    hamBatchBenchmark<ham::RHam>(state, cfg);
+    hamBatchBenchmark<ham::RHam>(state, cfg, gRHamMetrics);
 }
 BENCHMARK(BM_RHamBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
 
@@ -100,10 +117,56 @@ BM_AHamBatchSearch(benchmark::State &state)
 {
     ham::AHamConfig cfg;
     cfg.dim = kDim;
-    hamBatchBenchmark<ham::AHam>(state, cfg);
+    hamBatchBenchmark<ham::AHam>(state, cfg, gAHamMetrics);
 }
 BENCHMARK(BM_AHamBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Pull our own flag out before google-benchmark sees the args.
+    std::string statsPath;
+    std::vector<char *> passthrough;
+    passthrough.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats-json") == 0 &&
+            i + 1 < argc) {
+            statsPath = argv[++i];
+            continue;
+        }
+        passthrough.push_back(argv[i]);
+    }
+    passthrough.push_back(nullptr);
+    int passthroughArgc =
+        static_cast<int>(passthrough.size()) - 1;
+
+    metrics::QueryMetrics am, dham, rham, aham;
+    if (!statsPath.empty()) {
+        gAmMetrics = &am;
+        gDHamMetrics = &dham;
+        gRHamMetrics = &rham;
+        gAHamMetrics = &aham;
+    }
+
+    benchmark::Initialize(&passthroughArgc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(passthroughArgc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (!statsPath.empty()) {
+        metrics::Registry registry;
+        registry.attachQuery("am", am);
+        registry.attachQuery("dham", dham);
+        registry.attachQuery("rham", rham);
+        registry.attachQuery("aham", aham);
+        registry.setGauge("run.batch",
+                          static_cast<double>(kBatch));
+        registry.setGauge("model.dim", static_cast<double>(kDim));
+        registry.saveJson(statsPath);
+    }
+    return 0;
+}

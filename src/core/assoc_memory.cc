@@ -68,6 +68,10 @@ AssociativeMemory::searchSampled(const Hypervector &query,
     SearchResult result;
     result.classId =
         rows.nearest(query, prefix, &result.bestDistance);
+    if (sink) {
+        sink->queries.add(1);
+        sink->rowsScanned.add(rows.rows());
+    }
     return result;
 }
 
@@ -86,6 +90,10 @@ AssociativeMemory::searchDetailed(const Hypervector &query) const
         }
     }
     result.bestDistance = best;
+    if (sink) {
+        sink->queries.add(1);
+        sink->rowsScanned.add(rows.rows());
+    }
     return result;
 }
 
@@ -95,6 +103,8 @@ AssociativeMemory::searchBatch(const std::vector<Hypervector> &queries,
 {
     if (rows.rows() == 0)
         throw std::logic_error("AssociativeMemory: empty search");
+    const metrics::Clock::time_point start =
+        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     std::vector<SearchResult> results(queries.size());
     const std::size_t prefix = rows.dim();
     parallelFor(queries.size(), threads,
@@ -104,7 +114,18 @@ AssociativeMemory::searchBatch(const std::vector<Hypervector> &queries,
                             rows.nearest(queries[q], prefix,
                                          &results[q].bestDistance);
                     }
+                    // One merge per worker chunk keeps the scan free
+                    // of atomics while the totals stay exact.
+                    if (sink) {
+                        sink->queries.add(end - begin);
+                        sink->rowsScanned.add((end - begin) *
+                                              rows.rows());
+                    }
                 });
+    if (sink) {
+        sink->batches.add(1);
+        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
+    }
     return results;
 }
 

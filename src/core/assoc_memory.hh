@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/hypervector.hh"
+#include "core/metrics.hh"
 #include "core/packed_rows.hh"
 
 namespace hdham
@@ -95,6 +96,18 @@ class AssociativeMemory
     const PackedRows &storage() const { return rows; }
 
     /**
+     * Attach a metrics sink (nullptr detaches). The sink must
+     * outlive the memory; all search paths then count queries and
+     * rows scanned, and searchBatch records its wall time. Collection
+     * is thread-safe (per-worker tallies merged once per chunk) and
+     * costs one branch when detached.
+     */
+    void attachMetrics(metrics::QueryMetrics *m) { sink = m; }
+
+    /** The attached metrics sink, or nullptr. */
+    metrics::QueryMetrics *metricsSink() const { return sink; }
+
+    /**
      * Exact nearest-distance search (winner + distance only; no
      * allocation). @pre size() > 0 and query.dim() == dim().
      */
@@ -147,6 +160,8 @@ class AssociativeMemory
     /** Dense row-major class store (the CAM array analogue). */
     PackedRows rows;
     std::vector<std::string> labels;
+    /** Optional observability sink; never owned. */
+    metrics::QueryMetrics *sink = nullptr;
 };
 
 } // namespace hdham

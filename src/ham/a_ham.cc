@@ -34,13 +34,17 @@ AHam::store(const Hypervector &hv)
 
 HamResult
 AHam::searchIndexed(const Hypervector &query,
-                    std::uint64_t index) const
+                    std::uint64_t index, Tally *tally) const
 {
     assert(query.dim() == cfg.dim);
 
     Rng rng(substreamSeed(cfg.seed, index));
     const std::size_t stages = cfg.effectiveStages();
     const std::size_t stageWidth = (cfg.dim + stages - 1) / stages;
+    // Half-sensitivity point of I(d) = I_unit * d / (1 + d/dSat):
+    // dI/dd drops below I_unit/2 once d exceeds dSat * (sqrt(2)-1).
+    const auto saturationOnset = static_cast<std::size_t>(
+        cfg.current.dSat * 0.41421356237309515);
 
     // Per-row total current: staged partial distances summed through
     // the mirror chain.
@@ -55,6 +59,11 @@ AHam::searchIndexed(const Hypervector &query,
                 rows[id].hammingPrefix(query, end);
             stageDist[s] = upto - prev;
             prev = upto;
+        }
+        if (tally) {
+            for (const std::size_t d : stageDist)
+                if (d > saturationOnset)
+                    ++tally->saturationEvents;
         }
         currents[id] = summer.total(stageDist, rng);
     }
@@ -79,7 +88,17 @@ AHam::search(const Hypervector &query)
 {
     if (rows.empty())
         throw std::logic_error("AHam::search: no stored classes");
-    return searchIndexed(query, nextQueryIndex++);
+    if (!sink)
+        return searchIndexed(query, nextQueryIndex++);
+    Tally tally;
+    const HamResult result =
+        searchIndexed(query, nextQueryIndex++, &tally);
+    sink->queries.add(1);
+    sink->rowsScanned.add(rows.size());
+    sink->stagesRun.add(cfg.effectiveStages());
+    sink->ltaComparisons.add(rows.size() - 1);
+    sink->saturationEvents.add(tally.saturationEvents);
+    return result;
 }
 
 std::vector<HamResult>
@@ -89,16 +108,37 @@ AHam::searchBatch(const std::vector<Hypervector> &queries,
     if (rows.empty())
         throw std::logic_error("AHam::searchBatch: no stored "
                                "classes");
+    const metrics::Clock::time_point start =
+        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     const std::uint64_t first = nextQueryIndex;
     nextQueryIndex += queries.size();
     std::vector<HamResult> results(queries.size());
     parallelFor(queries.size(), threads,
                 [&](std::size_t begin, std::size_t end) {
+                    // Per-worker tally merged once per chunk: exact
+                    // totals without atomics in the scan.
+                    Tally tally;
+                    Tally *chunkTally = sink ? &tally : nullptr;
                     for (std::size_t q = begin; q < end; ++q) {
-                        results[q] =
-                            searchIndexed(queries[q], first + q);
+                        results[q] = searchIndexed(
+                            queries[q], first + q, chunkTally);
+                    }
+                    if (sink) {
+                        const std::uint64_t n = end - begin;
+                        sink->queries.add(n);
+                        sink->rowsScanned.add(n * rows.size());
+                        sink->stagesRun.add(n *
+                                            cfg.effectiveStages());
+                        sink->ltaComparisons.add(
+                            n * (rows.size() - 1));
+                        sink->saturationEvents.add(
+                            tally.saturationEvents);
                     }
                 });
+    if (sink) {
+        sink->batches.add(1);
+        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
+    }
     return results;
 }
 

@@ -102,12 +102,23 @@ class AHam : public Ham
     std::size_t minDetectableDistance() const;
 
   private:
+    /** Per-query observability tally, merged into the sink by the
+     *  caller (once per query or once per worker chunk). */
+    struct Tally
+    {
+        /** Stage partial distances deep enough into the compression
+         *  curve that per-bit current sensitivity fell below half
+         *  (d > dSat * (sqrt(2) - 1)). */
+        std::uint64_t saturationEvents = 0;
+    };
+
     /**
      * One search with noise drawn from the substream of query
-     * @p index.
+     * @p index; fills @p tally when non-null.
      */
     HamResult searchIndexed(const Hypervector &query,
-                            std::uint64_t index) const;
+                            std::uint64_t index,
+                            Tally *tally = nullptr) const;
 
     AHamConfig cfg;
     circuit::MultistageCurrentSum summer;

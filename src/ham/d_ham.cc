@@ -40,6 +40,11 @@ DHam::search(const Hypervector &query)
     result.classId =
         rows.nearest(query, cfg.effectiveDim(),
                      &result.reportedDistance);
+    if (sink) {
+        sink->queries.add(1);
+        sink->rowsScanned.add(rows.rows());
+        sink->bitsSampled.add(cfg.effectiveDim());
+    }
     return result;
 }
 
@@ -50,6 +55,8 @@ DHam::searchBatch(const std::vector<Hypervector> &queries,
     if (rows.rows() == 0)
         throw std::logic_error("DHam::searchBatch: no stored "
                                "classes");
+    const metrics::Clock::time_point start =
+        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     std::vector<HamResult> results(queries.size());
     const std::size_t prefix = cfg.effectiveDim();
     parallelFor(queries.size(), threads,
@@ -60,7 +67,19 @@ DHam::searchBatch(const std::vector<Hypervector> &queries,
                             queries[q], prefix,
                             &results[q].reportedDistance);
                     }
+                    // Per-chunk merge: exact totals, no atomics in
+                    // the scan.
+                    if (sink) {
+                        const std::size_t n = end - begin;
+                        sink->queries.add(n);
+                        sink->rowsScanned.add(n * rows.rows());
+                        sink->bitsSampled.add(n * prefix);
+                    }
                 });
+    if (sink) {
+        sink->batches.add(1);
+        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
+    }
     return results;
 }
 

@@ -9,11 +9,18 @@ Ham::searchBatch(const std::vector<Hypervector> &queries,
 {
     // Sequential reference path; designs with an index-derived noise
     // stream override this with a parallel scan that matches it
-    // bit for bit.
+    // bit for bit. The search() calls count the per-query metrics;
+    // only the batch envelope is recorded here.
+    const metrics::Clock::time_point start =
+        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     std::vector<HamResult> results;
     results.reserve(queries.size());
     for (const Hypervector &query : queries)
         results.push_back(search(query));
+    if (sink) {
+        sink->batches.add(1);
+        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
+    }
     return results;
 }
 

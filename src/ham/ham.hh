@@ -20,6 +20,7 @@
 
 #include "core/assoc_memory.hh"
 #include "core/hypervector.hh"
+#include "core/metrics.hh"
 
 namespace hdham::ham
 {
@@ -89,6 +90,23 @@ class Ham
 
     /** Convenience: store every vector of a trained software AM. */
     void loadFrom(const AssociativeMemory &memory);
+
+    /**
+     * Attach a metrics sink (nullptr detaches; must outlive the
+     * design). The behavioral designs then count queries, rows
+     * scanned and their design-specific events (bits sampled, blocks
+     * sensed, SA fires, overscale errors, LTA comparisons, stages,
+     * saturations), and batch paths record wall time. Collection is
+     * thread-safe and costs one branch when detached.
+     */
+    void attachMetrics(metrics::QueryMetrics *m) { sink = m; }
+
+    /** The attached metrics sink, or nullptr. */
+    metrics::QueryMetrics *metricsSink() const { return sink; }
+
+  protected:
+    /** Optional observability sink; never owned. */
+    metrics::QueryMetrics *sink = nullptr;
 };
 
 } // namespace hdham::ham

@@ -84,7 +84,7 @@ RHam::histogramRange(const Hypervector &row, const Hypervector &query,
 std::size_t
 RHam::senseTotal(const Histogram &hist,
                  const std::vector<std::vector<double>> &senseDist,
-                 Rng &rng) const
+                 Rng &rng, std::uint64_t *misSensed) const
 {
     std::size_t total = 0;
     for (std::size_t d = 0; d <= cfg.blockBits; ++d) {
@@ -106,6 +106,8 @@ RHam::senseTotal(const Histogram &hist,
                 n = rng.nextBinomial(remaining, p / massLeft);
             }
             total += k * n;
+            if (misSensed && k != d)
+                *misSensed += n;
             remaining -= static_cast<std::uint32_t>(n);
             massLeft -= p;
         }
@@ -117,7 +119,7 @@ RHam::senseTotal(const Histogram &hist,
 
 HamResult
 RHam::searchIndexed(const Hypervector &query,
-                    std::uint64_t index) const
+                    std::uint64_t index, Tally *tally) const
 {
     assert(query.dim() == cfg.dim);
 
@@ -128,6 +130,8 @@ RHam::searchIndexed(const Hypervector &query,
 
     Rng rng(substreamSeed(cfg.seed, index));
     HamResult result;
+    std::uint64_t misSensed = 0;
+    std::uint64_t *errors = tally ? &misSensed : nullptr;
     std::size_t best = std::numeric_limits<std::size_t>::max();
     for (std::size_t id = 0; id < rows.size(); ++id) {
         Histogram histOvs{};
@@ -137,14 +141,23 @@ RHam::searchIndexed(const Hypervector &query,
         histogramRange(rows[id], query, overscaledCount, deepEnd,
                        histDeep);
         histogramRange(rows[id], query, deepEnd, active, histNom);
+        // Only the overscaled regions feed the error counter: the
+        // nominal-supply blocks sense exactly by construction.
         const std::size_t sensed =
-            senseTotal(histOvs, senseOverscaled, rng) +
-            senseTotal(histDeep, senseDeep, rng) +
+            senseTotal(histOvs, senseOverscaled, rng, errors) +
+            senseTotal(histDeep, senseDeep, rng, errors) +
             senseTotal(histNom, senseNominal, rng);
+        if (tally)
+            tally->saFires += sensed;
         if (sensed < best) {
             best = sensed;
             result.classId = id;
         }
+    }
+    if (tally) {
+        tally->blocksSensed +=
+            static_cast<std::uint64_t>(active) * rows.size();
+        tally->overscaleErrors += misSensed;
     }
     result.reportedDistance = best;
     return result;
@@ -155,7 +168,17 @@ RHam::search(const Hypervector &query)
 {
     if (rows.empty())
         throw std::logic_error("RHam::search: no stored classes");
-    return searchIndexed(query, nextQueryIndex++);
+    if (!sink)
+        return searchIndexed(query, nextQueryIndex++);
+    Tally tally;
+    const HamResult result =
+        searchIndexed(query, nextQueryIndex++, &tally);
+    sink->queries.add(1);
+    sink->rowsScanned.add(rows.size());
+    sink->blocksSensed.add(tally.blocksSensed);
+    sink->saFires.add(tally.saFires);
+    sink->overscaleErrors.add(tally.overscaleErrors);
+    return result;
 }
 
 std::vector<HamResult>
@@ -165,16 +188,35 @@ RHam::searchBatch(const std::vector<Hypervector> &queries,
     if (rows.empty())
         throw std::logic_error("RHam::searchBatch: no stored "
                                "classes");
+    const metrics::Clock::time_point start =
+        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     const std::uint64_t first = nextQueryIndex;
     nextQueryIndex += queries.size();
     std::vector<HamResult> results(queries.size());
     parallelFor(queries.size(), threads,
                 [&](std::size_t begin, std::size_t end) {
+                    // Per-worker tally merged once per chunk: exact
+                    // totals without atomics in the scan.
+                    Tally tally;
+                    Tally *chunkTally = sink ? &tally : nullptr;
                     for (std::size_t q = begin; q < end; ++q) {
-                        results[q] =
-                            searchIndexed(queries[q], first + q);
+                        results[q] = searchIndexed(
+                            queries[q], first + q, chunkTally);
+                    }
+                    if (sink) {
+                        const std::uint64_t n = end - begin;
+                        sink->queries.add(n);
+                        sink->rowsScanned.add(n * rows.size());
+                        sink->blocksSensed.add(tally.blocksSensed);
+                        sink->saFires.add(tally.saFires);
+                        sink->overscaleErrors.add(
+                            tally.overscaleErrors);
                     }
                 });
+    if (sink) {
+        sink->batches.add(1);
+        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
+    }
     return results;
 }
 

@@ -145,21 +145,33 @@ class RHam : public Ham
                         std::size_t firstBlock, std::size_t lastBlock,
                         Histogram &hist) const;
 
+    /** Per-query observability tally, merged into the sink by the
+     *  caller (once per query or once per worker chunk). */
+    struct Tally
+    {
+        std::uint64_t blocksSensed = 0;
+        std::uint64_t saFires = 0;
+        std::uint64_t overscaleErrors = 0;
+    };
+
     /**
      * Draw the total sensed distance for @p hist blocks through the
-     * sensing distributions of @p senseDist, consuming @p rng.
+     * sensing distributions of @p senseDist, consuming @p rng. When
+     * @p misSensed is non-null it accumulates the number of blocks
+     * sensed at a level different from their true distance.
      */
     std::size_t
     senseTotal(const Histogram &hist,
                const std::vector<std::vector<double>> &senseDist,
-               Rng &rng) const;
+               Rng &rng, std::uint64_t *misSensed = nullptr) const;
 
     /**
      * One search with noise drawn from the substream of query
-     * @p index.
+     * @p index; fills @p tally when non-null.
      */
     HamResult searchIndexed(const Hypervector &query,
-                            std::uint64_t index) const;
+                            std::uint64_t index,
+                            Tally *tally = nullptr) const;
 
     RHamConfig cfg;
     circuit::MatchLineModel nominal;

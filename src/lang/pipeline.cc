@@ -107,6 +107,27 @@ RecognitionPipeline::RecognitionPipeline(const SyntheticCorpus &corpus,
         encodedQueries.push_back(test.vector);
 }
 
+void
+RecognitionPipeline::attachMetrics(
+    metrics::ClassificationMetrics *classification,
+    metrics::QueryMetrics *memory)
+{
+    clsSink = classification;
+    am.attachMetrics(memory);
+}
+
+void
+RecognitionPipeline::recordEvaluation(const Evaluation &eval) const
+{
+    if (!clsSink)
+        return;
+    std::vector<std::string> labels;
+    labels.reserve(numLanguages);
+    for (std::size_t lang = 0; lang < numLanguages; ++lang)
+        labels.push_back(am.labelOf(lang));
+    clsSink->recordConfusion(eval.confusion, labels);
+}
+
 Evaluation
 RecognitionPipeline::evaluate(
     const std::function<std::size_t(const Hypervector &)> &classify)
@@ -116,15 +137,20 @@ RecognitionPipeline::evaluate(
     predictions.reserve(tests.size());
     for (const auto &query : tests)
         predictions.push_back(classify(query.vector));
-    return scorePredictions(tests, numLanguages, predictions);
+    const Evaluation eval =
+        scorePredictions(tests, numLanguages, predictions);
+    recordEvaluation(eval);
+    return eval;
 }
 
 Evaluation
 RecognitionPipeline::evaluateBatch(const BatchClassifier &classify)
     const
 {
-    return scorePredictions(tests, numLanguages,
-                            classify(encodedQueries));
+    const Evaluation eval = scorePredictions(tests, numLanguages,
+                                             classify(encodedQueries));
+    recordEvaluation(eval);
+    return eval;
 }
 
 Evaluation
@@ -136,7 +162,10 @@ RecognitionPipeline::evaluateExact(std::size_t threads) const
     predictions.reserve(results.size());
     for (const SearchResult &result : results)
         predictions.push_back(result.classId);
-    return scorePredictions(tests, numLanguages, predictions);
+    const Evaluation eval =
+        scorePredictions(tests, numLanguages, predictions);
+    recordEvaluation(eval);
+    return eval;
 }
 
 } // namespace hdham::lang

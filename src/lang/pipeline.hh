@@ -25,6 +25,7 @@
 #include "core/encoder.hh"
 #include "core/hypervector.hh"
 #include "core/item_memory.hh"
+#include "core/metrics.hh"
 #include "lang/corpus.hh"
 
 namespace hdham::lang
@@ -166,7 +167,20 @@ class RecognitionPipeline
      */
     Evaluation evaluateExact(std::size_t threads = 1) const;
 
+    /**
+     * Attach observability sinks (either may be nullptr; both must
+     * outlive the pipeline). @p classification receives the
+     * per-class confusion counts of every evaluate call, keyed by
+     * language label; @p memory is forwarded to the software
+     * associative memory so evaluateExact's scans are counted.
+     */
+    void attachMetrics(metrics::ClassificationMetrics *classification,
+                       metrics::QueryMetrics *memory = nullptr);
+
   private:
+    /** Merge @p eval's confusion into the attached sink, if any. */
+    void recordEvaluation(const Evaluation &eval) const;
+
     PipelineConfig cfg;
     std::size_t numLanguages;
     ItemMemory items;
@@ -175,6 +189,8 @@ class RecognitionPipeline
     std::vector<LabeledQuery> tests;
     /** tests[i].vector copied out once, batch-search ready. */
     std::vector<Hypervector> encodedQueries;
+    /** Optional observability sink; never owned. */
+    metrics::ClassificationMetrics *clsSink = nullptr;
 };
 
 } // namespace hdham::lang

@@ -33,6 +33,27 @@ GesturePipeline::GesturePipeline(const EmgCorpus &corpus,
         encodedQueries.push_back(test.vector);
 }
 
+void
+GesturePipeline::attachMetrics(
+    metrics::ClassificationMetrics *classification,
+    metrics::QueryMetrics *memory)
+{
+    clsSink = classification;
+    am.attachMetrics(memory);
+}
+
+void
+GesturePipeline::recordEvaluation(const lang::Evaluation &eval) const
+{
+    if (!clsSink)
+        return;
+    std::vector<std::string> labels;
+    labels.reserve(numGestures);
+    for (std::size_t g = 0; g < numGestures; ++g)
+        labels.push_back(am.labelOf(g));
+    clsSink->recordConfusion(eval.confusion, labels);
+}
+
 lang::Evaluation
 GesturePipeline::evaluate(
     const std::function<std::size_t(const Hypervector &)> &classify)
@@ -42,15 +63,20 @@ GesturePipeline::evaluate(
     predictions.reserve(tests.size());
     for (const auto &query : tests)
         predictions.push_back(classify(query.vector));
-    return lang::scorePredictions(tests, numGestures, predictions);
+    const lang::Evaluation eval =
+        lang::scorePredictions(tests, numGestures, predictions);
+    recordEvaluation(eval);
+    return eval;
 }
 
 lang::Evaluation
 GesturePipeline::evaluateBatch(const lang::BatchClassifier &classify)
     const
 {
-    return lang::scorePredictions(tests, numGestures,
-                                  classify(encodedQueries));
+    const lang::Evaluation eval = lang::scorePredictions(
+        tests, numGestures, classify(encodedQueries));
+    recordEvaluation(eval);
+    return eval;
 }
 
 lang::Evaluation
@@ -62,7 +88,10 @@ GesturePipeline::evaluateExact(std::size_t threads) const
     predictions.reserve(results.size());
     for (const SearchResult &result : results)
         predictions.push_back(result.classId);
-    return lang::scorePredictions(tests, numGestures, predictions);
+    const lang::Evaluation eval =
+        lang::scorePredictions(tests, numGestures, predictions);
+    recordEvaluation(eval);
+    return eval;
 }
 
 } // namespace hdham::signal

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/assoc_memory.hh"
+#include "core/metrics.hh"
 #include "lang/pipeline.hh"
 #include "signal/emg.hh"
 #include "signal/encoder.hh"
@@ -72,13 +73,28 @@ class GesturePipeline
      */
     lang::Evaluation evaluateExact(std::size_t threads = 1) const;
 
+    /**
+     * Attach observability sinks (either may be nullptr; both must
+     * outlive the pipeline). @p classification receives the
+     * per-class confusion counts of every evaluate call, keyed by
+     * gesture label; @p memory is forwarded to the software
+     * associative memory so evaluateExact's scans are counted.
+     */
+    void attachMetrics(metrics::ClassificationMetrics *classification,
+                       metrics::QueryMetrics *memory = nullptr);
+
   private:
+    /** Merge @p eval's confusion into the attached sink, if any. */
+    void recordEvaluation(const lang::Evaluation &eval) const;
+
     std::size_t numGestures;
     SpatioTemporalEncoder enc;
     AssociativeMemory am;
     std::vector<lang::LabeledQuery> tests;
     /** tests[i].vector copied out once, batch-search ready. */
     std::vector<Hypervector> encodedQueries;
+    /** Optional observability sink; never owned. */
+    metrics::ClassificationMetrics *clsSink = nullptr;
 };
 
 } // namespace hdham::signal

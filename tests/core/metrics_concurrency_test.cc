@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Concurrency tests for the metrics subsystem: counters must be
+ * EXACT -- not approximate -- when searchBatch scans with multiple
+ * worker threads, and when several batches run concurrently against
+ * one shared sink. Built with HDHAM_SANITIZE=thread these tests also
+ * prove the collection path is race-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "core/hypervector.hh"
+#include "core/metrics.hh"
+#include "core/random.hh"
+#include "ham/a_ham.hh"
+#include "ham/d_ham.hh"
+#include "ham/r_ham.hh"
+
+namespace
+{
+
+using namespace hdham;
+
+constexpr std::size_t kDim = 512;
+constexpr std::size_t kClasses = 12;
+constexpr std::size_t kQueries = 64;
+
+std::vector<Hypervector>
+makeQueries(std::size_t count, Rng &rng)
+{
+    std::vector<Hypervector> queries;
+    queries.reserve(count);
+    for (std::size_t q = 0; q < count; ++q)
+        queries.push_back(Hypervector::random(kDim, rng));
+    return queries;
+}
+
+TEST(MetricsConcurrencyTest, SoftwareBatchCountersExactPerThreadCount)
+{
+    Rng rng(101);
+    AssociativeMemory am(kDim);
+    for (std::size_t c = 0; c < kClasses; ++c)
+        am.store(Hypervector::random(kDim, rng));
+    const auto queries = makeQueries(kQueries, rng);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        metrics::QueryMetrics sink;
+        am.attachMetrics(&sink);
+        am.searchBatch(queries, threads);
+        am.attachMetrics(nullptr);
+        EXPECT_EQ(sink.queries.value(), kQueries) << threads;
+        EXPECT_EQ(sink.rowsScanned.value(), kQueries * kClasses)
+            << threads;
+        EXPECT_EQ(sink.batches.value(), 1u) << threads;
+        EXPECT_EQ(sink.batchLatencyUs.summary().count, 1u)
+            << threads;
+    }
+}
+
+TEST(MetricsConcurrencyTest, DHamCountersExactPerThreadCount)
+{
+    Rng rng(102);
+    ham::DHamConfig cfg;
+    cfg.dim = kDim;
+    ham::DHam dham(cfg);
+    for (std::size_t c = 0; c < kClasses; ++c)
+        dham.store(Hypervector::random(kDim, rng));
+    const auto queries = makeQueries(kQueries, rng);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        metrics::QueryMetrics sink;
+        dham.attachMetrics(&sink);
+        dham.searchBatch(queries, threads);
+        dham.attachMetrics(nullptr);
+        EXPECT_EQ(sink.queries.value(), kQueries) << threads;
+        EXPECT_EQ(sink.rowsScanned.value(), kQueries * kClasses)
+            << threads;
+        EXPECT_EQ(sink.bitsSampled.value(),
+                  kQueries * cfg.effectiveDim())
+            << threads;
+    }
+}
+
+TEST(MetricsConcurrencyTest, RHamStochasticCountersThreadInvariant)
+{
+    // R-HAM sensing is stochastic, but its noise comes from per-query
+    // counter-derived substreams, so even sa_fires must be identical
+    // for every thread count when the design is reseeded.
+    std::vector<std::uint64_t> saFires;
+    std::vector<std::uint64_t> blocksSensed;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        Rng rng(103);
+        ham::RHamConfig cfg;
+        cfg.dim = kDim;
+        cfg.overscaledBlocks = cfg.totalBlocks() / 2;
+        ham::RHam rham(cfg);
+        for (std::size_t c = 0; c < kClasses; ++c)
+            rham.store(Hypervector::random(kDim, rng));
+        const auto queries = makeQueries(kQueries, rng);
+
+        metrics::QueryMetrics sink;
+        rham.attachMetrics(&sink);
+        rham.searchBatch(queries, threads);
+        EXPECT_EQ(sink.queries.value(), kQueries) << threads;
+        EXPECT_EQ(sink.blocksSensed.value(),
+                  kQueries * kClasses * cfg.activeBlocks())
+            << threads;
+        saFires.push_back(sink.saFires.value());
+        blocksSensed.push_back(sink.blocksSensed.value());
+    }
+    EXPECT_EQ(saFires[0], saFires[1]);
+    EXPECT_EQ(saFires[0], saFires[2]);
+    EXPECT_EQ(blocksSensed[0], blocksSensed[1]);
+    EXPECT_EQ(blocksSensed[0], blocksSensed[2]);
+    EXPECT_GT(saFires[0], 0u);
+}
+
+TEST(MetricsConcurrencyTest, AHamCountersExactPerThreadCount)
+{
+    Rng rng(104);
+    ham::AHamConfig cfg;
+    cfg.dim = kDim;
+    ham::AHam aham(cfg);
+    for (std::size_t c = 0; c < kClasses; ++c)
+        aham.store(Hypervector::random(kDim, rng));
+    const auto queries = makeQueries(kQueries, rng);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        metrics::QueryMetrics sink;
+        aham.attachMetrics(&sink);
+        aham.searchBatch(queries, threads);
+        aham.attachMetrics(nullptr);
+        EXPECT_EQ(sink.queries.value(), kQueries) << threads;
+        EXPECT_EQ(sink.stagesRun.value(),
+                  kQueries * cfg.effectiveStages())
+            << threads;
+        EXPECT_EQ(sink.ltaComparisons.value(),
+                  kQueries * (kClasses - 1))
+            << threads;
+    }
+}
+
+TEST(MetricsConcurrencyTest, SharedSinkAcrossConcurrentBatches)
+{
+    // Several caller threads, each firing multi-threaded batches into
+    // ONE shared sink: totals must still be exact. This is the case
+    // TSan scrutinizes hardest.
+    Rng rng(105);
+    AssociativeMemory am(kDim);
+    for (std::size_t c = 0; c < kClasses; ++c)
+        am.store(Hypervector::random(kDim, rng));
+    const auto queries = makeQueries(kQueries, rng);
+
+    metrics::QueryMetrics sink;
+    am.attachMetrics(&sink);
+    constexpr std::size_t kCallers = 4;
+    constexpr std::size_t kRepeats = 3;
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (std::size_t t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&am, &queries] {
+            for (std::size_t r = 0; r < kRepeats; ++r)
+                am.searchBatch(queries, 2);
+        });
+    }
+    for (std::thread &caller : callers)
+        caller.join();
+    am.attachMetrics(nullptr);
+
+    constexpr std::uint64_t batches = kCallers * kRepeats;
+    EXPECT_EQ(sink.batches.value(), batches);
+    EXPECT_EQ(sink.queries.value(), batches * kQueries);
+    EXPECT_EQ(sink.rowsScanned.value(),
+              batches * kQueries * kClasses);
+    EXPECT_EQ(sink.batchLatencyUs.summary().count, batches);
+}
+
+TEST(MetricsConcurrencyTest, SharedSinkAcrossDesigns)
+{
+    // One sink aggregating two designs queried from two threads:
+    // per-design contributions must merge without loss.
+    Rng rng(106);
+    ham::DHamConfig dcfg;
+    dcfg.dim = kDim;
+    ham::DHam dham(dcfg);
+    ham::AHamConfig acfg;
+    acfg.dim = kDim;
+    ham::AHam aham(acfg);
+    for (std::size_t c = 0; c < kClasses; ++c) {
+        const Hypervector hv = Hypervector::random(kDim, rng);
+        dham.store(hv);
+        aham.store(hv);
+    }
+    const auto queries = makeQueries(kQueries, rng);
+
+    metrics::QueryMetrics sink;
+    dham.attachMetrics(&sink);
+    aham.attachMetrics(&sink);
+    std::thread dThread([&] { dham.searchBatch(queries, 2); });
+    std::thread aThread([&] { aham.searchBatch(queries, 2); });
+    dThread.join();
+    aThread.join();
+
+    EXPECT_EQ(sink.queries.value(), 2 * kQueries);
+    EXPECT_EQ(sink.batches.value(), 2u);
+    EXPECT_EQ(sink.bitsSampled.value(),
+              kQueries * dcfg.effectiveDim());
+    EXPECT_EQ(sink.ltaComparisons.value(),
+              kQueries * (kClasses - 1));
+    EXPECT_EQ(sink.batchLatencyUs.summary().count, 2u);
+}
+
+} // namespace

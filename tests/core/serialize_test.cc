@@ -136,4 +136,59 @@ TEST(SerializeTest, MissingFileThrows)
                  std::runtime_error);
 }
 
+TEST(SerializeTest, EveryStrictPrefixThrows)
+{
+    // Exhaustive truncation fuzz: a valid model file cut at ANY byte
+    // boundary must raise std::runtime_error -- never crash, never
+    // silently yield a partial memory. Covers cuts inside the magic,
+    // the header fields, labels and hypervector words.
+    Rng rng(7);
+    AssociativeMemory am(130); // non-word-aligned dimensionality
+    am.store(Hypervector::random(130, rng), "first");
+    am.store(Hypervector::random(130, rng), "second label");
+    am.store(Hypervector::random(130, rng), "");
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    const std::string full = stream.str();
+    ASSERT_GT(full.size(), 8u);
+
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        std::stringstream truncated(full.substr(0, cut));
+        EXPECT_THROW(
+            {
+                try {
+                    serialize::readMemory(truncated);
+                } catch (const std::runtime_error &) {
+                    throw;
+                } catch (...) {
+                    ADD_FAILURE()
+                        << "non-runtime_error at cut " << cut;
+                    throw;
+                }
+            },
+            std::runtime_error)
+            << "cut at " << cut << " of " << full.size();
+    }
+
+    // Sanity: the untruncated stream still loads.
+    std::stringstream whole(full);
+    EXPECT_EQ(serialize::readMemory(whole).size(), 3u);
+}
+
+TEST(SerializeTest, EveryStrictPrefixOfEmptyMemoryThrows)
+{
+    // The empty-memory document is the shortest valid file; its
+    // prefixes stress the header-only read path.
+    AssociativeMemory am(64);
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    const std::string full = stream.str();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        std::stringstream truncated(full.substr(0, cut));
+        EXPECT_THROW(serialize::readMemory(truncated),
+                     std::runtime_error)
+            << "cut at " << cut << " of " << full.size();
+    }
+}
+
 } // namespace

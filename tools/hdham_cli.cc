@@ -4,13 +4,18 @@
  *
  * Subcommands:
  *   train    --out PATH [--dim N] [--train-chars N] [--sentences N]
- *            [--threads N]
+ *            [--threads N] [--stats-json PATH]
  *            train the 21-language classifier on the synthetic
  *            corpus and persist the learned hypervectors
  *   classify --model PATH [--design dham|rham|aham] [--threads N]
- *            [--batch N] TEXT...
+ *            [--batch N] [--stats-json PATH] TEXT...
  *            classify text samples with the chosen HAM design,
  *            batching queries through searchBatch()
+ *
+ * --stats-json dumps a query-path observability snapshot (the
+ * hdham.metrics.v1 schema of core/metrics.hh): per-design counters
+ * (queries, rows scanned, bits sampled, blocks sensed, ...) and the
+ * batch latency histogram with p50/p95/p99.
  *   info     --model PATH
  *            describe a saved model
  *   cost     [--dim N] [--classes N]
@@ -29,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics.hh"
 #include "core/serialize.hh"
 #include "ham/a_ham.hh"
 #include "ham/d_ham.hh"
@@ -49,16 +55,18 @@ usage()
         stderr,
         "usage:\n"
         "  hdham train --out PATH [--dim N] [--train-chars N] "
-        "[--sentences N] [--threads N]\n"
+        "[--sentences N] [--threads N] [--stats-json PATH]\n"
         "  hdham classify --model PATH [--design dham|rham|aham] "
-        "[--threads N] [--batch N] TEXT...\n"
+        "[--threads N] [--batch N] [--stats-json PATH] TEXT...\n"
         "  hdham info --model PATH\n"
         "  hdham cost [--dim N] [--classes N]\n"
         "\n"
-        "  --threads N  scan workers for batched search (0 = all "
-        "hardware threads; default 1)\n"
-        "  --batch N    queries per searchBatch() call (0 = all at "
-        "once; default 0)\n");
+        "  --threads N       scan workers for batched search (0 = "
+        "all hardware threads; default 1)\n"
+        "  --batch N         queries per searchBatch() call (0 = "
+        "all at once; default 0)\n"
+        "  --stats-json PATH write a query-path metrics snapshot "
+        "(hdham.metrics.v1 JSON)\n");
     return 2;
 }
 
@@ -103,17 +111,39 @@ cmdTrain(std::vector<std::string> args)
     lang::PipelineConfig pipeCfg;
     pipeCfg.dim = numericOption(args, "--dim", pipeCfg.dim);
     const std::size_t threads = numericOption(args, "--threads", 1);
+    const std::string statsPath = option(args, "--stats-json", "");
 
     std::printf("training %zu languages at D = %zu...\n",
                 corpusCfg.numLanguages, pipeCfg.dim);
     const lang::SyntheticCorpus corpus(corpusCfg);
-    const lang::RecognitionPipeline pipeline(corpus, pipeCfg);
+    lang::RecognitionPipeline pipeline(corpus, pipeCfg);
+
+    metrics::QueryMetrics memoryMetrics;
+    metrics::ClassificationMetrics evalMetrics;
+    if (!statsPath.empty())
+        pipeline.attachMetrics(&evalMetrics, &memoryMetrics);
+
     const auto eval = pipeline.evaluateExact(threads);
     std::printf("held-out accuracy: %.1f%% (%zu/%zu)\n",
                 100.0 * eval.accuracy(), eval.correct, eval.total);
 
     serialize::saveMemory(out, pipeline.memory());
     std::printf("model written to %s\n", out.c_str());
+
+    if (!statsPath.empty()) {
+        metrics::Registry registry;
+        registry.attachQuery("am", memoryMetrics);
+        registry.attachClassification("lang", evalMetrics);
+        registry.setGauge("model.dim",
+                          static_cast<double>(pipeCfg.dim));
+        registry.setGauge("model.classes",
+                          static_cast<double>(
+                              pipeline.memory().size()));
+        registry.setGauge("run.threads",
+                          static_cast<double>(threads));
+        registry.saveJson(statsPath);
+        std::printf("metrics written to %s\n", statsPath.c_str());
+    }
     return 0;
 }
 
@@ -145,6 +175,7 @@ cmdClassify(std::vector<std::string> args)
     const std::string design = option(args, "--design", "dham");
     const std::size_t threads = numericOption(args, "--threads", 1);
     const std::size_t batch = numericOption(args, "--batch", 0);
+    const std::string statsPath = option(args, "--stats-json", "");
     if (path.empty() || args.empty()) {
         std::fprintf(stderr, "classify: need --model and at least "
                              "one TEXT argument\n");
@@ -159,6 +190,10 @@ cmdClassify(std::vector<std::string> args)
         return 2;
     }
     hardware->loadFrom(memory);
+
+    metrics::QueryMetrics designMetrics;
+    if (!statsPath.empty())
+        hardware->attachMetrics(&designMetrics);
 
     // Rebuild the encoder with the library-default configuration
     // the model was trained with.
@@ -204,6 +239,21 @@ cmdClassify(std::vector<std::string> args)
         std::printf("%-14s <- \"%.60s\"\n",
                     memory.labelOf(hit.classId).c_str(),
                     args[i].c_str());
+    }
+
+    if (!statsPath.empty()) {
+        metrics::Registry registry;
+        registry.attachQuery(design, designMetrics);
+        registry.setGauge("model.dim",
+                          static_cast<double>(memory.dim()));
+        registry.setGauge("model.classes",
+                          static_cast<double>(memory.size()));
+        registry.setGauge("run.threads",
+                          static_cast<double>(threads));
+        registry.setGauge("run.batch",
+                          static_cast<double>(chunk));
+        registry.saveJson(statsPath);
+        std::printf("metrics written to %s\n", statsPath.c_str());
     }
     return 0;
 }
