@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel_for.hh"
+#include "core/trace.hh"
 
 namespace hdham
 {
@@ -65,6 +66,7 @@ AssociativeMemory::searchSampled(const Hypervector &query,
     assert(query.dim() == rows.dim());
     assert(prefix <= rows.dim());
 
+    TRACE_SPAN("am.search");
     SearchResult result;
     result.classId =
         rows.nearest(query, prefix, &result.bestDistance);
@@ -103,12 +105,14 @@ AssociativeMemory::searchBatch(const std::vector<Hypervector> &queries,
 {
     if (rows.rows() == 0)
         throw std::logic_error("AssociativeMemory: empty search");
+    TRACE_BATCH("am.batch");
     const metrics::Clock::time_point start =
         sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     std::vector<SearchResult> results(queries.size());
     const std::size_t prefix = rows.dim();
     parallelFor(queries.size(), threads,
                 [&](std::size_t begin, std::size_t end) {
+                    TRACE_SPAN("am.chunk");
                     for (std::size_t q = begin; q < end; ++q) {
                         results[q].classId =
                             rows.nearest(queries[q], prefix,

@@ -1,0 +1,439 @@
+#include "core/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hdham::json
+{
+
+void
+writeEscaped(std::ostream &out, const std::string &s)
+{
+    out << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out << "\\\"";
+            break;
+        case '\\':
+            out << "\\\\";
+            break;
+        case '\b':
+            out << "\\b";
+            break;
+        case '\f':
+            out << "\\f";
+            break;
+        case '\n':
+            out << "\\n";
+            break;
+        case '\r':
+            out << "\\r";
+            break;
+        case '\t':
+            out << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out << buf;
+            } else {
+                out << c;
+            }
+        }
+    }
+    out << '"';
+}
+
+void
+writeNumber(std::ostream &out, double value)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::abs(value) < 9.007199254740992e15) { // 2^53
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+        out << buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g",
+                  std::isfinite(value) ? value : 0.0);
+    out << buf;
+}
+
+bool
+Value::asBool() const
+{
+    if (kind != Type::Bool)
+        throw std::runtime_error("json: value is not a boolean");
+    return boolean;
+}
+
+double
+Value::asNumber() const
+{
+    if (kind != Type::Number)
+        throw std::runtime_error("json: value is not a number");
+    return number;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind != Type::String)
+        throw std::runtime_error("json: value is not a string");
+    return text;
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    if (kind != Type::Array)
+        throw std::runtime_error("json: value is not an array");
+    return array;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    if (kind != Type::Object)
+        throw std::runtime_error("json: value is not an object");
+    return object;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind != Type::Object)
+        throw std::runtime_error("json: value is not an object");
+    for (const auto &[name, value] : object)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *found = find(key);
+    if (!found)
+        throw std::runtime_error("json: missing key \"" + key +
+                                 "\"");
+    return *found;
+}
+
+/** Recursive-descent parser over a complete in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &input) : text(input) {}
+
+    Value
+    run()
+    {
+        skipSpace();
+        Value v = parseValue(0);
+        skipSpace();
+        if (pos != text.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    static constexpr std::size_t kMaxDepth = 256;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json: " + what + " at offset " +
+                                 std::to_string(pos));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek() const
+    {
+        return pos < text.size() ? text[pos] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos >= text.size() || text[pos] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consume(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (text.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    Value
+    parseValue(std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        skipSpace();
+        switch (peek()) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"': {
+            Value v;
+            v.kind = Value::Type::String;
+            v.text = parseString();
+            return v;
+        }
+        case 't':
+            if (!consume("true"))
+                fail("invalid literal");
+            return boolValue(true);
+        case 'f':
+            if (!consume("false"))
+                fail("invalid literal");
+            return boolValue(false);
+        case 'n':
+            if (!consume("null"))
+                fail("invalid literal");
+            return Value{};
+        default:
+            return parseNumber();
+        }
+    }
+
+    static Value
+    boolValue(bool b)
+    {
+        Value v;
+        v.kind = Value::Type::Bool;
+        v.boolean = b;
+        return v;
+    }
+
+    Value
+    parseObject(std::size_t depth)
+    {
+        Value v;
+        v.kind = Value::Type::Object;
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            v.object.emplace_back(std::move(key),
+                                  parseValue(depth + 1));
+            skipSpace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    parseArray(std::size_t depth)
+    {
+        Value v;
+        v.kind = Value::Type::Array;
+        expect('[');
+        skipSpace();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue(depth + 1));
+            skipSpace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            const char esc = text[pos++];
+            switch (esc) {
+            case '"':
+            case '\\':
+            case '/':
+                out.push_back(esc);
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                unsigned cp = parseHex4();
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // Surrogate pair: require the low half.
+                    if (pos + 1 >= text.size() ||
+                        text[pos] != '\\' || text[pos + 1] != 'u')
+                        fail("lone high surrogate");
+                    pos += 2;
+                    const unsigned low = parseHex4();
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (low - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("lone low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                fail("invalid escape");
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        if (pos + 4 > text.size())
+            fail("truncated \\u escape");
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text[pos++];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid hex digit");
+        }
+        return value;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t startPos = pos;
+        if (peek() == '-')
+            ++pos;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos;
+        if (peek() == '.') {
+            ++pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit required after decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit required in exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        Value v;
+        v.kind = Value::Type::Number;
+        v.number =
+            std::strtod(text.substr(startPos, pos - startPos).c_str(),
+                        nullptr);
+        return v;
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace hdham::json

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/json.hh"
 #include "core/stats.hh"
 
 namespace hdham::metrics
@@ -47,69 +48,10 @@ atomicMax(std::atomic<double> &target, double x)
         ;
 }
 
-/** JSON string escaping per RFC 8259. */
-void
-writeJsonString(std::ostream &out, const std::string &s)
-{
-    out << '"';
-    for (const char c : s) {
-        switch (c) {
-        case '"':
-            out << "\\\"";
-            break;
-        case '\\':
-            out << "\\\\";
-            break;
-        case '\b':
-            out << "\\b";
-            break;
-        case '\f':
-            out << "\\f";
-            break;
-        case '\n':
-            out << "\\n";
-            break;
-        case '\r':
-            out << "\\r";
-            break;
-        case '\t':
-            out << "\\t";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out << buf;
-            } else {
-                out << c;
-            }
-        }
-    }
-    out << '"';
-}
-
-/**
- * Deterministic number rendering: integers (the common case -- every
- * counter, bucket hit and power-of-two bucket bound) print exactly;
- * everything else prints with enough digits to round-trip.
- */
-void
-writeJsonNumber(std::ostream &out, double value)
-{
-    if (std::isfinite(value) && value == std::floor(value) &&
-        std::abs(value) < 9.007199254740992e15) { // 2^53
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%.0f", value);
-        out << buf;
-        return;
-    }
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g",
-                  std::isfinite(value) ? value : 0.0);
-    out << buf;
-}
+// String escaping and deterministic number rendering live in
+// core/json.hh, shared with the trace exporter and bench_gate.
+using json::writeEscaped;
+using json::writeNumber;
 
 void
 writeHistogram(std::ostream &out, const HistogramSummary &h,
@@ -119,28 +61,28 @@ writeHistogram(std::ostream &out, const HistogramSummary &h,
     const std::string inner = indent + "  ";
     out << inner << "\"count\": " << h.count << ",\n";
     out << inner << "\"sum_us\": ";
-    writeJsonNumber(out, h.sum);
+    writeNumber(out, h.sum);
     out << ",\n";
     out << inner << "\"min_us\": ";
-    writeJsonNumber(out, h.min);
+    writeNumber(out, h.min);
     out << ",\n";
     out << inner << "\"max_us\": ";
-    writeJsonNumber(out, h.max);
+    writeNumber(out, h.max);
     out << ",\n";
     out << inner << "\"p50_us\": ";
-    writeJsonNumber(out, h.p50);
+    writeNumber(out, h.p50);
     out << ",\n";
     out << inner << "\"p95_us\": ";
-    writeJsonNumber(out, h.p95);
+    writeNumber(out, h.p95);
     out << ",\n";
     out << inner << "\"p99_us\": ";
-    writeJsonNumber(out, h.p99);
+    writeNumber(out, h.p99);
     out << ",\n";
     out << inner << "\"overflow\": " << h.overflow << ",\n";
     out << inner << "\"buckets\": [";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
         out << (i == 0 ? "" : ", ") << '[';
-        writeJsonNumber(out, h.buckets[i].first);
+        writeNumber(out, h.buckets[i].first);
         out << ", " << h.buckets[i].second << ']';
     }
     out << "]\n" << indent << "}";
@@ -327,7 +269,7 @@ writeJson(std::ostream &out, const Snapshot &snapshot)
     bool first = true;
     for (const auto &[key, value] : snapshot.counters) {
         out << (first ? "\n    " : ",\n    ");
-        writeJsonString(out, key);
+        writeEscaped(out, key);
         out << ": " << value;
         first = false;
     }
@@ -337,9 +279,9 @@ writeJson(std::ostream &out, const Snapshot &snapshot)
     first = true;
     for (const auto &[key, value] : snapshot.gauges) {
         out << (first ? "\n    " : ",\n    ");
-        writeJsonString(out, key);
+        writeEscaped(out, key);
         out << ": ";
-        writeJsonNumber(out, value);
+        writeNumber(out, value);
         first = false;
     }
     out << (first ? "" : "\n  ") << "},\n";
@@ -348,7 +290,7 @@ writeJson(std::ostream &out, const Snapshot &snapshot)
     first = true;
     for (const auto &[key, value] : snapshot.histograms) {
         out << (first ? "\n    " : ",\n    ");
-        writeJsonString(out, key);
+        writeEscaped(out, key);
         out << ": ";
         writeHistogram(out, value, "    ");
         first = false;

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/trace.hh"
+
 namespace hdham
 {
 
@@ -47,10 +49,17 @@ parallelFor(std::size_t n, std::size_t threads,
         }
     };
 
+    // Workers inherit the caller's trace context so their chunk
+    // spans group under the batch scope that spawned them.
+    const trace::Context traceCtx = trace::currentContext();
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
-    for (std::size_t w = 1; w < workers; ++w)
-        pool.emplace_back(runChunk, w);
+    for (std::size_t w = 1; w < workers; ++w) {
+        pool.emplace_back([&runChunk, traceCtx, w] {
+            const trace::ContextGuard guard(traceCtx);
+            runChunk(w);
+        });
+    }
     runChunk(0);
     for (std::thread &worker : pool)
         worker.join();

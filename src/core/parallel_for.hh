@@ -14,6 +14,10 @@
  * substreamSeed in core/random.hh), so the output is bit-identical
  * for every thread count and chunking.
  *
+ * Observability: each worker inherits the caller's trace context
+ * (core/trace.hh), so spans opened inside chunks group under the
+ * batch scope that issued the parallelFor.
+ *
  * Workers are forked per call and joined before returning. At batch
  * granularity (hundreds of multi-kilobit scans per chunk) the fork
  * cost is noise, and a pool-free design keeps the utility free of

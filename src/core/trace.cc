@@ -1,0 +1,333 @@
+#include "core/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "core/json.hh"
+#include "core/stats.hh"
+
+namespace hdham::trace
+{
+
+namespace
+{
+
+/** Unique tracer ids; 0 is reserved for "no tracer cached". */
+std::atomic<std::uint64_t> g_tracerIds{0};
+
+/** Thread-local (tracer uid -> buffer) cache, one entry deep. */
+struct BufferCache
+{
+    std::uint64_t tracerUid = 0;
+    ThreadBuffer *buffer = nullptr;
+};
+
+double
+microsBetween(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from)
+        .count();
+}
+
+} // namespace
+
+ThreadBuffer::ThreadBuffer(std::size_t capacity, std::uint32_t track)
+    : ring(capacity), trackId(track)
+{
+}
+
+bool
+ThreadBuffer::push(const Event &e)
+{
+    const std::size_t n = used.load(std::memory_order_relaxed);
+    if (n >= ring.size()) {
+        drops.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    ring[n] = e;
+    // Release pairs with size()'s acquire so an exporter that
+    // observes the count also observes the event it covers.
+    used.store(n + 1, std::memory_order_release);
+    return true;
+}
+
+Tracer::Tracer(std::size_t capacityPerThread)
+    : capacity(capacityPerThread == 0 ? 1 : capacityPerThread),
+      uid(g_tracerIds.fetch_add(1, std::memory_order_relaxed) + 1),
+      start(Clock::now())
+{
+}
+
+Tracer::~Tracer()
+{
+    if (activeTracer() == this)
+        setActive(nullptr);
+}
+
+ThreadBuffer &
+Tracer::threadBuffer()
+{
+    thread_local BufferCache cache;
+    if (cache.tracerUid == uid)
+        return *cache.buffer;
+    const std::lock_guard<std::mutex> lock(mu);
+    buffers.push_back(std::make_unique<ThreadBuffer>(
+        capacity, static_cast<std::uint32_t>(buffers.size())));
+    cache.tracerUid = uid;
+    cache.buffer = buffers.back().get();
+    return *cache.buffer;
+}
+
+void
+Tracer::record(const Event &e)
+{
+    threadBuffer().push(e);
+}
+
+std::uint64_t
+Tracer::newScope(const char *name)
+{
+    const std::uint64_t id =
+        scopeCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::lock_guard<std::mutex> lock(mu);
+    scopeNames.emplace_back(id, std::string(name));
+    return id;
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    std::size_t total = 0;
+    for (const auto &buf : buffers)
+        total += buf->size();
+    return total;
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t total = 0;
+    for (const auto &buf : buffers)
+        total += buf->dropped();
+    return total;
+}
+
+std::size_t
+Tracer::threadsSeen() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    std::size_t seen = 0;
+    for (const auto &buf : buffers)
+        if (buf->size() > 0 || buf->dropped() > 0)
+            ++seen;
+    return seen;
+}
+
+std::vector<std::pair<std::uint32_t, Event>>
+Tracer::events() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::uint32_t, Event>> out;
+    for (const auto &buf : buffers) {
+        const std::size_t n = buf->size();
+        for (std::size_t i = 0; i < n; ++i)
+            out.emplace_back(buf->track(), buf->at(i));
+    }
+    return out;
+}
+
+std::vector<SpanStats>
+Tracer::summary() const
+{
+    struct Acc
+    {
+        std::uint64_t count = 0;
+        double totalUs = 0.0;
+        double selfUs = 0.0;
+        FixedBucketHistogram hist =
+            FixedBucketHistogram::geometric(1.0, 2.0, 40);
+    };
+    std::map<std::string, Acc> byName;
+    for (const auto &[track, e] : events()) {
+        (void)track;
+        Acc &acc = byName[e.name];
+        ++acc.count;
+        acc.totalUs += e.durUs;
+        acc.selfUs += e.selfUs;
+        acc.hist.add(e.durUs);
+    }
+    std::vector<SpanStats> out;
+    out.reserve(byName.size());
+    for (const auto &[name, acc] : byName) {
+        SpanStats stats;
+        stats.name = name;
+        stats.count = acc.count;
+        stats.totalUs = acc.totalUs;
+        stats.selfUs = acc.selfUs;
+        stats.p50Us = acc.hist.quantile(0.50);
+        stats.p95Us = acc.hist.quantile(0.95);
+        out.push_back(std::move(stats));
+    }
+    return out;
+}
+
+void
+Tracer::writeSummary(std::ostream &out) const
+{
+    std::vector<SpanStats> stats = summary();
+    std::stable_sort(stats.begin(), stats.end(),
+                     [](const SpanStats &a, const SpanStats &b) {
+                         return a.totalUs > b.totalUs;
+                     });
+    out << "span summary (events=" << eventCount()
+        << ", dropped=" << droppedEvents()
+        << ", threads=" << threadsSeen() << ")\n";
+    char line[192];
+    std::snprintf(line, sizeof line,
+                  "  %-28s %8s %12s %12s %10s %10s\n", "span",
+                  "count", "total_us", "self_us", "p50_us",
+                  "p95_us");
+    out << line;
+    for (const SpanStats &s : stats) {
+        std::snprintf(line, sizeof line,
+                      "  %-28s %8llu %12.1f %12.1f %10.1f %10.1f\n",
+                      s.name.c_str(),
+                      static_cast<unsigned long long>(s.count),
+                      s.totalUs, s.selfUs, s.p50Us, s.p95Us);
+        out << line;
+    }
+}
+
+void
+Tracer::writeChromeJson(std::ostream &out) const
+{
+    const std::vector<std::pair<std::uint32_t, Event>> all =
+        events();
+    std::vector<std::pair<std::uint64_t, std::string>> scopes;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        scopes = scopeNames;
+    }
+
+    // Scope names for process_name metadata; scope 0 is the
+    // untracked remainder (single-shot searches, setup work).
+    std::map<std::uint64_t, std::string> scopeLabel;
+    scopeLabel[0] = "untracked";
+    std::map<std::string, std::uint64_t> perName;
+    for (const auto &[id, name] : scopes)
+        scopeLabel[id] = name + "#" +
+                         std::to_string(++perName[name]);
+
+    // Emit thread_name metadata only for (pid, tid) pairs that
+    // actually carry events, so the trace has no empty tracks.
+    std::set<std::pair<std::uint64_t, std::uint32_t>> tracks;
+    for (const auto &[track, e] : all)
+        tracks.emplace(e.scope, track);
+
+    out << "{\n  \"schema\": \"hdham.trace.v1\",\n";
+    out << "  \"displayTimeUnit\": \"ms\",\n";
+    out << "  \"otherData\": {\n";
+    out << "    \"dropped_events\": " << droppedEvents() << ",\n";
+    out << "    \"thread_buffers\": " << threadsSeen() << "\n";
+    out << "  },\n";
+    out << "  \"traceEvents\": [";
+
+    bool first = true;
+    const auto comma = [&] {
+        out << (first ? "\n    " : ",\n    ");
+        first = false;
+    };
+
+    for (const auto &[pid, tid] : tracks) {
+        comma();
+        out << "{\"name\": \"process_name\", \"ph\": \"M\", "
+               "\"pid\": "
+            << pid << ", \"tid\": " << tid << ", \"args\": {"
+            << "\"name\": ";
+        json::writeEscaped(out, scopeLabel.count(pid)
+                                    ? scopeLabel[pid]
+                                    : "scope " + std::to_string(pid));
+        out << "}}";
+        comma();
+        out << "{\"name\": \"thread_name\", \"ph\": \"M\", "
+               "\"pid\": "
+            << pid << ", \"tid\": " << tid << ", \"args\": {"
+            << "\"name\": ";
+        json::writeEscaped(out, tid == 0
+                                    ? "track 0 (caller)"
+                                    : "track " + std::to_string(tid));
+        out << "}}";
+    }
+
+    for (const auto &[track, e] : all) {
+        comma();
+        out << "{\"name\": ";
+        json::writeEscaped(out, e.name);
+        out << ", \"cat\": \"hdham\", \"ph\": \"X\", \"ts\": ";
+        json::writeNumber(out, e.startUs);
+        out << ", \"dur\": ";
+        json::writeNumber(out, e.durUs);
+        out << ", \"pid\": " << e.scope << ", \"tid\": " << track
+            << ", \"args\": {\"self_us\": ";
+        json::writeNumber(out, e.selfUs);
+        out << ", \"depth\": " << e.depth << "}}";
+    }
+
+    out << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+void
+Tracer::saveChromeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("trace: cannot open " + path +
+                                 " for writing");
+    writeChromeJson(out);
+    if (!out)
+        throw std::runtime_error("trace: write failed: " + path);
+}
+
+void
+Span::finish()
+{
+    const Clock::time_point end = Clock::now();
+    const double durUs = microsBetween(begin, end);
+    detail::tlCurrent = parent;
+    if (parent)
+        parent->childUs += durUs;
+    Event e;
+    e.name = name;
+    e.startUs = microsBetween(tracer->epoch(), begin);
+    e.durUs = durUs;
+    e.selfUs = durUs - childUs;
+    e.scope = detail::tlScope;
+    e.depth = depth;
+    tracer->record(e);
+}
+
+BatchScope::BatchScope(const char *name)
+    : tracer(activeTracer())
+{
+    if (!tracer)
+        return;
+    saved = detail::tlScope;
+    detail::tlScope = tracer->newScope(name);
+    span.emplace(name);
+}
+
+BatchScope::~BatchScope()
+{
+    if (!tracer)
+        return;
+    span.reset(); // end the batch span inside its own scope
+    detail::tlScope = saved;
+}
+
+} // namespace hdham::trace

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/parallel_for.hh"
+#include "core/trace.hh"
 
 namespace hdham::ham
 {
@@ -38,6 +39,7 @@ AHam::searchIndexed(const Hypervector &query,
 {
     assert(query.dim() == cfg.dim);
 
+    TRACE_SPAN("a_ham.query");
     Rng rng(substreamSeed(cfg.seed, index));
     const std::size_t stages = cfg.effectiveStages();
     const std::size_t stageWidth = (cfg.dim + stages - 1) / stages;
@@ -50,24 +52,28 @@ AHam::searchIndexed(const Hypervector &query,
     // the mirror chain.
     std::vector<double> currents(rows.size());
     std::vector<std::size_t> stageDist(stages);
-    for (std::size_t id = 0; id < rows.size(); ++id) {
-        std::size_t prev = 0;
-        for (std::size_t s = 0; s < stages; ++s) {
-            const std::size_t end =
-                std::min((s + 1) * stageWidth, cfg.dim);
-            const std::size_t upto =
-                rows[id].hammingPrefix(query, end);
-            stageDist[s] = upto - prev;
-            prev = upto;
+    {
+        TRACE_SPAN("a_ham.stage_sum");
+        for (std::size_t id = 0; id < rows.size(); ++id) {
+            std::size_t prev = 0;
+            for (std::size_t s = 0; s < stages; ++s) {
+                const std::size_t end =
+                    std::min((s + 1) * stageWidth, cfg.dim);
+                const std::size_t upto =
+                    rows[id].hammingPrefix(query, end);
+                stageDist[s] = upto - prev;
+                prev = upto;
+            }
+            if (tally) {
+                for (const std::size_t d : stageDist)
+                    if (d > saturationOnset)
+                        ++tally->saturationEvents;
+            }
+            currents[id] = summer.total(stageDist, rng);
         }
-        if (tally) {
-            for (const std::size_t d : stageDist)
-                if (d > saturationOnset)
-                    ++tally->saturationEvents;
-        }
-        currents[id] = summer.total(stageDist, rng);
     }
 
+    TRACE_SPAN("a_ham.lta");
     // LTA comparator tree with variation-inflated offsets.
     circuit::LtaConfig lta;
     lta.bits = cfg.effectiveBits();
@@ -108,6 +114,7 @@ AHam::searchBatch(const std::vector<Hypervector> &queries,
     if (rows.empty())
         throw std::logic_error("AHam::searchBatch: no stored "
                                "classes");
+    TRACE_BATCH("a_ham.batch");
     const metrics::Clock::time_point start =
         sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     const std::uint64_t first = nextQueryIndex;
@@ -115,6 +122,7 @@ AHam::searchBatch(const std::vector<Hypervector> &queries,
     std::vector<HamResult> results(queries.size());
     parallelFor(queries.size(), threads,
                 [&](std::size_t begin, std::size_t end) {
+                    TRACE_SPAN("a_ham.chunk");
                     // Per-worker tally merged once per chunk: exact
                     // totals without atomics in the scan.
                     Tally tally;

@@ -5,9 +5,46 @@
 #include <stdexcept>
 
 #include "core/parallel_for.hh"
+#include "core/trace.hh"
 
 namespace hdham::ham
 {
+
+namespace
+{
+
+/**
+ * Traced equivalent of PackedRows::nearest, split into the two
+ * phases the hardware pipelines separately: the sampled XOR+popcount
+ * pass over every row, then the comparator-tree argmin. Ties resolve
+ * to the lowest row index (strict <), so the winner and distance are
+ * bit-identical to the fused scan. @p scratch avoids a per-query
+ * allocation.
+ */
+std::size_t
+nearestTraced(const PackedRows &rows, const Hypervector &query,
+              std::size_t prefix, std::size_t *bestDistance,
+              std::vector<std::size_t> &scratch)
+{
+    {
+        TRACE_SPAN("d_ham.popcount");
+        rows.distances(query, prefix, scratch);
+    }
+    TRACE_SPAN("d_ham.compare");
+    std::size_t winner = 0;
+    std::size_t best = scratch[0];
+    for (std::size_t id = 1; id < scratch.size(); ++id) {
+        if (scratch[id] < best) {
+            best = scratch[id];
+            winner = id;
+        }
+    }
+    if (bestDistance)
+        *bestDistance = best;
+    return winner;
+}
+
+} // namespace
 
 DHam::DHam(const DHamConfig &config)
     : cfg(config), rows(config.dim == 0 ? 1 : config.dim)
@@ -36,10 +73,18 @@ DHam::search(const Hypervector &query)
 
     // The comparator tree resolves ties toward the lower row index,
     // which is exactly PackedRows::nearest's tie rule.
+    TRACE_SPAN("d_ham.search");
     HamResult result;
-    result.classId =
-        rows.nearest(query, cfg.effectiveDim(),
-                     &result.reportedDistance);
+    if (trace::enabled()) {
+        std::vector<std::size_t> scratch;
+        result.classId =
+            nearestTraced(rows, query, cfg.effectiveDim(),
+                          &result.reportedDistance, scratch);
+    } else {
+        result.classId =
+            rows.nearest(query, cfg.effectiveDim(),
+                         &result.reportedDistance);
+    }
     if (sink) {
         sink->queries.add(1);
         sink->rowsScanned.add(rows.rows());
@@ -55,17 +100,30 @@ DHam::searchBatch(const std::vector<Hypervector> &queries,
     if (rows.rows() == 0)
         throw std::logic_error("DHam::searchBatch: no stored "
                                "classes");
+    TRACE_BATCH("d_ham.batch");
     const metrics::Clock::time_point start =
         sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     std::vector<HamResult> results(queries.size());
     const std::size_t prefix = cfg.effectiveDim();
     parallelFor(queries.size(), threads,
                 [&](std::size_t begin, std::size_t end) {
-                    for (std::size_t q = begin; q < end; ++q) {
-                        assert(queries[q].dim() == cfg.dim);
-                        results[q].classId = rows.nearest(
-                            queries[q], prefix,
-                            &results[q].reportedDistance);
+                    TRACE_SPAN("d_ham.chunk");
+                    if (trace::enabled()) {
+                        std::vector<std::size_t> scratch;
+                        for (std::size_t q = begin; q < end; ++q) {
+                            assert(queries[q].dim() == cfg.dim);
+                            results[q].classId = nearestTraced(
+                                rows, queries[q], prefix,
+                                &results[q].reportedDistance,
+                                scratch);
+                        }
+                    } else {
+                        for (std::size_t q = begin; q < end; ++q) {
+                            assert(queries[q].dim() == cfg.dim);
+                            results[q].classId = rows.nearest(
+                                queries[q], prefix,
+                                &results[q].reportedDistance);
+                        }
                     }
                     // Per-chunk merge: exact totals, no atomics in
                     // the scan.

@@ -1,5 +1,7 @@
 #include "ham/ham.hh"
 
+#include "core/trace.hh"
+
 namespace hdham::ham
 {
 
@@ -11,6 +13,7 @@ Ham::searchBatch(const std::vector<Hypervector> &queries,
     // stream override this with a parallel scan that matches it
     // bit for bit. The search() calls count the per-query metrics;
     // only the batch envelope is recorded here.
+    TRACE_BATCH("ham.batch");
     const metrics::Clock::time_point start =
         sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     std::vector<HamResult> results;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel_for.hh"
+#include "core/trace.hh"
 
 namespace hdham::ham
 {
@@ -128,6 +129,7 @@ RHam::searchIndexed(const Hypervector &query,
     const std::size_t deepEnd =
         overscaledCount + cfg.deepOverscaledBlocks;
 
+    TRACE_SPAN("r_ham.query");
     Rng rng(substreamSeed(cfg.seed, index));
     HamResult result;
     std::uint64_t misSensed = 0;
@@ -137,16 +139,25 @@ RHam::searchIndexed(const Hypervector &query,
         Histogram histOvs{};
         Histogram histDeep{};
         Histogram histNom{};
-        histogramRange(rows[id], query, 0, overscaledCount, histOvs);
-        histogramRange(rows[id], query, overscaledCount, deepEnd,
-                       histDeep);
-        histogramRange(rows[id], query, deepEnd, active, histNom);
+        {
+            TRACE_SPAN("r_ham.block_sense");
+            histogramRange(rows[id], query, 0, overscaledCount,
+                           histOvs);
+            histogramRange(rows[id], query, overscaledCount, deepEnd,
+                           histDeep);
+            histogramRange(rows[id], query, deepEnd, active,
+                           histNom);
+        }
         // Only the overscaled regions feed the error counter: the
         // nominal-supply blocks sense exactly by construction.
-        const std::size_t sensed =
-            senseTotal(histOvs, senseOverscaled, rng, errors) +
-            senseTotal(histDeep, senseDeep, rng, errors) +
-            senseTotal(histNom, senseNominal, rng);
+        std::size_t sensed;
+        {
+            TRACE_SPAN("r_ham.sense_amp");
+            sensed =
+                senseTotal(histOvs, senseOverscaled, rng, errors) +
+                senseTotal(histDeep, senseDeep, rng, errors) +
+                senseTotal(histNom, senseNominal, rng);
+        }
         if (tally)
             tally->saFires += sensed;
         if (sensed < best) {
@@ -188,6 +199,7 @@ RHam::searchBatch(const std::vector<Hypervector> &queries,
     if (rows.empty())
         throw std::logic_error("RHam::searchBatch: no stored "
                                "classes");
+    TRACE_BATCH("r_ham.batch");
     const metrics::Clock::time_point start =
         sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     const std::uint64_t first = nextQueryIndex;
@@ -195,6 +207,7 @@ RHam::searchBatch(const std::vector<Hypervector> &queries,
     std::vector<HamResult> results(queries.size());
     parallelFor(queries.size(), threads,
                 [&](std::size_t begin, std::size_t end) {
+                    TRACE_SPAN("r_ham.chunk");
                     // Per-worker tally merged once per chunk: exact
                     // totals without atomics in the scan.
                     Tally tally;

@@ -5,6 +5,7 @@
 
 #include "core/bundler.hh"
 #include "core/random.hh"
+#include "core/trace.hh"
 
 namespace hdham::lang
 {
@@ -87,14 +88,18 @@ RecognitionPipeline::RecognitionPipeline(const SyntheticCorpus &corpus,
     Rng rng(cfg.seed ^ 0x747261696e696e67ULL); // "training"
 
     // Training: one bundled hypervector per language.
-    Bundler bundler(cfg.dim);
-    for (std::size_t lang = 0; lang < numLanguages; ++lang) {
-        bundler.clear();
-        encoder.encodeInto(corpus.trainingText(lang), bundler);
-        am.store(bundler.majority(rng), corpus.labelOf(lang));
+    {
+        TRACE_SPAN("lang.train");
+        Bundler bundler(cfg.dim);
+        for (std::size_t lang = 0; lang < numLanguages; ++lang) {
+            bundler.clear();
+            encoder.encodeInto(corpus.trainingText(lang), bundler);
+            am.store(bundler.majority(rng), corpus.labelOf(lang));
+        }
     }
 
     // Testing: encode every sentence once.
+    TRACE_SPAN("lang.encode");
     tests.reserve(corpus.totalTestSentences());
     for (std::size_t lang = 0; lang < numLanguages; ++lang) {
         for (const auto &sentence : corpus.testSentences(lang)) {
@@ -135,8 +140,12 @@ RecognitionPipeline::evaluate(
 {
     std::vector<std::size_t> predictions;
     predictions.reserve(tests.size());
-    for (const auto &query : tests)
-        predictions.push_back(classify(query.vector));
+    {
+        TRACE_SPAN("lang.query");
+        for (const auto &query : tests)
+            predictions.push_back(classify(query.vector));
+    }
+    TRACE_SPAN("lang.decide");
     const Evaluation eval =
         scorePredictions(tests, numLanguages, predictions);
     recordEvaluation(eval);
@@ -147,8 +156,14 @@ Evaluation
 RecognitionPipeline::evaluateBatch(const BatchClassifier &classify)
     const
 {
-    const Evaluation eval = scorePredictions(tests, numLanguages,
-                                             classify(encodedQueries));
+    std::vector<std::size_t> predictions;
+    {
+        TRACE_SPAN("lang.query");
+        predictions = classify(encodedQueries);
+    }
+    TRACE_SPAN("lang.decide");
+    const Evaluation eval =
+        scorePredictions(tests, numLanguages, predictions);
     recordEvaluation(eval);
     return eval;
 }
@@ -156,8 +171,12 @@ RecognitionPipeline::evaluateBatch(const BatchClassifier &classify)
 Evaluation
 RecognitionPipeline::evaluateExact(std::size_t threads) const
 {
-    const std::vector<SearchResult> results =
-        am.searchBatch(encodedQueries, threads);
+    std::vector<SearchResult> results;
+    {
+        TRACE_SPAN("lang.query");
+        results = am.searchBatch(encodedQueries, threads);
+    }
+    TRACE_SPAN("lang.decide");
     std::vector<std::size_t> predictions;
     predictions.reserve(results.size());
     for (const SearchResult &result : results)

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/bundler.hh"
+#include "core/trace.hh"
 
 namespace hdham::signal
 {
@@ -15,14 +16,18 @@ GesturePipeline::GesturePipeline(const EmgCorpus &corpus,
 {
     Rng rng(config.seed ^ 0x67657374757265ULL); // "gesture"
 
-    Bundler bundler(config.dim);
-    for (std::size_t g = 0; g < numGestures; ++g) {
-        bundler.clear();
-        for (const Recording &rec : corpus.trainingSet(g))
-            enc.encodeInto(rec, bundler, rng);
-        am.store(bundler.majority(rng), corpus.labelOf(g));
+    {
+        TRACE_SPAN("signal.train");
+        Bundler bundler(config.dim);
+        for (std::size_t g = 0; g < numGestures; ++g) {
+            bundler.clear();
+            for (const Recording &rec : corpus.trainingSet(g))
+                enc.encodeInto(rec, bundler, rng);
+            am.store(bundler.majority(rng), corpus.labelOf(g));
+        }
     }
 
+    TRACE_SPAN("signal.encode");
     tests.reserve(corpus.testSet().size());
     for (const Recording &rec : corpus.testSet()) {
         tests.push_back(
@@ -61,8 +66,12 @@ GesturePipeline::evaluate(
 {
     std::vector<std::size_t> predictions;
     predictions.reserve(tests.size());
-    for (const auto &query : tests)
-        predictions.push_back(classify(query.vector));
+    {
+        TRACE_SPAN("signal.query");
+        for (const auto &query : tests)
+            predictions.push_back(classify(query.vector));
+    }
+    TRACE_SPAN("signal.decide");
     const lang::Evaluation eval =
         lang::scorePredictions(tests, numGestures, predictions);
     recordEvaluation(eval);
@@ -73,8 +82,14 @@ lang::Evaluation
 GesturePipeline::evaluateBatch(const lang::BatchClassifier &classify)
     const
 {
-    const lang::Evaluation eval = lang::scorePredictions(
-        tests, numGestures, classify(encodedQueries));
+    std::vector<std::size_t> predictions;
+    {
+        TRACE_SPAN("signal.query");
+        predictions = classify(encodedQueries);
+    }
+    TRACE_SPAN("signal.decide");
+    const lang::Evaluation eval =
+        lang::scorePredictions(tests, numGestures, predictions);
     recordEvaluation(eval);
     return eval;
 }
@@ -82,8 +97,12 @@ GesturePipeline::evaluateBatch(const lang::BatchClassifier &classify)
 lang::Evaluation
 GesturePipeline::evaluateExact(std::size_t threads) const
 {
-    const std::vector<SearchResult> results =
-        am.searchBatch(encodedQueries, threads);
+    std::vector<SearchResult> results;
+    {
+        TRACE_SPAN("signal.query");
+        results = am.searchBatch(encodedQueries, threads);
+    }
+    TRACE_SPAN("signal.decide");
     std::vector<std::size_t> predictions;
     predictions.reserve(results.size());
     for (const SearchResult &result : results)

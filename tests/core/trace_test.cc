@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the span tracing subsystem (core/trace.hh):
+ * disabled-path inertness, nesting and self-time accounting, batch
+ * scope propagation and restoration, exact overflow drop counting,
+ * per-thread buffer registration, summary aggregation, and
+ * bit-identity of the traced D-HAM search path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/parallel_for.hh"
+#include "core/random.hh"
+#include "core/trace.hh"
+#include "ham/d_ham.hh"
+
+namespace
+{
+
+using namespace hdham;
+
+/** setActive(nullptr) on scope exit, even on assertion failure. */
+class ActiveTracer
+{
+  public:
+    explicit ActiveTracer(trace::Tracer &tracer)
+    {
+        trace::setActive(&tracer);
+    }
+    ~ActiveTracer() { trace::setActive(nullptr); }
+};
+
+TEST(TraceTest, DisabledByDefault)
+{
+    ASSERT_EQ(trace::activeTracer(), nullptr);
+    EXPECT_FALSE(trace::enabled());
+    {
+        TRACE_SPAN("ignored");
+        TRACE_BATCH("also ignored");
+    }
+    // A fresh tracer never saw those spans.
+    trace::Tracer tracer;
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.droppedEvents(), 0u);
+    EXPECT_EQ(tracer.threadsSeen(), 0u);
+}
+
+TEST(TraceTest, RecordsNestingDepthAndOrder)
+{
+    trace::Tracer tracer;
+    {
+        ActiveTracer active(tracer);
+        TRACE_SPAN("outer");
+        {
+            TRACE_SPAN("inner");
+            TRACE_SPAN("innermost");
+        }
+    }
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 3u);
+    // Completion order: innermost closes first, outer last.
+    EXPECT_STREQ(events[0].second.name, "innermost");
+    EXPECT_STREQ(events[1].second.name, "inner");
+    EXPECT_STREQ(events[2].second.name, "outer");
+    EXPECT_EQ(events[0].second.depth, 2u);
+    EXPECT_EQ(events[1].second.depth, 1u);
+    EXPECT_EQ(events[2].second.depth, 0u);
+    // All on the same thread track.
+    EXPECT_EQ(events[0].first, events[1].first);
+    EXPECT_EQ(events[1].first, events[2].first);
+}
+
+TEST(TraceTest, SelfTimeIsDurationMinusDirectChildren)
+{
+    trace::Tracer tracer;
+    {
+        ActiveTracer active(tracer);
+        TRACE_SPAN("parent");
+        {
+            TRACE_SPAN("child_a");
+        }
+        {
+            TRACE_SPAN("child_b");
+            TRACE_SPAN("grandchild");
+        }
+    }
+    // Completion order: child_a's block closes before child_b's,
+    // and the grandchild closes before its parent child_b.
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 4u);
+    const trace::Event &childA = events[0].second;
+    const trace::Event &grandchild = events[1].second;
+    const trace::Event &childB = events[2].second;
+    const trace::Event &parent = events[3].second;
+    ASSERT_STREQ(childA.name, "child_a");
+    ASSERT_STREQ(grandchild.name, "grandchild");
+    ASSERT_STREQ(childB.name, "child_b");
+    ASSERT_STREQ(parent.name, "parent");
+
+    // A leaf owns all of its time.
+    EXPECT_DOUBLE_EQ(childA.selfUs, childA.durUs);
+    // Only *direct* children subtract: the grandchild reduces
+    // child_b's self time, not the parent's.
+    EXPECT_DOUBLE_EQ(childB.selfUs, childB.durUs - grandchild.durUs);
+    EXPECT_DOUBLE_EQ(parent.selfUs,
+                     parent.durUs - (childA.durUs + childB.durUs));
+    // Containment: children start no earlier and end no later.
+    EXPECT_GE(childA.startUs, parent.startUs);
+    EXPECT_LE(childB.startUs + childB.durUs,
+              parent.startUs + parent.durUs);
+}
+
+TEST(TraceTest, BatchScopeSetsAndRestoresScope)
+{
+    trace::Tracer tracer;
+    {
+        ActiveTracer active(tracer);
+        EXPECT_EQ(trace::currentContext().scope, 0u);
+        {
+            TRACE_BATCH("outer batch");
+            const std::uint64_t outerScope =
+                trace::currentContext().scope;
+            EXPECT_GE(outerScope, 1u);
+            {
+                TRACE_SPAN("in outer");
+            }
+            {
+                TRACE_BATCH("inner batch");
+                EXPECT_NE(trace::currentContext().scope, outerScope);
+                TRACE_SPAN("in inner");
+            }
+            // Inner batch ended: the outer scope is live again.
+            EXPECT_EQ(trace::currentContext().scope, outerScope);
+            TRACE_SPAN("back in outer");
+        }
+        EXPECT_EQ(trace::currentContext().scope, 0u);
+    }
+
+    std::uint64_t outerScope = 0;
+    std::uint64_t innerScope = 0;
+    for (const auto &[track, event] : tracer.events()) {
+        const std::string name = event.name;
+        if (name == "in outer" || name == "back in outer") {
+            if (outerScope == 0)
+                outerScope = event.scope;
+            EXPECT_EQ(event.scope, outerScope) << name;
+        } else if (name == "in inner") {
+            innerScope = event.scope;
+        }
+    }
+    EXPECT_NE(outerScope, 0u);
+    EXPECT_NE(innerScope, 0u);
+    EXPECT_NE(outerScope, innerScope);
+}
+
+TEST(TraceTest, ContextGuardRestoresPreviousScope)
+{
+    trace::Tracer tracer;
+    ActiveTracer active(tracer);
+    EXPECT_EQ(trace::currentContext().scope, 0u);
+    {
+        const trace::ContextGuard guard(trace::Context{42});
+        EXPECT_EQ(trace::currentContext().scope, 42u);
+        {
+            const trace::ContextGuard nested(trace::Context{7});
+            EXPECT_EQ(trace::currentContext().scope, 7u);
+        }
+        EXPECT_EQ(trace::currentContext().scope, 42u);
+    }
+    EXPECT_EQ(trace::currentContext().scope, 0u);
+}
+
+TEST(TraceTest, OverflowDropsCountedExactly)
+{
+    trace::Tracer tracer(8);
+    {
+        ActiveTracer active(tracer);
+        for (int i = 0; i < 20; ++i) {
+            TRACE_SPAN("flood");
+        }
+    }
+    EXPECT_EQ(tracer.eventCount(), 8u);
+    EXPECT_EQ(tracer.droppedEvents(), 12u);
+    // The stored events are the first eight completions.
+    for (const auto &[track, event] : tracer.events())
+        EXPECT_STREQ(event.name, "flood");
+}
+
+TEST(TraceTest, EachThreadGetsItsOwnBuffer)
+{
+    trace::Tracer tracer;
+    {
+        ActiveTracer active(tracer);
+        parallelFor(4, 4, [](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                TRACE_SPAN("chunk");
+            }
+        });
+    }
+    EXPECT_EQ(tracer.eventCount(), 4u);
+    EXPECT_EQ(tracer.threadsSeen(), 4u);
+    EXPECT_EQ(tracer.droppedEvents(), 0u);
+}
+
+TEST(TraceTest, SequentialTracersDoNotShareBuffers)
+{
+    // The thread-local buffer cache is keyed by tracer uid: a second
+    // tracer on the same thread must not inherit the first one's
+    // buffer (or worse, a dangling pointer to it).
+    trace::Tracer first;
+    {
+        ActiveTracer active(first);
+        TRACE_SPAN("first");
+    }
+    ASSERT_EQ(first.eventCount(), 1u);
+
+    trace::Tracer second;
+    {
+        ActiveTracer active(second);
+        TRACE_SPAN("second");
+        TRACE_SPAN("second again");
+    }
+    EXPECT_EQ(first.eventCount(), 1u);
+    ASSERT_EQ(second.eventCount(), 2u);
+    for (const auto &[track, event] : second.events())
+        EXPECT_TRUE(std::string(event.name).rfind("second", 0) == 0);
+}
+
+TEST(TraceTest, SummaryAggregatesPerName)
+{
+    trace::Tracer tracer;
+    {
+        ActiveTracer active(tracer);
+        for (int i = 0; i < 3; ++i) {
+            TRACE_SPAN("repeat");
+        }
+        TRACE_SPAN("once");
+    }
+    const auto stats = tracer.summary();
+    ASSERT_EQ(stats.size(), 2u);
+    // Sorted by name.
+    EXPECT_EQ(stats[0].name, "once");
+    EXPECT_EQ(stats[1].name, "repeat");
+    EXPECT_EQ(stats[0].count, 1u);
+    EXPECT_EQ(stats[1].count, 3u);
+    for (const auto &s : stats) {
+        EXPECT_GE(s.totalUs, s.selfUs);
+        EXPECT_GE(s.p95Us, 0.0);
+        EXPECT_LE(s.p50Us, s.p95Us + 1e-9);
+    }
+}
+
+TEST(TraceTest, TracedDHamSearchMatchesUntraced)
+{
+    ham::DHamConfig cfg;
+    cfg.dim = 512;
+    ham::DHam untracedHam(cfg);
+    ham::DHam tracedHam(cfg);
+    Rng rng(99);
+    for (int c = 0; c < 16; ++c) {
+        const Hypervector hv = Hypervector::random(cfg.dim, rng);
+        untracedHam.store(hv);
+        tracedHam.store(hv);
+    }
+    std::vector<Hypervector> queries;
+    for (int q = 0; q < 32; ++q)
+        queries.push_back(Hypervector::random(cfg.dim, rng));
+
+    const auto expected = untracedHam.searchBatch(queries, 2);
+
+    trace::Tracer tracer;
+    std::vector<ham::HamResult> got;
+    {
+        ActiveTracer active(tracer);
+        got = tracedHam.searchBatch(queries, 2);
+    }
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t q = 0; q < got.size(); ++q) {
+        EXPECT_EQ(got[q].classId, expected[q].classId) << q;
+        EXPECT_EQ(got[q].reportedDistance,
+                  expected[q].reportedDistance)
+            << q;
+    }
+    // The traced run recorded the split phases.
+    bool sawPopcount = false;
+    bool sawCompare = false;
+    for (const auto &[track, event] : tracer.events()) {
+        const std::string name = event.name;
+        sawPopcount |= name == "d_ham.popcount";
+        sawCompare |= name == "d_ham.compare";
+    }
+    EXPECT_TRUE(sawPopcount);
+    EXPECT_TRUE(sawCompare);
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Golden schema test for the Chrome trace export (hdham.trace.v1).
+ * Captures a real traced batch search, parses the JSON back with
+ * core/json, and pins the document structure: top-level keys, the
+ * key set of every "X" complete event and its args, and the
+ * process/thread metadata records Perfetto uses to label tracks.
+ * Loaders key on this shape, so changes here are schema changes and
+ * should bump the version tag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "core/json.hh"
+#include "core/random.hh"
+#include "core/trace.hh"
+
+namespace
+{
+
+using namespace hdham;
+
+/** Keys of a JSON object, in document order. */
+std::vector<std::string>
+keysOf(const json::Value &object)
+{
+    std::vector<std::string> keys;
+    for (const auto &[key, value] : object.members())
+        keys.push_back(key);
+    return keys;
+}
+
+class TraceSchemaTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Rng rng(17);
+        AssociativeMemory am(256);
+        for (int c = 0; c < 8; ++c)
+            am.store(Hypervector::random(256, rng));
+        std::vector<Hypervector> queries;
+        for (int q = 0; q < 16; ++q)
+            queries.push_back(Hypervector::random(256, rng));
+
+        trace::Tracer tracer;
+        trace::setActive(&tracer);
+        am.searchBatch(queries, 2);
+        // One standalone search lands in scope 0 ("untracked").
+        am.search(queries.front());
+        trace::setActive(nullptr);
+
+        std::ostringstream out;
+        tracer.writeChromeJson(out);
+        text = out.str();
+        doc = json::parse(text);
+    }
+
+    std::string text;
+    json::Value doc;
+};
+
+TEST_F(TraceSchemaTest, TopLevelShape)
+{
+    EXPECT_EQ(keysOf(doc),
+              (std::vector<std::string>{"schema", "displayTimeUnit",
+                                        "otherData", "traceEvents"}));
+    EXPECT_EQ(doc.at("schema").asString(), "hdham.trace.v1");
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    EXPECT_EQ(keysOf(doc.at("otherData")),
+              (std::vector<std::string>{"dropped_events",
+                                        "thread_buffers"}));
+    EXPECT_DOUBLE_EQ(doc.at("otherData").at("dropped_events")
+                         .asNumber(),
+                     0.0);
+    EXPECT_GE(doc.at("otherData").at("thread_buffers").asNumber(),
+              1.0);
+    EXPECT_TRUE(doc.at("traceEvents").isArray());
+}
+
+TEST_F(TraceSchemaTest, CompleteEventsCarryTheFullKeySet)
+{
+    const std::vector<std::string> expectedKeys{
+        "name", "cat", "ph", "ts", "dur", "pid", "tid", "args"};
+    std::size_t complete = 0;
+    for (const json::Value &event : doc.at("traceEvents").items()) {
+        if (event.at("ph").asString() != "X")
+            continue;
+        ++complete;
+        EXPECT_EQ(keysOf(event), expectedKeys);
+        EXPECT_EQ(event.at("cat").asString(), "hdham");
+        EXPECT_EQ(keysOf(event.at("args")),
+                  (std::vector<std::string>{"self_us", "depth"}));
+        EXPECT_GE(event.at("dur").asNumber(), 0.0);
+        EXPECT_LE(event.at("args").at("self_us").asNumber(),
+                  event.at("dur").asNumber() + 1e-9);
+        EXPECT_GE(event.at("ts").asNumber(), 0.0);
+    }
+    EXPECT_GT(complete, 0u);
+}
+
+TEST_F(TraceSchemaTest, EveryTrackIsNamed)
+{
+    std::set<std::pair<double, double>> eventTracks;
+    std::set<std::pair<double, double>> processNamed;
+    std::set<std::pair<double, double>> threadNamed;
+    for (const json::Value &event : doc.at("traceEvents").items()) {
+        const std::pair<double, double> track{
+            event.at("pid").asNumber(), event.at("tid").asNumber()};
+        const std::string ph = event.at("ph").asString();
+        if (ph == "X") {
+            eventTracks.insert(track);
+        } else {
+            ASSERT_EQ(ph, "M");
+            const std::string name = event.at("name").asString();
+            ASSERT_TRUE(event.at("args").has("name"));
+            if (name == "process_name")
+                processNamed.insert(track);
+            else if (name == "thread_name")
+                threadNamed.insert(track);
+        }
+    }
+    EXPECT_EQ(eventTracks, processNamed);
+    EXPECT_EQ(eventTracks, threadNamed);
+}
+
+TEST_F(TraceSchemaTest, BatchScopeAndUntrackedScopeAreLabeled)
+{
+    std::set<std::string> processLabels;
+    for (const json::Value &event : doc.at("traceEvents").items()) {
+        if (event.at("ph").asString() == "M" &&
+            event.at("name").asString() == "process_name") {
+            processLabels.insert(
+                event.at("args").at("name").asString());
+        }
+    }
+    // The batch ran under its own named scope; the standalone
+    // search stayed on the untracked track.
+    EXPECT_TRUE(processLabels.count("am.batch#1")) << text;
+    EXPECT_TRUE(processLabels.count("untracked")) << text;
+}
+
+TEST_F(TraceSchemaTest, BatchSpansNestUnderTheBatchScope)
+{
+    double batchPid = -1.0;
+    for (const json::Value &event : doc.at("traceEvents").items()) {
+        if (event.at("ph").asString() == "X" &&
+            event.at("name").asString() == "am.batch") {
+            batchPid = event.at("pid").asNumber();
+        }
+    }
+    ASSERT_GT(batchPid, 0.0);
+    std::size_t chunks = 0;
+    for (const json::Value &event : doc.at("traceEvents").items()) {
+        if (event.at("ph").asString() == "X" &&
+            event.at("name").asString() == "am.chunk") {
+            ++chunks;
+            EXPECT_DOUBLE_EQ(event.at("pid").asNumber(), batchPid);
+        }
+    }
+    EXPECT_EQ(chunks, 2u);
+}
+
+} // namespace

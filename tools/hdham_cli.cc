@@ -4,11 +4,11 @@
  *
  * Subcommands:
  *   train    --out PATH [--dim N] [--train-chars N] [--sentences N]
- *            [--threads N] [--stats-json PATH]
+ *            [--threads N] [--stats-json PATH] [--trace PATH]
  *            train the 21-language classifier on the synthetic
  *            corpus and persist the learned hypervectors
  *   classify --model PATH [--design dham|rham|aham] [--threads N]
- *            [--batch N] [--stats-json PATH] TEXT...
+ *            [--batch N] [--stats-json PATH] [--trace PATH] TEXT...
  *            classify text samples with the chosen HAM design,
  *            batching queries through searchBatch()
  *
@@ -16,6 +16,10 @@
  * hdham.metrics.v1 schema of core/metrics.hh): per-design counters
  * (queries, rows scanned, bits sampled, blocks sensed, ...) and the
  * batch latency histogram with p50/p95/p99.
+ *
+ * --trace records every span on the query path (core/trace.hh) and
+ * writes a Chrome trace-event file (hdham.trace.v1) that loads in
+ * Perfetto / chrome://tracing, plus a per-span summary on stdout.
  *   info     --model PATH
  *            describe a saved model
  *   cost     [--dim N] [--classes N]
@@ -30,12 +34,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/metrics.hh"
 #include "core/serialize.hh"
+#include "core/trace.hh"
 #include "ham/a_ham.hh"
 #include "ham/d_ham.hh"
 #include "ham/design_space.hh"
@@ -55,9 +64,11 @@ usage()
         stderr,
         "usage:\n"
         "  hdham train --out PATH [--dim N] [--train-chars N] "
-        "[--sentences N] [--threads N] [--stats-json PATH]\n"
+        "[--sentences N] [--threads N] [--stats-json PATH] "
+        "[--trace PATH]\n"
         "  hdham classify --model PATH [--design dham|rham|aham] "
-        "[--threads N] [--batch N] [--stats-json PATH] TEXT...\n"
+        "[--threads N] [--batch N] [--stats-json PATH] "
+        "[--trace PATH] TEXT...\n"
         "  hdham info --model PATH\n"
         "  hdham cost [--dim N] [--classes N]\n"
         "\n"
@@ -66,7 +77,10 @@ usage()
         "  --batch N         queries per searchBatch() call (0 = "
         "all at once; default 0)\n"
         "  --stats-json PATH write a query-path metrics snapshot "
-        "(hdham.metrics.v1 JSON)\n");
+        "(hdham.metrics.v1 JSON)\n"
+        "  --trace PATH      write a Chrome trace-event file "
+        "(hdham.trace.v1 JSON, loads in Perfetto) and print a\n"
+        "                    per-span timing summary\n");
     return 2;
 }
 
@@ -95,6 +109,62 @@ numericOption(std::vector<std::string> &args, const std::string &flag,
     return std::strtoull(value.c_str(), nullptr, 10);
 }
 
+/**
+ * Write one JSON artifact through @p body and report the path on
+ * stdout. Shared by the --stats-json and --trace writers so the
+ * open/flush/error handling lives in one place.
+ */
+void
+writeArtifact(const char *what, const std::string &path,
+              const std::function<void(std::ostream &)> &body)
+{
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error(std::string(what) +
+                                 ": cannot open " + path);
+    }
+    body(out);
+    out.flush();
+    if (!out) {
+        throw std::runtime_error(std::string(what) +
+                                 ": write failed: " + path);
+    }
+    std::printf("%s written to %s\n", what, path.c_str());
+}
+
+/**
+ * Common tail of every --stats-json run: the model/run gauges every
+ * subcommand reports, then the write. Callers attach their per-design
+ * counters (and any extra gauges) before handing the registry over.
+ */
+void
+writeStatsJson(metrics::Registry &registry, const std::string &path,
+               std::size_t dim, std::size_t classes,
+               std::size_t threads)
+{
+    registry.setGauge("model.dim", static_cast<double>(dim));
+    registry.setGauge("model.classes", static_cast<double>(classes));
+    registry.setGauge("run.threads", static_cast<double>(threads));
+    writeArtifact("metrics", path, [&](std::ostream &out) {
+        registry.writeJson(out);
+    });
+}
+
+/**
+ * Deactivate the tracer, write the Chrome trace file, and print the
+ * per-span summary. Call after the traced workload has finished (all
+ * batch scans joined).
+ */
+void
+writeTrace(trace::Tracer &tracer, const std::string &path)
+{
+    trace::setActive(nullptr);
+    writeArtifact("trace", path, [&](std::ostream &out) {
+        tracer.writeChromeJson(out);
+    });
+    tracer.writeSummary(std::cout);
+}
+
 int
 cmdTrain(std::vector<std::string> args)
 {
@@ -112,10 +182,18 @@ cmdTrain(std::vector<std::string> args)
     pipeCfg.dim = numericOption(args, "--dim", pipeCfg.dim);
     const std::size_t threads = numericOption(args, "--threads", 1);
     const std::string statsPath = option(args, "--stats-json", "");
+    const std::string tracePath = option(args, "--trace", "");
 
     std::printf("training %zu languages at D = %zu...\n",
                 corpusCfg.numLanguages, pipeCfg.dim);
     const lang::SyntheticCorpus corpus(corpusCfg);
+
+    // Activate tracing before the pipeline constructor so the
+    // lang.train / lang.encode spans are captured too.
+    trace::Tracer tracer;
+    if (!tracePath.empty())
+        trace::setActive(&tracer);
+
     lang::RecognitionPipeline pipeline(corpus, pipeCfg);
 
     metrics::QueryMetrics memoryMetrics;
@@ -130,19 +208,15 @@ cmdTrain(std::vector<std::string> args)
     serialize::saveMemory(out, pipeline.memory());
     std::printf("model written to %s\n", out.c_str());
 
+    if (!tracePath.empty())
+        writeTrace(tracer, tracePath);
+
     if (!statsPath.empty()) {
         metrics::Registry registry;
         registry.attachQuery("am", memoryMetrics);
         registry.attachClassification("lang", evalMetrics);
-        registry.setGauge("model.dim",
-                          static_cast<double>(pipeCfg.dim));
-        registry.setGauge("model.classes",
-                          static_cast<double>(
-                              pipeline.memory().size()));
-        registry.setGauge("run.threads",
-                          static_cast<double>(threads));
-        registry.saveJson(statsPath);
-        std::printf("metrics written to %s\n", statsPath.c_str());
+        writeStatsJson(registry, statsPath, pipeCfg.dim,
+                       pipeline.memory().size(), threads);
     }
     return 0;
 }
@@ -176,6 +250,7 @@ cmdClassify(std::vector<std::string> args)
     const std::size_t threads = numericOption(args, "--threads", 1);
     const std::size_t batch = numericOption(args, "--batch", 0);
     const std::string statsPath = option(args, "--stats-json", "");
+    const std::string tracePath = option(args, "--trace", "");
     if (path.empty() || args.empty()) {
         std::fprintf(stderr, "classify: need --model and at least "
                              "one TEXT argument\n");
@@ -195,6 +270,10 @@ cmdClassify(std::vector<std::string> args)
     if (!statsPath.empty())
         hardware->attachMetrics(&designMetrics);
 
+    trace::Tracer tracer;
+    if (!tracePath.empty())
+        trace::setActive(&tracer);
+
     // Rebuild the encoder with the library-default configuration
     // the model was trained with.
     const lang::PipelineConfig defaults;
@@ -208,11 +287,14 @@ cmdClassify(std::vector<std::string> args)
     std::vector<Hypervector> queries;
     std::vector<std::size_t> queryOf(args.size(),
                                      args.size()); // skip marker
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        if (args[i].size() < defaults.ngram)
-            continue;
-        queryOf[i] = queries.size();
-        queries.push_back(encoder.encode(args[i], rng));
+    {
+        TRACE_SPAN("classify.encode");
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (args[i].size() < defaults.ngram)
+                continue;
+            queryOf[i] = queries.size();
+            queries.push_back(encoder.encode(args[i], rng));
+        }
     }
 
     std::vector<ham::HamResult> hits;
@@ -229,31 +311,30 @@ cmdClassify(std::vector<std::string> args)
             hits.push_back(hit);
     }
 
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        if (queryOf[i] == args.size()) {
-            std::printf("%-14s <- \"%s\" (too short)\n", "?",
+    {
+        TRACE_SPAN("classify.decide");
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (queryOf[i] == args.size()) {
+                std::printf("%-14s <- \"%s\" (too short)\n", "?",
+                            args[i].c_str());
+                continue;
+            }
+            const auto &hit = hits[queryOf[i]];
+            std::printf("%-14s <- \"%.60s\"\n",
+                        memory.labelOf(hit.classId).c_str(),
                         args[i].c_str());
-            continue;
         }
-        const auto &hit = hits[queryOf[i]];
-        std::printf("%-14s <- \"%.60s\"\n",
-                    memory.labelOf(hit.classId).c_str(),
-                    args[i].c_str());
     }
+
+    if (!tracePath.empty())
+        writeTrace(tracer, tracePath);
 
     if (!statsPath.empty()) {
         metrics::Registry registry;
         registry.attachQuery(design, designMetrics);
-        registry.setGauge("model.dim",
-                          static_cast<double>(memory.dim()));
-        registry.setGauge("model.classes",
-                          static_cast<double>(memory.size()));
-        registry.setGauge("run.threads",
-                          static_cast<double>(threads));
-        registry.setGauge("run.batch",
-                          static_cast<double>(chunk));
-        registry.saveJson(statsPath);
-        std::printf("metrics written to %s\n", statsPath.c_str());
+        registry.setGauge("run.batch", static_cast<double>(chunk));
+        writeStatsJson(registry, statsPath, memory.dim(),
+                       memory.size(), threads);
     }
     return 0;
 }
