@@ -14,6 +14,10 @@
  * same hdham.metrics.v1 schema the hdham CLI emits -- after the
  * benchmarks finish. Without the flag no sink is attached, so the
  * numbers measure the metrics-disabled path.
+ *
+ * --kernel NAME pins the Hamming distance kernel (scalar, unrolled,
+ * avx2, auto) before any benchmark runs; the kernel actually used is
+ * reported in the stats snapshot's "info" object either way.
  */
 
 #include <benchmark/benchmark.h>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "core/assoc_memory.hh"
+#include "core/distance.hh"
 #include "core/hypervector.hh"
 #include "core/metrics.hh"
 #include "core/random.hh"
@@ -126,7 +131,7 @@ BENCHMARK(BM_AHamBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
 int
 main(int argc, char **argv)
 {
-    // Pull our own flag out before google-benchmark sees the args.
+    // Pull our own flags out before google-benchmark sees the args.
     std::string statsPath;
     std::vector<char *> passthrough;
     passthrough.reserve(static_cast<std::size_t>(argc) + 1);
@@ -134,6 +139,10 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--stats-json") == 0 &&
             i + 1 < argc) {
             statsPath = argv[++i];
+            continue;
+        }
+        if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+            distance::setKernelByName(argv[++i]);
             continue;
         }
         passthrough.push_back(argv[i]);
@@ -166,6 +175,7 @@ main(int argc, char **argv)
         registry.setGauge("run.batch",
                           static_cast<double>(kBatch));
         registry.setGauge("model.dim", static_cast<double>(kDim));
+        registry.setInfo("kernel", distance::activeKernelName());
         registry.saveJson(statsPath);
     }
     return 0;

@@ -5,7 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "core/parallel_for.hh"
+#include "core/batch_executor.hh"
 #include "core/trace.hh"
 
 namespace hdham
@@ -103,34 +103,22 @@ std::vector<SearchResult>
 AssociativeMemory::searchBatch(const std::vector<Hypervector> &queries,
                                std::size_t threads) const
 {
-    if (rows.rows() == 0)
-        throw std::logic_error("AssociativeMemory: empty search");
-    TRACE_BATCH("am.batch");
-    const metrics::Clock::time_point start =
-        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
-    std::vector<SearchResult> results(queries.size());
+    batch::requireStored(rows.rows(), "AssociativeMemory");
     const std::size_t prefix = rows.dim();
-    parallelFor(queries.size(), threads,
-                [&](std::size_t begin, std::size_t end) {
-                    TRACE_SPAN("am.chunk");
-                    for (std::size_t q = begin; q < end; ++q) {
-                        results[q].classId =
-                            rows.nearest(queries[q], prefix,
-                                         &results[q].bestDistance);
-                    }
-                    // One merge per worker chunk keeps the scan free
-                    // of atomics while the totals stay exact.
-                    if (sink) {
-                        sink->queries.add(end - begin);
-                        sink->rowsScanned.add((end - begin) *
-                                              rows.rows());
-                    }
-                });
-    if (sink) {
-        sink->batches.add(1);
-        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
-    }
-    return results;
+    return batch::run<SearchResult>(
+        {"am.batch", "am.chunk"}, queries.size(), threads, sink,
+        [] { return batch::NoTally{}; },
+        [&](std::size_t q, batch::NoTally &) {
+            SearchResult result;
+            result.classId = rows.nearest(queries[q], prefix,
+                                          &result.bestDistance);
+            return result;
+        },
+        [&](const batch::NoTally &, std::size_t begin,
+            std::size_t end) {
+            sink->queries.add(end - begin);
+            sink->rowsScanned.add((end - begin) * rows.rows());
+        });
 }
 
 std::vector<RankedMatch>

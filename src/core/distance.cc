@@ -1,0 +1,279 @@
+#include "core/distance.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HDHAM_X86_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace hdham::distance
+{
+
+namespace
+{
+
+/**
+ * Shared tail: the last (bits % 64) components live in word
+ * @p fullWords and must be masked so row padding never counts.
+ */
+inline std::size_t
+maskedTail(const std::uint64_t *a, const std::uint64_t *b,
+           std::size_t fullWords, std::size_t rem)
+{
+    if (rem == 0)
+        return 0;
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    return static_cast<std::size_t>(
+        std::popcount((a[fullWords] ^ b[fullWords]) & mask));
+}
+
+} // namespace
+
+std::size_t
+scalarHamming(const std::uint64_t *a, const std::uint64_t *b,
+              std::size_t bits)
+{
+    const std::size_t fullWords = bits / 64;
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    return count + maskedTail(a, b, fullWords, bits % 64);
+}
+
+std::size_t
+unrolledHamming(const std::uint64_t *a, const std::uint64_t *b,
+                std::size_t bits)
+{
+    const std::size_t fullWords = bits / 64;
+    std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    std::size_t w = 0;
+    for (; w + 4 <= fullWords; w += 4) {
+        c0 += std::popcount(a[w] ^ b[w]);
+        c1 += std::popcount(a[w + 1] ^ b[w + 1]);
+        c2 += std::popcount(a[w + 2] ^ b[w + 2]);
+        c3 += std::popcount(a[w + 3] ^ b[w + 3]);
+    }
+    std::size_t count = c0 + c1 + c2 + c3;
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    return count + maskedTail(a, b, fullWords, bits % 64);
+}
+
+#ifdef HDHAM_X86_KERNELS
+
+namespace
+{
+
+/** Per-byte popcount of @p v via the VPSHUFB nibble lookup. */
+__attribute__((target("avx2"))) inline __m256i
+popcountBytes(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+    return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                           _mm256_shuffle_epi8(lut, hi));
+}
+
+} // namespace
+
+__attribute__((target("avx2"))) std::size_t
+avx2Hamming(const std::uint64_t *a, const std::uint64_t *b,
+            std::size_t bits)
+{
+    const std::size_t fullWords = bits / 64;
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    std::size_t w = 0;
+    for (; w + 4 <= fullWords; w += 4) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + w)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + w)));
+        // VPSADBW folds the 32 byte counts into 4 qword lanes; the
+        // lanes cannot overflow (each grows by at most 64 per step).
+        acc = _mm256_add_epi64(acc,
+                               _mm256_sad_epu8(popcountBytes(x),
+                                               zero));
+    }
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::size_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    return count + maskedTail(a, b, fullWords, bits % 64);
+}
+
+#else // !HDHAM_X86_KERNELS
+
+std::size_t
+avx2Hamming(const std::uint64_t *a, const std::uint64_t *b,
+            std::size_t bits)
+{
+    return scalarHamming(a, b, bits);
+}
+
+#endif // HDHAM_X86_KERNELS
+
+bool
+kernelSupported(Kernel kernel)
+{
+    switch (kernel) {
+    case Kernel::Auto:
+    case Kernel::Scalar:
+    case Kernel::Unrolled:
+        return true;
+    case Kernel::Avx2:
+#ifdef HDHAM_X86_KERNELS
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+const char *
+kernelName(Kernel kernel)
+{
+    switch (kernel) {
+    case Kernel::Auto:
+        return "auto";
+    case Kernel::Scalar:
+        return "scalar";
+    case Kernel::Unrolled:
+        return "unrolled";
+    case Kernel::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+bool
+parseKernel(const std::string &name, Kernel *out)
+{
+    for (const Kernel k : {Kernel::Auto, Kernel::Scalar,
+                           Kernel::Unrolled, Kernel::Avx2}) {
+        if (name == kernelName(k)) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace
+{
+
+/** The serving kernel; null until the first resolution. */
+std::atomic<HammingFn> g_active{nullptr};
+/** The resolved kernel id g_active points at. */
+std::atomic<Kernel> g_kernel{Kernel::Auto};
+
+HammingFn
+fnFor(Kernel kernel)
+{
+    switch (kernel) {
+    case Kernel::Scalar:
+        return &scalarHamming;
+    case Kernel::Unrolled:
+        return &unrolledHamming;
+    case Kernel::Avx2:
+        return &avx2Hamming;
+    case Kernel::Auto:
+        break;
+    }
+    return &scalarHamming;
+}
+
+/** The cpuid choice: widest supported kernel. */
+Kernel
+bestSupported()
+{
+    return kernelSupported(Kernel::Avx2) ? Kernel::Avx2
+                                         : Kernel::Unrolled;
+}
+
+void
+install(Kernel kernel)
+{
+    g_kernel.store(kernel, std::memory_order_relaxed);
+    g_active.store(fnFor(kernel), std::memory_order_release);
+}
+
+/**
+ * First-use resolution: a valid, supported HDHAM_KERNEL value wins;
+ * anything else (including unset) falls back to the cpuid choice.
+ * Concurrent first calls race benignly -- both compute the same
+ * answer from the same inputs.
+ */
+HammingFn
+resolve()
+{
+    Kernel kernel = Kernel::Auto;
+    if (const char *env = std::getenv("HDHAM_KERNEL")) {
+        Kernel parsed = Kernel::Auto;
+        if (parseKernel(env, &parsed) && kernelSupported(parsed))
+            kernel = parsed;
+    }
+    if (kernel == Kernel::Auto)
+        kernel = bestSupported();
+    install(kernel);
+    return fnFor(kernel);
+}
+
+} // namespace
+
+void
+setKernel(Kernel kernel)
+{
+    if (!kernelSupported(kernel)) {
+        throw std::invalid_argument(
+            std::string("distance: kernel '") + kernelName(kernel) +
+            "' is not supported on this host");
+    }
+    install(kernel == Kernel::Auto ? bestSupported() : kernel);
+}
+
+void
+setKernelByName(const std::string &name)
+{
+    Kernel kernel = Kernel::Auto;
+    if (!parseKernel(name, &kernel)) {
+        throw std::invalid_argument(
+            "distance: unknown kernel '" + name +
+            "' (expected scalar, unrolled, avx2 or auto)");
+    }
+    setKernel(kernel);
+}
+
+HammingFn
+active()
+{
+    HammingFn fn = g_active.load(std::memory_order_acquire);
+    return fn ? fn : resolve();
+}
+
+Kernel
+activeKernel()
+{
+    active();
+    return g_kernel.load(std::memory_order_relaxed);
+}
+
+const char *
+activeKernelName()
+{
+    return kernelName(activeKernel());
+}
+
+} // namespace hdham::distance

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Hamming-distance kernel layer with runtime CPU dispatch.
+ *
+ * Every search engine in the library -- the software oracle, D-HAM's
+ * sampled scan, A-HAM's staged prefix sums -- reduces to the same
+ * primitive: popcount(a XOR b) over the first @p bits components of
+ * two packed word arrays. This layer owns that primitive in three
+ * interchangeable implementations:
+ *
+ *  - scalar: one std::popcount per 64-bit word; the bit-exactness
+ *    reference every other kernel must match.
+ *  - unrolled: four independent popcount accumulators per iteration,
+ *    breaking the loop-carried dependency chain.
+ *  - avx2: 256-bit VPSHUFB nibble-lookup popcount (Mula's method)
+ *    with VPSADBW lane accumulation, four words per vector step.
+ *
+ * All kernels are exact integer bit counts, so switching kernels can
+ * never change a search result -- the determinism contract
+ * (bit-identical output across threads, batch splits and kernels) is
+ * pinned by tests/core/distance_test.cc and the batch-equivalence
+ * suite.
+ *
+ * Dispatch: the active kernel is resolved once, on first use, from
+ * (1) the HDHAM_KERNEL environment variable when set to a valid,
+ * supported name, else (2) cpuid -- AVX2 when the host supports it,
+ * the unrolled scalar loop otherwise. setKernel() / setKernelByName()
+ * override the choice at any time (the CLI's --kernel flag); pinning
+ * "scalar" gives bit-exactness tests a fixed reference path.
+ *
+ * Contract of every kernel: reads exactly ceil(bits / 64) words from
+ * both arrays; any bits of the final word beyond @p bits are masked
+ * out, so callers may pass rows whose tail words carry padding.
+ */
+
+#ifndef HDHAM_CORE_DISTANCE_HH
+#define HDHAM_CORE_DISTANCE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hdham::distance
+{
+
+/** Selectable Hamming kernels. */
+enum class Kernel
+{
+    /** Resolve from HDHAM_KERNEL, else cpuid (first use only). */
+    Auto,
+    /** Word-at-a-time std::popcount loop (reference path). */
+    Scalar,
+    /** Four-way unrolled scalar loop. */
+    Unrolled,
+    /** 256-bit VPSHUFB popcount (x86-64 with AVX2 only). */
+    Avx2,
+};
+
+/** Signature shared by every kernel implementation. */
+using HammingFn = std::size_t (*)(const std::uint64_t *a,
+                                  const std::uint64_t *b,
+                                  std::size_t bits);
+
+/** Reference scalar kernel (always available). */
+std::size_t scalarHamming(const std::uint64_t *a,
+                          const std::uint64_t *b, std::size_t bits);
+
+/** Unrolled scalar kernel (always available). */
+std::size_t unrolledHamming(const std::uint64_t *a,
+                            const std::uint64_t *b, std::size_t bits);
+
+/**
+ * AVX2 kernel. @pre kernelSupported(Kernel::Avx2); on hosts without
+ * AVX2 the symbol exists but delegates to the scalar kernel.
+ */
+std::size_t avx2Hamming(const std::uint64_t *a,
+                        const std::uint64_t *b, std::size_t bits);
+
+/** Canonical lower-case name of @p kernel ("auto", "scalar", ...). */
+const char *kernelName(Kernel kernel);
+
+/**
+ * Parse a kernel name ("auto", "scalar", "unrolled", "avx2") into
+ * @p out; returns false (and leaves @p out alone) on anything else.
+ */
+bool parseKernel(const std::string &name, Kernel *out);
+
+/** True when this host can execute @p kernel. */
+bool kernelSupported(Kernel kernel);
+
+/**
+ * Pin the active kernel. Kernel::Auto re-runs the cpuid choice.
+ * @throws std::invalid_argument when the host lacks @p kernel.
+ */
+void setKernel(Kernel kernel);
+
+/**
+ * setKernel(parseKernel(name)) convenience for CLI flags.
+ * @throws std::invalid_argument on an unknown or unsupported name.
+ */
+void setKernelByName(const std::string &name);
+
+/**
+ * The kernel currently serving hamming() calls, resolving the
+ * startup default on first use. Never returns Kernel::Auto.
+ */
+Kernel activeKernel();
+
+/** kernelName(activeKernel()) -- what tools report in JSON output. */
+const char *activeKernelName();
+
+/**
+ * The active kernel's function pointer. Hot loops hoist this once
+ * per scan so the per-row cost is a direct indirect call.
+ */
+HammingFn active();
+
+/**
+ * Hamming distance over the first @p bits components of @p a and
+ * @p b through the active kernel.
+ */
+inline std::size_t
+hamming(const std::uint64_t *a, const std::uint64_t *b,
+        std::size_t bits)
+{
+    return active()(a, b, bits);
+}
+
+} // namespace hdham::distance
+
+#endif // HDHAM_CORE_DISTANCE_HH

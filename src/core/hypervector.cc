@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/distance.hh"
+
 namespace hdham
 {
 
@@ -102,10 +104,8 @@ std::size_t
 Hypervector::hamming(const Hypervector &other) const
 {
     assert(other.numBits == numBits);
-    std::size_t count = 0;
-    for (std::size_t i = 0; i < storage.size(); ++i)
-        count += std::popcount(storage[i] ^ other.storage[i]);
-    return count;
+    return distance::hamming(storage.data(), other.storage.data(),
+                             numBits);
 }
 
 std::size_t
@@ -114,17 +114,8 @@ Hypervector::hammingPrefix(const Hypervector &other,
 {
     assert(other.numBits == numBits);
     assert(prefix <= numBits);
-    const std::size_t fullWords = prefix / bitsPerWord;
-    std::size_t count = 0;
-    for (std::size_t i = 0; i < fullWords; ++i)
-        count += std::popcount(storage[i] ^ other.storage[i]);
-    const std::size_t rem = prefix % bitsPerWord;
-    if (rem) {
-        const std::uint64_t mask = (1ULL << rem) - 1;
-        count += std::popcount(
-            (storage[fullWords] ^ other.storage[fullWords]) & mask);
-    }
-    return count;
+    return distance::hamming(storage.data(), other.storage.data(),
+                             prefix);
 }
 
 Hypervector

@@ -219,11 +219,18 @@ Registry::setGauge(const std::string &name, double value)
     gauges[name] = value;
 }
 
+void
+Registry::setInfo(const std::string &name, const std::string &value)
+{
+    infos[name] = value;
+}
+
 Snapshot
 Registry::snapshot() const
 {
     Snapshot snap;
     snap.gauges = gauges;
+    snap.info = infos;
     for (const auto &[name, m] : query) {
         snap.counters[name + ".queries"] = m->queries.value();
         snap.counters[name + ".batches"] = m->batches.value();
@@ -293,6 +300,17 @@ writeJson(std::ostream &out, const Snapshot &snapshot)
         writeEscaped(out, key);
         out << ": ";
         writeHistogram(out, value, "    ");
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+
+    out << "  \"info\": {";
+    first = true;
+    for (const auto &[key, value] : snapshot.info) {
+        out << (first ? "\n    " : ",\n    ");
+        writeEscaped(out, key);
+        out << ": ";
+        writeEscaped(out, value);
         first = false;
     }
     out << (first ? "" : "\n  ") << "}\n}\n";

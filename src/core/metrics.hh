@@ -225,6 +225,9 @@ struct Snapshot
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramSummary> histograms;
+    /** Free-form string facts (selected distance kernel, build
+     *  flavor); additive to hdham.metrics.v1. */
+    std::map<std::string, std::string> info;
 };
 
 /** Render a snapshot as the hdham.metrics.v1 JSON document. */
@@ -248,6 +251,12 @@ class Registry
     /** Set a free-standing gauge (run configuration and the like). */
     void setGauge(const std::string &name, double value);
 
+    /**
+     * Set a free-standing string fact (e.g. the selected distance
+     * kernel); exported under the snapshot's "info" object.
+     */
+    void setInfo(const std::string &name, const std::string &value);
+
     /** Point-in-time snapshot of everything attached. */
     Snapshot snapshot() const;
 
@@ -268,6 +277,7 @@ class Registry
     std::vector<std::pair<std::string, const ClassificationMetrics *>>
         classification;
     std::map<std::string, double> gauges;
+    std::map<std::string, std::string> infos;
 };
 
 } // namespace hdham::metrics

@@ -1,9 +1,10 @@
 #include "core/packed_rows.hh"
 
-#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
+
+#include "core/distance.hh"
 
 namespace hdham
 {
@@ -43,18 +44,7 @@ PackedRows::distance(std::size_t row, const Hypervector &query,
     assert(row < numRows);
     assert(query.dim() == numBits);
     assert(prefix <= numBits);
-    const std::uint64_t *data = rowData(row);
-    const std::size_t fullWords = prefix / 64;
-    std::size_t count = 0;
-    for (std::size_t w = 0; w < fullWords; ++w)
-        count += std::popcount(data[w] ^ query.word(w));
-    const std::size_t rem = prefix % 64;
-    if (rem) {
-        const std::uint64_t mask = (1ULL << rem) - 1;
-        count += std::popcount(
-            (data[fullWords] ^ query.word(fullWords)) & mask);
-    }
-    return count;
+    return distance::hamming(rowData(row), query.data(), prefix);
 }
 
 void
@@ -62,8 +52,11 @@ PackedRows::distances(const Hypervector &query, std::size_t prefix,
                       std::vector<std::size_t> &out) const
 {
     out.resize(numRows);
+    // Hoist the kernel dispatch out of the row loop.
+    const distance::HammingFn fn = distance::active();
+    const std::uint64_t *q = query.data();
     for (std::size_t row = 0; row < numRows; ++row)
-        out[row] = distance(row, query, prefix);
+        out[row] = fn(rowData(row), q, prefix);
 }
 
 std::size_t
@@ -72,10 +65,14 @@ PackedRows::nearest(const Hypervector &query, std::size_t prefix,
 {
     if (numRows == 0)
         throw std::logic_error("PackedRows::nearest: empty store");
+    assert(query.dim() == numBits);
+    assert(prefix <= numBits);
+    const distance::HammingFn fn = distance::active();
+    const std::uint64_t *q = query.data();
     std::size_t best = std::numeric_limits<std::size_t>::max();
     std::size_t winner = 0;
     for (std::size_t row = 0; row < numRows; ++row) {
-        const std::size_t d = distance(row, query, prefix);
+        const std::size_t d = fn(rowData(row), q, prefix);
         if (d < best) {
             best = d;
             winner = row;

@@ -3,7 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "core/parallel_for.hh"
+#include "core/batch_executor.hh"
 #include "core/trace.hh"
 
 namespace hdham::ham
@@ -111,43 +111,25 @@ std::vector<HamResult>
 AHam::searchBatch(const std::vector<Hypervector> &queries,
                   std::size_t threads)
 {
-    if (rows.empty())
-        throw std::logic_error("AHam::searchBatch: no stored "
-                               "classes");
-    TRACE_BATCH("a_ham.batch");
-    const metrics::Clock::time_point start =
-        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
+    batch::requireStored(rows.size(), "AHam");
     const std::uint64_t first = nextQueryIndex;
     nextQueryIndex += queries.size();
-    std::vector<HamResult> results(queries.size());
-    parallelFor(queries.size(), threads,
-                [&](std::size_t begin, std::size_t end) {
-                    TRACE_SPAN("a_ham.chunk");
-                    // Per-worker tally merged once per chunk: exact
-                    // totals without atomics in the scan.
-                    Tally tally;
-                    Tally *chunkTally = sink ? &tally : nullptr;
-                    for (std::size_t q = begin; q < end; ++q) {
-                        results[q] = searchIndexed(
-                            queries[q], first + q, chunkTally);
-                    }
-                    if (sink) {
-                        const std::uint64_t n = end - begin;
-                        sink->queries.add(n);
-                        sink->rowsScanned.add(n * rows.size());
-                        sink->stagesRun.add(n *
-                                            cfg.effectiveStages());
-                        sink->ltaComparisons.add(
-                            n * (rows.size() - 1));
-                        sink->saturationEvents.add(
-                            tally.saturationEvents);
-                    }
-                });
-    if (sink) {
-        sink->batches.add(1);
-        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
-    }
-    return results;
+    return batch::run<HamResult>(
+        {"a_ham.batch", "a_ham.chunk"}, queries.size(), threads,
+        sink, [] { return Tally{}; },
+        [&](std::size_t q, Tally &tally) {
+            return searchIndexed(queries[q], first + q,
+                                 sink ? &tally : nullptr);
+        },
+        [&](const Tally &tally, std::size_t begin,
+            std::size_t end) {
+            const std::uint64_t n = end - begin;
+            sink->queries.add(n);
+            sink->rowsScanned.add(n * rows.size());
+            sink->stagesRun.add(n * cfg.effectiveStages());
+            sink->ltaComparisons.add(n * (rows.size() - 1));
+            sink->saturationEvents.add(tally.saturationEvents);
+        });
 }
 
 std::size_t

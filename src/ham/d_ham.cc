@@ -4,7 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "core/parallel_for.hh"
+#include "core/batch_executor.hh"
 #include "core/trace.hh"
 
 namespace hdham::ham
@@ -97,48 +97,39 @@ std::vector<HamResult>
 DHam::searchBatch(const std::vector<Hypervector> &queries,
                   std::size_t threads)
 {
-    if (rows.rows() == 0)
-        throw std::logic_error("DHam::searchBatch: no stored "
-                               "classes");
-    TRACE_BATCH("d_ham.batch");
-    const metrics::Clock::time_point start =
-        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
-    std::vector<HamResult> results(queries.size());
+    batch::requireStored(rows.rows(), "DHam");
     const std::size_t prefix = cfg.effectiveDim();
-    parallelFor(queries.size(), threads,
-                [&](std::size_t begin, std::size_t end) {
-                    TRACE_SPAN("d_ham.chunk");
-                    if (trace::enabled()) {
-                        std::vector<std::size_t> scratch;
-                        for (std::size_t q = begin; q < end; ++q) {
-                            assert(queries[q].dim() == cfg.dim);
-                            results[q].classId = nearestTraced(
-                                rows, queries[q], prefix,
-                                &results[q].reportedDistance,
-                                scratch);
-                        }
-                    } else {
-                        for (std::size_t q = begin; q < end; ++q) {
-                            assert(queries[q].dim() == cfg.dim);
-                            results[q].classId = rows.nearest(
-                                queries[q], prefix,
-                                &results[q].reportedDistance);
-                        }
-                    }
-                    // Per-chunk merge: exact totals, no atomics in
-                    // the scan.
-                    if (sink) {
-                        const std::size_t n = end - begin;
-                        sink->queries.add(n);
-                        sink->rowsScanned.add(n * rows.rows());
-                        sink->bitsSampled.add(n * prefix);
-                    }
-                });
-    if (sink) {
-        sink->batches.add(1);
-        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
-    }
-    return results;
+
+    /** Per-chunk state: the traced path reuses one scratch vector
+     *  for its split popcount/compare phases. */
+    struct Chunk
+    {
+        bool traced;
+        std::vector<std::size_t> scratch;
+    };
+    return batch::run<HamResult>(
+        {"d_ham.batch", "d_ham.chunk"}, queries.size(), threads,
+        sink, [] { return Chunk{trace::enabled(), {}}; },
+        [&](std::size_t q, Chunk &chunk) {
+            assert(queries[q].dim() == cfg.dim);
+            HamResult result;
+            if (chunk.traced) {
+                result.classId = nearestTraced(
+                    rows, queries[q], prefix,
+                    &result.reportedDistance, chunk.scratch);
+            } else {
+                result.classId =
+                    rows.nearest(queries[q], prefix,
+                                 &result.reportedDistance);
+            }
+            return result;
+        },
+        [&](const Chunk &, std::size_t begin, std::size_t end) {
+            const std::size_t n = end - begin;
+            sink->queries.add(n);
+            sink->rowsScanned.add(n * rows.rows());
+            sink->bitsSampled.add(n * prefix);
+        });
 }
 
 } // namespace hdham::ham

@@ -5,7 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "core/parallel_for.hh"
+#include "core/batch_executor.hh"
 #include "core/trace.hh"
 
 namespace hdham::ham
@@ -196,41 +196,25 @@ std::vector<HamResult>
 RHam::searchBatch(const std::vector<Hypervector> &queries,
                   std::size_t threads)
 {
-    if (rows.empty())
-        throw std::logic_error("RHam::searchBatch: no stored "
-                               "classes");
-    TRACE_BATCH("r_ham.batch");
-    const metrics::Clock::time_point start =
-        sink ? metrics::Clock::now() : metrics::Clock::time_point{};
+    batch::requireStored(rows.size(), "RHam");
     const std::uint64_t first = nextQueryIndex;
     nextQueryIndex += queries.size();
-    std::vector<HamResult> results(queries.size());
-    parallelFor(queries.size(), threads,
-                [&](std::size_t begin, std::size_t end) {
-                    TRACE_SPAN("r_ham.chunk");
-                    // Per-worker tally merged once per chunk: exact
-                    // totals without atomics in the scan.
-                    Tally tally;
-                    Tally *chunkTally = sink ? &tally : nullptr;
-                    for (std::size_t q = begin; q < end; ++q) {
-                        results[q] = searchIndexed(
-                            queries[q], first + q, chunkTally);
-                    }
-                    if (sink) {
-                        const std::uint64_t n = end - begin;
-                        sink->queries.add(n);
-                        sink->rowsScanned.add(n * rows.size());
-                        sink->blocksSensed.add(tally.blocksSensed);
-                        sink->saFires.add(tally.saFires);
-                        sink->overscaleErrors.add(
-                            tally.overscaleErrors);
-                    }
-                });
-    if (sink) {
-        sink->batches.add(1);
-        sink->batchLatencyUs.record(metrics::elapsedMicros(start));
-    }
-    return results;
+    return batch::run<HamResult>(
+        {"r_ham.batch", "r_ham.chunk"}, queries.size(), threads,
+        sink, [] { return Tally{}; },
+        [&](std::size_t q, Tally &tally) {
+            return searchIndexed(queries[q], first + q,
+                                 sink ? &tally : nullptr);
+        },
+        [&](const Tally &tally, std::size_t begin,
+            std::size_t end) {
+            const std::uint64_t n = end - begin;
+            sink->queries.add(n);
+            sink->rowsScanned.add(n * rows.size());
+            sink->blocksSensed.add(tally.blocksSensed);
+            sink->saFires.add(tally.saFires);
+            sink->overscaleErrors.add(tally.overscaleErrors);
+        });
 }
 
 std::size_t

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The Hamming kernel contract: every kernel (scalar, unrolled, AVX2)
+ * returns the exact same integer count as a naive bit loop, for
+ * ragged widths where `bits` is not a multiple of 64 or 256 and the
+ * final word carries garbage padding beyond `bits`. Also pins the
+ * dispatch rules: env override, cpuid fallback, name round-trips,
+ * and rejection of unsupported kernels.
+ *
+ * NOTE: the dispatch state is process-global, so the env-override
+ * test must run before anything calls setKernel(); gtest runs tests
+ * in declaration order within a suite, and this file keeps the
+ * env-sensitive test in its own suite declared first.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/distance.hh"
+#include "core/random.hh"
+
+namespace
+{
+
+using hdham::Rng;
+namespace distance = hdham::distance;
+
+/** Bit-at-a-time oracle; deliberately shares no code with kernels. */
+std::size_t
+naiveHamming(const std::vector<std::uint64_t> &a,
+             const std::vector<std::uint64_t> &b, std::size_t bits)
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+        const std::uint64_t x = (a[i / 64] >> (i % 64)) & 1;
+        const std::uint64_t y = (b[i / 64] >> (i % 64)) & 1;
+        count += x ^ y;
+    }
+    return count;
+}
+
+/**
+ * Random word array long enough for @p bits, with every word fully
+ * random -- including the bits of the last word beyond @p bits, so a
+ * kernel that forgets to mask the tail miscounts.
+ */
+std::vector<std::uint64_t>
+randomWords(std::size_t bits, Rng &rng)
+{
+    const std::size_t words = (bits + 63) / 64;
+    std::vector<std::uint64_t> out(words);
+    for (auto &w : out)
+        w = rng.next();
+    return out;
+}
+
+/** Widths straddling the 64-bit word and 256-bit vector boundaries. */
+const std::size_t kRaggedWidths[] = {
+    1,   3,   63,  64,  65,  127, 128,  129,  191,  192,
+    250, 255, 256, 257, 511, 512, 1000, 2048, 4099, 10000};
+
+// Declared first so it observes the untouched startup dispatch state
+// (see file comment). Skips unless the harness set HDHAM_KERNEL.
+TEST(DistanceEnvTest, EnvOverrideRespected)
+{
+    const char *env = std::getenv("HDHAM_KERNEL");
+    if (!env)
+        GTEST_SKIP() << "HDHAM_KERNEL not set";
+    EXPECT_STREQ(distance::activeKernelName(), env);
+}
+
+TEST(DistanceKernelTest, ScalarMatchesNaiveOracle)
+{
+    Rng rng(11);
+    for (const std::size_t bits : kRaggedWidths) {
+        const auto a = randomWords(bits, rng);
+        const auto b = randomWords(bits, rng);
+        EXPECT_EQ(distance::scalarHamming(a.data(), b.data(), bits),
+                  naiveHamming(a, b, bits))
+            << "bits = " << bits;
+    }
+}
+
+TEST(DistanceKernelTest, UnrolledMatchesScalar)
+{
+    Rng rng(22);
+    for (const std::size_t bits : kRaggedWidths) {
+        for (int rep = 0; rep < 8; ++rep) {
+            const auto a = randomWords(bits, rng);
+            const auto b = randomWords(bits, rng);
+            EXPECT_EQ(
+                distance::unrolledHamming(a.data(), b.data(), bits),
+                distance::scalarHamming(a.data(), b.data(), bits))
+                << "bits = " << bits << ", rep " << rep;
+        }
+    }
+}
+
+TEST(DistanceKernelTest, Avx2MatchesScalar)
+{
+    if (!distance::kernelSupported(distance::Kernel::Avx2))
+        GTEST_SKIP() << "host lacks AVX2";
+    Rng rng(33);
+    for (const std::size_t bits : kRaggedWidths) {
+        for (int rep = 0; rep < 8; ++rep) {
+            const auto a = randomWords(bits, rng);
+            const auto b = randomWords(bits, rng);
+            EXPECT_EQ(
+                distance::avx2Hamming(a.data(), b.data(), bits),
+                distance::scalarHamming(a.data(), b.data(), bits))
+                << "bits = " << bits << ", rep " << rep;
+        }
+    }
+}
+
+TEST(DistanceKernelTest, IdenticalVectorsAndComplements)
+{
+    Rng rng(44);
+    for (const std::size_t bits : {63u, 256u, 1000u}) {
+        const auto a = randomWords(bits, rng);
+        auto flipped = a;
+        for (auto &w : flipped)
+            w = ~w;
+        for (const distance::HammingFn fn :
+             {&distance::scalarHamming, &distance::unrolledHamming,
+              &distance::avx2Hamming}) {
+            EXPECT_EQ(fn(a.data(), a.data(), bits), 0u);
+            EXPECT_EQ(fn(a.data(), flipped.data(), bits), bits);
+        }
+    }
+}
+
+TEST(DistanceDispatchTest, EverySupportedKernelServesHamming)
+{
+    Rng rng(55);
+    const auto a = randomWords(4099, rng);
+    const auto b = randomWords(4099, rng);
+    const std::size_t want =
+        distance::scalarHamming(a.data(), b.data(), 4099);
+
+    for (const distance::Kernel kernel :
+         {distance::Kernel::Scalar, distance::Kernel::Unrolled,
+          distance::Kernel::Avx2}) {
+        if (!distance::kernelSupported(kernel))
+            continue;
+        distance::setKernel(kernel);
+        EXPECT_EQ(distance::activeKernel(), kernel);
+        EXPECT_EQ(distance::hamming(a.data(), b.data(), 4099), want)
+            << distance::kernelName(kernel);
+    }
+    distance::setKernel(distance::Kernel::Auto);
+    EXPECT_NE(distance::activeKernel(), distance::Kernel::Auto);
+}
+
+TEST(DistanceDispatchTest, NamesRoundTrip)
+{
+    for (const distance::Kernel kernel :
+         {distance::Kernel::Auto, distance::Kernel::Scalar,
+          distance::Kernel::Unrolled, distance::Kernel::Avx2}) {
+        distance::Kernel parsed = distance::Kernel::Auto;
+        ASSERT_TRUE(distance::parseKernel(
+            distance::kernelName(kernel), &parsed));
+        EXPECT_EQ(parsed, kernel);
+    }
+    distance::Kernel out = distance::Kernel::Scalar;
+    EXPECT_FALSE(distance::parseKernel("sse9", &out));
+    EXPECT_FALSE(distance::parseKernel("", &out));
+    EXPECT_EQ(out, distance::Kernel::Scalar); // untouched on failure
+}
+
+TEST(DistanceDispatchTest, ScalarKernelsAlwaysSupported)
+{
+    EXPECT_TRUE(distance::kernelSupported(distance::Kernel::Auto));
+    EXPECT_TRUE(distance::kernelSupported(distance::Kernel::Scalar));
+    EXPECT_TRUE(
+        distance::kernelSupported(distance::Kernel::Unrolled));
+}
+
+TEST(DistanceDispatchTest, UnsupportedKernelRejected)
+{
+    if (distance::kernelSupported(distance::Kernel::Avx2))
+        GTEST_SKIP() << "host has AVX2; nothing is unsupported";
+    EXPECT_THROW(distance::setKernel(distance::Kernel::Avx2),
+                 std::invalid_argument);
+    EXPECT_THROW(distance::setKernelByName("avx2"),
+                 std::invalid_argument);
+}
+
+TEST(DistanceDispatchTest, SetKernelByNameRejectsUnknown)
+{
+    EXPECT_THROW(distance::setKernelByName("neon"),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/assoc_memory.hh"
+#include "core/distance.hh"
 #include "core/hypervector.hh"
 #include "core/random.hh"
 #include "ham/a_ham.hh"
@@ -168,6 +170,67 @@ TYPED_TEST(BatchEquivalenceTest, EmptyDesignThrows)
     auto design = makeFresh<TypeParam>();
     const auto queries = corpus(1, 606);
     EXPECT_THROW(design->searchBatch(queries), std::logic_error);
+}
+
+/**
+ * Kernel choice must never show through in results: distances are
+ * exact integer counts whichever kernel computes them. Runs the full
+ * batch under every supported kernel and demands bit-identity.
+ */
+TYPED_TEST(BatchEquivalenceTest, InvariantAcrossKernels)
+{
+    namespace distance = hdham::distance;
+    const auto queries = corpus(kQueries, 707);
+
+    auto reference = trainedFresh<TypeParam>();
+    distance::setKernel(distance::Kernel::Scalar);
+    const auto expected = reference->searchBatch(queries, 2);
+
+    for (const distance::Kernel kernel :
+         {distance::Kernel::Unrolled, distance::Kernel::Avx2}) {
+        if (!distance::kernelSupported(kernel))
+            continue;
+        distance::setKernel(kernel);
+        auto design = trainedFresh<TypeParam>();
+        expectSameResults(design->searchBatch(queries, 2), expected);
+    }
+    distance::setKernel(distance::Kernel::Auto);
+}
+
+/**
+ * The software oracle rides the same batch executor; its contract is
+ * the same bit-identity between searchBatch() and sequential
+ * search(), for any thread count.
+ */
+TEST(SoftwareBatchEquivalenceTest, BatchMatchesSequentialSearch)
+{
+    hdham::AssociativeMemory am(kDim);
+    for (const Hypervector &hv : corpus(kClasses, 808))
+        am.store(hv);
+    const auto queries = corpus(kQueries, 909);
+
+    std::vector<hdham::SearchResult> sequential;
+    for (const Hypervector &query : queries)
+        sequential.push_back(am.search(query));
+
+    for (const std::size_t threads : {1u, 4u, 0u}) {
+        const auto batch = am.searchBatch(queries, threads);
+        ASSERT_EQ(batch.size(), sequential.size());
+        for (std::size_t q = 0; q < batch.size(); ++q) {
+            EXPECT_EQ(batch[q].classId, sequential[q].classId)
+                << "query " << q << ", threads " << threads;
+            EXPECT_EQ(batch[q].bestDistance,
+                      sequential[q].bestDistance)
+                << "query " << q << ", threads " << threads;
+        }
+    }
+}
+
+TEST(SoftwareBatchEquivalenceTest, EmptyMemoryThrows)
+{
+    hdham::AssociativeMemory am(kDim);
+    const auto queries = corpus(1, 1010);
+    EXPECT_THROW(am.searchBatch(queries), std::logic_error);
 }
 
 } // namespace

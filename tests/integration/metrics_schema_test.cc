@@ -89,20 +89,26 @@ TEST(MetricsSchemaTest, JsonTopLevelShapeIsFrozen)
     metrics::QueryMetrics sink;
     metrics::Registry registry;
     registry.attachQuery("am", sink);
+    registry.setInfo("kernel", "scalar");
     const std::string json = registry.toJson();
-    // The four top-level members, in order.
+    // The five top-level members, in order.
     const std::size_t schemaAt =
         json.find("\"schema\": \"hdham.metrics.v1\"");
     const std::size_t countersAt = json.find("\"counters\":");
     const std::size_t gaugesAt = json.find("\"gauges\":");
     const std::size_t histogramsAt = json.find("\"histograms\":");
+    const std::size_t infoAt = json.find("\"info\":");
     ASSERT_NE(schemaAt, std::string::npos);
     ASSERT_NE(countersAt, std::string::npos);
     ASSERT_NE(gaugesAt, std::string::npos);
     ASSERT_NE(histogramsAt, std::string::npos);
+    ASSERT_NE(infoAt, std::string::npos);
     EXPECT_LT(schemaAt, countersAt);
     EXPECT_LT(countersAt, gaugesAt);
     EXPECT_LT(gaugesAt, histogramsAt);
+    EXPECT_LT(histogramsAt, infoAt);
+    EXPECT_NE(json.find("\"kernel\": \"scalar\""),
+              std::string::npos);
     // Histogram summaries carry the full percentile set.
     for (const char *field :
          {"\"count\"", "\"sum_us\"", "\"min_us\"", "\"max_us\"",

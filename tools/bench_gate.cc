@@ -69,6 +69,9 @@ struct SuiteResult
     std::map<std::string, double> referenceNs;
     /** batch-latency quantiles keyed by histogram name. */
     std::map<std::string, LatencySummary> latencyUs;
+    /** Hamming kernel the batch suite ran with (from its metrics
+     *  snapshot); empty when the snapshot predates kernel info. */
+    std::string kernel;
 };
 
 int
@@ -175,11 +178,18 @@ collectBenchmarks(const std::string &jsonText, SuiteResult &result)
     }
 }
 
-/** Pull the batch-latency quantiles out of a metrics snapshot. */
+/**
+ * Pull the batch-latency quantiles and the selected Hamming kernel
+ * out of a metrics snapshot.
+ */
 void
 collectLatency(const std::string &jsonText, SuiteResult &result)
 {
     const Value doc = parse(jsonText);
+    if (const Value *info = doc.find("info")) {
+        if (const Value *kernel = info->find("kernel"))
+            result.kernel = kernel->asString();
+    }
     const Value *histograms = doc.find("histograms");
     if (!histograms)
         return;
@@ -240,6 +250,12 @@ writeBaseline(std::ostream &out, const SuiteResult &result,
     writeNumber(out, tolerance);
     out << ",\n";
 
+    if (!result.kernel.empty()) {
+        out << "  \"kernel\": ";
+        writeEscaped(out, result.kernel);
+        out << ",\n";
+    }
+
     out << "  \"throughput_qps\": {";
     bool first = true;
     for (const auto &[name, qps] : result.throughput) {
@@ -288,6 +304,13 @@ gate(const Value &baseline, const SuiteResult &current,
      double tolerance, bool skipMicro)
 {
     int failures = 0;
+    if (!current.kernel.empty()) {
+        const Value *baseKernel = baseline.find("kernel");
+        std::printf("kernel: %s (baseline: %s)\n",
+                    current.kernel.c_str(),
+                    baseKernel ? baseKernel->asString().c_str()
+                               : "unrecorded");
+    }
     std::printf("%-42s %14s %14s %7s  %s\n", "benchmark",
                 "baseline q/s", "current q/s", "ratio", "status");
     for (const auto &[name, want] :

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "core/distance.hh"
 #include "core/metrics.hh"
 #include "core/serialize.hh"
 #include "core/trace.hh"
@@ -64,11 +65,11 @@ usage()
         stderr,
         "usage:\n"
         "  hdham train --out PATH [--dim N] [--train-chars N] "
-        "[--sentences N] [--threads N] [--stats-json PATH] "
-        "[--trace PATH]\n"
+        "[--sentences N] [--threads N] [--kernel K] "
+        "[--stats-json PATH] [--trace PATH]\n"
         "  hdham classify --model PATH [--design dham|rham|aham] "
-        "[--threads N] [--batch N] [--stats-json PATH] "
-        "[--trace PATH] TEXT...\n"
+        "[--threads N] [--batch N] [--kernel K] "
+        "[--stats-json PATH] [--trace PATH] TEXT...\n"
         "  hdham info --model PATH\n"
         "  hdham cost [--dim N] [--classes N]\n"
         "\n"
@@ -76,6 +77,10 @@ usage()
         "all hardware threads; default 1)\n"
         "  --batch N         queries per searchBatch() call (0 = "
         "all at once; default 0)\n"
+        "  --kernel K        Hamming distance kernel: scalar, "
+        "unrolled, avx2 or auto (default: HDHAM_KERNEL env,\n"
+        "                    else runtime cpuid dispatch; results "
+        "are bit-identical for every kernel)\n"
         "  --stats-json PATH write a query-path metrics snapshot "
         "(hdham.metrics.v1 JSON)\n"
         "  --trace PATH      write a Chrome trace-event file "
@@ -107,6 +112,36 @@ numericOption(std::vector<std::string> &args, const std::string &flag,
     const std::string value =
         option(args, flag, std::to_string(fallback));
     return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+/**
+ * Apply `--kernel NAME` if present. Returns false (after printing a
+ * diagnostic) when the name is unknown or the kernel is not supported
+ * on this CPU; without the flag the env/cpuid default stands.
+ */
+bool
+kernelOption(std::vector<std::string> &args, const char *command)
+{
+    const std::string name = option(args, "--kernel", "");
+    if (name.empty())
+        return true;
+    distance::Kernel kernel;
+    if (!distance::parseKernel(name, &kernel)) {
+        std::fprintf(stderr,
+                     "%s: unknown kernel '%s' (expected scalar, "
+                     "unrolled, avx2 or auto)\n",
+                     command, name.c_str());
+        return false;
+    }
+    if (!distance::kernelSupported(kernel)) {
+        std::fprintf(stderr,
+                     "%s: kernel '%s' is not supported on this "
+                     "CPU\n",
+                     command, name.c_str());
+        return false;
+    }
+    distance::setKernel(kernel);
+    return true;
 }
 
 /**
@@ -145,6 +180,7 @@ writeStatsJson(metrics::Registry &registry, const std::string &path,
     registry.setGauge("model.dim", static_cast<double>(dim));
     registry.setGauge("model.classes", static_cast<double>(classes));
     registry.setGauge("run.threads", static_cast<double>(threads));
+    registry.setInfo("kernel", distance::activeKernelName());
     writeArtifact("metrics", path, [&](std::ostream &out) {
         registry.writeJson(out);
     });
@@ -183,6 +219,8 @@ cmdTrain(std::vector<std::string> args)
     const std::size_t threads = numericOption(args, "--threads", 1);
     const std::string statsPath = option(args, "--stats-json", "");
     const std::string tracePath = option(args, "--trace", "");
+    if (!kernelOption(args, "train"))
+        return 2;
 
     std::printf("training %zu languages at D = %zu...\n",
                 corpusCfg.numLanguages, pipeCfg.dim);
@@ -251,6 +289,8 @@ cmdClassify(std::vector<std::string> args)
     const std::size_t batch = numericOption(args, "--batch", 0);
     const std::string statsPath = option(args, "--stats-json", "");
     const std::string tracePath = option(args, "--trace", "");
+    if (!kernelOption(args, "classify"))
+        return 2;
     if (path.empty() || args.empty()) {
         std::fprintf(stderr, "classify: need --model and at least "
                              "one TEXT argument\n");
