@@ -17,12 +17,73 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/hypervector.hh"
+#include "core/random.hh"
 #include "lang/corpus.hh"
 #include "lang/pipeline.hh"
 
 namespace hdham::bench
 {
+
+/** @p count random query hypervectors of dimensionality @p dim. */
+inline std::vector<Hypervector>
+makeQueries(std::size_t dim, std::size_t count, Rng &rng)
+{
+    std::vector<Hypervector> queries;
+    queries.reserve(count);
+    for (std::size_t q = 0; q < count; ++q)
+        queries.push_back(Hypervector::random(dim, rng));
+    return queries;
+}
+
+/**
+ * Store @p classes random prototypes into @p memory --
+ * AssociativeMemory and the HAM designs (store), or PackedRows
+ * (append) -- and return them for query synthesis.
+ */
+template <typename Memory>
+std::vector<Hypervector>
+storeRandomClasses(Memory &memory, std::size_t dim,
+                   std::size_t classes, Rng &rng)
+{
+    std::vector<Hypervector> prototypes;
+    prototypes.reserve(classes);
+    for (std::size_t c = 0; c < classes; ++c) {
+        prototypes.push_back(Hypervector::random(dim, rng));
+        if constexpr (requires { memory.append(prototypes.back()); })
+            memory.append(prototypes.back());
+        else
+            memory.store(prototypes.back());
+    }
+    return prototypes;
+}
+
+/**
+ * Skewed query workload: each query is a stored prototype with
+ * floor(@p flip * dim) random bits flipped. Real classification
+ * queries look like this -- close to one prototype, ~dim/2 from the
+ * rest -- and it is the regime where bound pruning pays off: the
+ * best-so-far bound drops to ~flip*dim after the matching row, so
+ * every later row abandons within a few words.
+ */
+inline std::vector<Hypervector>
+makeSkewedQueries(const std::vector<Hypervector> &prototypes,
+                  std::size_t count, double flip, Rng &rng)
+{
+    std::vector<Hypervector> queries;
+    queries.reserve(count);
+    for (std::size_t q = 0; q < count; ++q) {
+        Hypervector hv = prototypes[q % prototypes.size()];
+        hv.injectErrors(
+            static_cast<std::size_t>(flip *
+                                     static_cast<double>(hv.dim())),
+            rng);
+        queries.push_back(std::move(hv));
+    }
+    return queries;
+}
 
 /**
  * Optional CSV sink for figure series: when the environment variable

@@ -26,10 +26,12 @@
 #include <string>
 #include <vector>
 
+#include "common.hh"
 #include "core/assoc_memory.hh"
 #include "core/distance.hh"
 #include "core/hypervector.hh"
 #include "core/metrics.hh"
+#include "core/packed_rows.hh"
 #include "core/random.hh"
 #include "ham/a_ham.hh"
 #include "ham/d_ham.hh"
@@ -43,22 +45,17 @@ using namespace hdham;
 constexpr std::size_t kDim = 10000;
 constexpr std::size_t kClasses = 100;
 constexpr std::size_t kBatch = 256;
+/** Cascade first-pass prefix (bits) for BM_CascadeScan. */
+constexpr std::size_t kCascadePrefix = 1024;
 
 /** Shared sinks, attached only when --stats-json was requested. */
 metrics::QueryMetrics *gAmMetrics = nullptr;
 metrics::QueryMetrics *gDHamMetrics = nullptr;
 metrics::QueryMetrics *gRHamMetrics = nullptr;
 metrics::QueryMetrics *gAHamMetrics = nullptr;
-
-std::vector<Hypervector>
-makeQueries(std::size_t dim, std::size_t count, Rng &rng)
-{
-    std::vector<Hypervector> queries;
-    queries.reserve(count);
-    for (std::size_t q = 0; q < count; ++q)
-        queries.push_back(Hypervector::random(dim, rng));
-    return queries;
-}
+metrics::QueryMetrics *gExhaustiveMetrics = nullptr;
+metrics::QueryMetrics *gPrunedMetrics = nullptr;
+metrics::QueryMetrics *gCascadeMetrics = nullptr;
 
 void
 BM_SoftwareBatchSearch(benchmark::State &state)
@@ -67,9 +64,8 @@ BM_SoftwareBatchSearch(benchmark::State &state)
     Rng rng(11);
     AssociativeMemory am(kDim);
     am.attachMetrics(gAmMetrics);
-    for (std::size_t c = 0; c < kClasses; ++c)
-        am.store(Hypervector::random(kDim, rng));
-    const auto queries = makeQueries(kDim, kBatch, rng);
+    bench::storeRandomClasses(am, kDim, kClasses, rng);
+    const auto queries = bench::makeQueries(kDim, kBatch, rng);
     for (auto _ : state)
         benchmark::DoNotOptimize(am.searchBatch(queries, threads));
     state.SetItemsProcessed(state.iterations() * kBatch);
@@ -81,6 +77,57 @@ BENCHMARK(BM_SoftwareBatchSearch)
     ->Arg(8)
     ->UseRealTime();
 
+/**
+ * The pruned-scan trio: identical skewed workload (each query is a
+ * stored prototype with 5% of its bits flipped -- the realistic
+ * classification regime where pruning pays), identical memory,
+ * different scan policies. Compare q/s across the three to see the
+ * early-abandon and cascade wins; BM_ExhaustiveScan is the baseline.
+ */
+void
+scanBenchmark(benchmark::State &state, PruneMode prune,
+              std::size_t cascadePrefix,
+              metrics::QueryMetrics *sink)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    Rng rng(13);
+    AssociativeMemory am(kDim);
+    am.attachMetrics(sink);
+    const auto prototypes =
+        bench::storeRandomClasses(am, kDim, kClasses, rng);
+    ScanPolicy policy;
+    policy.prune = prune;
+    policy.cascadePrefix = cascadePrefix;
+    am.setScanPolicy(policy);
+    const auto queries =
+        bench::makeSkewedQueries(prototypes, kBatch, 0.05, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(am.searchBatch(queries, threads));
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+BM_ExhaustiveScan(benchmark::State &state)
+{
+    scanBenchmark(state, PruneMode::Off, 0, gExhaustiveMetrics);
+}
+BENCHMARK(BM_ExhaustiveScan)->Arg(1)->Arg(4)->UseRealTime();
+
+void
+BM_PrunedScan(benchmark::State &state)
+{
+    scanBenchmark(state, PruneMode::Auto, 0, gPrunedMetrics);
+}
+BENCHMARK(BM_PrunedScan)->Arg(1)->Arg(4)->UseRealTime();
+
+void
+BM_CascadeScan(benchmark::State &state)
+{
+    scanBenchmark(state, PruneMode::Auto, kCascadePrefix,
+                  gCascadeMetrics);
+}
+BENCHMARK(BM_CascadeScan)->Arg(1)->Arg(4)->UseRealTime();
+
 template <typename HamT, typename ConfigT>
 void
 hamBatchBenchmark(benchmark::State &state, const ConfigT &config,
@@ -90,9 +137,9 @@ hamBatchBenchmark(benchmark::State &state, const ConfigT &config,
     Rng rng(12);
     HamT ham(config);
     ham.attachMetrics(sink);
-    for (std::size_t c = 0; c < 21; ++c)
-        ham.store(Hypervector::random(config.dim, rng));
-    const auto queries = makeQueries(config.dim, kBatch, rng);
+    bench::storeRandomClasses(ham, config.dim, 21, rng);
+    const auto queries =
+        bench::makeQueries(config.dim, kBatch, rng);
     for (auto _ : state)
         benchmark::DoNotOptimize(ham.searchBatch(queries, threads));
     state.SetItemsProcessed(state.iterations() * kBatch);
@@ -152,11 +199,15 @@ main(int argc, char **argv)
         static_cast<int>(passthrough.size()) - 1;
 
     metrics::QueryMetrics am, dham, rham, aham;
+    metrics::QueryMetrics exhaustive, pruned, cascade;
     if (!statsPath.empty()) {
         gAmMetrics = &am;
         gDHamMetrics = &dham;
         gRHamMetrics = &rham;
         gAHamMetrics = &aham;
+        gExhaustiveMetrics = &exhaustive;
+        gPrunedMetrics = &pruned;
+        gCascadeMetrics = &cascade;
     }
 
     benchmark::Initialize(&passthroughArgc, passthrough.data());
@@ -172,6 +223,9 @@ main(int argc, char **argv)
         registry.attachQuery("dham", dham);
         registry.attachQuery("rham", rham);
         registry.attachQuery("aham", aham);
+        registry.attachQuery("am_exhaustive", exhaustive);
+        registry.attachQuery("am_pruned", pruned);
+        registry.attachQuery("am_cascade", cascade);
         registry.setGauge("run.batch",
                           static_cast<double>(kBatch));
         registry.setGauge("model.dim", static_cast<double>(kDim));

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hh"
 #include "core/assoc_memory.hh"
 #include "core/packed_rows.hh"
 #include "core/bundler.hh"
@@ -70,8 +71,7 @@ BM_SoftwareSearch(benchmark::State &state)
     const auto classes = static_cast<std::size_t>(state.range(1));
     Rng rng(4);
     AssociativeMemory am(dim);
-    for (std::size_t c = 0; c < classes; ++c)
-        am.store(Hypervector::random(dim, rng));
+    bench::storeRandomClasses(am, dim, classes, rng);
     const Hypervector query = Hypervector::random(dim, rng);
     for (auto _ : state)
         benchmark::DoNotOptimize(am.search(query));
@@ -91,8 +91,7 @@ BM_PackedRowsScan(benchmark::State &state)
     const auto classes = static_cast<std::size_t>(state.range(1));
     Rng rng(5);
     PackedRows rows(dim);
-    for (std::size_t c = 0; c < classes; ++c)
-        rows.append(Hypervector::random(dim, rng));
+    bench::storeRandomClasses(rows, dim, classes, rng);
     const Hypervector query = Hypervector::random(dim, rng);
     for (auto _ : state)
         benchmark::DoNotOptimize(rows.nearest(query, dim));
@@ -128,8 +127,7 @@ hamSearchBenchmark(benchmark::State &state)
     ConfigT cfg;
     cfg.dim = dim;
     HamT ham(cfg);
-    for (std::size_t c = 0; c < classes; ++c)
-        ham.store(Hypervector::random(dim, rng));
+    bench::storeRandomClasses(ham, dim, classes, rng);
     const Hypervector query = Hypervector::random(dim, rng);
     for (auto _ : state)
         benchmark::DoNotOptimize(ham.search(query));

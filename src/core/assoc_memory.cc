@@ -68,11 +68,17 @@ AssociativeMemory::searchSampled(const Hypervector &query,
 
     TRACE_SPAN("am.search");
     SearchResult result;
+    ScanStats stats;
     result.classId =
-        rows.nearest(query, prefix, &result.bestDistance);
+        rows.nearest(query, prefix, policy,
+                     sink ? &stats : nullptr, nullptr,
+                     &result.bestDistance);
     if (sink) {
         sink->queries.add(1);
         sink->rowsScanned.add(rows.rows());
+        sink->rowsPruned.add(stats.rowsPruned);
+        sink->wordsSkipped.add(stats.wordsSkipped);
+        sink->cascadeSurvivors.add(stats.cascadeSurvivors);
     }
     return result;
 }
@@ -105,19 +111,33 @@ AssociativeMemory::searchBatch(const std::vector<Hypervector> &queries,
 {
     batch::requireStored(rows.rows(), "AssociativeMemory");
     const std::size_t prefix = rows.dim();
+
+    /** Per-chunk state: pruning tallies plus the cascade's reusable
+     *  prefix-distance scratch. */
+    struct Chunk
+    {
+        ScanStats stats;
+        std::vector<std::size_t> scratch;
+    };
     return batch::run<SearchResult>(
         {"am.batch", "am.chunk"}, queries.size(), threads, sink,
-        [] { return batch::NoTally{}; },
-        [&](std::size_t q, batch::NoTally &) {
+        [] { return Chunk{}; },
+        [&](std::size_t q, Chunk &chunk) {
             SearchResult result;
-            result.classId = rows.nearest(queries[q], prefix,
-                                          &result.bestDistance);
+            result.classId = rows.nearest(
+                queries[q], prefix, policy,
+                sink ? &chunk.stats : nullptr, &chunk.scratch,
+                &result.bestDistance);
             return result;
         },
-        [&](const batch::NoTally &, std::size_t begin,
+        [&](const Chunk &chunk, std::size_t begin,
             std::size_t end) {
             sink->queries.add(end - begin);
             sink->rowsScanned.add((end - begin) * rows.rows());
+            sink->rowsPruned.add(chunk.stats.rowsPruned);
+            sink->wordsSkipped.add(chunk.stats.wordsSkipped);
+            sink->cascadeSurvivors.add(
+                chunk.stats.cascadeSurvivors);
         });
 }
 
@@ -127,18 +147,12 @@ AssociativeMemory::searchTopK(const Hypervector &query,
 {
     if (rows.rows() == 0)
         throw std::logic_error("AssociativeMemory: empty search");
+    std::vector<RowMatch> matches;
+    rows.topK(query, rows.dim(), k, policy, nullptr, matches);
     std::vector<RankedMatch> ranked;
-    ranked.reserve(rows.rows());
-    for (std::size_t id = 0; id < rows.rows(); ++id)
-        ranked.push_back({id, rows.distance(id, query, rows.dim())});
-    std::sort(ranked.begin(), ranked.end(),
-              [](const RankedMatch &a, const RankedMatch &b) {
-                  return a.distance != b.distance
-                             ? a.distance < b.distance
-                             : a.classId < b.classId;
-              });
-    if (ranked.size() > k)
-        ranked.resize(k);
+    ranked.reserve(matches.size());
+    for (const RowMatch &m : matches)
+        ranked.push_back({m.index, m.distance});
     return ranked;
 }
 

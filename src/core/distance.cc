@@ -31,6 +31,21 @@ maskedTail(const std::uint64_t *a, const std::uint64_t *b,
         std::popcount((a[fullWords] ^ b[fullWords]) & mask));
 }
 
+/**
+ * Words checked per early-abandon strip. Checking more often
+ * abandons sooner but pays the compare on every strip; 8 words
+ * (512 components) keeps the overhead of a never-abandoning scan
+ * within a few percent of the exact kernel.
+ */
+constexpr std::size_t kStripWords = 8;
+
+/** Words a bounded kernel reports after running to completion. */
+inline std::size_t
+totalWords(std::size_t bits)
+{
+    return bits / 64 + (bits % 64 != 0);
+}
+
 } // namespace
 
 std::size_t
@@ -61,6 +76,60 @@ unrolledHamming(const std::uint64_t *a, const std::uint64_t *b,
     for (; w < fullWords; ++w)
         count += std::popcount(a[w] ^ b[w]);
     return count + maskedTail(a, b, fullWords, bits % 64);
+}
+
+std::size_t
+scalarHammingBounded(const std::uint64_t *a, const std::uint64_t *b,
+                     std::size_t bits, std::size_t bound,
+                     std::size_t *wordsRead)
+{
+    const std::size_t fullWords = bits / 64;
+    std::size_t count = 0;
+    std::size_t w = 0;
+    while (w + kStripWords <= fullWords) {
+        const std::size_t stop = w + kStripWords;
+        for (; w < stop; ++w)
+            count += std::popcount(a[w] ^ b[w]);
+        if (count >= bound) {
+            *wordsRead = w;
+            return kAbandoned;
+        }
+    }
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    count += maskedTail(a, b, fullWords, bits % 64);
+    *wordsRead = totalWords(bits);
+    return count < bound ? count : kAbandoned;
+}
+
+std::size_t
+unrolledHammingBounded(const std::uint64_t *a, const std::uint64_t *b,
+                       std::size_t bits, std::size_t bound,
+                       std::size_t *wordsRead)
+{
+    const std::size_t fullWords = bits / 64;
+    std::size_t count = 0;
+    std::size_t w = 0;
+    for (; w + kStripWords <= fullWords; w += kStripWords) {
+        std::size_t c0 = std::popcount(a[w] ^ b[w]);
+        std::size_t c1 = std::popcount(a[w + 1] ^ b[w + 1]);
+        std::size_t c2 = std::popcount(a[w + 2] ^ b[w + 2]);
+        std::size_t c3 = std::popcount(a[w + 3] ^ b[w + 3]);
+        c0 += std::popcount(a[w + 4] ^ b[w + 4]);
+        c1 += std::popcount(a[w + 5] ^ b[w + 5]);
+        c2 += std::popcount(a[w + 6] ^ b[w + 6]);
+        c3 += std::popcount(a[w + 7] ^ b[w + 7]);
+        count += c0 + c1 + c2 + c3;
+        if (count >= bound) {
+            *wordsRead = w + kStripWords;
+            return kAbandoned;
+        }
+    }
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    count += maskedTail(a, b, fullWords, bits % 64);
+    *wordsRead = totalWords(bits);
+    return count < bound ? count : kAbandoned;
 }
 
 #ifdef HDHAM_X86_KERNELS
@@ -113,6 +182,44 @@ avx2Hamming(const std::uint64_t *a, const std::uint64_t *b,
     return count + maskedTail(a, b, fullWords, bits % 64);
 }
 
+__attribute__((target("avx2"))) std::size_t
+avx2HammingBounded(const std::uint64_t *a, const std::uint64_t *b,
+                   std::size_t bits, std::size_t bound,
+                   std::size_t *wordsRead)
+{
+    const std::size_t fullWords = bits / 64;
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t count = 0;
+    std::size_t w = 0;
+    // Two VPSADBW steps (8 words) per strip; the horizontal lane sum
+    // runs once per strip, keeping the bound check off the critical
+    // path of the vector accumulation.
+    for (; w + kStripWords <= fullWords; w += kStripWords) {
+        __m256i acc = zero;
+        for (std::size_t step = 0; step < kStripWords; step += 4) {
+            const __m256i x = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    a + w + step)),
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    b + w + step)));
+            acc = _mm256_add_epi64(
+                acc, _mm256_sad_epu8(popcountBytes(x), zero));
+        }
+        std::uint64_t lanes[4];
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+        count += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        if (count >= bound) {
+            *wordsRead = w + kStripWords;
+            return kAbandoned;
+        }
+    }
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    count += maskedTail(a, b, fullWords, bits % 64);
+    *wordsRead = totalWords(bits);
+    return count < bound ? count : kAbandoned;
+}
+
 #else // !HDHAM_X86_KERNELS
 
 std::size_t
@@ -120,6 +227,14 @@ avx2Hamming(const std::uint64_t *a, const std::uint64_t *b,
             std::size_t bits)
 {
     return scalarHamming(a, b, bits);
+}
+
+std::size_t
+avx2HammingBounded(const std::uint64_t *a, const std::uint64_t *b,
+                   std::size_t bits, std::size_t bound,
+                   std::size_t *wordsRead)
+{
+    return scalarHammingBounded(a, b, bits, bound, wordsRead);
 }
 
 #endif // HDHAM_X86_KERNELS
@@ -176,6 +291,8 @@ namespace
 
 /** The serving kernel; null until the first resolution. */
 std::atomic<HammingFn> g_active{nullptr};
+/** The serving bounded kernel; installed alongside g_active. */
+std::atomic<BoundedHammingFn> g_activeBounded{nullptr};
 /** The resolved kernel id g_active points at. */
 std::atomic<Kernel> g_kernel{Kernel::Auto};
 
@@ -195,6 +312,22 @@ fnFor(Kernel kernel)
     return &scalarHamming;
 }
 
+BoundedHammingFn
+boundedFnFor(Kernel kernel)
+{
+    switch (kernel) {
+    case Kernel::Scalar:
+        return &scalarHammingBounded;
+    case Kernel::Unrolled:
+        return &unrolledHammingBounded;
+    case Kernel::Avx2:
+        return &avx2HammingBounded;
+    case Kernel::Auto:
+        break;
+    }
+    return &scalarHammingBounded;
+}
+
 /** The cpuid choice: widest supported kernel. */
 Kernel
 bestSupported()
@@ -207,6 +340,8 @@ void
 install(Kernel kernel)
 {
     g_kernel.store(kernel, std::memory_order_relaxed);
+    g_activeBounded.store(boundedFnFor(kernel),
+                          std::memory_order_release);
     g_active.store(fnFor(kernel), std::memory_order_release);
 }
 
@@ -261,6 +396,17 @@ active()
 {
     HammingFn fn = g_active.load(std::memory_order_acquire);
     return fn ? fn : resolve();
+}
+
+BoundedHammingFn
+activeBounded()
+{
+    BoundedHammingFn fn =
+        g_activeBounded.load(std::memory_order_acquire);
+    if (fn)
+        return fn;
+    resolve();
+    return g_activeBounded.load(std::memory_order_acquire);
 }
 
 Kernel

@@ -31,6 +31,19 @@
  * Contract of every kernel: reads exactly ceil(bits / 64) words from
  * both arrays; any bits of the final word beyond @p bits are masked
  * out, so callers may pass rows whose tail words carry padding.
+ *
+ * Bounded variants: every kernel also exists as an early-abandon
+ * form, distanceBounded(a, b, bits, bound, wordsRead), which
+ * accumulates the count in strips of a few words and stops as soon
+ * as the running count can no longer end up below @p bound. The
+ * return value is bound-exact: the true distance d when d < bound,
+ * the kAbandoned sentinel when d >= bound -- never a partial count.
+ * Because popcounts only grow, the result is independent of where a
+ * kernel places its strip checks, so bounded kernels preserve the
+ * same cross-kernel determinism contract as the exact ones. Only
+ * @p wordsRead (how far the kernel got before abandoning) is
+ * kernel-specific; it feeds the words_skipped observability counter
+ * and never influences a search result.
  */
 
 #ifndef HDHAM_CORE_DISTANCE_HH
@@ -61,6 +74,28 @@ using HammingFn = std::size_t (*)(const std::uint64_t *a,
                                   const std::uint64_t *b,
                                   std::size_t bits);
 
+/**
+ * Sentinel returned by the bounded kernels when the distance is not
+ * below the bound. Distances never exceed the dimensionality, so the
+ * sentinel can never collide with a real count.
+ */
+inline constexpr std::size_t kAbandoned =
+    static_cast<std::size_t>(-1);
+
+/**
+ * Signature shared by every bounded (early-abandon) kernel: returns
+ * the exact Hamming distance d over the first @p bits components
+ * when d < @p bound, kAbandoned otherwise. @p wordsRead (never null)
+ * receives the number of words of each operand the kernel examined
+ * before returning -- ceil(bits / 64) on completion, less when the
+ * scan abandoned early.
+ */
+using BoundedHammingFn = std::size_t (*)(const std::uint64_t *a,
+                                         const std::uint64_t *b,
+                                         std::size_t bits,
+                                         std::size_t bound,
+                                         std::size_t *wordsRead);
+
 /** Reference scalar kernel (always available). */
 std::size_t scalarHamming(const std::uint64_t *a,
                           const std::uint64_t *b, std::size_t bits);
@@ -75,6 +110,28 @@ std::size_t unrolledHamming(const std::uint64_t *a,
  */
 std::size_t avx2Hamming(const std::uint64_t *a,
                         const std::uint64_t *b, std::size_t bits);
+
+/** Bounded reference scalar kernel (always available). */
+std::size_t scalarHammingBounded(const std::uint64_t *a,
+                                 const std::uint64_t *b,
+                                 std::size_t bits, std::size_t bound,
+                                 std::size_t *wordsRead);
+
+/** Bounded unrolled scalar kernel (always available). */
+std::size_t unrolledHammingBounded(const std::uint64_t *a,
+                                   const std::uint64_t *b,
+                                   std::size_t bits,
+                                   std::size_t bound,
+                                   std::size_t *wordsRead);
+
+/**
+ * Bounded AVX2 kernel. @pre kernelSupported(Kernel::Avx2); on hosts
+ * without AVX2 the symbol exists but delegates to the scalar form.
+ */
+std::size_t avx2HammingBounded(const std::uint64_t *a,
+                               const std::uint64_t *b,
+                               std::size_t bits, std::size_t bound,
+                               std::size_t *wordsRead);
 
 /** Canonical lower-case name of @p kernel ("auto", "scalar", ...). */
 const char *kernelName(Kernel kernel);
@@ -116,6 +173,12 @@ const char *activeKernelName();
 HammingFn active();
 
 /**
+ * The active kernel's bounded (early-abandon) function pointer;
+ * always the same implementation family as active().
+ */
+BoundedHammingFn activeBounded();
+
+/**
  * Hamming distance over the first @p bits components of @p a and
  * @p b through the active kernel.
  */
@@ -124,6 +187,18 @@ hamming(const std::uint64_t *a, const std::uint64_t *b,
         std::size_t bits)
 {
     return active()(a, b, bits);
+}
+
+/**
+ * Bound-exact early-abandon distance through the active kernel: the
+ * exact distance when it is below @p bound, kAbandoned otherwise.
+ */
+inline std::size_t
+hammingBounded(const std::uint64_t *a, const std::uint64_t *b,
+               std::size_t bits, std::size_t bound,
+               std::size_t *wordsRead)
+{
+    return activeBounded()(a, b, bits, bound, wordsRead);
 }
 
 } // namespace hdham::distance

@@ -175,6 +175,17 @@ struct QueryMetrics
      *  compression curve that per-bit sensitivity fell below half
      *  (d > dSat * (sqrt(2) - 1)). */
     Counter saturationEvents;
+    /** Pruned scans: rows rejected without a full-width distance
+     *  computation (early-abandoned by the bounded kernel or
+     *  filtered on their cascade prefix distance). */
+    Counter rowsPruned;
+    /** Pruned scans: words of full-width distance work those
+     *  rejections avoided. Kernel-dependent (strip placement);
+     *  exactly reproducible only under a pinned kernel. */
+    Counter wordsSkipped;
+    /** Pruned scans: rows that survived the cascade prefix filter
+     *  and entered the refine stage. */
+    Counter cascadeSurvivors;
     /** Wall time per searchBatch() call. */
     LatencyHistogram batchLatencyUs;
 };

@@ -1,13 +1,84 @@
 #include "core/packed_rows.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
 
 #include "core/distance.hh"
+#include "core/trace.hh"
 
 namespace hdham
 {
+
+namespace
+{
+
+/** Words a full-width pass over @p prefix bits reads per row. */
+inline std::size_t
+wordsFor(std::size_t prefix)
+{
+    return (prefix + Hypervector::bitsPerWord - 1) /
+           Hypervector::bitsPerWord;
+}
+
+/**
+ * Auto-mode pruning threshold. A row that loses to bound B abandons,
+ * in expectation, once its running count reaches B -- about
+ * B / (prefix / 2) of the way through a random far row -- so the
+ * fraction of the row skipped shrinks as B approaches prefix / 2.
+ * Below 7/16 x prefix the expected savings comfortably exceed the
+ * bounded kernel's strip-check overhead; above it (uniform random
+ * workloads, whose best hovers near prefix / 2) the exact kernel is
+ * the faster choice and pruning would only add overhead.
+ */
+inline std::size_t
+autoCutoff(std::size_t prefix)
+{
+    return prefix * 7 / 16;
+}
+
+/**
+ * Bounds at or below this use the bounded kernel; larger bounds use
+ * the exact kernel. PruneMode::On forces the bounded kernel for any
+ * attainable distance. @pre policy.prune != PruneMode::Off.
+ */
+inline std::size_t
+cutoffFor(const ScanPolicy &policy, std::size_t prefix)
+{
+    return policy.prune == PruneMode::On ? prefix + 1
+                                         : autoCutoff(prefix);
+}
+
+} // namespace
+
+const char *
+pruneModeName(PruneMode mode)
+{
+    switch (mode) {
+    case PruneMode::Auto:
+        return "auto";
+    case PruneMode::On:
+        return "on";
+    case PruneMode::Off:
+        return "off";
+    }
+    return "unknown";
+}
+
+bool
+parsePruneMode(const std::string &name, PruneMode *out)
+{
+    for (const PruneMode mode :
+         {PruneMode::Auto, PruneMode::On, PruneMode::Off}) {
+        if (name == pruneModeName(mode)) {
+            *out = mode;
+            return true;
+        }
+    }
+    return false;
+}
 
 PackedRows::PackedRows(std::size_t dim)
     : numBits(dim),
@@ -59,28 +130,351 @@ PackedRows::distances(const Hypervector &query, std::size_t prefix,
         out[row] = fn(rowData(row), q, prefix);
 }
 
+void
+PackedRows::stagePrefixDistances(
+    std::size_t row, const Hypervector &query,
+    const std::vector<std::size_t> &stageEnds,
+    std::vector<std::size_t> &out) const
+{
+    assert(row < numRows);
+    assert(query.dim() == numBits);
+    assert(stageEnds.empty() || stageEnds.back() <= numBits);
+    out.resize(stageEnds.size());
+    const std::uint64_t *a = rowData(row);
+    const std::uint64_t *q = query.data();
+    const distance::HammingFn fn = distance::active();
+    // One pass: full words accumulate into cum (through the
+    // dispatched kernel, one word-aligned span per stage); a stage
+    // boundary inside a word adds only the masked low bits of that
+    // word, and the next stage's cumulative count re-reads the whole
+    // boundary word, so the difference attributes the high bits
+    // correctly.
+    std::size_t w = 0;
+    std::size_t cum = 0;
+    std::size_t prev = 0;
+    for (std::size_t s = 0; s < stageEnds.size(); ++s) {
+        const std::size_t end = stageEnds[s];
+        assert(end >= (s == 0 ? 0 : stageEnds[s - 1]));
+        const std::size_t fullWords =
+            end / Hypervector::bitsPerWord;
+        if (w < fullWords) {
+            cum += fn(a + w, q + w,
+                      (fullWords - w) * Hypervector::bitsPerWord);
+            w = fullWords;
+        }
+        std::size_t cumAtEnd = cum;
+        const std::size_t rem = end % Hypervector::bitsPerWord;
+        if (rem != 0) {
+            const std::uint64_t mask = (1ULL << rem) - 1;
+            cumAtEnd += std::popcount(
+                (a[fullWords] ^ q[fullWords]) & mask);
+        }
+        out[s] = cumAtEnd - prev;
+        prev = cumAtEnd;
+    }
+}
+
 std::size_t
 PackedRows::nearest(const Hypervector &query, std::size_t prefix,
+                    std::size_t *bestDistance) const
+{
+    return nearest(query, prefix, ScanPolicy{}, nullptr, nullptr,
+                   bestDistance);
+}
+
+std::size_t
+PackedRows::nearest(const Hypervector &query, std::size_t prefix,
+                    const ScanPolicy &policy, ScanStats *stats,
+                    std::vector<std::size_t> *cascadeScratch,
                     std::size_t *bestDistance) const
 {
     if (numRows == 0)
         throw std::logic_error("PackedRows::nearest: empty store");
     assert(query.dim() == numBits);
     assert(prefix <= numBits);
-    const distance::HammingFn fn = distance::active();
     const std::uint64_t *q = query.data();
-    std::size_t best = std::numeric_limits<std::size_t>::max();
+    const distance::HammingFn fn = distance::active();
+
+    if (policy.prune == PruneMode::Off) {
+        std::size_t best = std::numeric_limits<std::size_t>::max();
+        std::size_t winner = 0;
+        for (std::size_t row = 0; row < numRows; ++row) {
+            const std::size_t d = fn(rowData(row), q, prefix);
+            if (d < best) {
+                best = d;
+                winner = row;
+            }
+        }
+        if (bestDistance != nullptr)
+            *bestDistance = best;
+        return winner;
+    }
+
+    if (policy.cascadePrefix > 0 && policy.cascadePrefix < prefix &&
+        numRows > 1) {
+        std::vector<std::size_t> local;
+        return nearestCascade(query, prefix, policy, stats,
+                              cascadeScratch != nullptr
+                                  ? *cascadeScratch
+                                  : local,
+                              bestDistance);
+    }
+
+    const distance::BoundedHammingFn bfn = distance::activeBounded();
+    const std::size_t rowSpan = wordsFor(prefix);
+    const std::size_t cutoff = cutoffFor(policy, prefix);
+    // One past any attainable distance, so the first row always
+    // produces an exact count and the strict-< update keeps the
+    // lowest-index tie rule of the exhaustive scan.
+    std::size_t best = prefix + 1;
     std::size_t winner = 0;
     for (std::size_t row = 0; row < numRows; ++row) {
-        const std::size_t d = fn(rowData(row), q, prefix);
-        if (d < best) {
+        if (best <= cutoff) {
+            std::size_t wordsRead = 0;
+            const std::size_t d =
+                bfn(rowData(row), q, prefix, best, &wordsRead);
+            if (d == distance::kAbandoned) {
+                if (stats != nullptr) {
+                    ++stats->rowsPruned;
+                    stats->wordsSkipped += rowSpan - wordsRead;
+                }
+                continue;
+            }
             best = d;
             winner = row;
+        } else {
+            const std::size_t d = fn(rowData(row), q, prefix);
+            if (d < best) {
+                best = d;
+                winner = row;
+            }
         }
     }
     if (bestDistance != nullptr)
         *bestDistance = best;
     return winner;
+}
+
+std::size_t
+PackedRows::nearestCascade(const Hypervector &query,
+                           std::size_t prefix,
+                           const ScanPolicy &policy, ScanStats *stats,
+                           std::vector<std::size_t> &prefixDist,
+                           std::size_t *bestDistance) const
+{
+    const std::uint64_t *q = query.data();
+    const distance::HammingFn fn = distance::active();
+    const distance::BoundedHammingFn bfn = distance::activeBounded();
+    const std::size_t rowSpan = wordsFor(prefix);
+    const std::size_t cascadeWords = wordsFor(policy.cascadePrefix);
+    const std::size_t cutoff = cutoffFor(policy, prefix);
+
+    std::size_t best;
+    std::size_t winner;
+    {
+        TRACE_SPAN("packed_rows.cascade");
+        distances(query, policy.cascadePrefix, prefixDist);
+        std::size_t cascadeWinner = 0;
+        std::size_t cascadeBest = prefixDist[0];
+        for (std::size_t row = 1; row < numRows; ++row) {
+            if (prefixDist[row] < cascadeBest) {
+                cascadeBest = prefixDist[row];
+                cascadeWinner = row;
+            }
+        }
+        // Seed one past the cascade winner's exact full distance B.
+        // B >= the true minimum, so the refine scan below still
+        // updates on the first row in index order attaining the
+        // final minimum -- the exhaustive argmin's tie rule. A row
+        // filtered on its prefix distance (a lower bound on its full
+        // distance) could at best tie a row already accepted earlier
+        // in index order, which it would lose anyway.
+        best = fn(rowData(cascadeWinner), q, prefix) + 1;
+        winner = cascadeWinner;
+    }
+
+    TRACE_SPAN("packed_rows.refine");
+    for (std::size_t row = 0; row < numRows; ++row) {
+        if (prefixDist[row] >= best) {
+            if (stats != nullptr) {
+                ++stats->rowsPruned;
+                stats->wordsSkipped += rowSpan - cascadeWords;
+            }
+            continue;
+        }
+        if (stats != nullptr)
+            ++stats->cascadeSurvivors;
+        if (best <= cutoff) {
+            std::size_t wordsRead = 0;
+            const std::size_t d =
+                bfn(rowData(row), q, prefix, best, &wordsRead);
+            if (d == distance::kAbandoned) {
+                if (stats != nullptr) {
+                    ++stats->rowsPruned;
+                    stats->wordsSkipped += rowSpan - wordsRead;
+                }
+                continue;
+            }
+            best = d;
+            winner = row;
+        } else {
+            const std::size_t d = fn(rowData(row), q, prefix);
+            if (d < best) {
+                best = d;
+                winner = row;
+            }
+        }
+    }
+    if (bestDistance != nullptr)
+        *bestDistance = best;
+    return winner;
+}
+
+std::size_t
+PackedRows::nearestTraced(const Hypervector &query,
+                          std::size_t prefix,
+                          std::vector<std::size_t> &scratch,
+                          const char *popcountSpan,
+                          const char *compareSpan,
+                          std::size_t *bestDistance) const
+{
+    if (numRows == 0)
+        throw std::logic_error("PackedRows::nearestTraced: empty "
+                               "store");
+    assert(query.dim() == numBits);
+    assert(prefix <= numBits);
+    {
+        TRACE_SPAN(popcountSpan);
+        distances(query, prefix, scratch);
+    }
+    TRACE_SPAN(compareSpan);
+    std::size_t winner = 0;
+    std::size_t best = scratch[0];
+    for (std::size_t id = 1; id < scratch.size(); ++id) {
+        if (scratch[id] < best) {
+            best = scratch[id];
+            winner = id;
+        }
+    }
+    if (bestDistance != nullptr)
+        *bestDistance = best;
+    return winner;
+}
+
+void
+PackedRows::topK(const Hypervector &query, std::size_t prefix,
+                 std::size_t k, const ScanPolicy &policy,
+                 ScanStats *stats, std::vector<RowMatch> &out) const
+{
+    out.clear();
+    if (numRows == 0)
+        throw std::logic_error("PackedRows::topK: empty store");
+    assert(query.dim() == numBits);
+    assert(prefix <= numBits);
+    if (k == 0)
+        return;
+    const std::size_t kk = std::min(k, numRows);
+    const std::uint64_t *q = query.data();
+    const distance::HammingFn fn = distance::active();
+    const distance::BoundedHammingFn bfn = distance::activeBounded();
+    const std::size_t rowSpan = wordsFor(prefix);
+    const bool prune = policy.prune != PruneMode::Off;
+    const std::size_t cutoff =
+        prune ? cutoffFor(policy, prefix) : 0;
+
+    // Worse-first ordering by (distance, index): the heap top is the
+    // running k-th best, i.e. the pruning bound once the heap fills.
+    // Rows are scanned in ascending index order, so a later row ties
+    // into the heap only with a strictly smaller distance -- the
+    // same lowest-index tie rule as nearest().
+    const auto worse = [](const RowMatch &a, const RowMatch &b) {
+        return a.distance != b.distance ? a.distance < b.distance
+                                        : a.index < b.index;
+    };
+
+    // Optional cascade: the exact full distances of the k best
+    // prefix-stage rows bound the final k-th best distance by their
+    // maximum B, so any row whose prefix (hence full) distance
+    // exceeds B is provably outside the top k. The ceiling B + 1
+    // keeps distance-B rows eligible, preserving ties exactly.
+    std::vector<std::size_t> prefixDist;
+    std::size_t ceiling = prefix + 1;
+    const bool cascade = prune && policy.cascadePrefix > 0 &&
+                         policy.cascadePrefix < prefix &&
+                         kk < numRows;
+    const std::size_t cascadeWords =
+        cascade ? wordsFor(policy.cascadePrefix) : 0;
+    if (cascade) {
+        TRACE_SPAN("packed_rows.cascade");
+        distances(query, policy.cascadePrefix, prefixDist);
+        std::vector<RowMatch> seeds;
+        seeds.reserve(kk);
+        for (std::size_t row = 0; row < numRows; ++row) {
+            if (seeds.size() < kk) {
+                seeds.push_back({row, prefixDist[row]});
+                std::push_heap(seeds.begin(), seeds.end(), worse);
+            } else if (prefixDist[row] < seeds.front().distance) {
+                std::pop_heap(seeds.begin(), seeds.end(), worse);
+                seeds.back() = {row, prefixDist[row]};
+                std::push_heap(seeds.begin(), seeds.end(), worse);
+            }
+        }
+        std::size_t maxSeed = 0;
+        for (const RowMatch &seed : seeds) {
+            maxSeed = std::max(
+                maxSeed, fn(rowData(seed.index), q, prefix));
+        }
+        ceiling = maxSeed + 1;
+    }
+
+    const auto scan = [&] {
+        for (std::size_t row = 0; row < numRows; ++row) {
+            const std::size_t bound =
+                out.size() < kk
+                    ? ceiling
+                    : std::min(ceiling, out.front().distance);
+            if (cascade && prefixDist[row] >= bound) {
+                if (stats != nullptr) {
+                    ++stats->rowsPruned;
+                    stats->wordsSkipped += rowSpan - cascadeWords;
+                }
+                continue;
+            }
+            if (cascade && stats != nullptr)
+                ++stats->cascadeSurvivors;
+            std::size_t d;
+            if (prune && bound <= cutoff) {
+                std::size_t wordsRead = 0;
+                d = bfn(rowData(row), q, prefix, bound, &wordsRead);
+                if (d == distance::kAbandoned) {
+                    if (stats != nullptr) {
+                        ++stats->rowsPruned;
+                        stats->wordsSkipped += rowSpan - wordsRead;
+                    }
+                    continue;
+                }
+            } else {
+                d = fn(rowData(row), q, prefix);
+                if (d >= bound)
+                    continue;
+            }
+            if (out.size() < kk) {
+                out.push_back({row, d});
+                std::push_heap(out.begin(), out.end(), worse);
+            } else {
+                std::pop_heap(out.begin(), out.end(), worse);
+                out.back() = {row, d};
+                std::push_heap(out.begin(), out.end(), worse);
+            }
+        }
+    };
+    if (cascade) {
+        TRACE_SPAN("packed_rows.refine");
+        scan();
+    } else {
+        scan();
+    }
+    std::sort_heap(out.begin(), out.end(), worse);
 }
 
 } // namespace hdham

@@ -7,11 +7,31 @@
  * whole words) -- the software analogue of the hardware CAM array's
  * dense layout -- and provides the scan primitives the D-HAM model
  * builds on (prefix distances for structured sampling, lowest-index
- * tie-breaking like the comparator tree). At the paper's scale
- * (C <= 100 rows of 1.25 kB) the BM_PackedRowsScan microbenchmark
- * measures parity with a scattered vector<Hypervector> scan: both
- * fit comfortably in L2, so the win here is the API and the layout
- * fidelity, not speed.
+ * tie-breaking like the comparator tree).
+ *
+ * Bound-pruned scans: nearest() and topK() accept a ScanPolicy that
+ * lets the scan reject rows without reading all of their words.
+ * Two mechanisms compose, both exact:
+ *
+ *  - Early abandonment: once a best-so-far (or k-th best) bound
+ *    exists, each row's distance runs through the bounded kernel
+ *    (distance::hammingBounded), which stops as soon as the running
+ *    popcount reaches the bound. Hamming counts only grow along the
+ *    row, so an abandoned row provably cannot beat the bound.
+ *  - Sampled-prefix cascade (ScanPolicy::cascadePrefix > 0): first
+ *    score every row on its leading cascadePrefix components -- the
+ *    paper's structured-sampling prefix -- then seed the bound from
+ *    the cascade winner's exact full distance and refine only the
+ *    rows whose prefix distance beats the running bound. A prefix
+ *    distance lower-bounds the full distance, so a filtered row
+ *    provably cannot win.
+ *
+ * Both paths preserve the exhaustive scan's result bit for bit:
+ * winner index, winner distance, and the lowest-index tie rule (see
+ * the notes on nearest() below for the tie argument). Pruning only
+ * changes how much work the scan does, which the ScanStats counters
+ * expose (rows_pruned / words_skipped / cascade_survivors in the
+ * hdham.metrics.v1 snapshot).
  */
 
 #ifndef HDHAM_CORE_PACKED_ROWS_HH
@@ -19,12 +39,86 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/hypervector.hh"
 
 namespace hdham
 {
+
+/** When a scan may use the early-abandon distance kernels. */
+enum class PruneMode
+{
+    /**
+     * Prune only while the running bound is tight enough that the
+     * expected word savings beat the bounded kernel's strip-check
+     * overhead (bound <= ~0.44 x prefix). Uniform random workloads
+     * -- whose best distance hovers near prefix/2 -- scan at full
+     * exact-kernel speed; skewed workloads prune aggressively.
+     */
+    Auto,
+    /** Always use the bounded kernel once a bound exists. */
+    On,
+    /** Exhaustive scan through the exact kernel (pre-prune path). */
+    Off,
+};
+
+/** Canonical lower-case name of @p mode ("auto", "on", "off"). */
+const char *pruneModeName(PruneMode mode);
+
+/**
+ * Parse a prune-mode name ("auto", "on", "off") into @p out;
+ * returns false (and leaves @p out alone) on anything else.
+ */
+bool parsePruneMode(const std::string &name, PruneMode *out);
+
+/** How nearest()/topK() may skip row words. */
+struct ScanPolicy
+{
+    PruneMode prune = PruneMode::Auto;
+    /**
+     * Cascade stage width in components; 0 disables the cascade.
+     * Values >= the scan prefix also disable it (the "prefix" stage
+     * would be the full scan). Need not be word-aligned.
+     */
+    std::size_t cascadePrefix = 0;
+};
+
+/**
+ * Work avoided by one pruned scan. rowsPruned and cascadeSurvivors
+ * depend only on the distance values, so they are identical across
+ * kernels and (summed per query) across thread counts; wordsSkipped
+ * depends on where the active kernel places its strip checks and is
+ * exactly reproducible only for a pinned kernel.
+ */
+struct ScanStats
+{
+    /** Rows rejected without computing a full distance (abandoned
+     *  by the bounded kernel or filtered by the cascade prefix). */
+    std::size_t rowsPruned = 0;
+    /** Words of full-width distance work those rejections avoided
+     *  (relative to an exhaustive pass at the scan prefix). */
+    std::size_t wordsSkipped = 0;
+    /** Rows that survived the cascade prefix filter and entered the
+     *  refine stage (0 when the cascade is disabled). */
+    std::size_t cascadeSurvivors = 0;
+
+    ScanStats &operator+=(const ScanStats &other)
+    {
+        rowsPruned += other.rowsPruned;
+        wordsSkipped += other.wordsSkipped;
+        cascadeSurvivors += other.cascadeSurvivors;
+        return *this;
+    }
+};
+
+/** One ranked row of a topK() scan. */
+struct RowMatch
+{
+    std::size_t index = 0;
+    std::size_t distance = 0;
+};
 
 /**
  * Dense row-major store of equal-dimensionality hypervectors.
@@ -69,19 +163,101 @@ class PackedRows
                    std::vector<std::size_t> &out) const;
 
     /**
+     * Per-stage partial distances of row @p row to @p query in one
+     * pass over the row: out[s] is the distance restricted to
+     * components [stageEnds[s-1], stageEnds[s]) (from 0 for s = 0).
+     * Stage boundaries need not be word-aligned; boundary words are
+     * split exactly with bit masks, so ragged stage widths (and
+     * ragged dimensions) produce the same counts as summing
+     * per-stage hammingPrefix differences.
+     * @pre stageEnds is non-decreasing and stageEnds.back() <= dim().
+     */
+    void stagePrefixDistances(std::size_t row,
+                              const Hypervector &query,
+                              const std::vector<std::size_t> &stageEnds,
+                              std::vector<std::size_t> &out) const;
+
+    /**
      * Index of the row with the minimum distance to @p query over
      * the first @p prefix components; ties resolve to the lowest
-     * index. @pre rows() > 0.
+     * index. Scans under the default ScanPolicy (Auto pruning, no
+     * cascade). @pre rows() > 0.
      */
     std::size_t nearest(const Hypervector &query,
                         std::size_t prefix,
                         std::size_t *bestDistance = nullptr) const;
+
+    /**
+     * nearest() under an explicit ScanPolicy, accumulating pruning
+     * counters into @p stats (may be null).
+     *
+     * Exactness: the winner, its distance and the lowest-index tie
+     * rule match the exhaustive scan bit for bit. The early-abandon
+     * path preserves them because the bounded kernel is bound-exact
+     * (it returns the true distance whenever it is strictly below
+     * the bound) and the bound is only ever a previously seen exact
+     * distance, so the scan still selects the first row in index
+     * order that attains the final minimum. The cascade preserves
+     * them because the bound is seeded at B + 1 (B = the cascade
+     * winner's exact full distance >= the true minimum): a row is
+     * filtered only when its prefix distance -- a lower bound on its
+     * full distance -- already reaches the running bound, which
+     * means it could at best tie a row that appears earlier in index
+     * order and would lose that tie anyway.
+     *
+     * @p cascadeScratch, when non-null, is reused for the cascade's
+     * per-row prefix distances so batched callers avoid a per-query
+     * allocation (ignored when the cascade is disabled).
+     */
+    std::size_t nearest(const Hypervector &query, std::size_t prefix,
+                        const ScanPolicy &policy, ScanStats *stats,
+                        std::vector<std::size_t> *cascadeScratch,
+                        std::size_t *bestDistance = nullptr) const;
+
+    /**
+     * Traced equivalent of nearest(), split into the two phases the
+     * digital hardware pipelines separately -- the XOR+popcount pass
+     * over every row (span @p popcountSpan), then the comparator-tree
+     * argmin (span @p compareSpan). The split pass is exhaustive by
+     * design: its spans measure the full array scan the hardware
+     * performs, so it never prunes; results remain bit-identical to
+     * every other path. @p scratch avoids a per-query allocation.
+     * @pre rows() > 0.
+     */
+    std::size_t nearestTraced(const Hypervector &query,
+                              std::size_t prefix,
+                              std::vector<std::size_t> &scratch,
+                              const char *popcountSpan,
+                              const char *compareSpan,
+                              std::size_t *bestDistance = nullptr) const;
+
+    /**
+     * The @p k rows nearest to @p query over the first @p prefix
+     * components, written to @p out sorted by ascending (distance,
+     * index) -- the same tie rule as nearest(). Returns all rows
+     * when k >= rows(). Maintains the k-th-best distance as the
+     * pruning bound; with a cascade, the bound is pre-seeded from
+     * the exact distances of the k best prefix-stage rows, which can
+     * only be >= the final k-th best, so no true top-k row is ever
+     * filtered. @pre rows() > 0.
+     */
+    void topK(const Hypervector &query, std::size_t prefix,
+              std::size_t k, const ScanPolicy &policy,
+              ScanStats *stats, std::vector<RowMatch> &out) const;
 
   private:
     const std::uint64_t *rowData(std::size_t row) const
     {
         return words.data() + row * rowWords;
     }
+
+    /** Cascade-path nearest (policy.cascadePrefix validated). */
+    std::size_t nearestCascade(const Hypervector &query,
+                               std::size_t prefix,
+                               const ScanPolicy &policy,
+                               ScanStats *stats,
+                               std::vector<std::size_t> &prefixDist,
+                               std::size_t *bestDistance) const;
 
     std::size_t numBits;
     std::size_t rowWords;

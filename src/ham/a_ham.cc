@@ -1,5 +1,6 @@
 #include "ham/a_ham.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -13,7 +14,8 @@ AHam::AHam(const AHamConfig &config)
     : cfg(config),
       summer(cfg.current, cfg.mirrorBeta,
              (cfg.dim + cfg.effectiveStages() - 1) /
-                 cfg.effectiveStages())
+                 cfg.effectiveStages()),
+      rows(config.dim == 0 ? 1 : config.dim)
 {
     if (cfg.dim == 0)
         throw std::invalid_argument("AHam: zero dimension");
@@ -22,6 +24,12 @@ AHam::AHam(const AHamConfig &config)
     if (cfg.effectiveBits() == 0 || cfg.effectiveBits() >= 32)
         throw std::invalid_argument("AHam: unsupported LTA bit "
                                     "width");
+    const std::size_t stages = cfg.effectiveStages();
+    const std::size_t stageWidth = (cfg.dim + stages - 1) / stages;
+    stageEnds.reserve(stages);
+    for (std::size_t s = 0; s < stages; ++s)
+        stageEnds.push_back(
+            std::min((s + 1) * stageWidth, cfg.dim));
 }
 
 std::size_t
@@ -29,8 +37,7 @@ AHam::store(const Hypervector &hv)
 {
     if (hv.dim() != cfg.dim)
         throw std::invalid_argument("AHam::store: dimension mismatch");
-    rows.push_back(hv);
-    return rows.size() - 1;
+    return rows.append(hv);
 }
 
 HamResult
@@ -49,21 +56,16 @@ AHam::searchIndexed(const Hypervector &query,
         cfg.current.dSat * 0.41421356237309515);
 
     // Per-row total current: staged partial distances summed through
-    // the mirror chain.
-    std::vector<double> currents(rows.size());
+    // the mirror chain. One pass per row resolves every (possibly
+    // ragged) stage boundary; the noise stream still consumes one
+    // draw per row in row order, so results are unchanged.
+    std::vector<double> currents(rows.rows());
     std::vector<std::size_t> stageDist(stages);
     {
         TRACE_SPAN("a_ham.stage_sum");
-        for (std::size_t id = 0; id < rows.size(); ++id) {
-            std::size_t prev = 0;
-            for (std::size_t s = 0; s < stages; ++s) {
-                const std::size_t end =
-                    std::min((s + 1) * stageWidth, cfg.dim);
-                const std::size_t upto =
-                    rows[id].hammingPrefix(query, end);
-                stageDist[s] = upto - prev;
-                prev = upto;
-            }
+        for (std::size_t id = 0; id < rows.rows(); ++id) {
+            rows.stagePrefixDistances(id, query, stageEnds,
+                                      stageDist);
             if (tally) {
                 for (const std::size_t d : stageDist)
                     if (d > saturationOnset)
@@ -85,14 +87,14 @@ AHam::searchIndexed(const Hypervector &query,
     HamResult result;
     result.classId = tree.winner(currents, rng);
     result.reportedDistance =
-        rows[result.classId].hamming(query);
+        rows.distance(result.classId, query, cfg.dim);
     return result;
 }
 
 HamResult
 AHam::search(const Hypervector &query)
 {
-    if (rows.empty())
+    if (rows.rows() == 0)
         throw std::logic_error("AHam::search: no stored classes");
     if (!sink)
         return searchIndexed(query, nextQueryIndex++);
@@ -100,9 +102,9 @@ AHam::search(const Hypervector &query)
     const HamResult result =
         searchIndexed(query, nextQueryIndex++, &tally);
     sink->queries.add(1);
-    sink->rowsScanned.add(rows.size());
+    sink->rowsScanned.add(rows.rows());
     sink->stagesRun.add(cfg.effectiveStages());
-    sink->ltaComparisons.add(rows.size() - 1);
+    sink->ltaComparisons.add(rows.rows() - 1);
     sink->saturationEvents.add(tally.saturationEvents);
     return result;
 }
@@ -111,7 +113,7 @@ std::vector<HamResult>
 AHam::searchBatch(const std::vector<Hypervector> &queries,
                   std::size_t threads)
 {
-    batch::requireStored(rows.size(), "AHam");
+    batch::requireStored(rows.rows(), "AHam");
     const std::uint64_t first = nextQueryIndex;
     nextQueryIndex += queries.size();
     return batch::run<HamResult>(
@@ -125,9 +127,9 @@ AHam::searchBatch(const std::vector<Hypervector> &queries,
             std::size_t end) {
             const std::uint64_t n = end - begin;
             sink->queries.add(n);
-            sink->rowsScanned.add(n * rows.size());
+            sink->rowsScanned.add(n * rows.rows());
             sink->stagesRun.add(n * cfg.effectiveStages());
-            sink->ltaComparisons.add(n * (rows.size() - 1));
+            sink->ltaComparisons.add(n * (rows.rows() - 1));
             sink->saturationEvents.add(tally.saturationEvents);
         });
 }

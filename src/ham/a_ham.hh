@@ -29,6 +29,7 @@
 
 #include "circuit/lta.hh"
 #include "circuit/variation.hh"
+#include "core/packed_rows.hh"
 #include "core/random.hh"
 #include "ham/ham.hh"
 
@@ -78,7 +79,7 @@ class AHam : public Ham
 
     std::string name() const override { return "A-HAM"; }
     std::size_t dim() const override { return cfg.dim; }
-    std::size_t size() const override { return rows.size(); }
+    std::size_t size() const override { return rows.rows(); }
     std::size_t store(const Hypervector &hv) override;
     HamResult search(const Hypervector &query) override;
 
@@ -122,7 +123,21 @@ class AHam : public Ham
 
     AHamConfig cfg;
     circuit::MultistageCurrentSum summer;
-    std::vector<Hypervector> rows;
+    /**
+     * Dense row store (the TCAM crossbar analogue). A-HAM cannot
+     * early-abandon individual rows the way the software memory
+     * does: every row's summed current feeds the LTA comparator
+     * tree, and the mirror/comparator noise stream consumes one draw
+     * per row in row order, so skipping a row would change both the
+     * comparison set and the random stream. The win here is the
+     * one-pass staged distance sweep (stagePrefixDistances): the
+     * stage boundaries -- ragged or not -- are resolved in a single
+     * pass over each row instead of one cumulative prefix pass per
+     * stage.
+     */
+    PackedRows rows;
+    /** Stage boundary bits: stageEnds[s] = min((s+1) * W, D). */
+    std::vector<std::size_t> stageEnds;
     /** Lifetime query counter selecting the per-query substream. */
     std::uint64_t nextQueryIndex = 0;
 };

@@ -10,42 +10,6 @@
 namespace hdham::ham
 {
 
-namespace
-{
-
-/**
- * Traced equivalent of PackedRows::nearest, split into the two
- * phases the hardware pipelines separately: the sampled XOR+popcount
- * pass over every row, then the comparator-tree argmin. Ties resolve
- * to the lowest row index (strict <), so the winner and distance are
- * bit-identical to the fused scan. @p scratch avoids a per-query
- * allocation.
- */
-std::size_t
-nearestTraced(const PackedRows &rows, const Hypervector &query,
-              std::size_t prefix, std::size_t *bestDistance,
-              std::vector<std::size_t> &scratch)
-{
-    {
-        TRACE_SPAN("d_ham.popcount");
-        rows.distances(query, prefix, scratch);
-    }
-    TRACE_SPAN("d_ham.compare");
-    std::size_t winner = 0;
-    std::size_t best = scratch[0];
-    for (std::size_t id = 1; id < scratch.size(); ++id) {
-        if (scratch[id] < best) {
-            best = scratch[id];
-            winner = id;
-        }
-    }
-    if (bestDistance)
-        *bestDistance = best;
-    return winner;
-}
-
-} // namespace
-
 DHam::DHam(const DHamConfig &config)
     : cfg(config), rows(config.dim == 0 ? 1 : config.dim)
 {
@@ -75,20 +39,25 @@ DHam::search(const Hypervector &query)
     // which is exactly PackedRows::nearest's tie rule.
     TRACE_SPAN("d_ham.search");
     HamResult result;
+    ScanStats stats;
     if (trace::enabled()) {
         std::vector<std::size_t> scratch;
-        result.classId =
-            nearestTraced(rows, query, cfg.effectiveDim(),
-                          &result.reportedDistance, scratch);
+        result.classId = rows.nearestTraced(
+            query, cfg.effectiveDim(), scratch, "d_ham.popcount",
+            "d_ham.compare", &result.reportedDistance);
     } else {
         result.classId =
-            rows.nearest(query, cfg.effectiveDim(),
+            rows.nearest(query, cfg.effectiveDim(), policy,
+                         sink ? &stats : nullptr, nullptr,
                          &result.reportedDistance);
     }
     if (sink) {
         sink->queries.add(1);
         sink->rowsScanned.add(rows.rows());
         sink->bitsSampled.add(cfg.effectiveDim());
+        sink->rowsPruned.add(stats.rowsPruned);
+        sink->wordsSkipped.add(stats.wordsSkipped);
+        sink->cascadeSurvivors.add(stats.cascadeSurvivors);
     }
     return result;
 }
@@ -101,34 +70,43 @@ DHam::searchBatch(const std::vector<Hypervector> &queries,
     const std::size_t prefix = cfg.effectiveDim();
 
     /** Per-chunk state: the traced path reuses one scratch vector
-     *  for its split popcount/compare phases. */
+     *  for its split popcount/compare phases; the fused path reuses
+     *  it for the cascade's prefix distances and tallies pruning. */
     struct Chunk
     {
         bool traced;
+        ScanStats stats;
         std::vector<std::size_t> scratch;
     };
     return batch::run<HamResult>(
         {"d_ham.batch", "d_ham.chunk"}, queries.size(), threads,
-        sink, [] { return Chunk{trace::enabled(), {}}; },
+        sink, [] { return Chunk{trace::enabled(), {}, {}}; },
         [&](std::size_t q, Chunk &chunk) {
             assert(queries[q].dim() == cfg.dim);
             HamResult result;
             if (chunk.traced) {
-                result.classId = nearestTraced(
-                    rows, queries[q], prefix,
-                    &result.reportedDistance, chunk.scratch);
+                result.classId = rows.nearestTraced(
+                    queries[q], prefix, chunk.scratch,
+                    "d_ham.popcount", "d_ham.compare",
+                    &result.reportedDistance);
             } else {
-                result.classId =
-                    rows.nearest(queries[q], prefix,
-                                 &result.reportedDistance);
+                result.classId = rows.nearest(
+                    queries[q], prefix, policy,
+                    sink ? &chunk.stats : nullptr, &chunk.scratch,
+                    &result.reportedDistance);
             }
             return result;
         },
-        [&](const Chunk &, std::size_t begin, std::size_t end) {
+        [&](const Chunk &chunk, std::size_t begin,
+            std::size_t end) {
             const std::size_t n = end - begin;
             sink->queries.add(n);
             sink->rowsScanned.add(n * rows.rows());
             sink->bitsSampled.add(n * prefix);
+            sink->rowsPruned.add(chunk.stats.rowsPruned);
+            sink->wordsSkipped.add(chunk.stats.wordsSkipped);
+            sink->cascadeSurvivors.add(
+                chunk.stats.cascadeSurvivors);
         });
 }
 

@@ -70,10 +70,24 @@ class DHam : public Ham
 
     const DHamConfig &config() const { return cfg; }
 
+    /**
+     * Set the scan policy (bound pruning / sampled-prefix cascade;
+     * see PackedRows). Results stay bit-identical under every
+     * policy; only the amount of scan work changes. The traced
+     * search path always runs the exhaustive split scan -- its spans
+     * measure the full array pass the hardware performs.
+     */
+    void setScanPolicy(const ScanPolicy &p) override { policy = p; }
+
+    /** The active scan policy. */
+    const ScanPolicy &scanPolicy() const { return policy; }
+
   private:
     DHamConfig cfg;
     /** Dense row store: the software analogue of the CAM array. */
     PackedRows rows;
+    /** How the fused (untraced) scan may skip row words. */
+    ScanPolicy policy;
 };
 
 } // namespace hdham::ham

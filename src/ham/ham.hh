@@ -104,6 +104,18 @@ class Ham
     /** The attached metrics sink, or nullptr. */
     metrics::QueryMetrics *metricsSink() const { return sink; }
 
+    /**
+     * Set the scan policy (bound pruning / sampled-prefix cascade;
+     * see PackedRows) for designs whose distance computation is a
+     * sequential, deterministic word scan. Only D-HAM overrides
+     * this: R-HAM senses every active block of a row concurrently
+     * and draws stochastic per-row noise in row order, and A-HAM
+     * feeds every row's current into the LTA tree, so neither can
+     * skip rows or words without changing its modeled behavior (see
+     * r_ham.hh / a_ham.hh). The default ignores the policy.
+     */
+    virtual void setScanPolicy(const ScanPolicy &) {}
+
   protected:
     /** Optional observability sink; never owned. */
     metrics::QueryMetrics *sink = nullptr;

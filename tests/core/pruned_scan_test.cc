@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Bit-identity suite for the bound-pruned scan paths.
+ *
+ * Every policy (early abandonment forced on, the Auto cutoff, the
+ * sampled-prefix cascade, and their combination in topK) must return
+ * the same winner index AND the same distance as the exhaustive
+ * scan, under every distance kernel this host supports and including
+ * the adversarial cases pruning gets wrong when its bound handling
+ * is off by one: exact ties and rows that are all identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/distance.hh"
+#include "core/packed_rows.hh"
+#include "core/random.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::PackedRows;
+using hdham::PruneMode;
+using hdham::RowMatch;
+using hdham::Rng;
+using hdham::ScanPolicy;
+using hdham::ScanStats;
+namespace distance = hdham::distance;
+
+/** Kernels this host can run, always ending back at Auto. */
+std::vector<distance::Kernel>
+testableKernels()
+{
+    std::vector<distance::Kernel> kernels = {
+        distance::Kernel::Scalar, distance::Kernel::Unrolled};
+    if (distance::kernelSupported(distance::Kernel::Avx2))
+        kernels.push_back(distance::Kernel::Avx2);
+    return kernels;
+}
+
+/** RAII: restore automatic kernel dispatch after a pinned section. */
+struct KernelGuard
+{
+    ~KernelGuard() { distance::setKernel(distance::Kernel::Auto); }
+};
+
+/** The policies under test: every pruning mechanism switched on. */
+std::vector<ScanPolicy>
+prunedPolicies(std::size_t dim)
+{
+    return {
+        ScanPolicy{PruneMode::On, 0},
+        ScanPolicy{PruneMode::Auto, 0},
+        ScanPolicy{PruneMode::On, dim / 8},
+        ScanPolicy{PruneMode::Auto, dim / 8},
+        // Degenerate cascade widths must silently disable the
+        // cascade, not corrupt the scan.
+        ScanPolicy{PruneMode::Auto, dim},
+        ScanPolicy{PruneMode::Auto, dim + 1},
+    };
+}
+
+/**
+ * A workload where pruning actually engages: most queries sit close
+ * to one stored row (prototype with ~5% of bits flipped), a few are
+ * uniform random, and two pairs of rows are exact duplicates so the
+ * lowest-index tie rule is exercised.
+ */
+struct Workload
+{
+    PackedRows rows;
+    std::vector<Hypervector> queries;
+
+    explicit Workload(std::size_t dim, std::size_t numRows,
+                      std::uint64_t seed)
+        : rows(dim)
+    {
+        Rng rng(seed);
+        std::vector<Hypervector> stored;
+        for (std::size_t r = 0; r < numRows; ++r) {
+            if (r >= 2 && r % 5 == 0) {
+                stored.push_back(stored[r - 2]); // exact duplicate
+            } else {
+                stored.push_back(Hypervector::random(dim, rng));
+            }
+            rows.append(stored.back());
+        }
+        for (std::size_t q = 0; q < 2 * numRows; ++q) {
+            if (q % 4 == 3) {
+                queries.push_back(Hypervector::random(dim, rng));
+            } else {
+                Hypervector hv = stored[q % numRows];
+                hv.injectErrors(dim / 20, rng);
+                queries.push_back(std::move(hv));
+            }
+        }
+    }
+};
+
+/** Exhaustive oracle: winner and distance with pruning off. */
+RowMatch
+exhaustiveNearest(const PackedRows &rows, const Hypervector &query,
+                  std::size_t prefix)
+{
+    RowMatch m;
+    m.index = rows.nearest(query, prefix,
+                           ScanPolicy{PruneMode::Off, 0}, nullptr,
+                           nullptr, &m.distance);
+    return m;
+}
+
+TEST(PrunedScanTest, MatchesExhaustiveAcrossKernelsAndPolicies)
+{
+    KernelGuard guard;
+    for (std::size_t dim : {512u, 1000u, 10007u}) {
+        const Workload w(dim, 24, 0xBEEF + dim);
+        for (const distance::Kernel kernel : testableKernels()) {
+            distance::setKernel(kernel);
+            for (const Hypervector &query : w.queries) {
+                const RowMatch want =
+                    exhaustiveNearest(w.rows, query, dim);
+                for (const ScanPolicy &policy :
+                     prunedPolicies(dim)) {
+                    ScanStats stats;
+                    std::size_t got = 0;
+                    const std::size_t winner = w.rows.nearest(
+                        query, dim, policy, &stats, nullptr, &got);
+                    EXPECT_EQ(winner, want.index)
+                        << "dim " << dim << " kernel "
+                        << distance::kernelName(kernel)
+                        << " cascade " << policy.cascadePrefix;
+                    EXPECT_EQ(got, want.distance)
+                        << "dim " << dim << " kernel "
+                        << distance::kernelName(kernel)
+                        << " cascade " << policy.cascadePrefix;
+                }
+            }
+        }
+    }
+}
+
+TEST(PrunedScanTest, RaggedPrefixMatchesExhaustive)
+{
+    // Scan prefixes that end inside a word, on a dimension that is
+    // itself not word-aligned.
+    KernelGuard guard;
+    const std::size_t dim = 1027;
+    const Workload w(dim, 16, 0xFEED);
+    for (const distance::Kernel kernel : testableKernels()) {
+        distance::setKernel(kernel);
+        for (std::size_t prefix : {63u, 65u, 500u, 1000u, 1027u}) {
+            for (const Hypervector &query : w.queries) {
+                const RowMatch want =
+                    exhaustiveNearest(w.rows, query, prefix);
+                for (const ScanPolicy &policy :
+                     prunedPolicies(prefix)) {
+                    std::size_t got = 0;
+                    const std::size_t winner = w.rows.nearest(
+                        query, prefix, policy, nullptr, nullptr,
+                        &got);
+                    EXPECT_EQ(winner, want.index)
+                        << "prefix " << prefix;
+                    EXPECT_EQ(got, want.distance)
+                        << "prefix " << prefix;
+                }
+            }
+        }
+    }
+}
+
+TEST(PrunedScanTest, AllRowsIdenticalPicksRowZero)
+{
+    // Adversarial: every row ties, so every policy must fall back to
+    // the lowest index without pruning away the winner.
+    Rng rng(7);
+    const std::size_t dim = 640;
+    PackedRows rows(dim);
+    const Hypervector proto = Hypervector::random(dim, rng);
+    for (std::size_t r = 0; r < 12; ++r)
+        rows.append(proto);
+    for (int near = 0; near < 2; ++near) {
+        Hypervector query = proto;
+        if (near)
+            query.injectErrors(dim / 10, rng);
+        const RowMatch want = exhaustiveNearest(rows, query, dim);
+        EXPECT_EQ(want.index, 0u);
+        for (const ScanPolicy &policy : prunedPolicies(dim)) {
+            std::size_t got = 0;
+            EXPECT_EQ(rows.nearest(query, dim, policy, nullptr,
+                                   nullptr, &got),
+                      0u);
+            EXPECT_EQ(got, want.distance);
+        }
+    }
+}
+
+TEST(PrunedScanTest, TopKMatchesSortOracle)
+{
+    KernelGuard guard;
+    const std::size_t dim = 1000;
+    const Workload w(dim, 20, 0xCAFE);
+    for (const distance::Kernel kernel : testableKernels()) {
+        distance::setKernel(kernel);
+        for (const Hypervector &query : w.queries) {
+            // Sort-based oracle: all distances, ascending
+            // (distance, index).
+            std::vector<RowMatch> oracle;
+            for (std::size_t r = 0; r < w.rows.rows(); ++r)
+                oracle.push_back(
+                    {r, w.rows.distance(r, query, dim)});
+            std::stable_sort(
+                oracle.begin(), oracle.end(),
+                [](const RowMatch &a, const RowMatch &b) {
+                    return a.distance != b.distance
+                               ? a.distance < b.distance
+                               : a.index < b.index;
+                });
+            for (std::size_t k : {1u, 3u, 7u, 20u, 99u}) {
+                const std::size_t kk =
+                    std::min<std::size_t>(k, w.rows.rows());
+                for (const ScanPolicy &policy :
+                     prunedPolicies(dim)) {
+                    std::vector<RowMatch> got;
+                    w.rows.topK(query, dim, k, policy, nullptr,
+                                got);
+                    ASSERT_EQ(got.size(), kk);
+                    for (std::size_t i = 0; i < kk; ++i) {
+                        EXPECT_EQ(got[i].index, oracle[i].index)
+                            << "k " << k << " rank " << i;
+                        EXPECT_EQ(got[i].distance,
+                                  oracle[i].distance)
+                            << "k " << k << " rank " << i;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(PrunedScanTest, StatsCountPrunedRowsOnSkewedWorkload)
+{
+    // A query equal to a stored row forces the bound to its minimum
+    // immediately after that row; with the matching row first, every
+    // later row must abandon under forced pruning.
+    Rng rng(9);
+    const std::size_t dim = 10000;
+    PackedRows rows(dim);
+    const Hypervector proto = Hypervector::random(dim, rng);
+    rows.append(proto);
+    for (std::size_t r = 1; r < 16; ++r)
+        rows.append(Hypervector::random(dim, rng));
+
+    ScanStats on;
+    rows.nearest(proto, dim, ScanPolicy{PruneMode::On, 0}, &on,
+                 nullptr);
+    EXPECT_EQ(on.rowsPruned, rows.rows() - 1);
+    EXPECT_GT(on.wordsSkipped, 0u);
+    EXPECT_EQ(on.cascadeSurvivors, 0u);
+
+    ScanStats off;
+    rows.nearest(proto, dim, ScanPolicy{PruneMode::Off, 0}, &off,
+                 nullptr);
+    EXPECT_EQ(off.rowsPruned, 0u);
+    EXPECT_EQ(off.wordsSkipped, 0u);
+    EXPECT_EQ(off.cascadeSurvivors, 0u);
+
+    ScanStats cascade;
+    rows.nearest(proto, dim, ScanPolicy{PruneMode::Auto, 512},
+                 &cascade, nullptr);
+    EXPECT_EQ(cascade.rowsPruned, rows.rows() - 1);
+    EXPECT_GT(cascade.wordsSkipped, 0u);
+}
+
+TEST(PrunedScanTest, PrunedCountersAreKernelInvariant)
+{
+    // rowsPruned and cascadeSurvivors depend only on distance
+    // values, never on kernel strip placement; pin that contract.
+    // (wordsSkipped is allowed to differ across kernels.)
+    KernelGuard guard;
+    const std::size_t dim = 2048;
+    const Workload w(dim, 16, 0xD15C);
+    for (const ScanPolicy &policy :
+         {ScanPolicy{PruneMode::On, 0},
+          ScanPolicy{PruneMode::Auto, 256}}) {
+        for (const Hypervector &query : w.queries) {
+            distance::setKernel(distance::Kernel::Scalar);
+            ScanStats scalar;
+            w.rows.nearest(query, dim, policy, &scalar, nullptr);
+            for (const distance::Kernel kernel :
+                 testableKernels()) {
+                distance::setKernel(kernel);
+                ScanStats stats;
+                w.rows.nearest(query, dim, policy, &stats, nullptr);
+                EXPECT_EQ(stats.rowsPruned, scalar.rowsPruned)
+                    << distance::kernelName(kernel);
+                EXPECT_EQ(stats.cascadeSurvivors,
+                          scalar.cascadeSurvivors)
+                    << distance::kernelName(kernel);
+            }
+        }
+    }
+}
+
+TEST(PrunedScanTest, BoundedKernelsAreBoundExact)
+{
+    // The kernel contract behind every exactness argument: the
+    // bounded form returns the exact distance iff it is strictly
+    // below the bound, and the sentinel otherwise -- never a
+    // partial count.
+    Rng rng(11);
+    for (std::size_t dim : {64u, 500u, 1027u, 4096u}) {
+        const Hypervector a = Hypervector::random(dim, rng);
+        Hypervector b = a;
+        b.injectErrors(dim / 7 + 1, rng);
+        const std::size_t exact =
+            distance::hamming(a.data(), b.data(), dim);
+        for (const auto bounded :
+             {&distance::scalarHammingBounded,
+              &distance::unrolledHammingBounded,
+              &distance::avx2HammingBounded}) {
+            for (const std::size_t bound :
+                 {std::size_t{1}, exact, exact + 1, dim + 1}) {
+                std::size_t wordsRead = 0;
+                const std::size_t got = bounded(
+                    a.data(), b.data(), dim, bound, &wordsRead);
+                if (exact < bound)
+                    EXPECT_EQ(got, exact) << "dim " << dim;
+                else
+                    EXPECT_EQ(got, distance::kAbandoned)
+                        << "dim " << dim << " bound " << bound;
+                EXPECT_LE(wordsRead, a.words());
+            }
+        }
+    }
+}
+
+} // namespace

@@ -72,6 +72,9 @@ struct SuiteResult
     /** Hamming kernel the batch suite ran with (from its metrics
      *  snapshot); empty when the snapshot predates kernel info. */
     std::string kernel;
+    /** Rows the cascade benchmark pruned (am_cascade.rows_pruned);
+     *  -1 when the snapshot has no such counter. */
+    double cascadeRowsPruned = -1.0;
 };
 
 int
@@ -189,6 +192,11 @@ collectLatency(const std::string &jsonText, SuiteResult &result)
     if (const Value *info = doc.find("info")) {
         if (const Value *kernel = info->find("kernel"))
             result.kernel = kernel->asString();
+    }
+    if (const Value *counters = doc.find("counters")) {
+        if (const Value *pruned =
+                counters->find("am_cascade.rows_pruned"))
+            result.cascadeRowsPruned = pruned->asNumber();
     }
     const Value *histograms = doc.find("histograms");
     if (!histograms)
@@ -388,6 +396,21 @@ main(int argc, char **argv)
     try {
         const SuiteResult current =
             runSuite(batchBench, microBench, filter, skipMicro);
+
+        // Sanity-gate the pruned path itself: if the cascade
+        // benchmark ran but pruned nothing, the bound-pruned scan
+        // has been silently disabled -- that must fail loudly, not
+        // show up as a merely-tolerated throughput drop.
+        bool cascadeRan = false;
+        for (const auto &[name, qps] : current.throughput)
+            if (name.rfind("BM_CascadeScan", 0) == 0)
+                cascadeRan = true;
+        if (cascadeRan && current.cascadeRowsPruned == 0.0) {
+            throw std::runtime_error(
+                "bench_gate: BM_CascadeScan ran but "
+                "am_cascade.rows_pruned == 0 -- the bound-pruned "
+                "scan path is not pruning");
+        }
 
         if (update) {
             std::ofstream out(baselinePath);

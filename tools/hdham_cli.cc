@@ -8,9 +8,13 @@
  *            train the 21-language classifier on the synthetic
  *            corpus and persist the learned hypervectors
  *   classify --model PATH [--design dham|rham|aham] [--threads N]
- *            [--batch N] [--stats-json PATH] [--trace PATH] TEXT...
+ *            [--batch N] [--prune auto|on|off]
+ *            [--cascade-prefix BITS] [--stats-json PATH]
+ *            [--trace PATH] TEXT...
  *            classify text samples with the chosen HAM design,
- *            batching queries through searchBatch()
+ *            batching queries through searchBatch(); --prune /
+ *            --cascade-prefix select the bound-pruned scan (exact;
+ *            reported in the metrics "info" map next to "kernel")
  *
  * --stats-json dumps a query-path observability snapshot (the
  * hdham.metrics.v1 schema of core/metrics.hh): per-design counters
@@ -69,10 +73,19 @@ usage()
         "[--stats-json PATH] [--trace PATH]\n"
         "  hdham classify --model PATH [--design dham|rham|aham] "
         "[--threads N] [--batch N] [--kernel K] "
+        "[--prune auto|on|off] [--cascade-prefix BITS] "
         "[--stats-json PATH] [--trace PATH] TEXT...\n"
         "  hdham info --model PATH\n"
         "  hdham cost [--dim N] [--classes N]\n"
         "\n"
+        "  --prune M         bound-pruned scan mode for prunable "
+        "designs (dham): auto (default; prune when the\n"
+        "                    bound is tight), on, off -- results are "
+        "bit-identical in every mode\n"
+        "  --cascade-prefix BITS\n"
+        "                    score rows on the first BITS components "
+        "first, then refine survivors (0 = off);\n"
+        "                    exact for any value\n"
         "  --threads N       scan workers for batched search (0 = "
         "all hardware threads; default 1)\n"
         "  --batch N         queries per searchBatch() call (0 = "
@@ -89,16 +102,23 @@ usage()
     return 2;
 }
 
-/** Pull `--flag value` out of the argument list. */
+/** Pull `--flag value` or `--flag=value` out of the argument list. */
 std::string
 option(std::vector<std::string> &args, const std::string &flag,
        const std::string &fallback)
 {
-    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-        if (args[i] == flag) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == flag && i + 1 < args.size()) {
             const std::string value = args[i + 1];
             args.erase(args.begin() + static_cast<long>(i),
                        args.begin() + static_cast<long>(i) + 2);
+            return value;
+        }
+        if (args[i].size() > flag.size() + 1 &&
+            args[i].compare(0, flag.size(), flag) == 0 &&
+            args[i][flag.size()] == '=') {
+            const std::string value = args[i].substr(flag.size() + 1);
+            args.erase(args.begin() + static_cast<long>(i));
             return value;
         }
     }
@@ -289,8 +309,20 @@ cmdClassify(std::vector<std::string> args)
     const std::size_t batch = numericOption(args, "--batch", 0);
     const std::string statsPath = option(args, "--stats-json", "");
     const std::string tracePath = option(args, "--trace", "");
+    const std::string pruneName = option(args, "--prune", "auto");
+    const std::size_t cascadePrefix =
+        numericOption(args, "--cascade-prefix", 0);
     if (!kernelOption(args, "classify"))
         return 2;
+    ScanPolicy scanPolicy;
+    if (!parsePruneMode(pruneName, &scanPolicy.prune)) {
+        std::fprintf(stderr,
+                     "classify: unknown prune mode '%s' (expected "
+                     "auto, on or off)\n",
+                     pruneName.c_str());
+        return 2;
+    }
+    scanPolicy.cascadePrefix = cascadePrefix;
     if (path.empty() || args.empty()) {
         std::fprintf(stderr, "classify: need --model and at least "
                              "one TEXT argument\n");
@@ -305,6 +337,7 @@ cmdClassify(std::vector<std::string> args)
         return 2;
     }
     hardware->loadFrom(memory);
+    hardware->setScanPolicy(scanPolicy);
 
     metrics::QueryMetrics designMetrics;
     if (!statsPath.empty())
@@ -373,6 +406,9 @@ cmdClassify(std::vector<std::string> args)
         metrics::Registry registry;
         registry.attachQuery(design, designMetrics);
         registry.setGauge("run.batch", static_cast<double>(chunk));
+        registry.setInfo("prune", pruneModeName(scanPolicy.prune));
+        registry.setInfo("cascade_prefix",
+                         std::to_string(scanPolicy.cascadePrefix));
         writeStatsJson(registry, statsPath, memory.dim(),
                        memory.size(), threads);
     }
