@@ -23,7 +23,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common.hh"
@@ -127,6 +130,138 @@ BM_CascadeScan(benchmark::State &state)
                   gCascadeMetrics);
 }
 BENCHMARK(BM_CascadeScan)->Arg(1)->Arg(4)->UseRealTime();
+
+/**
+ * Class-axis scaling: the cascade scan at C = 10k / 100k / 1M rows,
+ * row-major vs bit-sliced layout. The workload is the skewed
+ * classification regime (5% flips), where the cascade's first pass
+ * dominates: row-major strides one cache line out of every
+ * row-sized record, the sliced layout streams exactly the prefix
+ * words back to back. Reduced dimensionality (1,024) keeps the 1M
+ * stores at 128 MB each so all six fixtures fit in memory at once.
+ */
+constexpr std::size_t kScaleDim = 1024;
+/** Cascade first pass and slice width (bits). */
+constexpr std::size_t kScalePrefix = 128;
+constexpr std::size_t kScaleBatch = 8;
+/** Shard count of the sharded class-scale config. */
+constexpr std::size_t kScaleShards = 8;
+
+struct ClassScaleFixture
+{
+    explicit ClassScaleFixture(std::size_t dim) : rows(dim) {}
+    PackedRows rows;
+    std::vector<Hypervector> queries;
+};
+
+/**
+ * Store fixtures are expensive (a 1M-row build plus a reshape), so
+ * each (classes, layout, shards) combination is built once per
+ * process and reused across iterations. Queries derive from the RNG
+ * stream before any reshape, so every layout of the same class count
+ * serves the identical workload.
+ */
+const ClassScaleFixture &
+classScaleFixture(std::size_t classes, RowLayout layout,
+                  std::size_t shards)
+{
+    static std::map<std::pair<std::size_t, std::size_t>,
+                    std::unique_ptr<ClassScaleFixture>>
+        cache;
+    const std::size_t variant =
+        (layout == RowLayout::Sliced ? 1u : 0u) + 2 * shards;
+    auto &slot = cache[{classes, variant}];
+    if (!slot) {
+        slot = std::make_unique<ClassScaleFixture>(kScaleDim);
+        Rng rng(17);
+        slot->rows.reserve(classes);
+        std::vector<Hypervector> prototypes;
+        prototypes.reserve(kScaleBatch);
+        for (std::size_t c = 0; c < classes; ++c) {
+            Hypervector hv = Hypervector::random(kScaleDim, rng);
+            if (prototypes.size() < kScaleBatch)
+                prototypes.push_back(hv);
+            slot->rows.append(hv);
+        }
+        slot->queries = bench::makeSkewedQueries(
+            prototypes, kScaleBatch, 0.05, rng);
+        if (layout != RowLayout::RowMajor || shards != 1) {
+            StoreLayout spec;
+            spec.layout = layout;
+            spec.shards = shards;
+            spec.slicePrefix =
+                layout == RowLayout::Sliced ? kScalePrefix : 0;
+            slot->rows.setLayout(spec);
+        }
+    }
+    return *slot;
+}
+
+void
+classScaleBenchmark(benchmark::State &state, RowLayout layout)
+{
+    const auto classes = static_cast<std::size_t>(state.range(0));
+    const ClassScaleFixture &fx =
+        classScaleFixture(classes, layout, 1);
+    ScanPolicy policy;
+    policy.prune = PruneMode::Auto;
+    policy.cascadePrefix = kScalePrefix;
+    std::vector<std::size_t> scratch;
+    for (auto _ : state) {
+        for (const Hypervector &query : fx.queries) {
+            benchmark::DoNotOptimize(fx.rows.nearest(
+                query, kScaleDim, policy, nullptr, &scratch));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kScaleBatch);
+}
+
+void
+BM_ClassScaleRowMajor(benchmark::State &state)
+{
+    classScaleBenchmark(state, RowLayout::RowMajor);
+}
+BENCHMARK(BM_ClassScaleRowMajor)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->UseRealTime();
+
+void
+BM_ClassScaleSliced(benchmark::State &state)
+{
+    classScaleBenchmark(state, RowLayout::Sliced);
+}
+BENCHMARK(BM_ClassScaleSliced)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->UseRealTime();
+
+/**
+ * The sharded entry point on the sliced 100k store: per-shard
+ * bound-pruned scans fanned over all hardware threads, merged by the
+ * bound-aware reduce. Bit-identical to BM_ClassScaleSliced/100000's
+ * answers; the throughput delta is the shard fan-out.
+ */
+void
+BM_ClassScaleSharded(benchmark::State &state)
+{
+    const auto classes = static_cast<std::size_t>(state.range(0));
+    const ClassScaleFixture &fx =
+        classScaleFixture(classes, RowLayout::Sliced, kScaleShards);
+    ScanPolicy policy;
+    policy.prune = PruneMode::Auto;
+    policy.cascadePrefix = kScalePrefix;
+    for (auto _ : state) {
+        for (const Hypervector &query : fx.queries) {
+            benchmark::DoNotOptimize(fx.rows.nearestSharded(
+                query, kScaleDim, policy, 0, nullptr));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kScaleBatch);
+}
+BENCHMARK(BM_ClassScaleSharded)->Arg(100000)->UseRealTime();
 
 template <typename HamT, typename ConfigT>
 void

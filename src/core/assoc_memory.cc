@@ -27,6 +27,13 @@ AssociativeMemory::AssociativeMemory(std::size_t dim) : rows(dim)
 {
 }
 
+void
+AssociativeMemory::reserve(std::size_t n)
+{
+    rows.reserve(n);
+    labels.reserve(labels.size() + n);
+}
+
 std::size_t
 AssociativeMemory::store(const Hypervector &hv, std::string label)
 {
@@ -119,6 +126,36 @@ AssociativeMemory::searchBatch(const std::vector<Hypervector> &queries,
         ScanStats stats;
         std::vector<std::size_t> scratch;
     };
+    const auto mergeChunk = [&](const Chunk &chunk, std::size_t begin,
+                                std::size_t end) {
+        sink->queries.add(end - begin);
+        sink->rowsScanned.add((end - begin) * rows.rows());
+        sink->rowsPruned.add(chunk.stats.rowsPruned);
+        sink->wordsSkipped.add(chunk.stats.wordsSkipped);
+        sink->cascadeSurvivors.add(chunk.stats.cascadeSurvivors);
+    };
+
+    // A sharded store with a batch smaller than the worker budget
+    // flips the parallel axis: queries run one at a time and each
+    // query's shard scans fan out across the workers instead. Both
+    // shapes are bit-identical (each shard scan seeds its own bound),
+    // so routing is purely a throughput choice.
+    if (rows.shardCount() > 1 &&
+        queries.size() < resolveThreads(threads)) {
+        return batch::runPerQuery<SearchResult>(
+            {"am.batch", "am.chunk"}, queries.size(), sink,
+            [] { return Chunk{}; },
+            [&](std::size_t q, Chunk &chunk) {
+                SearchResult result;
+                result.classId = rows.nearestSharded(
+                    queries[q], prefix, policy, threads,
+                    sink ? &chunk.stats : nullptr,
+                    &result.bestDistance);
+                return result;
+            },
+            mergeChunk);
+    }
+
     return batch::run<SearchResult>(
         {"am.batch", "am.chunk"}, queries.size(), threads, sink,
         [] { return Chunk{}; },
@@ -130,15 +167,7 @@ AssociativeMemory::searchBatch(const std::vector<Hypervector> &queries,
                 &result.bestDistance);
             return result;
         },
-        [&](const Chunk &chunk, std::size_t begin,
-            std::size_t end) {
-            sink->queries.add(end - begin);
-            sink->rowsScanned.add((end - begin) * rows.rows());
-            sink->rowsPruned.add(chunk.stats.rowsPruned);
-            sink->wordsSkipped.add(chunk.stats.wordsSkipped);
-            sink->cascadeSurvivors.add(
-                chunk.stats.cascadeSurvivors);
-        });
+        mergeChunk);
 }
 
 std::vector<RankedMatch>

@@ -78,6 +78,12 @@ class AssociativeMemory
     std::size_t size() const { return rows.rows(); }
 
     /**
+     * Reserve capacity for @p n more store() calls so bulk training
+     * and model loading append without reallocating per class.
+     */
+    void reserve(std::size_t n);
+
+    /**
      * Store a learned hypervector; returns its class id (insertion
      * order). @pre hv.dim() == dim().
      */
@@ -121,6 +127,24 @@ class AssociativeMemory
     const ScanPolicy &scanPolicy() const { return policy; }
 
     /**
+     * Re-lay the class store (row-major or bit-sliced layout, shard
+     * count; see RowStore). Bit-exact: every search result is
+     * identical under every layout -- the layout only changes memory
+     * traffic. A sliced layout wants slicePrefix equal to the scan
+     * policy's cascadePrefix so the cascade streams the head slices.
+     */
+    void setStoreLayout(const StoreLayout &spec)
+    {
+        rows.setLayout(spec);
+    }
+
+    /** The resolved physical layout of the class store. */
+    const StoreLayout &storeLayout() const
+    {
+        return rows.layoutSpec();
+    }
+
+    /**
      * Exact nearest-distance search (winner + distance only; no
      * allocation). @pre size() > 0 and query.dim() == dim().
      */
@@ -145,8 +169,11 @@ class AssociativeMemory
     /**
      * Batched exact search: one result per query, parallelized over
      * the batch with @p threads workers (0 = all hardware threads).
-     * Bit-identical to calling search() per query in order, for
-     * every thread count and batch split.
+     * On a sharded store with a batch smaller than the worker
+     * budget, parallelism flips inside each query instead (per-shard
+     * scans; see PackedRows::nearestSharded). Bit-identical to
+     * calling search() per query in order, for every thread count,
+     * batch split, layout and shard count.
      * @pre size() > 0 and every query.dim() == dim().
      */
     std::vector<SearchResult>

@@ -422,4 +422,23 @@ activeKernelName()
     return kernelName(activeKernel());
 }
 
+std::size_t
+splitHamming(const std::uint64_t *head, const std::uint64_t *tail,
+             const std::uint64_t *q, std::size_t sliceBits,
+             std::size_t bits)
+{
+    return splitHamming(head, tail, q, sliceBits, bits, active());
+}
+
+std::size_t
+splitHammingBounded(const std::uint64_t *head,
+                    const std::uint64_t *tail,
+                    const std::uint64_t *q, std::size_t sliceBits,
+                    std::size_t bits, std::size_t bound,
+                    std::size_t *wordsRead)
+{
+    return splitHammingBounded(head, tail, q, sliceBits, bits,
+                               bound, wordsRead, activeBounded());
+}
+
 } // namespace hdham::distance

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/distance.hh"
+#include "core/parallel_for.hh"
 #include "core/trace.hh"
 
 namespace hdham
@@ -51,6 +52,406 @@ cutoffFor(const ScanPolicy &policy, std::size_t prefix)
                                          : autoCutoff(prefix);
 }
 
+/** Word pointer to local row @p r's head stride. */
+inline const std::uint64_t *
+headPtr(const ShardView &v, std::size_t r)
+{
+    return v.head + r * v.headStride;
+}
+
+/** Word pointer to local row @p r's tail stride (sliced shards). */
+inline const std::uint64_t *
+tailPtr(const ShardView &v, std::size_t r)
+{
+    return v.tail + r * v.tailStride;
+}
+
+/**
+ * True when a @p prefix-wide distance must read past the shard's
+ * slice seam. Row-major shards (sliceBits == 0) never do; sliced
+ * shards only when the prefix exceeds the slice, in which case the
+ * split kernels compose head and tail strides exactly.
+ */
+inline bool
+crossesSeam(const ShardView &v, std::size_t prefix)
+{
+    return v.sliceBits != 0 && prefix > v.sliceBits;
+}
+
+/** Exact distance of local row @p r under the shard's layout. */
+inline std::size_t
+rowDist(const ShardView &v, std::size_t r, const std::uint64_t *q,
+        std::size_t prefix, distance::HammingFn fn)
+{
+    if (!crossesSeam(v, prefix))
+        return fn(headPtr(v, r), q, prefix);
+    return distance::splitHamming(headPtr(v, r), tailPtr(v, r), q,
+                                  v.sliceBits, prefix, fn);
+}
+
+/** Bound-exact distance of local row @p r under the shard's layout. */
+inline std::size_t
+rowDistBounded(const ShardView &v, std::size_t r,
+               const std::uint64_t *q, std::size_t prefix,
+               std::size_t bound, std::size_t *wordsRead,
+               distance::BoundedHammingFn bfn)
+{
+    if (!crossesSeam(v, prefix))
+        return bfn(headPtr(v, r), q, prefix, bound, wordsRead);
+    return distance::splitHammingBounded(headPtr(v, r), tailPtr(v, r),
+                                         q, v.sliceBits, prefix,
+                                         bound, wordsRead, bfn);
+}
+
+/**
+ * Distances of every row in the shard over the first @p prefix
+ * components, written to out[0 .. v.rows). The head-only loop walks
+ * one stride sequentially -- on a sliced shard whose slice covers the
+ * prefix this is the cascade's streaming pass.
+ */
+inline void
+shardDistances(const ShardView &v, const std::uint64_t *q,
+               std::size_t prefix, distance::HammingFn fn,
+               std::size_t *out)
+{
+    if (!crossesSeam(v, prefix)) {
+        const std::uint64_t *p = v.head;
+        for (std::size_t r = 0; r < v.rows; ++r) {
+            out[r] = fn(p, q, prefix);
+            p += v.headStride;
+        }
+        return;
+    }
+    for (std::size_t r = 0; r < v.rows; ++r)
+        out[r] = rowDist(v, r, q, prefix, fn);
+}
+
+/**
+ * One shard's scan result: the shard's exact minimum distance and
+ * the lowest local row index attaining it.
+ */
+struct ShardBest
+{
+    std::size_t local = 0;
+    std::size_t distance = std::numeric_limits<std::size_t>::max();
+};
+
+/** Exhaustive (PruneMode::Off) per-shard argmin. */
+ShardBest
+shardNearestExhaustive(const ShardView &v, const std::uint64_t *q,
+                       std::size_t prefix, distance::HammingFn fn)
+{
+    ShardBest best;
+    for (std::size_t row = 0; row < v.rows; ++row) {
+        const std::size_t d = rowDist(v, row, q, prefix, fn);
+        if (d < best.distance) {
+            best.distance = d;
+            best.local = row;
+        }
+    }
+    return best;
+}
+
+/** Early-abandon per-shard argmin (no cascade). */
+ShardBest
+shardNearestPruned(const ShardView &v, const std::uint64_t *q,
+                   std::size_t prefix, const ScanPolicy &policy,
+                   ScanStats *stats, distance::HammingFn fn,
+                   distance::BoundedHammingFn bfn)
+{
+    const std::size_t rowSpan = wordsFor(prefix);
+    const std::size_t cutoff = cutoffFor(policy, prefix);
+    // One past any attainable distance, so the first row always
+    // produces an exact count and the strict-< update keeps the
+    // lowest-index tie rule of the exhaustive scan.
+    std::size_t best = prefix + 1;
+    std::size_t winner = 0;
+    for (std::size_t row = 0; row < v.rows; ++row) {
+        if (best <= cutoff) {
+            std::size_t wordsRead = 0;
+            const std::size_t d = rowDistBounded(v, row, q, prefix,
+                                                 best, &wordsRead,
+                                                 bfn);
+            if (d == distance::kAbandoned) {
+                if (stats != nullptr) {
+                    ++stats->rowsPruned;
+                    stats->wordsSkipped += rowSpan - wordsRead;
+                }
+                continue;
+            }
+            best = d;
+            winner = row;
+        } else {
+            const std::size_t d = rowDist(v, row, q, prefix, fn);
+            if (d < best) {
+                best = d;
+                winner = row;
+            }
+        }
+    }
+    return {winner, best};
+}
+
+/** Sampled-prefix cascade per-shard argmin. @pre v.rows > 1. */
+ShardBest
+shardNearestCascade(const ShardView &v, const std::uint64_t *q,
+                    std::size_t prefix, const ScanPolicy &policy,
+                    ScanStats *stats,
+                    std::vector<std::size_t> &prefixDist,
+                    distance::HammingFn fn,
+                    distance::BoundedHammingFn bfn)
+{
+    const std::size_t rowSpan = wordsFor(prefix);
+    const std::size_t cascadeWords = wordsFor(policy.cascadePrefix);
+    const std::size_t cutoff = cutoffFor(policy, prefix);
+
+    prefixDist.resize(v.rows);
+    std::size_t best;
+    std::size_t winner;
+    {
+        TRACE_SPAN("packed_rows.cascade");
+        shardDistances(v, q, policy.cascadePrefix, fn,
+                       prefixDist.data());
+        std::size_t cascadeWinner = 0;
+        std::size_t cascadeBest = prefixDist[0];
+        for (std::size_t row = 1; row < v.rows; ++row) {
+            if (prefixDist[row] < cascadeBest) {
+                cascadeBest = prefixDist[row];
+                cascadeWinner = row;
+            }
+        }
+        // Seed one past the cascade winner's exact full distance B.
+        // B >= the shard's true minimum, so the refine scan below
+        // still updates on the first row in index order attaining
+        // the final minimum -- the exhaustive argmin's tie rule. A
+        // row filtered on its prefix distance (a lower bound on its
+        // full distance) could at best tie a row already accepted
+        // earlier in index order, which it would lose anyway.
+        best = rowDist(v, cascadeWinner, q, prefix, fn) + 1;
+        winner = cascadeWinner;
+    }
+
+    TRACE_SPAN("packed_rows.refine");
+    for (std::size_t row = 0; row < v.rows; ++row) {
+        if (prefixDist[row] >= best) {
+            if (stats != nullptr) {
+                ++stats->rowsPruned;
+                stats->wordsSkipped += rowSpan - cascadeWords;
+            }
+            continue;
+        }
+        if (stats != nullptr)
+            ++stats->cascadeSurvivors;
+        if (best <= cutoff) {
+            std::size_t wordsRead = 0;
+            const std::size_t d = rowDistBounded(v, row, q, prefix,
+                                                 best, &wordsRead,
+                                                 bfn);
+            if (d == distance::kAbandoned) {
+                if (stats != nullptr) {
+                    ++stats->rowsPruned;
+                    stats->wordsSkipped += rowSpan - wordsRead;
+                }
+                continue;
+            }
+            best = d;
+            winner = row;
+        } else {
+            const std::size_t d = rowDist(v, row, q, prefix, fn);
+            if (d < best) {
+                best = d;
+                winner = row;
+            }
+        }
+    }
+    return {winner, best};
+}
+
+/**
+ * The bound-pruned nearest scan over one shard -- exactly the
+ * unsharded PR-5 scan restricted to the shard's row range, so it
+ * returns the shard's exhaustive-exact (minimum, lowest local
+ * index). Each shard seeds its own bound, so its work (and its
+ * ScanStats contributions) never depend on other shards or on which
+ * worker runs it.
+ */
+ShardBest
+scanShard(const ShardView &v, const std::uint64_t *q,
+          std::size_t prefix, const ScanPolicy &policy,
+          ScanStats *stats, std::vector<std::size_t> &cascadeScratch,
+          distance::HammingFn fn, distance::BoundedHammingFn bfn)
+{
+    if (policy.prune == PruneMode::Off)
+        return shardNearestExhaustive(v, q, prefix, fn);
+    if (policy.cascadePrefix > 0 && policy.cascadePrefix < prefix &&
+        v.rows > 1) {
+        return shardNearestCascade(v, q, prefix, policy, stats,
+                                   cascadeScratch, fn, bfn);
+    }
+    return shardNearestPruned(v, q, prefix, policy, stats, fn, bfn);
+}
+
+/** Worse-first (distance, index) ordering: heap top = k-th best. */
+inline bool
+worseMatch(const RowMatch &a, const RowMatch &b)
+{
+    return a.distance != b.distance ? a.distance < b.distance
+                                    : a.index < b.index;
+}
+
+/**
+ * The bound-pruned topK scan over one shard, local indices, results
+ * sorted ascending by (distance, index). k is clamped to the shard's
+ * row count, so the list always contains the shard's exact top
+ * min(k, v.rows) rows -- a superset of the shard's contribution to
+ * any global top-k.
+ */
+void
+shardTopK(const ShardView &v, const std::uint64_t *q,
+          std::size_t prefix, std::size_t k, const ScanPolicy &policy,
+          ScanStats *stats, std::vector<std::size_t> &prefixDist,
+          std::vector<RowMatch> &out, distance::HammingFn fn,
+          distance::BoundedHammingFn bfn)
+{
+    out.clear();
+    const std::size_t kk = std::min(k, v.rows);
+    if (kk == 0)
+        return;
+    const std::size_t rowSpan = wordsFor(prefix);
+    const bool prune = policy.prune != PruneMode::Off;
+    const std::size_t cutoff = prune ? cutoffFor(policy, prefix) : 0;
+
+    // Worse-first heap by (distance, index): the heap top is the
+    // running k-th best, i.e. the pruning bound once the heap fills.
+    // Rows are scanned in ascending index order, so a later row ties
+    // into the heap only with a strictly smaller distance -- the
+    // same lowest-index tie rule as nearest().
+
+    // Optional cascade: the exact full distances of the k best
+    // prefix-stage rows bound the final k-th best distance by their
+    // maximum B, so any row whose prefix (hence full) distance
+    // exceeds B is provably outside the top k. The ceiling B + 1
+    // keeps distance-B rows eligible, preserving ties exactly.
+    std::size_t ceiling = prefix + 1;
+    const bool cascade = prune && policy.cascadePrefix > 0 &&
+                         policy.cascadePrefix < prefix &&
+                         kk < v.rows;
+    const std::size_t cascadeWords =
+        cascade ? wordsFor(policy.cascadePrefix) : 0;
+    if (cascade) {
+        TRACE_SPAN("packed_rows.cascade");
+        prefixDist.resize(v.rows);
+        shardDistances(v, q, policy.cascadePrefix, fn,
+                       prefixDist.data());
+        std::vector<RowMatch> seeds;
+        seeds.reserve(kk);
+        for (std::size_t row = 0; row < v.rows; ++row) {
+            if (seeds.size() < kk) {
+                seeds.push_back({row, prefixDist[row]});
+                std::push_heap(seeds.begin(), seeds.end(),
+                               worseMatch);
+            } else if (prefixDist[row] < seeds.front().distance) {
+                std::pop_heap(seeds.begin(), seeds.end(), worseMatch);
+                seeds.back() = {row, prefixDist[row]};
+                std::push_heap(seeds.begin(), seeds.end(),
+                               worseMatch);
+            }
+        }
+        std::size_t maxSeed = 0;
+        for (const RowMatch &seed : seeds) {
+            maxSeed = std::max(
+                maxSeed, rowDist(v, seed.index, q, prefix, fn));
+        }
+        ceiling = maxSeed + 1;
+    }
+
+    const auto scan = [&] {
+        for (std::size_t row = 0; row < v.rows; ++row) {
+            const std::size_t bound =
+                out.size() < kk
+                    ? ceiling
+                    : std::min(ceiling, out.front().distance);
+            if (cascade && prefixDist[row] >= bound) {
+                if (stats != nullptr) {
+                    ++stats->rowsPruned;
+                    stats->wordsSkipped += rowSpan - cascadeWords;
+                }
+                continue;
+            }
+            if (cascade && stats != nullptr)
+                ++stats->cascadeSurvivors;
+            std::size_t d;
+            if (prune && bound <= cutoff) {
+                std::size_t wordsRead = 0;
+                d = rowDistBounded(v, row, q, prefix, bound,
+                                   &wordsRead, bfn);
+                if (d == distance::kAbandoned) {
+                    if (stats != nullptr) {
+                        ++stats->rowsPruned;
+                        stats->wordsSkipped += rowSpan - wordsRead;
+                    }
+                    continue;
+                }
+            } else {
+                d = rowDist(v, row, q, prefix, fn);
+                if (d >= bound)
+                    continue;
+            }
+            if (out.size() < kk) {
+                out.push_back({row, d});
+                std::push_heap(out.begin(), out.end(), worseMatch);
+            } else {
+                std::pop_heap(out.begin(), out.end(), worseMatch);
+                out.back() = {row, d};
+                std::push_heap(out.begin(), out.end(), worseMatch);
+            }
+        }
+    };
+    if (cascade) {
+        TRACE_SPAN("packed_rows.refine");
+        scan();
+    } else {
+        scan();
+    }
+    std::sort_heap(out.begin(), out.end(), worseMatch);
+}
+
+/**
+ * Bound-aware fold of one shard's sorted top-k list (local indices,
+ * first global row @p firstRow) into the global worse-first heap
+ * @p merged of capacity @p kk. The heap top is the global running
+ * k-th best distance -- the reduce's cut: once the heap is full, a
+ * candidate enters only with a strictly smaller distance.
+ *
+ * Exactness: shards fold in ascending shard order and each shard's
+ * list is ascending by (distance, local index), so candidates arrive
+ * in ascending global-index order for every distance value -- on an
+ * equal-distance tie the incumbent heap entry always has the lower
+ * global index, and the strict < keeps it, which is precisely the
+ * unsharded scan's tie rule. The early break is sound because the
+ * shard list is ascending and the heap top's distance never
+ * increases: every remaining candidate in this shard is >= the cut
+ * now and forever.
+ */
+void
+foldShardTopK(std::vector<RowMatch> &merged,
+              const std::vector<RowMatch> &shardOut,
+              std::size_t firstRow, std::size_t kk)
+{
+    for (const RowMatch &m : shardOut) {
+        if (merged.size() < kk) {
+            merged.push_back({firstRow + m.index, m.distance});
+            std::push_heap(merged.begin(), merged.end(), worseMatch);
+        } else if (m.distance < merged.front().distance) {
+            std::pop_heap(merged.begin(), merged.end(), worseMatch);
+            merged.back() = {firstRow + m.index, m.distance};
+            std::push_heap(merged.begin(), merged.end(), worseMatch);
+        } else {
+            break;
+        }
+    }
+}
+
 } // namespace
 
 const char *
@@ -80,54 +481,64 @@ parsePruneMode(const std::string &name, PruneMode *out)
     return false;
 }
 
-PackedRows::PackedRows(std::size_t dim)
-    : numBits(dim),
-      rowWords((dim + Hypervector::bitsPerWord - 1) /
-               Hypervector::bitsPerWord)
+PackedRows::PackedRows(std::size_t dim) : store(dim) {}
+
+void
+PackedRows::reserve(std::size_t extraRows)
 {
-    if (dim == 0)
-        throw std::invalid_argument("PackedRows: zero dimension");
+    store.reserve(extraRows);
+}
+
+void
+PackedRows::setLayout(const StoreLayout &spec)
+{
+    store.reshape(spec);
 }
 
 std::size_t
 PackedRows::append(const Hypervector &hv)
 {
-    if (hv.dim() != numBits)
+    if (hv.dim() != dim())
         throw std::invalid_argument("PackedRows::append: dimension "
                                     "mismatch");
-    words.reserve(words.size() + rowWords);
-    for (std::size_t w = 0; w < rowWords; ++w)
-        words.push_back(hv.word(w));
-    return numRows++;
+    return store.append(hv.data());
 }
 
 Hypervector
 PackedRows::rowVector(std::size_t row) const
 {
-    assert(row < numRows);
-    return Hypervector::fromWords(numBits, rowData(row));
+    assert(row < rows());
+    std::vector<std::uint64_t> buf(wordsPerRow());
+    store.copyRow(row, buf.data());
+    return Hypervector::fromWords(dim(), buf.data());
 }
 
 std::size_t
 PackedRows::distance(std::size_t row, const Hypervector &query,
                      std::size_t prefix) const
 {
-    assert(row < numRows);
-    assert(query.dim() == numBits);
-    assert(prefix <= numBits);
-    return distance::hamming(rowData(row), query.data(), prefix);
+    assert(row < rows());
+    assert(query.dim() == dim());
+    assert(prefix <= dim());
+    std::size_t shard = 0;
+    std::size_t local = 0;
+    store.locate(row, &shard, &local);
+    return rowDist(store.view(shard), local, query.data(), prefix,
+                   distance::active());
 }
 
 void
 PackedRows::distances(const Hypervector &query, std::size_t prefix,
                       std::vector<std::size_t> &out) const
 {
-    out.resize(numRows);
-    // Hoist the kernel dispatch out of the row loop.
+    out.resize(rows());
+    // Hoist the kernel dispatch out of the row loops.
     const distance::HammingFn fn = distance::active();
     const std::uint64_t *q = query.data();
-    for (std::size_t row = 0; row < numRows; ++row)
-        out[row] = fn(rowData(row), q, prefix);
+    for (std::size_t s = 0; s < store.shardCount(); ++s) {
+        const ShardView v = store.view(s);
+        shardDistances(v, q, prefix, fn, out.data() + v.firstRow);
+    }
 }
 
 void
@@ -136,11 +547,26 @@ PackedRows::stagePrefixDistances(
     const std::vector<std::size_t> &stageEnds,
     std::vector<std::size_t> &out) const
 {
-    assert(row < numRows);
-    assert(query.dim() == numBits);
-    assert(stageEnds.empty() || stageEnds.back() <= numBits);
+    assert(row < rows());
+    assert(query.dim() == dim());
+    assert(stageEnds.empty() || stageEnds.back() <= dim());
     out.resize(stageEnds.size());
-    const std::uint64_t *a = rowData(row);
+    // The staged walk below wants one contiguous record; on a sliced
+    // store materialize the row first (the staged engines keep their
+    // stores row-major, so this path is cold there).
+    std::vector<std::uint64_t> rowBuf;
+    const std::uint64_t *a = nullptr;
+    if (store.sliceWords() != 0) {
+        rowBuf.resize(wordsPerRow());
+        store.copyRow(row, rowBuf.data());
+        a = rowBuf.data();
+    } else {
+        std::size_t shard = 0;
+        std::size_t local = 0;
+        store.locate(row, &shard, &local);
+        const ShardView v = store.view(shard);
+        a = headPtr(v, local);
+    }
     const std::uint64_t *q = query.data();
     const distance::HammingFn fn = distance::active();
     // One pass: full words accumulate into cum (through the
@@ -188,66 +614,32 @@ PackedRows::nearest(const Hypervector &query, std::size_t prefix,
                     std::vector<std::size_t> *cascadeScratch,
                     std::size_t *bestDistance) const
 {
-    if (numRows == 0)
+    if (rows() == 0)
         throw std::logic_error("PackedRows::nearest: empty store");
-    assert(query.dim() == numBits);
-    assert(prefix <= numBits);
+    assert(query.dim() == dim());
+    assert(prefix <= dim());
     const std::uint64_t *q = query.data();
     const distance::HammingFn fn = distance::active();
-
-    if (policy.prune == PruneMode::Off) {
-        std::size_t best = std::numeric_limits<std::size_t>::max();
-        std::size_t winner = 0;
-        for (std::size_t row = 0; row < numRows; ++row) {
-            const std::size_t d = fn(rowData(row), q, prefix);
-            if (d < best) {
-                best = d;
-                winner = row;
-            }
-        }
-        if (bestDistance != nullptr)
-            *bestDistance = best;
-        return winner;
-    }
-
-    if (policy.cascadePrefix > 0 && policy.cascadePrefix < prefix &&
-        numRows > 1) {
-        std::vector<std::size_t> local;
-        return nearestCascade(query, prefix, policy, stats,
-                              cascadeScratch != nullptr
-                                  ? *cascadeScratch
-                                  : local,
-                              bestDistance);
-    }
-
     const distance::BoundedHammingFn bfn = distance::activeBounded();
-    const std::size_t rowSpan = wordsFor(prefix);
-    const std::size_t cutoff = cutoffFor(policy, prefix);
-    // One past any attainable distance, so the first row always
-    // produces an exact count and the strict-< update keeps the
-    // lowest-index tie rule of the exhaustive scan.
-    std::size_t best = prefix + 1;
+    std::vector<std::size_t> local;
+    std::vector<std::size_t> &scratch =
+        cascadeScratch != nullptr ? *cascadeScratch : local;
+
+    // Bound-aware reduce over shards in ascending row order: each
+    // shard reports its exhaustive-exact (minimum, lowest local
+    // index), and the strict < keeps the earliest shard -- hence the
+    // globally lowest index -- on a distance tie.
+    std::size_t best = std::numeric_limits<std::size_t>::max();
     std::size_t winner = 0;
-    for (std::size_t row = 0; row < numRows; ++row) {
-        if (best <= cutoff) {
-            std::size_t wordsRead = 0;
-            const std::size_t d =
-                bfn(rowData(row), q, prefix, best, &wordsRead);
-            if (d == distance::kAbandoned) {
-                if (stats != nullptr) {
-                    ++stats->rowsPruned;
-                    stats->wordsSkipped += rowSpan - wordsRead;
-                }
-                continue;
-            }
-            best = d;
-            winner = row;
-        } else {
-            const std::size_t d = fn(rowData(row), q, prefix);
-            if (d < best) {
-                best = d;
-                winner = row;
-            }
+    for (std::size_t s = 0; s < store.shardCount(); ++s) {
+        const ShardView v = store.view(s);
+        if (v.rows == 0)
+            continue;
+        const ShardBest sb = scanShard(v, q, prefix, policy, stats,
+                                       scratch, fn, bfn);
+        if (sb.distance < best) {
+            best = sb.distance;
+            winner = v.firstRow + sb.local;
         }
     }
     if (bestDistance != nullptr)
@@ -256,74 +648,47 @@ PackedRows::nearest(const Hypervector &query, std::size_t prefix,
 }
 
 std::size_t
-PackedRows::nearestCascade(const Hypervector &query,
+PackedRows::nearestSharded(const Hypervector &query,
                            std::size_t prefix,
-                           const ScanPolicy &policy, ScanStats *stats,
-                           std::vector<std::size_t> &prefixDist,
+                           const ScanPolicy &policy,
+                           std::size_t threads, ScanStats *stats,
                            std::size_t *bestDistance) const
 {
+    if (rows() == 0)
+        throw std::logic_error("PackedRows::nearestSharded: empty "
+                               "store");
+    assert(query.dim() == dim());
+    assert(prefix <= dim());
     const std::uint64_t *q = query.data();
     const distance::HammingFn fn = distance::active();
     const distance::BoundedHammingFn bfn = distance::activeBounded();
-    const std::size_t rowSpan = wordsFor(prefix);
-    const std::size_t cascadeWords = wordsFor(policy.cascadePrefix);
-    const std::size_t cutoff = cutoffFor(policy, prefix);
-
-    std::size_t best;
-    std::size_t winner;
-    {
-        TRACE_SPAN("packed_rows.cascade");
-        distances(query, policy.cascadePrefix, prefixDist);
-        std::size_t cascadeWinner = 0;
-        std::size_t cascadeBest = prefixDist[0];
-        for (std::size_t row = 1; row < numRows; ++row) {
-            if (prefixDist[row] < cascadeBest) {
-                cascadeBest = prefixDist[row];
-                cascadeWinner = row;
-            }
+    const std::size_t n = store.shardCount();
+    std::vector<ShardBest> results(n);
+    std::vector<ScanStats> shardStats(stats != nullptr ? n : 0);
+    parallelForShards(n, threads, [&](std::size_t s) {
+        TRACE_SPAN("packed_rows.shard_scan");
+        const ShardView v = store.view(s);
+        if (v.rows == 0)
+            return;
+        std::vector<std::size_t> scratch;
+        results[s] =
+            scanShard(v, q, prefix, policy,
+                      stats != nullptr ? &shardStats[s] : nullptr,
+                      scratch, fn, bfn);
+    });
+    // Reduce and merge stats in ascending shard order on the caller:
+    // results and counters are independent of the worker assignment.
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    std::size_t winner = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+        if (results[s].distance < best) {
+            best = results[s].distance;
+            winner = store.view(s).firstRow + results[s].local;
         }
-        // Seed one past the cascade winner's exact full distance B.
-        // B >= the true minimum, so the refine scan below still
-        // updates on the first row in index order attaining the
-        // final minimum -- the exhaustive argmin's tie rule. A row
-        // filtered on its prefix distance (a lower bound on its full
-        // distance) could at best tie a row already accepted earlier
-        // in index order, which it would lose anyway.
-        best = fn(rowData(cascadeWinner), q, prefix) + 1;
-        winner = cascadeWinner;
     }
-
-    TRACE_SPAN("packed_rows.refine");
-    for (std::size_t row = 0; row < numRows; ++row) {
-        if (prefixDist[row] >= best) {
-            if (stats != nullptr) {
-                ++stats->rowsPruned;
-                stats->wordsSkipped += rowSpan - cascadeWords;
-            }
-            continue;
-        }
-        if (stats != nullptr)
-            ++stats->cascadeSurvivors;
-        if (best <= cutoff) {
-            std::size_t wordsRead = 0;
-            const std::size_t d =
-                bfn(rowData(row), q, prefix, best, &wordsRead);
-            if (d == distance::kAbandoned) {
-                if (stats != nullptr) {
-                    ++stats->rowsPruned;
-                    stats->wordsSkipped += rowSpan - wordsRead;
-                }
-                continue;
-            }
-            best = d;
-            winner = row;
-        } else {
-            const std::size_t d = fn(rowData(row), q, prefix);
-            if (d < best) {
-                best = d;
-                winner = row;
-            }
-        }
+    if (stats != nullptr) {
+        for (const ScanStats &shard : shardStats)
+            *stats += shard;
     }
     if (bestDistance != nullptr)
         *bestDistance = best;
@@ -338,11 +703,11 @@ PackedRows::nearestTraced(const Hypervector &query,
                           const char *compareSpan,
                           std::size_t *bestDistance) const
 {
-    if (numRows == 0)
+    if (rows() == 0)
         throw std::logic_error("PackedRows::nearestTraced: empty "
                                "store");
-    assert(query.dim() == numBits);
-    assert(prefix <= numBits);
+    assert(query.dim() == dim());
+    assert(prefix <= dim());
     {
         TRACE_SPAN(popcountSpan);
         distances(query, prefix, scratch);
@@ -367,114 +732,85 @@ PackedRows::topK(const Hypervector &query, std::size_t prefix,
                  ScanStats *stats, std::vector<RowMatch> &out) const
 {
     out.clear();
-    if (numRows == 0)
+    if (rows() == 0)
         throw std::logic_error("PackedRows::topK: empty store");
-    assert(query.dim() == numBits);
-    assert(prefix <= numBits);
+    assert(query.dim() == dim());
+    assert(prefix <= dim());
     if (k == 0)
         return;
-    const std::size_t kk = std::min(k, numRows);
+    const std::size_t kk = std::min(k, rows());
     const std::uint64_t *q = query.data();
     const distance::HammingFn fn = distance::active();
     const distance::BoundedHammingFn bfn = distance::activeBounded();
-    const std::size_t rowSpan = wordsFor(prefix);
-    const bool prune = policy.prune != PruneMode::Off;
-    const std::size_t cutoff =
-        prune ? cutoffFor(policy, prefix) : 0;
-
-    // Worse-first ordering by (distance, index): the heap top is the
-    // running k-th best, i.e. the pruning bound once the heap fills.
-    // Rows are scanned in ascending index order, so a later row ties
-    // into the heap only with a strictly smaller distance -- the
-    // same lowest-index tie rule as nearest().
-    const auto worse = [](const RowMatch &a, const RowMatch &b) {
-        return a.distance != b.distance ? a.distance < b.distance
-                                        : a.index < b.index;
-    };
-
-    // Optional cascade: the exact full distances of the k best
-    // prefix-stage rows bound the final k-th best distance by their
-    // maximum B, so any row whose prefix (hence full) distance
-    // exceeds B is provably outside the top k. The ceiling B + 1
-    // keeps distance-B rows eligible, preserving ties exactly.
     std::vector<std::size_t> prefixDist;
-    std::size_t ceiling = prefix + 1;
-    const bool cascade = prune && policy.cascadePrefix > 0 &&
-                         policy.cascadePrefix < prefix &&
-                         kk < numRows;
-    const std::size_t cascadeWords =
-        cascade ? wordsFor(policy.cascadePrefix) : 0;
-    if (cascade) {
-        TRACE_SPAN("packed_rows.cascade");
-        distances(query, policy.cascadePrefix, prefixDist);
-        std::vector<RowMatch> seeds;
-        seeds.reserve(kk);
-        for (std::size_t row = 0; row < numRows; ++row) {
-            if (seeds.size() < kk) {
-                seeds.push_back({row, prefixDist[row]});
-                std::push_heap(seeds.begin(), seeds.end(), worse);
-            } else if (prefixDist[row] < seeds.front().distance) {
-                std::pop_heap(seeds.begin(), seeds.end(), worse);
-                seeds.back() = {row, prefixDist[row]};
-                std::push_heap(seeds.begin(), seeds.end(), worse);
-            }
-        }
-        std::size_t maxSeed = 0;
-        for (const RowMatch &seed : seeds) {
-            maxSeed = std::max(
-                maxSeed, fn(rowData(seed.index), q, prefix));
-        }
-        ceiling = maxSeed + 1;
+    const std::size_t n = store.shardCount();
+    if (n == 1) {
+        // Single shard: local indices are global; shardTopK already
+        // sorts ascending by (distance, index).
+        shardTopK(store.view(0), q, prefix, kk, policy, stats,
+                  prefixDist, out, fn, bfn);
+        return;
     }
+    std::vector<RowMatch> shardOut;
+    std::vector<RowMatch> merged;
+    merged.reserve(kk);
+    for (std::size_t s = 0; s < n; ++s) {
+        const ShardView v = store.view(s);
+        if (v.rows == 0)
+            continue;
+        shardTopK(v, q, prefix, kk, policy, stats, prefixDist,
+                  shardOut, fn, bfn);
+        foldShardTopK(merged, shardOut, v.firstRow, kk);
+    }
+    std::sort_heap(merged.begin(), merged.end(), worseMatch);
+    out = std::move(merged);
+}
 
-    const auto scan = [&] {
-        for (std::size_t row = 0; row < numRows; ++row) {
-            const std::size_t bound =
-                out.size() < kk
-                    ? ceiling
-                    : std::min(ceiling, out.front().distance);
-            if (cascade && prefixDist[row] >= bound) {
-                if (stats != nullptr) {
-                    ++stats->rowsPruned;
-                    stats->wordsSkipped += rowSpan - cascadeWords;
-                }
-                continue;
-            }
-            if (cascade && stats != nullptr)
-                ++stats->cascadeSurvivors;
-            std::size_t d;
-            if (prune && bound <= cutoff) {
-                std::size_t wordsRead = 0;
-                d = bfn(rowData(row), q, prefix, bound, &wordsRead);
-                if (d == distance::kAbandoned) {
-                    if (stats != nullptr) {
-                        ++stats->rowsPruned;
-                        stats->wordsSkipped += rowSpan - wordsRead;
-                    }
-                    continue;
-                }
-            } else {
-                d = fn(rowData(row), q, prefix);
-                if (d >= bound)
-                    continue;
-            }
-            if (out.size() < kk) {
-                out.push_back({row, d});
-                std::push_heap(out.begin(), out.end(), worse);
-            } else {
-                std::pop_heap(out.begin(), out.end(), worse);
-                out.back() = {row, d};
-                std::push_heap(out.begin(), out.end(), worse);
-            }
-        }
-    };
-    if (cascade) {
-        TRACE_SPAN("packed_rows.refine");
-        scan();
-    } else {
-        scan();
+void
+PackedRows::topKSharded(const Hypervector &query, std::size_t prefix,
+                        std::size_t k, const ScanPolicy &policy,
+                        std::size_t threads, ScanStats *stats,
+                        std::vector<RowMatch> &out) const
+{
+    out.clear();
+    if (rows() == 0)
+        throw std::logic_error("PackedRows::topKSharded: empty "
+                               "store");
+    assert(query.dim() == dim());
+    assert(prefix <= dim());
+    if (k == 0)
+        return;
+    const std::size_t kk = std::min(k, rows());
+    const std::uint64_t *q = query.data();
+    const distance::HammingFn fn = distance::active();
+    const distance::BoundedHammingFn bfn = distance::activeBounded();
+    const std::size_t n = store.shardCount();
+    std::vector<std::vector<RowMatch>> shardOuts(n);
+    std::vector<ScanStats> shardStats(stats != nullptr ? n : 0);
+    parallelForShards(n, threads, [&](std::size_t s) {
+        TRACE_SPAN("packed_rows.shard_scan");
+        const ShardView v = store.view(s);
+        if (v.rows == 0)
+            return;
+        std::vector<std::size_t> prefixDist;
+        shardTopK(v, q, prefix, kk, policy,
+                  stats != nullptr ? &shardStats[s] : nullptr,
+                  prefixDist, shardOuts[s], fn, bfn);
+    });
+    // Fold shard lists and stats in ascending shard order on the
+    // caller: results and counters are independent of the worker
+    // assignment.
+    std::vector<RowMatch> merged;
+    merged.reserve(kk);
+    for (std::size_t s = 0; s < n; ++s)
+        foldShardTopK(merged, shardOuts[s], store.view(s).firstRow,
+                      kk);
+    if (stats != nullptr) {
+        for (const ScanStats &shard : shardStats)
+            *stats += shard;
     }
-    std::sort_heap(out.begin(), out.end(), worse);
+    std::sort_heap(merged.begin(), merged.end(), worseMatch);
+    out = std::move(merged);
 }
 
 } // namespace hdham

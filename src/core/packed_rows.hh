@@ -1,13 +1,32 @@
 /**
  * @file
- * Contiguous row-major storage for multi-row Hamming scans.
+ * Dense multi-row Hamming-scan engine over a sharded, layout-aware
+ * row store.
  *
  * An associative search touches every stored row once per query.
- * PackedRows stores all rows in a single word array (rows padded to
- * whole words) -- the software analogue of the hardware CAM array's
- * dense layout -- and provides the scan primitives the D-HAM model
- * builds on (prefix distances for structured sampling, lowest-index
- * tie-breaking like the comparator tree).
+ * PackedRows owns the scan algorithms -- prefix distances for
+ * structured sampling, lowest-index tie-breaking like the comparator
+ * tree, bound-pruned nearest/topK -- on top of a RowStore
+ * (core/row_store.hh) that owns the physical words in one of two
+ * layouts:
+ *
+ *  - row-major (the default): each row is one contiguous record, the
+ *    software analogue of the hardware CAM array's dense layout.
+ *  - sliced: the first slicePrefix components of every row are
+ *    packed contiguously, so the cascade's first pass streams
+ *    sequential memory instead of striding row-sized records -- the
+ *    layout that keeps the cascade fast at C >= 100k rows.
+ *
+ * Rows may additionally be partitioned into contiguous shards. Every
+ * scan runs the same bound-pruned algorithm independently per shard
+ * (each shard seeds its own bound, so per-shard work is independent
+ * of execution order) and merges shard winners with a bound-aware
+ * reduce in ascending shard order. Because shard s always covers
+ * lower row indices than shard s + 1 and the reduce only replaces on
+ * a strictly smaller distance, the merged result preserves the
+ * global lowest-index tie rule -- nearest() and topK() are provably
+ * bit-identical to the unsharded exhaustive scan for every layout,
+ * shard count and (for the *Sharded entry points) thread count.
  *
  * Bound-pruned scans: nearest() and topK() accept a ScanPolicy that
  * lets the scan reject rows without reading all of their words.
@@ -43,6 +62,7 @@
 #include <vector>
 
 #include "core/hypervector.hh"
+#include "core/row_store.hh"
 
 namespace hdham
 {
@@ -87,10 +107,13 @@ struct ScanPolicy
 
 /**
  * Work avoided by one pruned scan. rowsPruned and cascadeSurvivors
- * depend only on the distance values, so they are identical across
- * kernels and (summed per query) across thread counts; wordsSkipped
- * depends on where the active kernel places its strip checks and is
- * exactly reproducible only for a pinned kernel.
+ * depend only on the distance values and the shard partition, so
+ * they are identical across kernels, layouts and (summed per query)
+ * across thread counts; wordsSkipped depends on where the active
+ * kernel places its strip checks and is exactly reproducible only
+ * for a pinned kernel. Sharded scans accumulate per-shard stats and
+ * merge them in ascending shard order, so merged totals are exact
+ * at every thread count.
  */
 struct ScanStats
 {
@@ -121,7 +144,8 @@ struct RowMatch
 };
 
 /**
- * Dense row-major store of equal-dimensionality hypervectors.
+ * Scan engine over a dense store of equal-dimensionality
+ * hypervectors.
  */
 class PackedRows
 {
@@ -130,13 +154,37 @@ class PackedRows
     explicit PackedRows(std::size_t dim);
 
     /** Dimensionality of stored rows. */
-    std::size_t dim() const { return numBits; }
+    std::size_t dim() const { return store.dim(); }
 
     /** Number of stored rows. */
-    std::size_t rows() const { return numRows; }
+    std::size_t rows() const { return store.rows(); }
 
     /** Words per row (including tail padding). */
-    std::size_t wordsPerRow() const { return rowWords; }
+    std::size_t wordsPerRow() const { return store.wordsPerRow(); }
+
+    /** The resolved physical layout of the backing store. */
+    const StoreLayout &layoutSpec() const
+    {
+        return store.layoutSpec();
+    }
+
+    /** Number of row shards (>= 1; 1 until setLayout shards). */
+    std::size_t shardCount() const { return store.shardCount(); }
+
+    /**
+     * Reserve capacity for @p extraRows more append() calls so bulk
+     * training / model loading never reallocates (and never breaks
+     * the sharded first-touch placement with growth copies).
+     */
+    void reserve(std::size_t extraRows);
+
+    /**
+     * Re-lay the backing store (layout, shard count, slice prefix;
+     * see RowStore::reshape). Word-exact: every scan result is
+     * bit-identical before and after. @throws std::invalid_argument
+     * for a sliced layout without a slice prefix.
+     */
+    void setLayout(const StoreLayout &spec);
 
     /**
      * Append a row; returns its index.
@@ -169,7 +217,9 @@ class PackedRows
      * Stage boundaries need not be word-aligned; boundary words are
      * split exactly with bit masks, so ragged stage widths (and
      * ragged dimensions) produce the same counts as summing
-     * per-stage hammingPrefix differences.
+     * per-stage hammingPrefix differences. (On a sliced store the
+     * row is first materialized into a scratch record; the staged
+     * engines keep their stores row-major.)
      * @pre stageEnds is non-decreasing and stageEnds.back() <= dim().
      */
     void stagePrefixDistances(std::size_t row,
@@ -189,7 +239,9 @@ class PackedRows
 
     /**
      * nearest() under an explicit ScanPolicy, accumulating pruning
-     * counters into @p stats (may be null).
+     * counters into @p stats (may be null). Runs the bound-pruned
+     * scan independently over every shard (in ascending shard order
+     * on the calling thread) and merges shard winners.
      *
      * Exactness: the winner, its distance and the lowest-index tie
      * rule match the exhaustive scan bit for bit. The early-abandon
@@ -203,7 +255,10 @@ class PackedRows
      * filtered only when its prefix distance -- a lower bound on its
      * full distance -- already reaches the running bound, which
      * means it could at best tie a row that appears earlier in index
-     * order and would lose that tie anyway.
+     * order and would lose that tie anyway. The shard merge
+     * preserves them because every shard reports its exhaustive-
+     * exact (minimum, lowest index) and shards are folded in
+     * ascending index order with a strictly-smaller-distance update.
      *
      * @p cascadeScratch, when non-null, is reused for the cascade's
      * per-row prefix distances so batched callers avoid a per-query
@@ -213,6 +268,24 @@ class PackedRows
                         const ScanPolicy &policy, ScanStats *stats,
                         std::vector<std::size_t> *cascadeScratch,
                         std::size_t *bestDistance = nullptr) const;
+
+    /**
+     * nearest() with the per-shard scans parallelized over
+     * @p threads workers (0 = all hardware threads) via the
+     * sharded-range mode of core/parallel_for; each shard scan runs
+     * under a "packed_rows.shard_scan" trace span. Because every
+     * shard seeds its own bound, per-shard work (and therefore every
+     * ScanStats counter) is independent of the worker assignment:
+     * results AND merged counters are bit-identical to the
+     * single-threaded scan at any thread count. @pre rows() > 0.
+     */
+    std::size_t nearestSharded(const Hypervector &query,
+                               std::size_t prefix,
+                               const ScanPolicy &policy,
+                               std::size_t threads,
+                               ScanStats *stats,
+                               std::size_t *bestDistance =
+                                   nullptr) const;
 
     /**
      * Traced equivalent of nearest(), split into the two phases the
@@ -235,34 +308,34 @@ class PackedRows
      * The @p k rows nearest to @p query over the first @p prefix
      * components, written to @p out sorted by ascending (distance,
      * index) -- the same tie rule as nearest(). Returns all rows
-     * when k >= rows(). Maintains the k-th-best distance as the
-     * pruning bound; with a cascade, the bound is pre-seeded from
-     * the exact distances of the k best prefix-stage rows, which can
-     * only be >= the final k-th best, so no true top-k row is ever
-     * filtered. @pre rows() > 0.
+     * when k >= rows(). Each shard maintains its own k-th-best
+     * distance as the pruning bound (with a cascade, pre-seeded from
+     * the exact distances of the shard's k best prefix-stage rows,
+     * which can only be >= the shard's final k-th best, so no true
+     * top-k row is ever filtered); shard result lists are then
+     * folded in ascending shard order through a bound-aware reduce
+     * that keeps the global k-th-best distance as its cut -- any
+     * global top-k row is in its shard's top-k, so the fold is
+     * exact. @pre rows() > 0.
      */
     void topK(const Hypervector &query, std::size_t prefix,
               std::size_t k, const ScanPolicy &policy,
               ScanStats *stats, std::vector<RowMatch> &out) const;
 
+    /**
+     * topK() with the per-shard scans parallelized over @p threads
+     * workers (0 = all hardware threads); same bit-identical
+     * results-and-counters contract as nearestSharded().
+     * @pre rows() > 0.
+     */
+    void topKSharded(const Hypervector &query, std::size_t prefix,
+                     std::size_t k, const ScanPolicy &policy,
+                     std::size_t threads, ScanStats *stats,
+                     std::vector<RowMatch> &out) const;
+
   private:
-    const std::uint64_t *rowData(std::size_t row) const
-    {
-        return words.data() + row * rowWords;
-    }
-
-    /** Cascade-path nearest (policy.cascadePrefix validated). */
-    std::size_t nearestCascade(const Hypervector &query,
-                               std::size_t prefix,
-                               const ScanPolicy &policy,
-                               ScanStats *stats,
-                               std::vector<std::size_t> &prefixDist,
-                               std::size_t *bestDistance) const;
-
-    std::size_t numBits;
-    std::size_t rowWords;
-    std::size_t numRows = 0;
-    std::vector<std::uint64_t> words;
+    /** Sharded, layout-aware owner of the packed words. */
+    RowStore store;
 };
 
 } // namespace hdham

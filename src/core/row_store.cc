@@ -1,0 +1,203 @@
+#include "core/row_store.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "core/hypervector.hh"
+#include "core/parallel_for.hh"
+
+namespace hdham
+{
+
+const char *
+rowLayoutName(RowLayout layout)
+{
+    switch (layout) {
+    case RowLayout::RowMajor:
+        return "row";
+    case RowLayout::Sliced:
+        return "sliced";
+    }
+    return "unknown";
+}
+
+bool
+parseRowLayout(const std::string &name, RowLayout *out)
+{
+    for (const RowLayout layout :
+         {RowLayout::RowMajor, RowLayout::Sliced}) {
+        if (name == rowLayoutName(layout)) {
+            *out = layout;
+            return true;
+        }
+    }
+    return false;
+}
+
+RowStore::RowStore(std::size_t dim)
+    : numBits(dim),
+      rowWords((dim + Hypervector::bitsPerWord - 1) /
+               Hypervector::bitsPerWord)
+{
+    if (dim == 0)
+        throw std::invalid_argument("RowStore: zero dimension");
+    shards.resize(1);
+}
+
+ShardView
+RowStore::view(std::size_t shard) const
+{
+    assert(shard < shards.size());
+    const Shard &s = shards[shard];
+    ShardView v;
+    v.head = s.head.data();
+    v.headStride = headSliceWords == 0 ? rowWords : headSliceWords;
+    v.tail = s.tail.data();
+    v.tailStride = headSliceWords == 0 ? 0 : tailWords();
+    v.firstRow = s.firstRow;
+    v.rows = s.rows;
+    v.sliceBits = headSliceWords * Hypervector::bitsPerWord;
+    return v;
+}
+
+void
+RowStore::reserve(std::size_t extraRows)
+{
+    Shard &last = shards.back();
+    const std::size_t headStride =
+        headSliceWords == 0 ? rowWords : headSliceWords;
+    last.head.reserve(last.head.size() + extraRows * headStride);
+    if (headSliceWords != 0)
+        last.tail.reserve(last.tail.size() +
+                          extraRows * tailWords());
+}
+
+std::size_t
+RowStore::append(const std::uint64_t *row)
+{
+    Shard &last = shards.back();
+    if (headSliceWords == 0) {
+        last.head.insert(last.head.end(), row, row + rowWords);
+    } else {
+        last.head.insert(last.head.end(), row,
+                         row + headSliceWords);
+        last.tail.insert(last.tail.end(), row + headSliceWords,
+                         row + rowWords);
+    }
+    ++last.rows;
+    return numRows++;
+}
+
+void
+RowStore::copyRow(std::size_t row, std::uint64_t *dst) const
+{
+    std::size_t shard = 0;
+    std::size_t local = 0;
+    locate(row, &shard, &local);
+    const Shard &s = shards[shard];
+    if (headSliceWords == 0) {
+        std::memcpy(dst, s.head.data() + local * rowWords,
+                    rowWords * sizeof(std::uint64_t));
+        return;
+    }
+    std::memcpy(dst, s.head.data() + local * headSliceWords,
+                headSliceWords * sizeof(std::uint64_t));
+    std::memcpy(dst + headSliceWords,
+                s.tail.data() + local * tailWords(),
+                tailWords() * sizeof(std::uint64_t));
+}
+
+void
+RowStore::locate(std::size_t row, std::size_t *shard,
+                 std::size_t *local) const
+{
+    assert(row < numRows);
+    // Shards are contiguous ascending ranges; binary-search the
+    // first shard whose range ends past the row.
+    std::size_t lo = 0;
+    std::size_t hi = shards.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (shards[mid].firstRow + shards[mid].rows > row)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    *shard = lo;
+    *local = row - shards[lo].firstRow;
+}
+
+void
+RowStore::reshape(const StoreLayout &request)
+{
+    StoreLayout resolved = request;
+    if (resolved.layout == RowLayout::Sliced &&
+        resolved.slicePrefix == 0) {
+        throw std::invalid_argument(
+            "RowStore::reshape: sliced layout needs a slice prefix");
+    }
+    if (resolved.layout == RowLayout::RowMajor)
+        resolved.slicePrefix = 0;
+    resolved.shards = std::min(
+        std::max<std::size_t>(resolveThreads(resolved.shards), 1),
+        std::max<std::size_t>(numRows, 1));
+
+    const std::size_t newSlice =
+        resolved.layout == RowLayout::Sliced
+            ? std::min(rowWords,
+                       (resolved.slicePrefix +
+                        Hypervector::bitsPerWord - 1) /
+                           Hypervector::bitsPerWord)
+            : 0;
+    // A slice covering the whole row degenerates to row-major
+    // records in the head region; store it as such so the scan's
+    // split path never runs on an empty tail.
+    const std::size_t sliceWords =
+        newSlice >= rowWords ? 0 : newSlice;
+
+    const std::vector<ShardRange> ranges =
+        shardRanges(numRows, resolved.shards);
+    std::vector<Shard> next(ranges.size());
+
+    // Fill every shard from inside its own worker so the new pages
+    // are first-touched by the thread that will scan them. Reading
+    // the old shards concurrently is safe: they are immutable here.
+    parallelForShards(
+        ranges.size(), resolved.shards, [&](std::size_t i) {
+            const ShardRange &range = ranges[i];
+            Shard &shard = next[i];
+            shard.firstRow = range.begin;
+            shard.rows = range.end - range.begin;
+            const std::size_t headStride =
+                sliceWords == 0 ? rowWords : sliceWords;
+            shard.head.resize(shard.rows * headStride);
+            if (sliceWords != 0)
+                shard.tail.resize(shard.rows *
+                                  (rowWords - sliceWords));
+            std::vector<std::uint64_t> scratch(rowWords);
+            for (std::size_t r = 0; r < shard.rows; ++r) {
+                copyRow(range.begin + r, scratch.data());
+                std::memcpy(shard.head.data() + r * headStride,
+                            scratch.data(),
+                            headStride * sizeof(std::uint64_t));
+                if (sliceWords != 0) {
+                    std::memcpy(shard.tail.data() +
+                                    r * (rowWords - sliceWords),
+                                scratch.data() + sliceWords,
+                                (rowWords - sliceWords) *
+                                    sizeof(std::uint64_t));
+                }
+            }
+        });
+
+    shards = std::move(next);
+    if (shards.empty())
+        shards.resize(1);
+    headSliceWords = sliceWords;
+    spec = resolved;
+}
+
+} // namespace hdham

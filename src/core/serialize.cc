@@ -124,6 +124,7 @@ readMemory(std::istream &in)
         throw std::runtime_error("serialize: implausible class "
                                  "count");
     AssociativeMemory am(dim);
+    am.reserve(count);
     for (std::uint64_t id = 0; id < count; ++id) {
         std::string label = readString(in);
         Hypervector hv = readHypervector(in);

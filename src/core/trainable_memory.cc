@@ -59,6 +59,7 @@ AssociativeMemory
 TrainableMemory::snapshot() const
 {
     AssociativeMemory am(dimension);
+    am.reserve(bundlers.size());
     for (std::size_t id = 0; id < bundlers.size(); ++id)
         am.store(prototype(id), labels[id]);
     return am;

@@ -82,6 +82,25 @@ class DHam : public Ham
     /** The active scan policy. */
     const ScanPolicy &scanPolicy() const { return policy; }
 
+    /** Reserve capacity for @p n more store() calls. */
+    void reserve(std::size_t n) override { rows.reserve(n); }
+
+    /**
+     * Re-lay the class store (sharded / bit-sliced; see RowStore).
+     * Bit-exact under every layout; a sliced layout wants the scan
+     * policy's cascadePrefix as its slicePrefix.
+     */
+    void setStoreLayout(const StoreLayout &spec) override
+    {
+        rows.setLayout(spec);
+    }
+
+    /** The resolved physical layout of the class store. */
+    const StoreLayout &storeLayout() const
+    {
+        return rows.layoutSpec();
+    }
+
   private:
     DHamConfig cfg;
     /** Dense row store: the software analogue of the CAM array. */

@@ -30,6 +30,7 @@ Ham::searchBatch(const std::vector<Hypervector> &queries,
 void
 Ham::loadFrom(const AssociativeMemory &memory)
 {
+    reserve(memory.size());
     for (std::size_t id = 0; id < memory.size(); ++id)
         store(memory.vectorOf(id));
 }

@@ -116,6 +116,25 @@ class Ham
      */
     virtual void setScanPolicy(const ScanPolicy &) {}
 
+    /**
+     * Reserve capacity for @p n more store() calls so bulk loading
+     * (loadFrom, model deserialization) appends without per-class
+     * reallocation. Default is a no-op; designs backed by a dense
+     * row store override it.
+     */
+    virtual void reserve(std::size_t) {}
+
+    /**
+     * Re-lay the design's class store (shard count, row-major or
+     * bit-sliced layout; see RowStore). Results stay bit-identical
+     * under every layout; only memory traffic changes. Only D-HAM
+     * overrides this: the stochastic designs (R-HAM, A-HAM) draw
+     * noise in row-scan order from their own storage models, so a
+     * physical re-layout has nothing to accelerate there. The
+     * default ignores the request.
+     */
+    virtual void setStoreLayout(const StoreLayout &) {}
+
   protected:
     /** Optional observability sink; never owned. */
     metrics::QueryMetrics *sink = nullptr;

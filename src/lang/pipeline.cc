@@ -91,6 +91,7 @@ RecognitionPipeline::RecognitionPipeline(const SyntheticCorpus &corpus,
     {
         TRACE_SPAN("lang.train");
         Bundler bundler(cfg.dim);
+        am.reserve(numLanguages);
         for (std::size_t lang = 0; lang < numLanguages; ++lang) {
             bundler.clear();
             encoder.encodeInto(corpus.trainingText(lang), bundler);

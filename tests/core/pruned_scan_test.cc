@@ -25,10 +25,12 @@ namespace
 using hdham::Hypervector;
 using hdham::PackedRows;
 using hdham::PruneMode;
+using hdham::RowLayout;
 using hdham::RowMatch;
 using hdham::Rng;
 using hdham::ScanPolicy;
 using hdham::ScanStats;
+using hdham::StoreLayout;
 namespace distance = hdham::distance;
 
 /** Kernels this host can run, always ending back at Auto. */
@@ -61,6 +63,20 @@ prunedPolicies(std::size_t dim)
         // cascade, not corrupt the scan.
         ScanPolicy{PruneMode::Auto, dim},
         ScanPolicy{PruneMode::Auto, dim + 1},
+    };
+}
+
+/**
+ * The physical layouts every scan must be invariant under: the seed
+ * row-major store and a sliced store whose head slice matches the
+ * dim / 8 cascade width used by prunedPolicies().
+ */
+std::vector<StoreLayout>
+layoutVariants(std::size_t dim)
+{
+    return {
+        StoreLayout{RowLayout::RowMajor, 1, 0},
+        StoreLayout{RowLayout::Sliced, 1, dim / 8},
     };
 }
 
@@ -333,6 +349,95 @@ TEST(PrunedScanTest, BoundedKernelsAreBoundExact)
                     EXPECT_EQ(got, distance::kAbandoned)
                         << "dim " << dim << " bound " << bound;
                 EXPECT_LE(wordsRead, a.words());
+            }
+        }
+    }
+}
+
+TEST(PrunedScanTest, TopKEdgeCasesAcrossLayoutsAndKernels)
+{
+    // The degenerate k values every policy, layout and kernel must
+    // agree on: k = 0 returns nothing, k > rows() returns every row
+    // in exact sort-oracle order.
+    KernelGuard guard;
+    const std::size_t dim = 768;
+    Workload w(dim, 12, 0x70F0);
+    for (const StoreLayout &variant : layoutVariants(dim)) {
+        w.rows.setLayout(variant);
+        for (const distance::Kernel kernel : testableKernels()) {
+            distance::setKernel(kernel);
+            for (const Hypervector &query : w.queries) {
+                std::vector<RowMatch> oracle;
+                for (std::size_t r = 0; r < w.rows.rows(); ++r)
+                    oracle.push_back(
+                        {r, w.rows.distance(r, query, dim)});
+                std::stable_sort(
+                    oracle.begin(), oracle.end(),
+                    [](const RowMatch &a, const RowMatch &b) {
+                        return a.distance != b.distance
+                                   ? a.distance < b.distance
+                                   : a.index < b.index;
+                    });
+                for (const ScanPolicy &policy :
+                     prunedPolicies(dim)) {
+                    std::vector<RowMatch> got;
+                    w.rows.topK(query, dim, 0, policy, nullptr,
+                                got);
+                    EXPECT_TRUE(got.empty())
+                        << hdham::rowLayoutName(variant.layout)
+                        << " kernel "
+                        << distance::kernelName(kernel);
+                    w.rows.topK(query, dim, w.rows.rows() + 5,
+                                policy, nullptr, got);
+                    ASSERT_EQ(got.size(), w.rows.rows());
+                    for (std::size_t i = 0; i < got.size(); ++i) {
+                        EXPECT_EQ(got[i].index, oracle[i].index)
+                            << hdham::rowLayoutName(variant.layout)
+                            << " kernel "
+                            << distance::kernelName(kernel)
+                            << " rank " << i;
+                        EXPECT_EQ(got[i].distance,
+                                  oracle[i].distance)
+                            << "rank " << i;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(PrunedScanTest, TopKAllEqualDistancesKeepsIndexOrder)
+{
+    // k == rows() with every stored row identical: all distances tie,
+    // so the output must be the full index sequence 0 .. rows() - 1
+    // in ascending order -- the heap's worse-first comparator must
+    // never reorder equal distances.
+    KernelGuard guard;
+    Rng rng(21);
+    const std::size_t dim = 640;
+    PackedRows rows(dim);
+    const Hypervector proto = Hypervector::random(dim, rng);
+    for (std::size_t r = 0; r < 10; ++r)
+        rows.append(proto);
+    Hypervector query = proto;
+    query.injectErrors(dim / 9, rng);
+    for (const StoreLayout &variant : layoutVariants(dim)) {
+        rows.setLayout(variant);
+        const std::size_t d = rows.distance(0, query, dim);
+        for (const distance::Kernel kernel : testableKernels()) {
+            distance::setKernel(kernel);
+            for (const ScanPolicy &policy : prunedPolicies(dim)) {
+                std::vector<RowMatch> got;
+                rows.topK(query, dim, rows.rows(), policy, nullptr,
+                          got);
+                ASSERT_EQ(got.size(), rows.rows());
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    EXPECT_EQ(got[i].index, i)
+                        << hdham::rowLayoutName(variant.layout)
+                        << " kernel "
+                        << distance::kernelName(kernel);
+                    EXPECT_EQ(got[i].distance, d);
+                }
             }
         }
     }

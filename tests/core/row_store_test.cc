@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Bit-exactness suite for the sharded, layout-abstracted RowStore.
+ *
+ * reshape() only moves words; it must never change them. These tests
+ * drive a store through layout sequences (row-major <-> sliced,
+ * varying shard counts and slice widths, degenerate slices, appends
+ * after a reshape) and assert that every row reads back bit for bit,
+ * that the shard views always partition the row range contiguously
+ * in ascending order, and that locate() agrees with the views.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hypervector.hh"
+#include "core/random.hh"
+#include "core/row_store.hh"
+
+namespace
+{
+
+using hdham::Hypervector;
+using hdham::RowLayout;
+using hdham::RowStore;
+using hdham::Rng;
+using hdham::ShardView;
+using hdham::StoreLayout;
+
+/** Random reference rows, each wordsPerRow words (tail included). */
+std::vector<std::vector<std::uint64_t>>
+makeRows(std::size_t dim, std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<std::uint64_t>> rows;
+    rows.reserve(count);
+    for (std::size_t r = 0; r < count; ++r) {
+        const Hypervector hv = Hypervector::random(dim, rng);
+        rows.emplace_back(hv.data(), hv.data() + hv.words());
+    }
+    return rows;
+}
+
+/** Every stored row must read back bit for bit. */
+void
+expectRowsExact(const RowStore &store,
+                const std::vector<std::vector<std::uint64_t>> &rows)
+{
+    ASSERT_EQ(store.rows(), rows.size());
+    std::vector<std::uint64_t> buf(store.wordsPerRow());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        store.copyRow(r, buf.data());
+        EXPECT_EQ(buf, rows[r]) << "row " << r;
+    }
+}
+
+/**
+ * Shard views must partition [0, rows()) into contiguous ascending
+ * non-empty ranges (only a fully empty store keeps one empty shard),
+ * with a word-aligned slice seam consistent with sliceWords().
+ */
+void
+expectViewsPartitionRows(const RowStore &store)
+{
+    std::size_t next = 0;
+    for (std::size_t s = 0; s < store.shardCount(); ++s) {
+        const ShardView v = store.view(s);
+        EXPECT_EQ(v.firstRow, next) << "shard " << s;
+        if (store.rows() > 0) {
+            EXPECT_GT(v.rows, 0u) << "shard " << s;
+        }
+        EXPECT_EQ(v.sliceBits % Hypervector::bitsPerWord, 0u);
+        EXPECT_EQ(v.sliceBits / Hypervector::bitsPerWord,
+                  store.sliceWords());
+        next += v.rows;
+    }
+    EXPECT_EQ(next, store.rows());
+}
+
+/** locate() must invert the views' (firstRow, rows) partition. */
+void
+expectLocateMatchesViews(const RowStore &store)
+{
+    for (std::size_t r = 0; r < store.rows(); ++r) {
+        std::size_t shard = 0;
+        std::size_t local = 0;
+        store.locate(r, &shard, &local);
+        ASSERT_LT(shard, store.shardCount());
+        const ShardView v = store.view(shard);
+        EXPECT_LT(local, v.rows) << "row " << r;
+        EXPECT_EQ(v.firstRow + local, r);
+    }
+}
+
+TEST(RowStoreTest, LayoutNamesRoundTrip)
+{
+    for (const RowLayout layout :
+         {RowLayout::RowMajor, RowLayout::Sliced}) {
+        RowLayout parsed = RowLayout::RowMajor;
+        EXPECT_TRUE(
+            hdham::parseRowLayout(hdham::rowLayoutName(layout),
+                                  &parsed));
+        EXPECT_EQ(parsed, layout);
+    }
+    RowLayout out = RowLayout::Sliced;
+    EXPECT_FALSE(hdham::parseRowLayout("column", &out));
+    EXPECT_EQ(out, RowLayout::Sliced); // rejected parses leave out alone
+}
+
+TEST(RowStoreTest, ReshapeSequenceIsBitExact)
+{
+    // Word-aligned and ragged dimensions through a layout gauntlet:
+    // each step must keep every row, the view partition and locate()
+    // exact. Slice widths past the row (dim + 5) must degenerate to
+    // whole-row head records, never an empty tail stride.
+    for (const std::size_t dim : {512u, 1027u}) {
+        const auto rows = makeRows(dim, 23, 0xA11C + dim);
+        RowStore store(dim);
+        for (const auto &row : rows)
+            store.append(row.data());
+        const StoreLayout gauntlet[] = {
+            StoreLayout{RowLayout::Sliced, 3, 128},
+            StoreLayout{RowLayout::Sliced, 7, 65},
+            StoreLayout{RowLayout::RowMajor, 4, 0},
+            StoreLayout{RowLayout::Sliced, 2, dim + 5},
+            StoreLayout{RowLayout::Sliced, 16, 64},
+            StoreLayout{RowLayout::RowMajor, 1, 0},
+        };
+        for (const StoreLayout &spec : gauntlet) {
+            store.reshape(spec);
+            EXPECT_GE(store.shardCount(), 1u);
+            EXPECT_LE(store.shardCount(), store.rows());
+            if (spec.layout == RowLayout::RowMajor ||
+                spec.slicePrefix >= dim) {
+                EXPECT_EQ(store.sliceWords(), 0u);
+            } else {
+                EXPECT_GT(store.sliceWords(), 0u);
+                EXPECT_LT(store.sliceWords(), store.wordsPerRow());
+            }
+            expectRowsExact(store, rows);
+            expectViewsPartitionRows(store);
+            expectLocateMatchesViews(store);
+        }
+    }
+}
+
+TEST(RowStoreTest, AppendAfterReshapeExtendsLastShard)
+{
+    // Appends always land in the last shard, so earlier shards' row
+    // ranges never move -- the property that keeps global row
+    // indices stable across training that continues after a reshape.
+    const std::size_t dim = 256;
+    auto rows = makeRows(dim, 10, 0xADD5);
+    RowStore store(dim);
+    for (const auto &row : rows)
+        store.append(row.data());
+    store.reshape(StoreLayout{RowLayout::Sliced, 4, 128});
+    ASSERT_EQ(store.shardCount(), 4u);
+    std::vector<std::size_t> firstRows;
+    for (std::size_t s = 0; s < store.shardCount(); ++s)
+        firstRows.push_back(store.view(s).firstRow);
+
+    const auto extra = makeRows(dim, 5, 0xADD6);
+    for (const auto &row : extra) {
+        const std::size_t index = store.append(row.data());
+        EXPECT_EQ(index, rows.size());
+        rows.push_back(row);
+    }
+    EXPECT_EQ(store.shardCount(), 4u);
+    for (std::size_t s = 0; s < store.shardCount(); ++s)
+        EXPECT_EQ(store.view(s).firstRow, firstRows[s]);
+    EXPECT_EQ(store.view(3).rows, 10u - firstRows[3] + 5u);
+    expectRowsExact(store, rows);
+    expectViewsPartitionRows(store);
+    expectLocateMatchesViews(store);
+}
+
+TEST(RowStoreTest, ReserveKeepsContentsExact)
+{
+    // reserve() in both layouts, including on an empty store, must
+    // never disturb stored words or the append index sequence.
+    const std::size_t dim = 1027;
+    RowStore store(dim);
+    store.reserve(64);
+    auto rows = makeRows(dim, 8, 0x5E5E);
+    for (const auto &row : rows)
+        store.append(row.data());
+    store.reshape(StoreLayout{RowLayout::Sliced, 2, 192});
+    store.reserve(32);
+    const auto extra = makeRows(dim, 32, 0x5E5F);
+    for (const auto &row : extra) {
+        store.append(row.data());
+        rows.push_back(row);
+    }
+    expectRowsExact(store, rows);
+    expectLocateMatchesViews(store);
+}
+
+TEST(RowStoreTest, SlicedWithoutPrefixThrows)
+{
+    RowStore store(512);
+    const auto rows = makeRows(512, 4, 0xBAD5);
+    for (const auto &row : rows)
+        store.append(row.data());
+    EXPECT_THROW(store.reshape(StoreLayout{RowLayout::Sliced, 2, 0}),
+                 std::invalid_argument);
+    // The failed reshape must not have disturbed the store.
+    expectRowsExact(store, rows);
+}
+
+TEST(RowStoreTest, ShardCountClampsToRows)
+{
+    const std::size_t dim = 128;
+    const auto rows = makeRows(dim, 3, 0xC1A8);
+    RowStore store(dim);
+    for (const auto &row : rows)
+        store.append(row.data());
+    store.reshape(StoreLayout{RowLayout::RowMajor, 16, 0});
+    EXPECT_EQ(store.shardCount(), 3u); // never an empty shard
+    expectRowsExact(store, rows);
+    expectViewsPartitionRows(store);
+
+    // shards == 0 means "one per hardware thread" (clamped to rows).
+    store.reshape(StoreLayout{RowLayout::Sliced, 0, 64});
+    EXPECT_GE(store.shardCount(), 1u);
+    EXPECT_LE(store.shardCount(), 3u);
+    expectRowsExact(store, rows);
+}
+
+TEST(RowStoreTest, ReshapeEmptyStoreThenAppend)
+{
+    // Laying out the store before any training data arrives must
+    // leave a usable (single-shard) store that accepts appends.
+    RowStore store(512);
+    store.reshape(StoreLayout{RowLayout::Sliced, 8, 128});
+    EXPECT_EQ(store.rows(), 0u);
+    ASSERT_GE(store.shardCount(), 1u);
+    const auto rows = makeRows(512, 6, 0xE417);
+    for (const auto &row : rows)
+        store.append(row.data());
+    expectRowsExact(store, rows);
+    expectLocateMatchesViews(store);
+}
+
+} // namespace

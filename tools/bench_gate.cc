@@ -42,8 +42,10 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/distance.hh"
 #include "core/json.hh"
 
 namespace
@@ -76,6 +78,37 @@ struct SuiteResult
      *  -1 when the snapshot has no such counter. */
     double cascadeRowsPruned = -1.0;
 };
+
+/** Hardware threads of the machine running the gate. */
+std::size_t
+hostThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/**
+ * CPU capability fingerprint: the comma-joined list of Hamming
+ * kernels this host can execute. Coarse on purpose -- it changes
+ * exactly when the set of benchmarkable kernels changes, which is
+ * what makes two machines' numbers incomparable.
+ */
+std::string
+hostCpuFlags()
+{
+    std::string flags;
+    for (const hdham::distance::Kernel kernel :
+         {hdham::distance::Kernel::Scalar,
+          hdham::distance::Kernel::Unrolled,
+          hdham::distance::Kernel::Avx2}) {
+        if (!hdham::distance::kernelSupported(kernel))
+            continue;
+        if (!flags.empty())
+            flags += ",";
+        flags += hdham::distance::kernelName(kernel);
+    }
+    return flags;
+}
 
 int
 usage()
@@ -264,6 +297,16 @@ writeBaseline(std::ostream &out, const SuiteResult &result,
         out << ",\n";
     }
 
+    // Host metadata next to the kernel: baseline numbers are only
+    // meaningful on the machine that produced them, so the gate
+    // refuses to compare across a thread-count or CPU-capability
+    // change instead of reporting phantom regressions.
+    out << "  \"host\": {\"threads\": ";
+    writeNumber(out, static_cast<double>(hostThreads()));
+    out << ", \"cpu\": ";
+    writeEscaped(out, hostCpuFlags());
+    out << "},\n";
+
     out << "  \"throughput_qps\": {";
     bool first = true;
     for (const auto &[name, qps] : result.throughput) {
@@ -430,6 +473,30 @@ main(int argc, char **argv)
             throw std::runtime_error(
                 "bench_gate: " + baselinePath +
                 " is not an hdham.bench.v1 document");
+        }
+        if (const Value *host = baseline.find("host")) {
+            const Value *threads = host->find("threads");
+            const Value *cpu = host->find("cpu");
+            const double wantThreads =
+                threads ? threads->asNumber() : 0.0;
+            const std::string wantCpu =
+                cpu ? cpu->asString() : std::string();
+            if (wantThreads !=
+                    static_cast<double>(hostThreads()) ||
+                wantCpu != hostCpuFlags()) {
+                throw std::runtime_error(
+                    "bench_gate: baseline host (threads=" +
+                    std::to_string(
+                        static_cast<long long>(wantThreads)) +
+                    ", cpu=" + wantCpu +
+                    ") does not match this machine (threads=" +
+                    std::to_string(hostThreads()) +
+                    ", cpu=" + hostCpuFlags() +
+                    ") -- cross-machine throughput comparisons "
+                    "produce phantom regressions; rerun "
+                    "'bench_gate --update-baseline' on this "
+                    "machine");
+            }
         }
         const int failures =
             gate(baseline, current, tolerance, skipMicro);

@@ -9,12 +9,15 @@
  *            corpus and persist the learned hypervectors
  *   classify --model PATH [--design dham|rham|aham] [--threads N]
  *            [--batch N] [--prune auto|on|off]
- *            [--cascade-prefix BITS] [--stats-json PATH]
+ *            [--cascade-prefix BITS] [--layout row|sliced]
+ *            [--shards N] [--stats-json PATH]
  *            [--trace PATH] TEXT...
  *            classify text samples with the chosen HAM design,
  *            batching queries through searchBatch(); --prune /
  *            --cascade-prefix select the bound-pruned scan (exact;
- *            reported in the metrics "info" map next to "kernel")
+ *            reported in the metrics "info" map next to "kernel");
+ *            --layout / --shards re-lay the class store (bit-sliced
+ *            cascade heads, per-shard scans) -- also exact
  *
  * --stats-json dumps a query-path observability snapshot (the
  * hdham.metrics.v1 schema of core/metrics.hh): per-design counters
@@ -74,6 +77,7 @@ usage()
         "  hdham classify --model PATH [--design dham|rham|aham] "
         "[--threads N] [--batch N] [--kernel K] "
         "[--prune auto|on|off] [--cascade-prefix BITS] "
+        "[--layout row|sliced] [--shards N] "
         "[--stats-json PATH] [--trace PATH] TEXT...\n"
         "  hdham info --model PATH\n"
         "  hdham cost [--dim N] [--classes N]\n"
@@ -86,6 +90,15 @@ usage()
         "                    score rows on the first BITS components "
         "first, then refine survivors (0 = off);\n"
         "                    exact for any value\n"
+        "  --layout L        physical class-store layout for "
+        "prunable designs (dham): row (default) or sliced\n"
+        "                    (cascade-prefix head words stored "
+        "contiguously; requires --cascade-prefix);\n"
+        "                    results are bit-identical either way\n"
+        "  --shards N        partition the class store into N "
+        "contiguous row shards scanned independently\n"
+        "                    (0 = one per hardware thread; default "
+        "1); results are bit-identical for any N\n"
         "  --threads N       scan workers for batched search (0 = "
         "all hardware threads; default 1)\n"
         "  --batch N         queries per searchBatch() call (0 = "
@@ -323,6 +336,26 @@ cmdClassify(std::vector<std::string> args)
         return 2;
     }
     scanPolicy.cascadePrefix = cascadePrefix;
+    const std::string layoutName = option(args, "--layout", "row");
+    const std::size_t shards = numericOption(args, "--shards", 1);
+    StoreLayout storeLayout;
+    if (!parseRowLayout(layoutName, &storeLayout.layout)) {
+        std::fprintf(stderr,
+                     "classify: unknown layout '%s' (expected row "
+                     "or sliced)\n",
+                     layoutName.c_str());
+        return 2;
+    }
+    if (storeLayout.layout == RowLayout::Sliced &&
+        cascadePrefix == 0) {
+        std::fprintf(stderr,
+                     "classify: --layout sliced requires "
+                     "--cascade-prefix (the slice holds the "
+                     "cascade's head words)\n");
+        return 2;
+    }
+    storeLayout.shards = shards;
+    storeLayout.slicePrefix = cascadePrefix;
     if (path.empty() || args.empty()) {
         std::fprintf(stderr, "classify: need --model and at least "
                              "one TEXT argument\n");
@@ -338,6 +371,8 @@ cmdClassify(std::vector<std::string> args)
     }
     hardware->loadFrom(memory);
     hardware->setScanPolicy(scanPolicy);
+    if (storeLayout.layout != RowLayout::RowMajor || shards != 1)
+        hardware->setStoreLayout(storeLayout);
 
     metrics::QueryMetrics designMetrics;
     if (!statsPath.empty())
@@ -409,6 +444,9 @@ cmdClassify(std::vector<std::string> args)
         registry.setInfo("prune", pruneModeName(scanPolicy.prune));
         registry.setInfo("cascade_prefix",
                          std::to_string(scanPolicy.cascadePrefix));
+        registry.setInfo("layout",
+                         rowLayoutName(storeLayout.layout));
+        registry.setGauge("run.shards", static_cast<double>(shards));
         writeStatsJson(registry, statsPath, memory.dim(),
                        memory.size(), threads);
     }
