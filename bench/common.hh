@@ -85,6 +85,18 @@ makeSkewedQueries(const std::vector<Hypervector> &prototypes,
     return queries;
 }
 
+/** A scratch path under $TMPDIR (or /tmp) for benchmark fixtures. */
+inline std::string
+tempPath(const std::string &name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    std::string base =
+        (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+    if (base.back() != '/')
+        base += '/';
+    return base + name;
+}
+
 /**
  * Optional CSV sink for figure series: when the environment variable
  * HDHAM_CSV_DIR is set, each figure bench additionally writes its

@@ -34,8 +34,10 @@
 #include "core/distance.hh"
 #include "core/hypervector.hh"
 #include "core/metrics.hh"
+#include "core/model_file.hh"
 #include "core/packed_rows.hh"
 #include "core/random.hh"
+#include "core/serialize.hh"
 #include "ham/a_ham.hh"
 #include "ham/d_ham.hh"
 #include "ham/r_ham.hh"
@@ -130,6 +132,83 @@ BM_CascadeScan(benchmark::State &state)
                   gCascadeMetrics);
 }
 BENCHMARK(BM_CascadeScan)->Arg(1)->Arg(4)->UseRealTime();
+
+/**
+ * Model persistence: cold-start latency (open a saved model until it
+ * can serve) and steady-state serve throughput from the mapped file,
+ * against the same model held in RAM. The legacy format pays a full
+ * parse-and-copy per open; the hdham.model.v1 mmap view pays one
+ * checksum pass (or just header validation with verification off)
+ * and no per-row work, which is the point of the format.
+ */
+struct ModelBenchFixture
+{
+    ModelBenchFixture()
+        : legacyPath(bench::tempPath("bench_model_legacy.bin")),
+          v1Path(bench::tempPath("bench_model_v1.hdc"))
+    {
+        Rng rng(19);
+        AssociativeMemory am(kDim);
+        prototypes =
+            bench::storeRandomClasses(am, kDim, kClasses, rng);
+        queries =
+            bench::makeSkewedQueries(prototypes, kBatch, 0.05, rng);
+        serialize::saveMemory(legacyPath, am);
+        modelfile::save(v1Path, am);
+    }
+    std::string legacyPath;
+    std::string v1Path;
+    std::vector<Hypervector> prototypes;
+    std::vector<Hypervector> queries;
+};
+
+const ModelBenchFixture &
+modelBenchFixture()
+{
+    static ModelBenchFixture fixture;
+    return fixture;
+}
+
+void
+BM_ModelColdStartLegacy(benchmark::State &state)
+{
+    const auto &fx = modelBenchFixture();
+    for (auto _ : state) {
+        AssociativeMemory am =
+            serialize::loadMemory(fx.legacyPath);
+        benchmark::DoNotOptimize(am.search(fx.queries.front()));
+    }
+}
+BENCHMARK(BM_ModelColdStartLegacy);
+
+void
+BM_ModelColdStartMmap(benchmark::State &state)
+{
+    const auto &fx = modelBenchFixture();
+    const bool verify = state.range(0) != 0;
+    modelfile::ModelView::Options opts;
+    opts.verifyChecksums = verify;
+    for (auto _ : state) {
+        modelfile::ModelView view(fx.v1Path, opts);
+        benchmark::DoNotOptimize(
+            view.memory().search(fx.queries.front()));
+    }
+    state.SetLabel(verify ? "verify" : "no-verify");
+}
+BENCHMARK(BM_ModelColdStartMmap)->Arg(1)->Arg(0);
+
+void
+BM_MappedBatchSearch(benchmark::State &state)
+{
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    const auto &fx = modelBenchFixture();
+    modelfile::ModelView view(fx.v1Path);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            view.memory().searchBatch(fx.queries, threads));
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_MappedBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
 
 /**
  * Class-axis scaling: the cascade scan at C = 10k / 100k / 1M rows,

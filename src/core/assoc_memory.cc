@@ -40,8 +40,24 @@ AssociativeMemory::store(const Hypervector &hv, std::string label)
     if (hv.dim() != rows.dim())
         throw std::invalid_argument("AssociativeMemory::store: "
                                     "dimension mismatch");
+    // Append first: on a mapped (read-only) store this throws
+    // before the label list is touched, leaving the memory intact.
+    const std::size_t id = rows.append(hv);
     labels.push_back(std::move(label));
-    return rows.append(hv);
+    return id;
+}
+
+void
+AssociativeMemory::bindExternal(const StoreLayout &spec,
+                                std::size_t rowCount,
+                                const std::vector<ExternalShard> &shards,
+                                std::vector<std::string> newLabels)
+{
+    if (newLabels.size() != rowCount)
+        throw std::invalid_argument("AssociativeMemory::bindExternal:"
+                                    " one label per row required");
+    rows.bindExternal(spec, rowCount, shards);
+    labels = std::move(newLabels);
 }
 
 Hypervector

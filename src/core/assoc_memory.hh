@@ -102,6 +102,26 @@ class AssociativeMemory
     const PackedRows &storage() const { return rows; }
 
     /**
+     * True when the class store borrows read-only mapped memory
+     * (bindExternal): every search works unchanged, but store() and
+     * setStoreLayout() throw std::logic_error -- copy the classes
+     * into a fresh memory to mutate or re-lay them.
+     */
+    bool mapped() const { return rows.external(); }
+
+    /**
+     * Bind the class store to caller-managed memory (an mmap'ed
+     * hdham.model.v1 file; see core/model_file.hh) holding
+     * @p rowCount rows laid out per @p spec, with one label per
+     * class. O(shards + labels): no row word is copied, which is
+     * what makes loading a model zero-copy. The mapping must outlive
+     * this object. @pre newLabels.size() == rowCount.
+     */
+    void bindExternal(const StoreLayout &spec, std::size_t rowCount,
+                      const std::vector<ExternalShard> &shards,
+                      std::vector<std::string> newLabels);
+
+    /**
      * Attach a metrics sink (nullptr detaches). The sink must
      * outlive the memory; all search paths then count queries and
      * rows scanned, and searchBatch records its wall time. Collection

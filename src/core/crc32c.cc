@@ -1,0 +1,80 @@
+#include "core/crc32c.hh"
+
+#include <array>
+
+namespace hdham::crc32c
+{
+
+namespace
+{
+
+/** Reflected CRC32C polynomial (0x1EDC6F41 bit-reversed). */
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+/**
+ * Slice-by-8 tables: table[0] is the classic byte-at-a-time table;
+ * table[k][b] advances byte b through k additional zero bytes, so
+ * eight table lookups retire eight input bytes at once.
+ */
+struct Tables
+{
+    std::uint32_t t[8][256];
+};
+
+constexpr Tables
+buildTables()
+{
+    Tables tables{};
+    for (std::uint32_t b = 0; b < 256; ++b) {
+        std::uint32_t crc = b;
+        for (int k = 0; k < 8; ++k)
+            crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+        tables.t[0][b] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+        for (std::uint32_t b = 0; b < 256; ++b) {
+            const std::uint32_t prev = tables.t[k - 1][b];
+            tables.t[k][b] =
+                tables.t[0][prev & 0xffu] ^ (prev >> 8);
+        }
+    }
+    return tables;
+}
+
+constexpr Tables kTables = buildTables();
+
+} // namespace
+
+std::uint32_t
+update(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = ~crc;
+    // Head: align to 8 bytes so the slice loop reads whole blocks.
+    while (len > 0 &&
+           (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+        c = kTables.t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+        --len;
+    }
+    while (len >= 8) {
+        // Little-endian block fold: the four CRC-bearing bytes go
+        // through tables 7..4, the next four raw bytes through 3..0.
+        c ^= static_cast<std::uint32_t>(p[0]) |
+             (static_cast<std::uint32_t>(p[1]) << 8) |
+             (static_cast<std::uint32_t>(p[2]) << 16) |
+             (static_cast<std::uint32_t>(p[3]) << 24);
+        c = kTables.t[7][c & 0xffu] ^
+            kTables.t[6][(c >> 8) & 0xffu] ^
+            kTables.t[5][(c >> 16) & 0xffu] ^
+            kTables.t[4][(c >> 24) & 0xffu] ^
+            kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^
+            kTables.t[1][p[6]] ^ kTables.t[0][p[7]];
+        p += 8;
+        len -= 8;
+    }
+    while (len-- > 0)
+        c = kTables.t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+    return ~c;
+}
+
+} // namespace hdham::crc32c

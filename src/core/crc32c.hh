@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) checksums for the on-disk model format.
+ *
+ * Every section of an hdham.model.v1 file carries a CRC32C so a
+ * flipped bit or a short write is detected at load time instead of
+ * silently corrupting query results. CRC32C is the iSCSI/ext4
+ * polynomial (0x1EDC6F41, reflected 0x82F63B78) -- the variant with
+ * hardware support on x86 (SSE4.2) and ARM, so a later accelerated
+ * backend can slot in without changing any stored checksum.
+ *
+ * The implementation here is a portable slice-by-8 table walk: eight
+ * bytes per step, no per-byte dependency chain, ~1 GB/s -- plenty for
+ * validating model files at load.
+ */
+
+#ifndef HDHAM_CORE_CRC32C_HH
+#define HDHAM_CORE_CRC32C_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hdham::crc32c
+{
+
+/**
+ * Extend @p crc over @p len more bytes at @p data. Start a fresh
+ * checksum with crc = 0; chaining update(update(0, a), b) equals
+ * compute() over the concatenation, which is how the model writer
+ * checksums a section it emits in pieces.
+ */
+std::uint32_t update(std::uint32_t crc, const void *data,
+                     std::size_t len);
+
+/** CRC32C of one contiguous buffer. */
+inline std::uint32_t
+compute(const void *data, std::size_t len)
+{
+    return update(0, data, len);
+}
+
+} // namespace hdham::crc32c
+
+#endif // HDHAM_CORE_CRC32C_HH

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cctype>
+#include <stdexcept>
+#include <utility>
 
 namespace hdham
 {
@@ -14,6 +16,22 @@ ItemMemory::ItemMemory(std::size_t size, std::size_t dim,
     items.reserve(size);
     for (std::size_t i = 0; i < size; ++i)
         items.push_back(Hypervector::randomBalanced(dim, rng));
+}
+
+ItemMemory
+ItemMemory::fromVectors(std::vector<Hypervector> seeds)
+{
+    if (seeds.empty())
+        throw std::invalid_argument("ItemMemory::fromVectors: empty "
+                                    "seed list");
+    ItemMemory memory(seeds.front().dim());
+    for (const Hypervector &hv : seeds) {
+        if (hv.dim() != memory.dimension)
+            throw std::invalid_argument("ItemMemory::fromVectors: "
+                                        "dimension mismatch");
+    }
+    memory.items = std::move(seeds);
+    return memory;
 }
 
 const Hypervector &

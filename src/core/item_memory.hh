@@ -35,6 +35,16 @@ class ItemMemory
      */
     ItemMemory(std::size_t size, std::size_t dim, std::uint64_t seed);
 
+    /**
+     * Rebuild an item memory from explicit seed hypervectors -- the
+     * model loader's path (core/model_file.hh): a persisted model
+     * carries the exact seeds it was trained with, so reloading
+     * never depends on regenerating them from a seed value.
+     * @throws std::invalid_argument when @p seeds is empty or the
+     * dimensionalities disagree.
+     */
+    static ItemMemory fromVectors(std::vector<Hypervector> seeds);
+
     /** Number of symbols. */
     std::size_t size() const { return items.size(); }
 
@@ -45,6 +55,9 @@ class ItemMemory
     const Hypervector &operator[](std::size_t id) const;
 
   private:
+    /** For fromVectors. */
+    explicit ItemMemory(std::size_t dim) : dimension(dim) {}
+
     std::size_t dimension;
     std::vector<Hypervector> items;
 };

@@ -38,6 +38,22 @@ LevelItemMemory::LevelItemMemory(std::size_t levels, std::size_t dim,
     }
 }
 
+LevelItemMemory
+LevelItemMemory::fromVectors(std::vector<Hypervector> levels)
+{
+    if (levels.size() < 2)
+        throw std::invalid_argument("LevelItemMemory::fromVectors: "
+                                    "need at least two levels");
+    LevelItemMemory memory(levels.front().dim());
+    for (const Hypervector &hv : levels) {
+        if (hv.dim() != memory.dimension)
+            throw std::invalid_argument(
+                "LevelItemMemory::fromVectors: dimension mismatch");
+    }
+    memory.items = std::move(levels);
+    return memory;
+}
+
 const Hypervector &
 LevelItemMemory::operator[](std::size_t level) const
 {

@@ -41,6 +41,14 @@ class LevelItemMemory
     LevelItemMemory(std::size_t levels, std::size_t dim,
                     std::uint64_t seed);
 
+    /**
+     * Rebuild a level memory from explicit level hypervectors (the
+     * model loader's path; see ItemMemory::fromVectors).
+     * @throws std::invalid_argument when fewer than two levels are
+     * given or the dimensionalities disagree.
+     */
+    static LevelItemMemory fromVectors(std::vector<Hypervector> levels);
+
     /** Number of quantization levels. */
     std::size_t levels() const { return items.size(); }
 
@@ -58,6 +66,9 @@ class LevelItemMemory
                               double hi) const;
 
   private:
+    /** For fromVectors. */
+    explicit LevelItemMemory(std::size_t dim) : dimension(dim) {}
+
     std::size_t dimension;
     std::vector<Hypervector> items;
 };

@@ -1,0 +1,888 @@
+#include "core/model_file.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/crc32c.hh"
+#include "core/hypervector.hh"
+#include "core/packed_rows.hh"
+
+namespace hdham::modelfile
+{
+
+namespace
+{
+
+/** Header field offsets (bytes). Layout documented in the header. */
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffHeaderCrc = 12;
+constexpr std::size_t kOffDim = 16;
+constexpr std::size_t kOffRows = 24;
+constexpr std::size_t kOffLayoutTag = 32;
+constexpr std::size_t kOffShardCount = 36;
+constexpr std::size_t kOffSlicePrefix = 40;
+constexpr std::size_t kOffWordsPerRow = 48;
+constexpr std::size_t kOffFileSize = 56;
+constexpr std::size_t kOffSectionCount = 64;
+constexpr std::size_t kOffSections = 72;
+/** Bytes per section table entry: offset, size, crc, reserved. */
+constexpr std::size_t kSectionEntryBytes = 24;
+/** Bytes per shard table entry: firstRow, rows, head, tail. */
+constexpr std::size_t kShardEntryBytes = 32;
+/** Byte size of a {count, dim, wordsPer} side-memory header. */
+constexpr std::size_t kMemoryHeaderBytes = 24;
+
+static_assert(kOffSections + kSectionCount * kSectionEntryBytes ==
+                  headerBytes,
+              "header layout must fill exactly headerBytes");
+
+constexpr std::uint32_t kLayoutTagRowMajor = 0;
+constexpr std::uint32_t kLayoutTagSliced = 1;
+
+/** Round @p n up to the section alignment. */
+inline std::uint64_t
+alignUp(std::uint64_t n)
+{
+    return (n + alignment - 1) / alignment * alignment;
+}
+
+void
+requireLittleEndianHost(const char *what)
+{
+    if constexpr (std::endian::native != std::endian::little) {
+        throw std::runtime_error(
+            std::string("model_file: ") + what +
+            " requires a little-endian host (the format is "
+            "little-endian and queried in place)");
+    }
+}
+
+/** Little-endian field accessors on raw byte images. */
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+}
+
+void
+putU64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** One planned section: absolute offset, padded size, checksum. */
+struct SectionPlan
+{
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+};
+
+/** Everything the writer derives before emitting a byte. */
+struct FilePlan
+{
+    std::uint64_t dim = 0;
+    std::uint64_t rows = 0;
+    std::uint32_t layoutTag = 0;
+    std::uint32_t shardCount = 0;
+    std::uint64_t slicePrefix = 0;
+    std::uint64_t wordsPerRow = 0;
+    std::uint64_t fileSize = 0;
+    std::array<SectionPlan, kSectionCount> sections;
+    /** Absolute head/tail byte offsets per shard. */
+    std::vector<std::uint64_t> headOffsets;
+    std::vector<std::uint64_t> tailOffsets;
+};
+
+/**
+ * Both writer passes drive the same emitters; a sink tracks the
+ * absolute file position so padding targets are plain plan offsets.
+ * CrcSink (pass 1) folds the bytes into a CRC32C, StreamSink
+ * (pass 2) writes them -- guaranteeing the checksums cover exactly
+ * the bytes emitted.
+ */
+struct CrcSink
+{
+    std::uint32_t crc = 0;
+    std::uint64_t at = 0;
+
+    void bytes(const void *data, std::size_t len)
+    {
+        crc = crc32c::update(crc, data, len);
+        at += len;
+    }
+    void u64(std::uint64_t v)
+    {
+        unsigned char buf[8];
+        putU64(buf, v);
+        bytes(buf, 8);
+    }
+    void padTo(std::uint64_t target)
+    {
+        static const std::array<unsigned char, alignment> zeros{};
+        while (at < target) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(target - at, zeros.size()));
+            bytes(zeros.data(), n);
+        }
+    }
+};
+
+struct StreamSink
+{
+    std::ostream &out;
+    std::uint64_t at = 0;
+
+    void bytes(const void *data, std::size_t len)
+    {
+        out.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(len));
+        at += len;
+    }
+    void u64(std::uint64_t v)
+    {
+        unsigned char buf[8];
+        putU64(buf, v);
+        bytes(buf, 8);
+    }
+    void padTo(std::uint64_t target)
+    {
+        static const std::array<unsigned char, alignment> zeros{};
+        while (at < target) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(target - at, zeros.size()));
+            bytes(zeros.data(), n);
+        }
+    }
+};
+
+/** Shard table section: one 32-byte record per shard. */
+template <typename Sink>
+void
+emitShardTable(Sink &sink, const PackedRows &store,
+               const FilePlan &plan)
+{
+    for (std::size_t s = 0; s < store.shardCount(); ++s) {
+        const ShardView v = store.shardView(s);
+        sink.u64(v.firstRow);
+        sink.u64(v.rows);
+        sink.u64(plan.headOffsets[s]);
+        sink.u64(plan.tailOffsets[s]);
+    }
+    sink.padTo(plan.sections[kShardTable].offset +
+               plan.sections[kShardTable].size);
+}
+
+/**
+ * Row words section: every shard's head region, then its tail
+ * region (sliced layouts), each 64-byte aligned -- streamed straight
+ * from the live store's word pointers.
+ */
+template <typename Sink>
+void
+emitRowWords(Sink &sink, const PackedRows &store,
+             const FilePlan &plan)
+{
+    for (std::size_t s = 0; s < store.shardCount(); ++s) {
+        const ShardView v = store.shardView(s);
+        sink.padTo(plan.headOffsets[s]);
+        sink.bytes(v.head,
+                   v.rows * v.headStride * sizeof(std::uint64_t));
+        if (v.sliceBits != 0) {
+            sink.padTo(plan.tailOffsets[s]);
+            sink.bytes(v.tail, v.rows * v.tailStride *
+                                   sizeof(std::uint64_t));
+        }
+    }
+    sink.padTo(plan.sections[kRowWords].offset +
+               plan.sections[kRowWords].size);
+}
+
+/** Labels section: count, then {len, bytes} per class. */
+template <typename Sink>
+void
+emitLabels(Sink &sink, const AssociativeMemory &am,
+           const FilePlan &plan)
+{
+    sink.u64(am.size());
+    for (std::size_t id = 0; id < am.size(); ++id) {
+        const std::string &label = am.labelOf(id);
+        sink.u64(label.size());
+        sink.bytes(label.data(), label.size());
+    }
+    sink.padTo(plan.sections[kLabels].offset +
+               plan.sections[kLabels].size);
+}
+
+/**
+ * Side-memory section (item or level memory): {count, dim,
+ * wordsPer} then the packed words of every hypervector. An absent
+ * memory writes an all-zero header (count = 0).
+ */
+template <typename Sink, typename Memory>
+void
+emitSideMemory(Sink &sink, const Memory *memory, std::size_t count,
+               const FilePlan &plan, std::size_t section)
+{
+    const std::uint64_t end = plan.sections[section].offset +
+                              plan.sections[section].size;
+    if (memory == nullptr || count == 0) {
+        sink.u64(0);
+        sink.u64(0);
+        sink.u64(0);
+        sink.padTo(end);
+        return;
+    }
+    sink.u64(count);
+    sink.u64(memory->dim());
+    sink.u64(plan.wordsPerRow);
+    for (std::size_t i = 0; i < count; ++i) {
+        sink.bytes((*memory)[i].data(),
+                   plan.wordsPerRow * sizeof(std::uint64_t));
+    }
+    sink.padTo(end);
+}
+
+/** Run one section's emitter into a CRC sink and record the plan. */
+template <typename Emit>
+void
+planSection(FilePlan &plan, std::size_t section, Emit &&emit)
+{
+    CrcSink sink;
+    sink.at = plan.sections[section].offset;
+    emit(sink);
+    plan.sections[section].crc = sink.crc;
+    if (sink.at !=
+        plan.sections[section].offset + plan.sections[section].size) {
+        throw std::logic_error("model_file: section size plan "
+                               "mismatch (writer bug)");
+    }
+}
+
+/** Compute every offset, size and checksum before writing. */
+FilePlan
+planFile(const AssociativeMemory &am, const SaveOptions &opts)
+{
+    const PackedRows &store = am.storage();
+    const StoreLayout &spec = store.layoutSpec();
+
+    if (opts.items != nullptr && opts.items->dim() != am.dim()) {
+        throw std::invalid_argument(
+            "model_file: item memory dimension differs from the "
+            "model dimension");
+    }
+    if (opts.levels != nullptr && opts.levels->dim() != am.dim()) {
+        throw std::invalid_argument(
+            "model_file: level memory dimension differs from the "
+            "model dimension");
+    }
+
+    FilePlan plan;
+    plan.dim = am.dim();
+    plan.rows = am.size();
+    plan.layoutTag = spec.layout == RowLayout::Sliced
+                         ? kLayoutTagSliced
+                         : kLayoutTagRowMajor;
+    plan.shardCount = static_cast<std::uint32_t>(store.shardCount());
+    plan.slicePrefix =
+        spec.layout == RowLayout::Sliced ? spec.slicePrefix : 0;
+    plan.wordsPerRow = store.wordsPerRow();
+
+    // Section 0: shard table.
+    plan.sections[kShardTable].offset = headerBytes;
+    plan.sections[kShardTable].size =
+        alignUp(std::uint64_t{plan.shardCount} * kShardEntryBytes);
+
+    // Section 1: row words -- per-shard regions, each 64-aligned.
+    std::uint64_t cursor = plan.sections[kShardTable].offset +
+                           plan.sections[kShardTable].size;
+    plan.sections[kRowWords].offset = cursor;
+    plan.headOffsets.resize(store.shardCount());
+    plan.tailOffsets.resize(store.shardCount());
+    for (std::size_t s = 0; s < store.shardCount(); ++s) {
+        const ShardView v = store.shardView(s);
+        plan.headOffsets[s] = cursor;
+        cursor +=
+            alignUp(v.rows * v.headStride * sizeof(std::uint64_t));
+        if (v.sliceBits != 0) {
+            plan.tailOffsets[s] = cursor;
+            cursor += alignUp(v.rows * v.tailStride *
+                              sizeof(std::uint64_t));
+        } else {
+            plan.tailOffsets[s] = 0;
+        }
+    }
+    plan.sections[kRowWords].size =
+        cursor - plan.sections[kRowWords].offset;
+
+    // Section 2: labels.
+    std::uint64_t labelPayload = 8;
+    for (std::size_t id = 0; id < am.size(); ++id)
+        labelPayload += 8 + am.labelOf(id).size();
+    plan.sections[kLabels].offset = cursor;
+    plan.sections[kLabels].size = alignUp(labelPayload);
+    cursor += plan.sections[kLabels].size;
+
+    // Sections 3/4: side memories.
+    const std::size_t itemCount =
+        opts.items != nullptr ? opts.items->size() : 0;
+    const std::size_t levelCount =
+        opts.levels != nullptr ? opts.levels->levels() : 0;
+    plan.sections[kItemMemory].offset = cursor;
+    plan.sections[kItemMemory].size = alignUp(
+        kMemoryHeaderBytes +
+        itemCount * plan.wordsPerRow * sizeof(std::uint64_t));
+    cursor += plan.sections[kItemMemory].size;
+    plan.sections[kLevelMemory].offset = cursor;
+    plan.sections[kLevelMemory].size = alignUp(
+        kMemoryHeaderBytes +
+        levelCount * plan.wordsPerRow * sizeof(std::uint64_t));
+    cursor += plan.sections[kLevelMemory].size;
+
+    plan.fileSize = cursor;
+
+    // Checksums: run every emitter once into a CRC sink.
+    planSection(plan, kShardTable, [&](CrcSink &sink) {
+        emitShardTable(sink, store, plan);
+    });
+    planSection(plan, kRowWords, [&](CrcSink &sink) {
+        emitRowWords(sink, store, plan);
+    });
+    planSection(plan, kLabels, [&](CrcSink &sink) {
+        emitLabels(sink, am, plan);
+    });
+    planSection(plan, kItemMemory, [&](CrcSink &sink) {
+        emitSideMemory(sink, opts.items, itemCount, plan,
+                       kItemMemory);
+    });
+    planSection(plan, kLevelMemory, [&](CrcSink &sink) {
+        emitSideMemory(sink, opts.levels, levelCount, plan,
+                       kLevelMemory);
+    });
+    return plan;
+}
+
+/** Assemble the 192-byte header image, CRC patched in. */
+std::array<unsigned char, headerBytes>
+buildHeader(const FilePlan &plan)
+{
+    std::array<unsigned char, headerBytes> h{};
+    std::memcpy(h.data() + kOffMagic, magic, sizeof(magic));
+    putU32(h.data() + kOffVersion, formatVersion);
+    putU32(h.data() + kOffHeaderCrc, 0);
+    putU64(h.data() + kOffDim, plan.dim);
+    putU64(h.data() + kOffRows, plan.rows);
+    putU32(h.data() + kOffLayoutTag, plan.layoutTag);
+    putU32(h.data() + kOffShardCount, plan.shardCount);
+    putU64(h.data() + kOffSlicePrefix, plan.slicePrefix);
+    putU64(h.data() + kOffWordsPerRow, plan.wordsPerRow);
+    putU64(h.data() + kOffFileSize, plan.fileSize);
+    putU32(h.data() + kOffSectionCount, kSectionCount);
+    for (std::size_t i = 0; i < kSectionCount; ++i) {
+        unsigned char *e =
+            h.data() + kOffSections + i * kSectionEntryBytes;
+        putU64(e, plan.sections[i].offset);
+        putU64(e + 8, plan.sections[i].size);
+        putU32(e + 16, plan.sections[i].crc);
+    }
+    putU32(h.data() + kOffHeaderCrc,
+           crc32c::compute(h.data(), headerBytes));
+    return h;
+}
+
+} // namespace
+
+const char *
+sectionName(std::size_t section)
+{
+    switch (section) {
+    case kShardTable:
+        return "shard table";
+    case kRowWords:
+        return "row words";
+    case kLabels:
+        return "labels";
+    case kItemMemory:
+        return "item memory";
+    case kLevelMemory:
+        return "level memory";
+    }
+    return "unknown";
+}
+
+void
+ModelWriter::write(const AssociativeMemory &am,
+                   const SaveOptions &opts)
+{
+    requireLittleEndianHost("save");
+    const FilePlan plan = planFile(am, opts);
+    const auto header = buildHeader(plan);
+
+    StreamSink sink{out};
+    sink.bytes(header.data(), header.size());
+    const PackedRows &store = am.storage();
+    emitShardTable(sink, store, plan);
+    emitRowWords(sink, store, plan);
+    emitLabels(sink, am, plan);
+    emitSideMemory(sink, opts.items,
+                   opts.items != nullptr ? opts.items->size() : 0,
+                   plan, kItemMemory);
+    emitSideMemory(sink, opts.levels,
+                   opts.levels != nullptr ? opts.levels->levels() : 0,
+                   plan, kLevelMemory);
+    if (sink.at != plan.fileSize || !out) {
+        throw std::runtime_error(
+            "model_file: write failed (stream error)");
+    }
+}
+
+void
+save(const std::string &path, const AssociativeMemory &am,
+     const SaveOptions &opts)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("model_file: cannot open " + path +
+                                 " for writing");
+    }
+    ModelWriter writer(out);
+    writer.write(am, opts);
+    out.flush();
+    if (!out) {
+        throw std::runtime_error("model_file: write failed: " + path);
+    }
+}
+
+bool
+sniff(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char head[sizeof(magic)];
+    in.read(head, sizeof(head));
+    return in.gcount() == sizeof(head) &&
+           std::memcmp(head, magic, sizeof(magic)) == 0;
+}
+
+ModelView::ModelView(const std::string &path)
+    : ModelView(path, Options{})
+{
+}
+
+ModelView::ModelView(const std::string &path, const Options &opts)
+    : filePath(path)
+{
+    requireLittleEndianHost("load");
+    try {
+        openAndValidate(opts);
+    } catch (...) {
+        unmap();
+        throw;
+    }
+}
+
+ModelView::ModelView(ModelView &&other) noexcept
+    : filePath(std::move(other.filePath)), base(other.base),
+      mapBytes(other.mapBytes), fileVersion(other.fileVersion),
+      headerCrc(other.headerCrc), itemCount(other.itemCount),
+      itemWordsOffset(other.itemWordsOffset),
+      levelCount(other.levelCount),
+      levelWordsOffset(other.levelWordsOffset),
+      am(std::move(other.am))
+{
+    other.base = nullptr;
+    other.mapBytes = 0;
+    other.am.reset();
+}
+
+ModelView::~ModelView()
+{
+    unmap();
+}
+
+void
+ModelView::unmap() noexcept
+{
+    if (base != nullptr) {
+        ::munmap(
+            const_cast<void *>(static_cast<const void *>(base)),
+            mapBytes);
+        base = nullptr;
+        mapBytes = 0;
+    }
+}
+
+void
+ModelView::openAndValidate(const Options &opts)
+{
+    const auto fail = [this](const std::string &what) -> void {
+        throw std::runtime_error("model_file: " + filePath + ": " +
+                                 what);
+    };
+
+    const int fd = ::open(filePath.c_str(), O_RDONLY);
+    if (fd < 0)
+        fail(std::string("cannot open: ") + std::strerror(errno));
+    struct ::stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fail(std::string("cannot stat: ") + std::strerror(err));
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size < headerBytes) {
+        ::close(fd);
+        fail("truncated header: " + std::to_string(size) +
+             " bytes, need " + std::to_string(headerBytes));
+    }
+    void *mapped =
+        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (mapped == MAP_FAILED)
+        fail(std::string("mmap failed: ") + std::strerror(errno));
+    base = static_cast<const unsigned char *>(mapped);
+    mapBytes = size;
+
+    // --- Header ---------------------------------------------------
+    if (std::memcmp(base + kOffMagic, magic, sizeof(magic)) != 0)
+        fail("bad magic (not an hdham model file)");
+    fileVersion = getU32(base + kOffVersion);
+    if (fileVersion != formatVersion) {
+        fail("unsupported version " + std::to_string(fileVersion) +
+             " (expected " + std::to_string(formatVersion) + ")");
+    }
+    headerCrc = getU32(base + kOffHeaderCrc);
+    {
+        std::array<unsigned char, headerBytes> image;
+        std::memcpy(image.data(), base, headerBytes);
+        putU32(image.data() + kOffHeaderCrc, 0);
+        const std::uint32_t computed =
+            crc32c::compute(image.data(), headerBytes);
+        if (computed != headerCrc) {
+            fail("header checksum mismatch (stored " +
+                 std::to_string(headerCrc) + ", computed " +
+                 std::to_string(computed) + ")");
+        }
+    }
+    const std::uint64_t dim = getU64(base + kOffDim);
+    const std::uint64_t rowCount = getU64(base + kOffRows);
+    const std::uint32_t layoutTag = getU32(base + kOffLayoutTag);
+    const std::uint32_t shardCount = getU32(base + kOffShardCount);
+    const std::uint64_t slicePrefix = getU64(base + kOffSlicePrefix);
+    const std::uint64_t wordsPerRow = getU64(base + kOffWordsPerRow);
+    const std::uint64_t fileSizeField = getU64(base + kOffFileSize);
+    const std::uint32_t sectionCount =
+        getU32(base + kOffSectionCount);
+
+    if (fileSizeField != size) {
+        fail("truncated file: have " + std::to_string(size) +
+             " bytes, header records " +
+             std::to_string(fileSizeField));
+    }
+    if (sectionCount != kSectionCount) {
+        fail("unexpected section count " +
+             std::to_string(sectionCount) + " (expected " +
+             std::to_string(kSectionCount) + ")");
+    }
+    if (dim == 0)
+        fail("zero dimension");
+    if (dim > (1ULL << 28))
+        fail("implausible dimensionality " + std::to_string(dim));
+    const std::uint64_t expectWords =
+        (dim + Hypervector::bitsPerWord - 1) /
+        Hypervector::bitsPerWord;
+    if (wordsPerRow != expectWords) {
+        fail("words-per-row field " + std::to_string(wordsPerRow) +
+             " does not match dimension " + std::to_string(dim));
+    }
+    if (layoutTag != kLayoutTagRowMajor &&
+        layoutTag != kLayoutTagSliced)
+        fail("unknown layout tag " + std::to_string(layoutTag));
+    if (layoutTag == kLayoutTagSliced && slicePrefix == 0)
+        fail("sliced layout with zero slice prefix");
+    if (layoutTag == kLayoutTagRowMajor && slicePrefix != 0)
+        fail("row-major layout with nonzero slice prefix");
+    if (shardCount == 0)
+        fail("zero shard count");
+
+    // --- Section table --------------------------------------------
+    SectionPlan sections[kSectionCount];
+    std::uint64_t expectedOffset = headerBytes;
+    for (std::size_t i = 0; i < kSectionCount; ++i) {
+        const unsigned char *e =
+            base + kOffSections + i * kSectionEntryBytes;
+        sections[i].offset = getU64(e);
+        sections[i].size = getU64(e + 8);
+        sections[i].crc = getU32(e + 16);
+        if (sections[i].offset != expectedOffset ||
+            sections[i].offset % alignment != 0 ||
+            sections[i].size % alignment != 0) {
+            fail(std::string("section table corrupt: ") +
+                 sectionName(i) + " section at byte " +
+                 std::to_string(sections[i].offset) +
+                 " (expected byte " +
+                 std::to_string(expectedOffset) + ")");
+        }
+        expectedOffset += sections[i].size;
+    }
+    if (expectedOffset != size) {
+        fail("section table corrupt: sections end at byte " +
+             std::to_string(expectedOffset) + ", file has " +
+             std::to_string(size));
+    }
+
+    // --- Section checksums ----------------------------------------
+    if (opts.verifyChecksums) {
+        for (std::size_t i = 0; i < kSectionCount; ++i) {
+            const std::uint32_t computed = crc32c::compute(
+                base + sections[i].offset, sections[i].size);
+            if (computed != sections[i].crc) {
+                fail(std::string(sectionName(i)) +
+                     " section checksum mismatch at byte " +
+                     std::to_string(sections[i].offset) +
+                     " (stored " + std::to_string(sections[i].crc) +
+                     ", computed " + std::to_string(computed) + ")");
+            }
+        }
+    }
+
+    // --- Shard table ----------------------------------------------
+    // Derive the head/tail strides exactly as RowStore does,
+    // including the degenerate whole-row slice.
+    const std::uint64_t rawSlice =
+        layoutTag == kLayoutTagSliced
+            ? std::min<std::uint64_t>(
+                  wordsPerRow,
+                  (slicePrefix + Hypervector::bitsPerWord - 1) /
+                      Hypervector::bitsPerWord)
+            : 0;
+    const std::uint64_t sliceWords =
+        rawSlice >= wordsPerRow ? 0 : rawSlice;
+    const std::uint64_t headStride =
+        sliceWords == 0 ? wordsPerRow : sliceWords;
+    const std::uint64_t tailStride =
+        sliceWords == 0 ? 0 : wordsPerRow - sliceWords;
+
+    if (std::uint64_t{shardCount} * kShardEntryBytes >
+        sections[kShardTable].size) {
+        fail("shard table overflows its section (" +
+             std::to_string(shardCount) + " shards)");
+    }
+    const std::uint64_t rowsBegin = sections[kRowWords].offset;
+    const std::uint64_t rowsEnd =
+        rowsBegin + sections[kRowWords].size;
+    std::vector<ExternalShard> ext(shardCount);
+    std::uint64_t covered = 0;
+    for (std::size_t s = 0; s < shardCount; ++s) {
+        const unsigned char *e = base +
+                                 sections[kShardTable].offset +
+                                 s * kShardEntryBytes;
+        const std::uint64_t firstRow = getU64(e);
+        const std::uint64_t shardRows = getU64(e + 8);
+        const std::uint64_t headOffset = getU64(e + 16);
+        const std::uint64_t tailOffset = getU64(e + 24);
+        if (firstRow != covered) {
+            fail("shard table corrupt: shard " + std::to_string(s) +
+                 " starts at row " + std::to_string(firstRow) +
+                 ", expected " + std::to_string(covered));
+        }
+        covered += shardRows;
+        const std::uint64_t headByteCount =
+            shardRows * headStride * sizeof(std::uint64_t);
+        if (headOffset % alignment != 0 || headOffset < rowsBegin ||
+            headOffset + headByteCount > rowsEnd) {
+            fail("shard " + std::to_string(s) +
+                 " head region at byte " +
+                 std::to_string(headOffset) +
+                 " falls outside the row words section");
+        }
+        ext[s].firstRow = static_cast<std::size_t>(firstRow);
+        ext[s].rows = static_cast<std::size_t>(shardRows);
+        ext[s].head = reinterpret_cast<const std::uint64_t *>(
+            base + headOffset);
+        if (tailStride != 0) {
+            const std::uint64_t tailByteCount =
+                shardRows * tailStride * sizeof(std::uint64_t);
+            if (tailOffset % alignment != 0 ||
+                tailOffset < rowsBegin ||
+                tailOffset + tailByteCount > rowsEnd) {
+                fail("shard " + std::to_string(s) +
+                     " tail region at byte " +
+                     std::to_string(tailOffset) +
+                     " falls outside the row words section");
+            }
+            ext[s].tail = reinterpret_cast<const std::uint64_t *>(
+                base + tailOffset);
+        } else if (tailOffset != 0) {
+            fail("shard " + std::to_string(s) +
+                 " records a tail region in a row-major layout");
+        }
+    }
+    if (covered != rowCount) {
+        fail("shard table corrupt: shards cover " +
+             std::to_string(covered) + " rows, header records " +
+             std::to_string(rowCount));
+    }
+
+    // --- Labels ---------------------------------------------------
+    std::vector<std::string> labels;
+    {
+        const std::uint64_t begin = sections[kLabels].offset;
+        const std::uint64_t end = begin + sections[kLabels].size;
+        std::uint64_t at = begin;
+        if (at + 8 > end)
+            fail("labels section too small for its count");
+        const std::uint64_t count = getU64(base + at);
+        at += 8;
+        if (count != rowCount) {
+            fail("labels section records " + std::to_string(count) +
+                 " labels for " + std::to_string(rowCount) +
+                 " classes");
+        }
+        labels.reserve(static_cast<std::size_t>(count));
+        for (std::uint64_t i = 0; i < count; ++i) {
+            if (at + 8 > end) {
+                fail("labels section truncated at byte " +
+                     std::to_string(at));
+            }
+            const std::uint64_t len = getU64(base + at);
+            at += 8;
+            if (len > end - at) {
+                fail("label " + std::to_string(i) + " at byte " +
+                     std::to_string(at) + " overruns its section");
+            }
+            labels.emplace_back(
+                reinterpret_cast<const char *>(base + at),
+                static_cast<std::size_t>(len));
+            at += len;
+        }
+    }
+
+    // --- Side memories --------------------------------------------
+    const auto parseSideMemory = [&](std::size_t section,
+                                     std::size_t *count,
+                                     std::size_t *wordsOffset) {
+        const std::uint64_t begin = sections[section].offset;
+        const std::uint64_t sizeOf = sections[section].size;
+        if (sizeOf < kMemoryHeaderBytes) {
+            fail(std::string(sectionName(section)) +
+                 " section too small for its header");
+        }
+        const std::uint64_t n = getU64(base + begin);
+        const std::uint64_t memDim = getU64(base + begin + 8);
+        const std::uint64_t wordsPer = getU64(base + begin + 16);
+        if (n == 0) {
+            *count = 0;
+            *wordsOffset = 0;
+            return;
+        }
+        if (memDim != dim || wordsPer != wordsPerRow) {
+            fail(std::string(sectionName(section)) + " dimension " +
+                 std::to_string(memDim) +
+                 " does not match the model dimension " +
+                 std::to_string(dim));
+        }
+        if (n > (1ULL << 24)) {
+            fail(std::string("implausible ") + sectionName(section) +
+                 " count " + std::to_string(n));
+        }
+        if (kMemoryHeaderBytes +
+                n * wordsPer * sizeof(std::uint64_t) >
+            sizeOf) {
+            fail(std::string(sectionName(section)) +
+                 " words overrun their section");
+        }
+        *count = static_cast<std::size_t>(n);
+        *wordsOffset =
+            static_cast<std::size_t>(begin + kMemoryHeaderBytes);
+    };
+    parseSideMemory(kItemMemory, &itemCount, &itemWordsOffset);
+    parseSideMemory(kLevelMemory, &levelCount, &levelWordsOffset);
+    if (levelCount == 1)
+        fail("level memory with a single level");
+
+    // --- Bind -----------------------------------------------------
+    StoreLayout spec;
+    spec.layout = layoutTag == kLayoutTagSliced ? RowLayout::Sliced
+                                                : RowLayout::RowMajor;
+    spec.shards = shardCount;
+    spec.slicePrefix = static_cast<std::size_t>(slicePrefix);
+    am.emplace(static_cast<std::size_t>(dim));
+    am->bindExternal(spec, static_cast<std::size_t>(rowCount), ext,
+                     std::move(labels));
+}
+
+ItemMemory
+ModelView::itemMemory() const
+{
+    if (itemCount == 0) {
+        throw std::logic_error("model_file: " + filePath +
+                               ": no item memory section");
+    }
+    const std::size_t wordsPer = am->storage().wordsPerRow();
+    std::vector<Hypervector> seeds;
+    seeds.reserve(itemCount);
+    for (std::size_t i = 0; i < itemCount; ++i) {
+        seeds.push_back(Hypervector::fromWords(
+            am->dim(), reinterpret_cast<const std::uint64_t *>(
+                           base + itemWordsOffset) +
+                           i * wordsPer));
+    }
+    return ItemMemory::fromVectors(std::move(seeds));
+}
+
+LevelItemMemory
+ModelView::levelMemory() const
+{
+    if (levelCount == 0) {
+        throw std::logic_error("model_file: " + filePath +
+                               ": no level memory section");
+    }
+    const std::size_t wordsPer = am->storage().wordsPerRow();
+    std::vector<Hypervector> levels;
+    levels.reserve(levelCount);
+    for (std::size_t i = 0; i < levelCount; ++i) {
+        levels.push_back(Hypervector::fromWords(
+            am->dim(), reinterpret_cast<const std::uint64_t *>(
+                           base + levelWordsOffset) +
+                           i * wordsPer));
+    }
+    return LevelItemMemory::fromVectors(std::move(levels));
+}
+
+} // namespace hdham::modelfile

@@ -172,6 +172,35 @@ class PackedRows
     std::size_t shardCount() const { return store.shardCount(); }
 
     /**
+     * Scan view of shard @p shard -- the raw word pointers and
+     * strides the scan loops use. Exposed so the model writer
+     * (core/model_file.hh) can stream the physical words straight to
+     * disk without materializing rows. @pre shard < shardCount().
+     */
+    ShardView shardView(std::size_t shard) const
+    {
+        return store.view(shard);
+    }
+
+    /**
+     * True when the backing store borrows read-only external memory
+     * (an mmap'ed model file; see bindExternal). append/reserve/
+     * setLayout throw on such a store.
+     */
+    bool external() const { return store.external(); }
+
+    /**
+     * Point the backing store at caller-managed memory laid out per
+     * @p spec (see RowStore::bindExternal). O(shards): no row word
+     * is copied or read. The memory must outlive this object.
+     */
+    void bindExternal(const StoreLayout &spec, std::size_t rowCount,
+                      const std::vector<ExternalShard> &ext)
+    {
+        store.bindExternal(spec, rowCount, ext);
+    }
+
+    /**
      * Reserve capacity for @p extraRows more append() calls so bulk
      * training / model loading never reallocates (and never breaks
      * the sharded first-touch placement with growth copies).

@@ -53,9 +53,9 @@ RowStore::view(std::size_t shard) const
     assert(shard < shards.size());
     const Shard &s = shards[shard];
     ShardView v;
-    v.head = s.head.data();
+    v.head = s.headData();
     v.headStride = headSliceWords == 0 ? rowWords : headSliceWords;
-    v.tail = s.tail.data();
+    v.tail = s.tailData();
     v.tailStride = headSliceWords == 0 ? 0 : tailWords();
     v.firstRow = s.firstRow;
     v.rows = s.rows;
@@ -64,8 +64,19 @@ RowStore::view(std::size_t shard) const
 }
 
 void
+RowStore::requireOwned(const char *what) const
+{
+    if (isExternal) {
+        throw std::logic_error(
+            std::string("RowStore::") + what +
+            ": store is bound to read-only external memory");
+    }
+}
+
+void
 RowStore::reserve(std::size_t extraRows)
 {
+    requireOwned("reserve");
     Shard &last = shards.back();
     const std::size_t headStride =
         headSliceWords == 0 ? rowWords : headSliceWords;
@@ -78,6 +89,7 @@ RowStore::reserve(std::size_t extraRows)
 std::size_t
 RowStore::append(const std::uint64_t *row)
 {
+    requireOwned("append");
     Shard &last = shards.back();
     if (headSliceWords == 0) {
         last.head.insert(last.head.end(), row, row + rowWords);
@@ -99,14 +111,14 @@ RowStore::copyRow(std::size_t row, std::uint64_t *dst) const
     locate(row, &shard, &local);
     const Shard &s = shards[shard];
     if (headSliceWords == 0) {
-        std::memcpy(dst, s.head.data() + local * rowWords,
+        std::memcpy(dst, s.headData() + local * rowWords,
                     rowWords * sizeof(std::uint64_t));
         return;
     }
-    std::memcpy(dst, s.head.data() + local * headSliceWords,
+    std::memcpy(dst, s.headData() + local * headSliceWords,
                 headSliceWords * sizeof(std::uint64_t));
     std::memcpy(dst + headSliceWords,
-                s.tail.data() + local * tailWords(),
+                s.tailData() + local * tailWords(),
                 tailWords() * sizeof(std::uint64_t));
 }
 
@@ -133,6 +145,7 @@ RowStore::locate(std::size_t row, std::size_t *shard,
 void
 RowStore::reshape(const StoreLayout &request)
 {
+    requireOwned("reshape");
     StoreLayout resolved = request;
     if (resolved.layout == RowLayout::Sliced &&
         resolved.slicePrefix == 0) {
@@ -198,6 +211,81 @@ RowStore::reshape(const StoreLayout &request)
         shards.resize(1);
     headSliceWords = sliceWords;
     spec = resolved;
+}
+
+void
+RowStore::bindExternal(const StoreLayout &request,
+                       std::size_t rowCount,
+                       const std::vector<ExternalShard> &ext)
+{
+    StoreLayout resolved = request;
+    if (resolved.layout == RowLayout::Sliced &&
+        resolved.slicePrefix == 0) {
+        throw std::invalid_argument(
+            "RowStore::bindExternal: sliced layout needs a slice "
+            "prefix");
+    }
+    if (resolved.layout == RowLayout::RowMajor)
+        resolved.slicePrefix = 0;
+    if (ext.empty()) {
+        throw std::invalid_argument(
+            "RowStore::bindExternal: need at least one shard");
+    }
+    resolved.shards = ext.size();
+
+    // Same slice derivation as reshape(): a slice covering the whole
+    // row degenerates to row-major records in the head region.
+    const std::size_t newSlice =
+        resolved.layout == RowLayout::Sliced
+            ? std::min(rowWords,
+                       (resolved.slicePrefix +
+                        Hypervector::bitsPerWord - 1) /
+                           Hypervector::bitsPerWord)
+            : 0;
+    const std::size_t sliceWords =
+        newSlice >= rowWords ? 0 : newSlice;
+
+    std::vector<Shard> next(ext.size());
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < ext.size(); ++i) {
+        const ExternalShard &e = ext[i];
+        if (e.firstRow != covered) {
+            throw std::invalid_argument(
+                "RowStore::bindExternal: shard ranges must cover "
+                "[0, rows) contiguously in ascending order");
+        }
+        if (e.rows > 0 && e.head == nullptr) {
+            throw std::invalid_argument(
+                "RowStore::bindExternal: missing head pointer");
+        }
+        if (e.rows > 0 && sliceWords != 0 && e.tail == nullptr) {
+            throw std::invalid_argument(
+                "RowStore::bindExternal: sliced layout needs a tail "
+                "pointer");
+        }
+        covered += e.rows;
+        next[i].firstRow = e.firstRow;
+        next[i].rows = e.rows;
+        // Empty shards still need a non-null sentinel so headData()
+        // never falls back to the (empty) owned vector of a store
+        // that claims to be external.
+        static const std::uint64_t kEmpty = 0;
+        next[i].extHead = e.head != nullptr ? e.head : &kEmpty;
+        next[i].extTail = sliceWords != 0
+                              ? (e.tail != nullptr ? e.tail : &kEmpty)
+                              : nullptr;
+    }
+    if (covered != rowCount) {
+        throw std::invalid_argument(
+            "RowStore::bindExternal: shard rows do not sum to the "
+            "row count");
+    }
+
+    shards = std::move(next);
+    numRows = rowCount;
+    headSliceWords = sliceWords;
+    spec = resolved;
+    isExternal = true;
 }
 
 } // namespace hdham

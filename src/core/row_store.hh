@@ -40,6 +40,16 @@
  * moves words, never changes them, and a round trip through any
  * sequence of layouts reproduces every row bit for bit (pinned by
  * tests/core/row_store_test.cc).
+ *
+ * A RowStore can also *borrow* its words instead of owning them:
+ * bindExternal() points every shard at caller-managed memory (an
+ * mmap'ed hdham.model.v1 file; see core/model_file.hh) without
+ * copying a single row word. A bound store serves every scan through
+ * the same ShardViews as an owned store -- the scan loops cannot
+ * tell the difference -- but it is read-only: append(), reserve()
+ * and reshape() throw std::logic_error, because the backing mapping
+ * is immutable and may be shared by other processes. The external
+ * memory must stay mapped and unchanged for the store's lifetime.
  */
 
 #ifndef HDHAM_CORE_ROW_STORE_HH
@@ -118,6 +128,22 @@ struct ShardView
 };
 
 /**
+ * One shard of caller-managed words for RowStore::bindExternal().
+ * Pointer semantics match ShardView: head holds whole rows for a
+ * row-major layout, the per-row slice words for a sliced one (tail
+ * then holds the per-row remainder; null for row-major).
+ */
+struct ExternalShard
+{
+    const std::uint64_t *head = nullptr;
+    const std::uint64_t *tail = nullptr;
+    /** Global index of this shard's row 0. */
+    std::size_t firstRow = 0;
+    /** Rows in this shard. */
+    std::size_t rows = 0;
+};
+
+/**
  * Sharded, layout-aware owner of the packed row words.
  */
 class RowStore
@@ -143,6 +169,13 @@ class RowStore
 
     /** Number of shards (>= 1). */
     std::size_t shardCount() const { return shards.size(); }
+
+    /**
+     * True when the store borrows caller-managed memory
+     * (bindExternal) instead of owning its words. External stores
+     * are read-only: append/reserve/reshape throw.
+     */
+    bool external() const { return isExternal; }
 
     /** Scan view of shard @p shard. @pre shard < shardCount(). */
     ShardView view(std::size_t shard) const;
@@ -178,6 +211,23 @@ class RowStore
      */
     void reshape(const StoreLayout &spec);
 
+    /**
+     * Replace the store's contents with @p rowCount rows borrowed
+     * from caller-managed memory (typically an mmap'ed model file):
+     * shard s's words live at ext[s].head / ext[s].tail for the
+     * store's lifetime, laid out per @p spec exactly as an owned
+     * store's would be. No row word is copied, read or validated --
+     * binding is O(shards), which is what gives the model loader its
+     * zero-deserialization cold start. The store becomes external():
+     * every scan works unchanged, but append/reserve/reshape throw.
+     *
+     * @throws std::invalid_argument when spec/ext are inconsistent
+     * (sliced without slicePrefix, shard ranges not a contiguous
+     * ascending cover of [0, rowCount), missing tail pointers).
+     */
+    void bindExternal(const StoreLayout &spec, std::size_t rowCount,
+                      const std::vector<ExternalShard> &ext);
+
   private:
     struct Shard
     {
@@ -187,9 +237,24 @@ class RowStore
         std::vector<std::uint64_t> head;
         /** Sliced only: per-row words beyond the slice. */
         std::vector<std::uint64_t> tail;
+        /** External stores: borrowed words instead of the vectors. */
+        const std::uint64_t *extHead = nullptr;
+        const std::uint64_t *extTail = nullptr;
+
+        const std::uint64_t *headData() const
+        {
+            return extHead != nullptr ? extHead : head.data();
+        }
+        const std::uint64_t *tailData() const
+        {
+            return extHead != nullptr ? extTail : tail.data();
+        }
     };
 
     std::size_t tailWords() const { return rowWords - headSliceWords; }
+
+    /** Throw std::logic_error when external() (read-only store). */
+    void requireOwned(const char *what) const;
 
     std::size_t numBits;
     std::size_t rowWords;
@@ -197,6 +262,7 @@ class RowStore
     StoreLayout spec;
     /** 0 in row-major layout (head holds whole rows). */
     std::size_t headSliceWords = 0;
+    bool isExternal = false;
     std::vector<Shard> shards;
 };
 

@@ -16,6 +16,21 @@ namespace
 constexpr std::array<char, 8> magic = {'H', 'D', 'H', 'A',
                                        'M', 0,   0,   0};
 
+/**
+ * The stream offset a read started at, rendered for an error
+ * message. tellg() is captured *before* the failing read (a failed
+ * stream reports -1), so diagnostics point at the field, not at
+ * wherever the stream stopped.
+ */
+std::string
+atByte(std::istream::pos_type pos)
+{
+    if (pos == std::istream::pos_type(-1))
+        return " at unknown offset";
+    return " at byte " +
+           std::to_string(static_cast<long long>(pos));
+}
+
 void
 writeU64(std::ostream &out, std::uint64_t value)
 {
@@ -28,10 +43,12 @@ writeU64(std::ostream &out, std::uint64_t value)
 std::uint64_t
 readU64(std::istream &in)
 {
+    const auto pos = in.tellg();
     std::array<char, 8> bytes;
     in.read(bytes.data(), bytes.size());
     if (!in)
-        throw std::runtime_error("serialize: truncated input");
+        throw std::runtime_error("serialize: truncated input" +
+                                 atByte(pos));
     std::uint64_t value = 0;
     for (int i = 0; i < 8; ++i) {
         value |= static_cast<std::uint64_t>(
@@ -51,14 +68,19 @@ writeString(std::ostream &out, const std::string &s)
 std::string
 readString(std::istream &in)
 {
+    const auto pos = in.tellg();
     const std::uint64_t len = readU64(in);
-    if (len > (1ULL << 20))
+    if (len > (1ULL << 20)) {
         throw std::runtime_error("serialize: implausible label "
-                                 "length");
+                                 "length " +
+                                 std::to_string(len) + atByte(pos));
+    }
+    const auto bodyPos = in.tellg();
     std::string s(len, '\0');
     in.read(s.data(), static_cast<std::streamsize>(len));
     if (!in)
-        throw std::runtime_error("serialize: truncated label");
+        throw std::runtime_error("serialize: truncated label" +
+                                 atByte(bodyPos));
     return s;
 }
 
@@ -75,10 +97,13 @@ writeHypervector(std::ostream &out, const Hypervector &hv)
 Hypervector
 readHypervector(std::istream &in)
 {
+    const auto pos = in.tellg();
     const std::uint64_t dim = readU64(in);
-    if (dim > (1ULL << 28))
+    if (dim > (1ULL << 28)) {
         throw std::runtime_error("serialize: implausible "
-                                 "dimensionality");
+                                 "dimensionality " +
+                                 std::to_string(dim) + atByte(pos));
+    }
     Hypervector hv(static_cast<std::size_t>(dim));
     const std::size_t words = hv.words();
     for (std::size_t w = 0; w < words; ++w) {
@@ -116,21 +141,30 @@ readMemory(std::istream &in)
     if (!in || std::memcmp(header.data(), magic.data(), 8) != 0)
         throw std::runtime_error("serialize: bad magic");
     const std::uint64_t version = readU64(in);
-    if (version != formatVersion)
-        throw std::runtime_error("serialize: unsupported version");
+    if (version != formatVersion) {
+        throw std::runtime_error("serialize: unsupported version " +
+                                 std::to_string(version));
+    }
     const auto dim = static_cast<std::size_t>(readU64(in));
+    const auto countPos = in.tellg();
     const std::uint64_t count = readU64(in);
-    if (count > (1ULL << 24))
+    if (count > (1ULL << 24)) {
         throw std::runtime_error("serialize: implausible class "
-                                 "count");
+                                 "count " +
+                                 std::to_string(count) +
+                                 atByte(countPos));
+    }
     AssociativeMemory am(dim);
     am.reserve(count);
     for (std::uint64_t id = 0; id < count; ++id) {
+        const auto rowPos = in.tellg();
         std::string label = readString(in);
         Hypervector hv = readHypervector(in);
-        if (hv.dim() != dim)
-            throw std::runtime_error("serialize: row dimension "
-                                     "mismatch");
+        if (hv.dim() != dim) {
+            throw std::runtime_error(
+                "serialize: row dimension mismatch for class " +
+                std::to_string(id) + atByte(rowPos));
+        }
         am.store(hv, std::move(label));
     }
     return am;

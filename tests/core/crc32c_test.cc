@@ -1,0 +1,95 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) unit tests: the published RFC 3720 check
+ * vectors pin the polynomial, reflection and inversion conventions;
+ * the chaining tests pin the incremental-update contract the
+ * two-pass model writer relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/crc32c.hh"
+#include "core/random.hh"
+
+namespace
+{
+
+namespace crc32c = hdham::crc32c;
+using hdham::Rng;
+
+TEST(Crc32cTest, Rfc3720CheckValue)
+{
+    // The canonical CRC32C check vector.
+    const char digits[] = "123456789";
+    EXPECT_EQ(crc32c::compute(digits, 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, Rfc3720IscsiVectors)
+{
+    // RFC 3720 appendix B.4 test patterns.
+    unsigned char zeros[32] = {};
+    EXPECT_EQ(crc32c::compute(zeros, sizeof(zeros)), 0x8A9136AAu);
+
+    unsigned char ones[32];
+    std::memset(ones, 0xFF, sizeof(ones));
+    EXPECT_EQ(crc32c::compute(ones, sizeof(ones)), 0x62A8AB43u);
+
+    unsigned char ascending[32];
+    for (int i = 0; i < 32; ++i)
+        ascending[i] = static_cast<unsigned char>(i);
+    EXPECT_EQ(crc32c::compute(ascending, sizeof(ascending)),
+              0x46DD794Eu);
+
+    unsigned char descending[32];
+    for (int i = 0; i < 32; ++i)
+        descending[i] = static_cast<unsigned char>(31 - i);
+    EXPECT_EQ(crc32c::compute(descending, sizeof(descending)),
+              0x113FDB5Cu);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero)
+{
+    EXPECT_EQ(crc32c::compute(nullptr, 0), 0u);
+    EXPECT_EQ(crc32c::update(0, nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, ChainedUpdatesMatchOneShot)
+{
+    // update(update(0, a), b) == compute(a || b) at every split
+    // point, including splits that leave unaligned heads and tails.
+    Rng rng(0xC3C32CULL);
+    std::vector<unsigned char> data(257);
+    for (auto &byte : data)
+        byte = static_cast<unsigned char>(rng.nextBelow(256));
+    const std::uint32_t whole =
+        crc32c::compute(data.data(), data.size());
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        const std::uint32_t head =
+            crc32c::update(0, data.data(), split);
+        const std::uint32_t chained = crc32c::update(
+            head, data.data() + split, data.size() - split);
+        EXPECT_EQ(chained, whole) << "split at " << split;
+    }
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlip)
+{
+    const std::string text = "hyperdimensional associative memory";
+    const std::uint32_t reference =
+        crc32c::compute(text.data(), text.size());
+    for (std::size_t bit = 0; bit < text.size() * 8; ++bit) {
+        std::string flipped = text;
+        flipped[bit / 8] =
+            static_cast<char>(flipped[bit / 8] ^ (1 << (bit % 8)));
+        EXPECT_NE(crc32c::compute(flipped.data(), flipped.size()),
+                  reference)
+            << "bit " << bit;
+    }
+}
+
+} // namespace

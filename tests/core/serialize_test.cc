@@ -175,6 +175,91 @@ TEST(SerializeTest, EveryStrictPrefixThrows)
     EXPECT_EQ(serialize::readMemory(whole).size(), 3u);
 }
 
+TEST(SerializeTest, EveryStrictPrefixOfLongLabelThrows)
+{
+    // Label-section fuzz: make the labels dominate the file so most
+    // cuts land inside a length field or label body. Cuts inside a
+    // label's bytes must fail as a truncated *label* with the byte
+    // offset of the label body, not as some later misparse.
+    Rng rng(8);
+    AssociativeMemory am(64);
+    am.store(Hypervector::random(64, rng),
+             std::string(100, 'x') + " first");
+    am.store(Hypervector::random(64, rng),
+             std::string(200, 'y') + " second");
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    const std::string full = stream.str();
+
+    // First label: length at byte 32, body at byte 40.
+    const std::size_t labelBody = 40;
+    const std::size_t labelEnd = labelBody + 106;
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        std::stringstream truncated(full.substr(0, cut));
+        try {
+            serialize::readMemory(truncated);
+            ADD_FAILURE() << "no throw at cut " << cut;
+        } catch (const std::runtime_error &e) {
+            if (cut > labelBody && cut < labelEnd) {
+                EXPECT_NE(
+                    std::string(e.what()).find("truncated label"),
+                    std::string::npos)
+                    << "cut " << cut << ": " << e.what();
+                EXPECT_NE(std::string(e.what()).find(
+                              "at byte " +
+                              std::to_string(labelBody)),
+                          std::string::npos)
+                    << "cut " << cut << ": " << e.what();
+            }
+        }
+    }
+}
+
+TEST(SerializeTest, ErrorsReportByteOffsets)
+{
+    Rng rng(9);
+    AssociativeMemory am(64);
+    am.store(Hypervector::random(64, rng), "label");
+    std::stringstream stream;
+    serialize::writeMemory(stream, am);
+    const std::string full = stream.str();
+
+    // Cut inside the version field: the failing read started at
+    // byte 8 (right after the magic).
+    {
+        std::stringstream truncated(full.substr(0, 12));
+        try {
+            serialize::readMemory(truncated);
+            FAIL() << "no throw";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find(
+                          "truncated input at byte 8"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+
+    // Corrupt the first label's length field (byte 32) into an
+    // implausible value: the error names the value and the offset.
+    {
+        std::string bytes = full;
+        bytes[32 + 7] = '\x7f'; // top length byte -> huge
+        std::stringstream corrupted(bytes);
+        try {
+            serialize::readMemory(corrupted);
+            FAIL() << "no throw";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find(
+                          "implausible label length"),
+                      std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find("at byte 32"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
 TEST(SerializeTest, EveryStrictPrefixOfEmptyMemoryThrows)
 {
     // The empty-memory document is the shortest valid file; its

@@ -4,10 +4,13 @@
  *
  * Subcommands:
  *   train    --out PATH [--dim N] [--train-chars N] [--sentences N]
- *            [--threads N] [--stats-json PATH] [--trace PATH]
+ *            [--threads N] [--format v1|legacy] [--stats-json PATH]
+ *            [--trace PATH]
  *            train the 21-language classifier on the synthetic
- *            corpus and persist the learned hypervectors
- *   classify --model PATH [--design dham|rham|aham] [--threads N]
+ *            corpus and persist the learned hypervectors --
+ *            hdham.model.v1 by default (mmap-able; embeds the item
+ *            memory), or the legacy stream format
+ *   classify --model PATH [--design am|dham|rham|aham] [--threads N]
  *            [--batch N] [--prune auto|on|off]
  *            [--cascade-prefix BITS] [--layout row|sliced]
  *            [--shards N] [--stats-json PATH]
@@ -27,14 +30,31 @@
  * --trace records every span on the query path (core/trace.hh) and
  * writes a Chrome trace-event file (hdham.trace.v1) that loads in
  * Perfetto / chrome://tracing, plus a per-span summary on stdout.
+ *   save     --model PATH --out PATH [--layout row|sliced]
+ *            [--shards N] [--cascade-prefix BITS]
+ *            convert a model (either format) to hdham.model.v1,
+ *            optionally re-laying the class store first so the file
+ *            serves with the chosen physical layout
+ *   load     --model PATH [--no-verify]
+ *            mmap an hdham.model.v1 file, validate it and describe
+ *            what it serves (the same loader classify uses)
  *   info     --model PATH
  *            describe a saved model
  *   cost     [--dim N] [--classes N]
  *            print the design-space cost table
  *
+ * classify/info/load accept both model formats, routed by the
+ * 8-byte magic sniff: hdham.model.v1 files are mmap'ed and -- with
+ * --design am -- queried zero-copy in place; legacy stream models
+ * are parsed into RAM (core/serialize.hh). Every --stats-json
+ * snapshot records the model provenance (model.path, model.format,
+ * and for v1 files model.version / model.checksum) in the "info"
+ * map.
+ *
  * The encoder configuration (item-memory seed, trigram size) is the
- * library default, so any model trained by this tool can be reloaded
- * and queried by it.
+ * library default; v1 models trained by this tool additionally embed
+ * the item memory, so classify rebuilds the exact encoder from the
+ * file itself.
  */
 
 #include <algorithm>
@@ -45,12 +65,14 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/distance.hh"
 #include "core/metrics.hh"
+#include "core/model_file.hh"
 #include "core/serialize.hh"
 #include "core/trace.hh"
 #include "ham/a_ham.hh"
@@ -73,15 +95,27 @@ usage()
         "usage:\n"
         "  hdham train --out PATH [--dim N] [--train-chars N] "
         "[--sentences N] [--threads N] [--kernel K] "
-        "[--stats-json PATH] [--trace PATH]\n"
-        "  hdham classify --model PATH [--design dham|rham|aham] "
+        "[--format v1|legacy] [--stats-json PATH] [--trace PATH]\n"
+        "  hdham classify --model PATH "
+        "[--design am|dham|rham|aham] "
         "[--threads N] [--batch N] [--kernel K] "
         "[--prune auto|on|off] [--cascade-prefix BITS] "
         "[--layout row|sliced] [--shards N] "
         "[--stats-json PATH] [--trace PATH] TEXT...\n"
+        "  hdham save --model PATH --out PATH [--layout row|sliced] "
+        "[--shards N] [--cascade-prefix BITS]\n"
+        "  hdham load --model PATH [--no-verify]\n"
         "  hdham info --model PATH\n"
         "  hdham cost [--dim N] [--classes N]\n"
         "\n"
+        "  --format F        on-disk format train writes: v1 "
+        "(default; mmap-able hdham.model.v1, embeds the\n"
+        "                    item memory) or legacy (stream format "
+        "of core/serialize.hh)\n"
+        "  --design am       serve queries from the software "
+        "associative memory itself; a v1 model is then\n"
+        "                    queried zero-copy straight from the "
+        "mmap'ed file\n"
         "  --prune M         bound-pruned scan mode for prunable "
         "designs (dham): auto (default; prune when the\n"
         "                    bound is tight), on, off -- results are "
@@ -234,6 +268,73 @@ writeTrace(trace::Tracer &tracer, const std::string &path)
     tracer.writeSummary(std::cout);
 }
 
+/**
+ * A model opened from disk in whichever format the file carries:
+ * hdham.model.v1 is mmap'ed (view engaged, memory served zero-copy
+ * in place), the legacy stream format is parsed into RAM (owned
+ * engaged). memory() is mutable so callers can set scan policy and
+ * metrics; a mapped store still rejects mutation of the rows.
+ */
+struct LoadedModel
+{
+    std::string path;
+    std::optional<modelfile::ModelView> view;
+    std::optional<AssociativeMemory> owned;
+
+    AssociativeMemory &memory()
+    {
+        return view.has_value() ? view->memory() : *owned;
+    }
+    const AssociativeMemory &memory() const
+    {
+        return view.has_value() ? view->memory() : *owned;
+    }
+    bool mapped() const { return view.has_value(); }
+};
+
+LoadedModel
+loadModel(const std::string &path)
+{
+    LoadedModel model;
+    model.path = path;
+    if (modelfile::sniff(path))
+        model.view.emplace(path);
+    else
+        model.owned.emplace(serialize::loadMemory(path));
+    return model;
+}
+
+/** Record model provenance in the metrics "info" map. */
+void
+recordModelInfo(metrics::Registry &registry, const LoadedModel &model)
+{
+    registry.setInfo("model.path", model.path);
+    registry.setInfo("model.format",
+                     model.mapped() ? "hdham.model.v1" : "legacy");
+    if (model.mapped()) {
+        registry.setInfo("model.version",
+                         std::to_string(model.view->version()));
+        char checksum[16];
+        std::snprintf(checksum, sizeof(checksum), "%08x",
+                      model.view->checksum());
+        registry.setInfo("model.checksum", checksum);
+    }
+}
+
+/**
+ * Deep-copy a model into a fresh owned memory (the only way to
+ * re-lay or mutate a mapped one).
+ */
+AssociativeMemory
+materialize(const AssociativeMemory &src)
+{
+    AssociativeMemory out(src.dim());
+    out.reserve(src.size());
+    for (std::size_t id = 0; id < src.size(); ++id)
+        out.store(src.vectorOf(id), src.labelOf(id));
+    return out;
+}
+
 int
 cmdTrain(std::vector<std::string> args)
 {
@@ -252,6 +353,14 @@ cmdTrain(std::vector<std::string> args)
     const std::size_t threads = numericOption(args, "--threads", 1);
     const std::string statsPath = option(args, "--stats-json", "");
     const std::string tracePath = option(args, "--trace", "");
+    const std::string format = option(args, "--format", "v1");
+    if (format != "v1" && format != "legacy") {
+        std::fprintf(stderr,
+                     "train: unknown format '%s' (expected v1 or "
+                     "legacy)\n",
+                     format.c_str());
+        return 2;
+    }
     if (!kernelOption(args, "train"))
         return 2;
 
@@ -276,8 +385,15 @@ cmdTrain(std::vector<std::string> args)
     std::printf("held-out accuracy: %.1f%% (%zu/%zu)\n",
                 100.0 * eval.accuracy(), eval.correct, eval.total);
 
-    serialize::saveMemory(out, pipeline.memory());
-    std::printf("model written to %s\n", out.c_str());
+    if (format == "v1") {
+        modelfile::SaveOptions saveOpts;
+        saveOpts.items = &pipeline.itemMemory();
+        modelfile::save(out, pipeline.memory(), saveOpts);
+    } else {
+        serialize::saveMemory(out, pipeline.memory());
+    }
+    std::printf("model written to %s (%s)\n", out.c_str(),
+                format == "v1" ? "hdham.model.v1" : "legacy");
 
     if (!tracePath.empty())
         writeTrace(tracer, tracePath);
@@ -361,32 +477,61 @@ cmdClassify(std::vector<std::string> args)
                              "one TEXT argument\n");
         return 2;
     }
-    const AssociativeMemory memory = serialize::loadMemory(path);
-    std::unique_ptr<ham::Ham> hardware =
-        makeDesign(design, memory.dim());
-    if (!hardware) {
-        std::fprintf(stderr, "classify: unknown design '%s'\n",
-                     design.c_str());
-        return 2;
+    LoadedModel model = loadModel(path);
+    AssociativeMemory &memory = model.memory();
+
+    const bool relayout =
+        storeLayout.layout != RowLayout::RowMajor || shards != 1;
+    std::unique_ptr<ham::Ham> hardware;
+    if (design != "am") {
+        hardware = makeDesign(design, memory.dim());
+        if (!hardware) {
+            std::fprintf(stderr, "classify: unknown design '%s'\n",
+                         design.c_str());
+            return 2;
+        }
+        hardware->loadFrom(memory);
+        hardware->setScanPolicy(scanPolicy);
+        if (relayout)
+            hardware->setStoreLayout(storeLayout);
+    } else {
+        // Serve from the associative memory itself: a v1 model is
+        // queried zero-copy straight from the mapping, whose
+        // physical layout is the file's -- re-lay with `hdham save`.
+        if (model.mapped() && relayout) {
+            std::fprintf(stderr,
+                         "classify: --design am serves a mapped "
+                         "model in its on-disk layout; use `hdham "
+                         "save --layout/--shards` to re-lay the "
+                         "file\n");
+            return 2;
+        }
+        if (!model.mapped() && relayout)
+            memory.setStoreLayout(storeLayout);
+        memory.setScanPolicy(scanPolicy);
     }
-    hardware->loadFrom(memory);
-    hardware->setScanPolicy(scanPolicy);
-    if (storeLayout.layout != RowLayout::RowMajor || shards != 1)
-        hardware->setStoreLayout(storeLayout);
 
     metrics::QueryMetrics designMetrics;
-    if (!statsPath.empty())
-        hardware->attachMetrics(&designMetrics);
+    if (!statsPath.empty()) {
+        if (hardware)
+            hardware->attachMetrics(&designMetrics);
+        else
+            memory.attachMetrics(&designMetrics);
+    }
 
     trace::Tracer tracer;
     if (!tracePath.empty())
         trace::setActive(&tracer);
 
-    // Rebuild the encoder with the library-default configuration
+    // Rebuild the encoder: from the item memory embedded in a v1
+    // model when present, else the library-default configuration
     // the model was trained with.
     const lang::PipelineConfig defaults;
-    const ItemMemory items(TextAlphabet::size, memory.dim(),
-                           defaults.seed);
+    const ItemMemory items =
+        model.mapped() && model.view->hasItemMemory()
+            ? model.view->itemMemory()
+            : ItemMemory(TextAlphabet::size, memory.dim(),
+                         defaults.seed);
     const Encoder encoder(items, defaults.ngram);
     Rng rng(defaults.seed ^ 0x636c6966ULL);
 
@@ -405,8 +550,8 @@ cmdClassify(std::vector<std::string> args)
         }
     }
 
-    std::vector<ham::HamResult> hits;
-    hits.reserve(queries.size());
+    std::vector<std::size_t> winners;
+    winners.reserve(queries.size());
     const std::size_t chunk = batch == 0 ? queries.size() : batch;
     for (std::size_t start = 0; start < queries.size();
          start += chunk) {
@@ -415,8 +560,14 @@ cmdClassify(std::vector<std::string> args)
         const std::vector<Hypervector> slice(
             queries.begin() + static_cast<long>(start),
             queries.begin() + static_cast<long>(end));
-        for (const auto &hit : hardware->searchBatch(slice, threads))
-            hits.push_back(hit);
+        if (hardware) {
+            for (const auto &hit :
+                 hardware->searchBatch(slice, threads))
+                winners.push_back(hit.classId);
+        } else {
+            for (const auto &hit : memory.searchBatch(slice, threads))
+                winners.push_back(hit.classId);
+        }
     }
 
     {
@@ -427,9 +578,8 @@ cmdClassify(std::vector<std::string> args)
                             args[i].c_str());
                 continue;
             }
-            const auto &hit = hits[queryOf[i]];
             std::printf("%-14s <- \"%.60s\"\n",
-                        memory.labelOf(hit.classId).c_str(),
+                        memory.labelOf(winners[queryOf[i]]).c_str(),
                         args[i].c_str());
         }
     }
@@ -447,9 +597,131 @@ cmdClassify(std::vector<std::string> args)
         registry.setInfo("layout",
                          rowLayoutName(storeLayout.layout));
         registry.setGauge("run.shards", static_cast<double>(shards));
+        recordModelInfo(registry, model);
         writeStatsJson(registry, statsPath, memory.dim(),
                        memory.size(), threads);
     }
+    return 0;
+}
+
+/**
+ * `hdham save`: convert a model (either format) to hdham.model.v1,
+ * optionally re-laying the class store so the file serves with the
+ * chosen physical layout. Side memories embedded in a v1 input are
+ * carried over.
+ */
+int
+cmdSave(std::vector<std::string> args)
+{
+    const std::string in = option(args, "--model", "");
+    const std::string out = option(args, "--out", "");
+    if (in.empty() || out.empty()) {
+        std::fprintf(stderr,
+                     "save: --model and --out are required\n");
+        return 2;
+    }
+    const std::string layoutName = option(args, "--layout", "");
+    const std::size_t shards = numericOption(args, "--shards", 0);
+    const std::size_t cascadePrefix =
+        numericOption(args, "--cascade-prefix", 0);
+    StoreLayout storeLayout;
+    const bool relayout = !layoutName.empty() || shards != 0;
+    if (relayout) {
+        if (!parseRowLayout(layoutName.empty() ? "row" : layoutName,
+                            &storeLayout.layout)) {
+            std::fprintf(stderr,
+                         "save: unknown layout '%s' (expected row "
+                         "or sliced)\n",
+                         layoutName.c_str());
+            return 2;
+        }
+        if (storeLayout.layout == RowLayout::Sliced &&
+            cascadePrefix == 0) {
+            std::fprintf(stderr,
+                         "save: --layout sliced requires "
+                         "--cascade-prefix (the slice holds the "
+                         "cascade's head words)\n");
+            return 2;
+        }
+        storeLayout.shards = shards == 0 ? 1 : shards;
+        storeLayout.slicePrefix = cascadePrefix;
+    }
+
+    LoadedModel model = loadModel(in);
+
+    // Carry any side memories embedded in a v1 input across the
+    // conversion.
+    std::optional<ItemMemory> items;
+    std::optional<LevelItemMemory> levels;
+    if (model.mapped()) {
+        if (model.view->hasItemMemory())
+            items.emplace(model.view->itemMemory());
+        if (model.view->hasLevelMemory())
+            levels.emplace(model.view->levelMemory());
+    }
+    modelfile::SaveOptions saveOpts;
+    saveOpts.items = items.has_value() ? &*items : nullptr;
+    saveOpts.levels = levels.has_value() ? &*levels : nullptr;
+
+    if (relayout) {
+        AssociativeMemory relaid = materialize(model.memory());
+        relaid.setStoreLayout(storeLayout);
+        modelfile::save(out, relaid, saveOpts);
+    } else {
+        // A mapped input streams straight from the mapping; a legacy
+        // input streams from its in-RAM store. Either way no second
+        // full-model buffer is built.
+        modelfile::save(out, model.memory(), saveOpts);
+    }
+
+    const modelfile::ModelView written(out);
+    std::printf("model written to %s (hdham.model.v1, %zu classes, "
+                "D = %zu, checksum %08x)\n",
+                out.c_str(), written.classes(), written.dim(),
+                written.checksum());
+    return 0;
+}
+
+/**
+ * `hdham load`: mmap and validate an hdham.model.v1 file with the
+ * same loader classify uses, then describe what it serves.
+ */
+int
+cmdLoad(std::vector<std::string> args)
+{
+    const std::string path = option(args, "--model", "");
+    if (path.empty()) {
+        std::fprintf(stderr, "load: --model is required\n");
+        return 2;
+    }
+    modelfile::ModelView::Options opts;
+    const auto noVerify =
+        std::find(args.begin(), args.end(), "--no-verify");
+    if (noVerify != args.end()) {
+        opts.verifyChecksums = false;
+        args.erase(noVerify);
+    }
+    const modelfile::ModelView view(path, opts);
+    const AssociativeMemory &memory = view.memory();
+    std::printf("format         : hdham.model.v%u (mmap)\n",
+                view.version());
+    std::printf("file size      : %zu bytes\n", view.fileSize());
+    std::printf("checksum       : %08x%s\n", view.checksum(),
+                opts.verifyChecksums ? " (verified)"
+                                     : " (not verified)");
+    std::printf("dimensionality : %zu\n", memory.dim());
+    std::printf("classes        : %zu\n", memory.size());
+    const StoreLayout &layout = view.layout();
+    std::printf("layout         : %s, %zu shard%s",
+                rowLayoutName(layout.layout), layout.shards,
+                layout.shards == 1 ? "" : "s");
+    if (layout.layout == RowLayout::Sliced)
+        std::printf(", slice prefix %zu bits", layout.slicePrefix);
+    std::printf("\n");
+    std::printf("item memory    : %s\n",
+                view.hasItemMemory() ? "embedded" : "absent");
+    std::printf("level memory   : %s\n",
+                view.hasLevelMemory() ? "embedded" : "absent");
     return 0;
 }
 
@@ -461,7 +733,11 @@ cmdInfo(std::vector<std::string> args)
         std::fprintf(stderr, "info: --model is required\n");
         return 2;
     }
-    const AssociativeMemory memory = serialize::loadMemory(path);
+    const LoadedModel model = loadModel(path);
+    const AssociativeMemory &memory = model.memory();
+    std::printf("format         : %s\n",
+                model.mapped() ? "hdham.model.v1 (mmap)"
+                               : "legacy stream");
     std::printf("dimensionality : %zu\n", memory.dim());
     std::printf("classes        : %zu\n", memory.size());
     if (memory.size() >= 2) {
@@ -510,6 +786,10 @@ main(int argc, char **argv)
             return cmdTrain(std::move(args));
         if (command == "classify")
             return cmdClassify(std::move(args));
+        if (command == "save")
+            return cmdSave(std::move(args));
+        if (command == "load")
+            return cmdLoad(std::move(args));
         if (command == "info")
             return cmdInfo(std::move(args));
         if (command == "cost")
