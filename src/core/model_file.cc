@@ -623,6 +623,13 @@ ModelView::openAndValidate(const Options &opts)
         fail("zero dimension");
     if (dim > (1ULL << 28))
         fail("implausible dimensionality " + std::to_string(dim));
+    // Bound the row count before any shard-table arithmetic uses
+    // it: every class needs at least an 8-byte label length in the
+    // labels section, so more than fileSize/8 rows cannot fit.
+    if (rowCount > size / 8) {
+        fail("implausible row count " + std::to_string(rowCount) +
+             " for a " + std::to_string(size) + "-byte file");
+    }
     const std::uint64_t expectWords =
         (dim + Hypervector::bitsPerWord - 1) /
         Hypervector::bitsPerWord;
@@ -649,9 +656,13 @@ ModelView::openAndValidate(const Options &opts)
         sections[i].offset = getU64(e);
         sections[i].size = getU64(e + 8);
         sections[i].crc = getU32(e + 16);
+        // The size bound keeps expectedOffset <= size throughout,
+        // so neither the accumulation nor any rowsBegin + size
+        // computed from these entries can wrap past 2^64.
         if (sections[i].offset != expectedOffset ||
             sections[i].offset % alignment != 0 ||
-            sections[i].size % alignment != 0) {
+            sections[i].size % alignment != 0 ||
+            sections[i].size > size - expectedOffset) {
             fail(std::string("section table corrupt: ") +
                  sectionName(i) + " section at byte " +
                  std::to_string(sections[i].offset) +
@@ -721,11 +732,26 @@ ModelView::openAndValidate(const Options &opts)
                  " starts at row " + std::to_string(firstRow) +
                  ", expected " + std::to_string(covered));
         }
+        // Reject before accumulating: keeps covered <= rowCount, so
+        // a huge shardRows can neither wrap `covered` back into
+        // range via a compensating later shard nor wrap the byte
+        // counts below (the bounds are checked in division form for
+        // the same reason -- no products of untrusted values).
+        if (shardRows > rowCount - covered) {
+            fail("shard table corrupt: shard " + std::to_string(s) +
+                 " covers " + std::to_string(shardRows) +
+                 " rows but only " +
+                 std::to_string(rowCount - covered) + " remain");
+        }
         covered += shardRows;
-        const std::uint64_t headByteCount =
-            shardRows * headStride * sizeof(std::uint64_t);
+        // Strides are at least 1 word and at most wordsPerRow
+        // (<= 2^22 given dim <= 2^28), so the byte strides cannot
+        // overflow and never divide by zero.
+        const std::uint64_t headStrideBytes =
+            headStride * sizeof(std::uint64_t);
         if (headOffset % alignment != 0 || headOffset < rowsBegin ||
-            headOffset + headByteCount > rowsEnd) {
+            headOffset > rowsEnd ||
+            shardRows > (rowsEnd - headOffset) / headStrideBytes) {
             fail("shard " + std::to_string(s) +
                  " head region at byte " +
                  std::to_string(headOffset) +
@@ -736,11 +762,12 @@ ModelView::openAndValidate(const Options &opts)
         ext[s].head = reinterpret_cast<const std::uint64_t *>(
             base + headOffset);
         if (tailStride != 0) {
-            const std::uint64_t tailByteCount =
-                shardRows * tailStride * sizeof(std::uint64_t);
+            const std::uint64_t tailStrideBytes =
+                tailStride * sizeof(std::uint64_t);
             if (tailOffset % alignment != 0 ||
-                tailOffset < rowsBegin ||
-                tailOffset + tailByteCount > rowsEnd) {
+                tailOffset < rowsBegin || tailOffset > rowsEnd ||
+                shardRows >
+                    (rowsEnd - tailOffset) / tailStrideBytes) {
                 fail("shard " + std::to_string(s) +
                      " tail region at byte " +
                      std::to_string(tailOffset) +

@@ -263,6 +263,14 @@ RowStore::bindExternal(const StoreLayout &request,
                 "RowStore::bindExternal: sliced layout needs a tail "
                 "pointer");
         }
+        // Checked before accumulating so `covered` stays bounded by
+        // rowCount and cannot wrap back into range via a later
+        // shard.
+        if (e.rows > rowCount - covered) {
+            throw std::invalid_argument(
+                "RowStore::bindExternal: shard rows exceed the row "
+                "count");
+        }
         covered += e.rows;
         next[i].firstRow = e.firstRow;
         next[i].rows = e.rows;

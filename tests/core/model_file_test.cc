@@ -39,6 +39,7 @@ namespace modelfile = hdham::modelfile;
 /** Header/section-table byte offsets of the v1 format. */
 constexpr std::size_t kOffHeaderCrc = 12;
 constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffRows = 24;
 constexpr std::size_t kOffFileSize = 56;
 constexpr std::size_t kOffSections = 72;
 constexpr std::size_t kSectionEntryBytes = 24;
@@ -351,6 +352,73 @@ TEST(ModelFileTest, TamperedShardPointerCaught)
     refreshChecksums(bytes);
     expectLoadError(tempFile("mf_shardptr.hdc", bytes),
                     "falls outside the row words section");
+}
+
+TEST(ModelFileTest, ImplausibleRowCountRejected)
+{
+    std::string bytes = serializedModel(StoreLayout{});
+    patchU64At(bytes, kOffRows, 1ULL << 62);
+    refreshChecksums(bytes);
+    expectLoadError(tempFile("mf_rowcount.hdc", bytes),
+                    "implausible row count");
+}
+
+TEST(ModelFileTest, ShardRowWraparoundRejected)
+{
+    // Crafted shard table whose row counts wrap uint64 arithmetic:
+    // shard 0 claims 2^60 rows (head/tail byte counts wrap to 0),
+    // shard 1 claims 2^64 - 2^60 + 3 rows so `covered` wraps back
+    // to 3, and shard 2 tops it up to the header's 9. Every legacy
+    // check (contiguity, byte bounds, final sum) is satisfied; only
+    // the overflow-safe rows-remaining check rejects it.
+    std::string bytes = serializedModel(slicedLayout());
+    const SectionInfo table = sectionAt(bytes, 0);
+    const auto entry = [&](std::size_t s, std::size_t field) {
+        return static_cast<std::size_t>(table.offset) + s * 32 +
+               field * 8;
+    };
+    patchU64At(bytes, entry(0, 1), 1ULL << 60);
+    patchU64At(bytes, entry(1, 0), 1ULL << 60);
+    patchU64At(bytes, entry(1, 1), 0 - (1ULL << 60) + 3);
+    patchU64At(bytes, entry(2, 0), 3);
+    patchU64At(bytes, entry(2, 1), 6);
+    refreshChecksums(bytes);
+    expectLoadError(tempFile("mf_shardwrap.hdc", bytes),
+                    "shard table corrupt");
+}
+
+TEST(ModelFileTest, SectionSizeWraparoundRejected)
+{
+    // A first-section size of 2^64 - 64 wraps the running offset
+    // back below the header; re-pointing the remaining sections at
+    // the wrapped offsets and re-sizing the last one makes the
+    // final sum land exactly on the file size. The overflow-safe
+    // size bound must reject it before the checksum pass walks a
+    // ~2^64-byte section.
+    std::string bytes = serializedModel(StoreLayout{});
+    const std::uint64_t fileSize = bytes.size();
+    patchU64At(bytes,
+               kOffSections + 0 * kSectionEntryBytes + 8,
+               0 - std::uint64_t{64});
+    std::uint64_t at = modelfile::headerBytes - 64;
+    for (std::size_t i = 1; i < modelfile::kSectionCount; ++i) {
+        const std::size_t e =
+            kOffSections + i * kSectionEntryBytes;
+        patchU64At(bytes, e, at);
+        if (i + 1 == modelfile::kSectionCount)
+            patchU64At(bytes, e + 8, fileSize - at);
+        at += readU64At(bytes, e + 8);
+    }
+    ASSERT_EQ(at, fileSize);
+    // Only the header CRC (which covers the section table) can be
+    // refreshed: recomputing per-section CRCs would itself walk the
+    // crafted ~2^64-byte section. The loader rejects during section
+    // table parsing, before its checksum pass.
+    patchU32At(bytes, kOffHeaderCrc, 0);
+    patchU32At(bytes, kOffHeaderCrc,
+               crc32c::compute(bytes.data(), modelfile::headerBytes));
+    expectLoadError(tempFile("mf_sectionwrap.hdc", bytes),
+                    "section table corrupt");
 }
 
 TEST(ModelFileTest, TamperedLabelCountCaught)

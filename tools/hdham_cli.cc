@@ -57,7 +57,10 @@
  * file itself.
  */
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -663,15 +666,37 @@ cmdSave(std::vector<std::string> args)
     saveOpts.items = items.has_value() ? &*items : nullptr;
     saveOpts.levels = levels.has_value() ? &*levels : nullptr;
 
-    if (relayout) {
-        AssociativeMemory relaid = materialize(model.memory());
-        relaid.setStoreLayout(storeLayout);
-        modelfile::save(out, relaid, saveOpts);
-    } else {
-        // A mapped input streams straight from the mapping; a legacy
-        // input streams from its in-RAM store. Either way no second
-        // full-model buffer is built.
-        modelfile::save(out, model.memory(), saveOpts);
+    // Stream to a sibling temp file and rename it into place once
+    // the writer is done. Writing --out directly would, when it
+    // names the same file as --model, truncate the mapping the
+    // streaming writer is still reading from (SIGBUS: MAP_PRIVATE
+    // does not survive truncation of the backing file); the rename
+    // also keeps a failed save from leaving a half-written model at
+    // the destination.
+    const std::string tmp =
+        out + ".tmp." + std::to_string(::getpid());
+    try {
+        if (relayout) {
+            AssociativeMemory relaid = materialize(model.memory());
+            relaid.setStoreLayout(storeLayout);
+            modelfile::save(tmp, relaid, saveOpts);
+        } else {
+            // A mapped input streams straight from the mapping; a
+            // legacy input streams from its in-RAM store. Either way
+            // no second full-model buffer is built.
+            modelfile::save(tmp, model.memory(), saveOpts);
+        }
+        if (std::rename(tmp.c_str(), out.c_str()) != 0) {
+            const int err = errno;
+            std::remove(tmp.c_str());
+            std::fprintf(stderr,
+                         "save: cannot move %s into place: %s\n",
+                         out.c_str(), std::strerror(err));
+            return 1;
+        }
+    } catch (...) {
+        std::remove(tmp.c_str());
+        throw;
     }
 
     const modelfile::ModelView written(out);
