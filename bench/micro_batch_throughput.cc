@@ -18,13 +18,27 @@
  * --kernel NAME pins the Hamming distance kernel (scalar, unrolled,
  * avx2, auto) before any benchmark runs; the kernel actually used is
  * reported in the stats snapshot's "info" object either way.
+ *
+ * --perf measures the whole benchmark run with hardware counters
+ * (core/perf_counters.hh): a summary line on stdout (cycles,
+ * instructions, IPC, cache misses) and -- with --stats-json -- the
+ * "perf" object in the snapshot. Hosts where perf_event_open is
+ * denied print `perf: unavailable` and exit 0 with identical
+ * benchmark results.
+ *
+ * --slow-query-us US / --events-out PATH capture queries at least US
+ * microseconds slow (default 1000; 0 = every query) as
+ * hdham.events.v1 JSON Lines, span tree and perf delta included.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,10 +46,12 @@
 #include "common.hh"
 #include "core/assoc_memory.hh"
 #include "core/distance.hh"
+#include "core/event_log.hh"
 #include "core/hypervector.hh"
 #include "core/metrics.hh"
 #include "core/model_file.hh"
 #include "core/packed_rows.hh"
+#include "core/perf_counters.hh"
 #include "core/random.hh"
 #include "core/serialize.hh"
 #include "ham/a_ham.hh"
@@ -387,6 +403,41 @@ BM_AHamBatchSearch(benchmark::State &state)
 }
 BENCHMARK(BM_AHamBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
 
+/**
+ * One human-readable line for the measured run: every counter (or
+ * "perf: unavailable" when none could be read) plus derived IPC.
+ * Written to stderr so --benchmark_format=json output stays a clean
+ * JSON document on stdout.
+ */
+void
+printPerfSummary(const perf::Sample &measured)
+{
+    if (!measured.anyAvailable()) {
+        std::fprintf(stderr, "perf: unavailable (%s)\n",
+                     perf::statusName(perf::status()));
+        return;
+    }
+    std::fprintf(stderr, "perf:");
+    for (std::size_t id = 0; id < perf::kCounterCount; ++id) {
+        if (measured.available(id)) {
+            std::fprintf(stderr, " %s=%lld", perf::counterName(id),
+                         static_cast<long long>(measured[id]));
+        } else {
+            std::fprintf(stderr, " %s=unavailable",
+                         perf::counterName(id));
+        }
+    }
+    if (measured.available(perf::kCycles) &&
+        measured.available(perf::kInstructions) &&
+        measured[perf::kCycles] > 0) {
+        std::fprintf(
+            stderr, " ipc=%.3f",
+            static_cast<double>(measured[perf::kInstructions]) /
+                static_cast<double>(measured[perf::kCycles]));
+    }
+    std::fprintf(stderr, "\n");
+}
+
 } // namespace
 
 int
@@ -394,6 +445,9 @@ main(int argc, char **argv)
 {
     // Pull our own flags out before google-benchmark sees the args.
     std::string statsPath;
+    std::string eventsPath;
+    std::string slowArg;
+    bool perfOn = false;
     std::vector<char *> passthrough;
     passthrough.reserve(static_cast<std::size_t>(argc) + 1);
     for (int i = 0; i < argc; ++i) {
@@ -404,6 +458,20 @@ main(int argc, char **argv)
         }
         if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
             distance::setKernelByName(argv[++i]);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--perf") == 0) {
+            perfOn = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--events-out") == 0 &&
+            i + 1 < argc) {
+            eventsPath = argv[++i];
+            continue;
+        }
+        if (std::strcmp(argv[i], "--slow-query-us") == 0 &&
+            i + 1 < argc) {
+            slowArg = argv[++i];
             continue;
         }
         passthrough.push_back(argv[i]);
@@ -428,8 +496,37 @@ main(int argc, char **argv)
     if (benchmark::ReportUnrecognizedArguments(passthroughArgc,
                                                passthrough.data()))
         return 1;
+
+    // Arm slow-query capture and the run-wide counters around the
+    // benchmark loop itself; worker threads fork inside it, so the
+    // inherited counters fold their work into the totals.
+    events::EventLog eventLog(65536);
+    const double slowQueryUs =
+        slowArg.empty() ? 1000.0
+                        : std::strtod(slowArg.c_str(), nullptr);
+    if (!eventsPath.empty())
+        events::setSlowQueryCapture({&eventLog, slowQueryUs, perfOn});
+    std::optional<perf::ProcessCounters> workload;
+    if (perfOn)
+        workload.emplace();
+
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    const perf::Sample measured =
+        perfOn ? workload->delta() : perf::Sample();
+    if (perfOn)
+        printPerfSummary(measured);
+    if (!eventsPath.empty()) {
+        events::clearSlowQueryCapture();
+        eventLog.saveJsonl(eventsPath);
+        std::fprintf(stderr,
+                     "events written to %s (%zu captured, %llu "
+                     "dropped)\n",
+                     eventsPath.c_str(), eventLog.size(),
+                     static_cast<unsigned long long>(
+                         eventLog.dropped()));
+    }
 
     if (!statsPath.empty()) {
         metrics::Registry registry;
@@ -444,6 +541,19 @@ main(int argc, char **argv)
                           static_cast<double>(kBatch));
         registry.setGauge("model.dim", static_cast<double>(kDim));
         registry.setInfo("kernel", distance::activeKernelName());
+        if (perfOn) {
+            // Rows scanned across every instrumented engine -- the
+            // denominator for the per-row miss rates.
+            const std::uint64_t rows =
+                am.rowsScanned.value() + dham.rowsScanned.value() +
+                rham.rowsScanned.value() + aham.rowsScanned.value() +
+                exhaustive.rowsScanned.value() +
+                pruned.rowsScanned.value() +
+                cascade.rowsScanned.value();
+            perf::exportTo(registry, measured, rows);
+        } else {
+            registry.setInfo("perf", "off");
+        }
         registry.saveJson(statsPath);
     }
     return 0;

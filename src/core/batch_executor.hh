@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "core/event_log.hh"
 #include "core/metrics.hh"
 #include "core/parallel_for.hh"
 #include "core/trace.hh"
@@ -107,9 +108,21 @@ run(const SpanNames &spans, std::size_t numQueries,
     parallelFor(numQueries, threads,
                 [&](std::size_t begin, std::size_t end) {
                     TRACE_SPAN(spans.chunk);
+                    // Slow-query capture: one atomic load per chunk;
+                    // armed captures wrap each kernel call on the
+                    // worker that runs it (core/event_log).
+                    const events::SlowQueryCapture slow =
+                        events::activeSlowQueryCapture();
                     auto tally = makeTally();
-                    for (std::size_t q = begin; q < end; ++q)
-                        results[q] = kernel(q, tally);
+                    for (std::size_t q = begin; q < end; ++q) {
+                        if (slow.log) {
+                            results[q] = events::runCaptured(
+                                spans.batch, q, slow,
+                                [&] { return kernel(q, tally); });
+                        } else {
+                            results[q] = kernel(q, tally);
+                        }
+                    }
                     if (sink)
                         merge(tally, begin, end);
                 });
@@ -146,10 +159,22 @@ runPerQuery(const SpanNames &spans, std::size_t numQueries,
         sink ? metrics::Clock::now() : metrics::Clock::time_point{};
     std::vector<Result> results(numQueries);
     {
+        const events::SlowQueryCapture slow =
+            events::activeSlowQueryCapture();
         auto tally = makeTally();
         for (std::size_t q = 0; q < numQueries; ++q) {
-            TRACE_SPAN(spans.chunk);
-            results[q] = kernel(q, tally);
+            if (slow.log) {
+                results[q] = events::runCaptured(spans.batch, q, slow,
+                                                 [&] {
+                                                     TRACE_SPAN(
+                                                         spans.chunk);
+                                                     return kernel(
+                                                         q, tally);
+                                                 });
+            } else {
+                TRACE_SPAN(spans.chunk);
+                results[q] = kernel(q, tally);
+            }
         }
         if (sink && numQueries > 0)
             merge(tally, 0, numQueries);

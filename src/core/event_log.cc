@@ -1,0 +1,171 @@
+#include "core/event_log.hh"
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/json.hh"
+
+namespace hdham::events
+{
+
+namespace
+{
+
+/**
+ * Armed capture config. The threshold and perf flag are written
+ * before the log pointer's release store and read after its acquire
+ * load, so a chunk that observes the log also observes the matching
+ * settings.
+ */
+std::atomic<EventLog *> g_log{nullptr};
+double g_thresholdUs = 0.0;
+bool g_capturePerf = false;
+
+void
+writeEvent(std::ostream &out, const QueryEvent &e)
+{
+    out << "{\"schema\": \"hdham.events.v1\", "
+           "\"kind\": \"slow_query\", \"unix_ns\": "
+        << e.unixNs << ", \"engine\": ";
+    json::writeEscaped(out, e.engine);
+    out << ", \"query\": " << e.queryIndex << ", \"latency_us\": ";
+    json::writeNumber(out, e.latencyUs);
+    out << ", \"perf\": {";
+    bool first = true;
+    for (std::size_t id = 0; id < perf::kCounterCount; ++id) {
+        if (!e.perfDelta.available(id))
+            continue;
+        out << (first ? "" : ", ") << '"' << perf::counterName(id)
+            << "\": " << e.perfDelta[id];
+        first = false;
+    }
+    out << "}, \"span_drops\": " << e.spanDrops << ", \"spans\": [";
+    for (std::size_t i = 0; i < e.spans.size(); ++i) {
+        const trace::Event &s = e.spans[i];
+        out << (i == 0 ? "" : ", ") << "{\"name\": ";
+        json::writeEscaped(out, s.name);
+        out << ", \"start_us\": ";
+        json::writeNumber(out, s.startUs);
+        out << ", \"dur_us\": ";
+        json::writeNumber(out, s.durUs);
+        out << ", \"self_us\": ";
+        json::writeNumber(out, s.selfUs);
+        out << ", \"depth\": " << s.depth;
+        for (std::size_t id = 0; id < perf::kCounterCount; ++id) {
+            if (!s.perfDelta.available(id))
+                continue;
+            out << ", \"" << perf::counterName(id)
+                << "\": " << s.perfDelta[id];
+        }
+        out << '}';
+    }
+    out << "]}\n";
+}
+
+} // namespace
+
+std::uint64_t
+unixNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : cap(capacity == 0 ? 1 : capacity)
+{
+    stored.reserve(cap < 1024 ? cap : 1024);
+}
+
+bool
+EventLog::append(QueryEvent e)
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    if (stored.size() >= cap) {
+        ++drops;
+        return false;
+    }
+    stored.push_back(std::move(e));
+    return true;
+}
+
+std::size_t
+EventLog::size() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    return stored.size();
+}
+
+std::uint64_t
+EventLog::dropped() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    return drops;
+}
+
+std::vector<QueryEvent>
+EventLog::events() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    return stored;
+}
+
+void
+EventLog::writeJsonl(std::ostream &out) const
+{
+    std::vector<QueryEvent> copy;
+    std::uint64_t dropCount = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        copy = stored;
+        dropCount = drops;
+    }
+    for (const QueryEvent &e : copy)
+        writeEvent(out, e);
+    out << "{\"schema\": \"hdham.events.v1\", \"kind\": "
+           "\"summary\", \"captured\": "
+        << copy.size() << ", \"dropped\": " << dropCount << "}\n";
+}
+
+void
+EventLog::saveJsonl(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("events: cannot open " + path +
+                                 " for writing");
+    writeJsonl(out);
+    if (!out)
+        throw std::runtime_error("events: write failed: " + path);
+}
+
+void
+setSlowQueryCapture(const SlowQueryCapture &capture)
+{
+    g_thresholdUs = capture.thresholdUs;
+    g_capturePerf = capture.capturePerf;
+    g_log.store(capture.log, std::memory_order_release);
+}
+
+void
+clearSlowQueryCapture()
+{
+    g_log.store(nullptr, std::memory_order_release);
+}
+
+SlowQueryCapture
+activeSlowQueryCapture()
+{
+    SlowQueryCapture cfg;
+    cfg.log = g_log.load(std::memory_order_acquire);
+    if (cfg.log) {
+        cfg.thresholdUs = g_thresholdUs;
+        cfg.capturePerf = g_capturePerf;
+    }
+    return cfg;
+}
+
+} // namespace hdham::events

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Bounded structured event log (hdham.events.v1) and the slow-query
+ * capture hook the batch executor drives.
+ *
+ * The metrics registry answers "how is the fleet doing on average";
+ * a latency histogram cannot answer "what did the p99 query *do*".
+ * This subsystem keeps the evidence: when slow-query capture is
+ * armed, every query served through the batch executor runs under a
+ * per-thread trace::SpanCollector and (optionally) a hardware-
+ * counter delta, and queries slower than the threshold append one
+ * structured record -- timestamp, engine, query index, latency,
+ * perf delta, span tree -- to a bounded in-memory log exported as
+ * JSON Lines.
+ *
+ * Design rules (shared with the trace buffers):
+ *
+ *  - Bounded and exact: the log never grows past its capacity;
+ *    overflowing records are dropped and counted exactly, and the
+ *    exported stream ends with a summary record carrying the counts.
+ *  - Off means off: with no capture armed the executor pays one
+ *    atomic load per chunk. Arming is process-wide, like
+ *    trace::setActive.
+ *  - One JSON object per line, written with the shared core/json
+ *    writers, so the stream is parseable line-by-line by core/json
+ *    (pinned by the round-trip test) and greppable by kind.
+ */
+
+#ifndef HDHAM_CORE_EVENT_LOG_HH
+#define HDHAM_CORE_EVENT_LOG_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/perf_counters.hh"
+#include "core/trace.hh"
+
+namespace hdham::events
+{
+
+/** Wall clock now, nanoseconds since the Unix epoch. */
+std::uint64_t unixNowNs();
+
+/** One captured query: the "slow_query" record of hdham.events.v1. */
+struct QueryEvent
+{
+    /** Capture time (wall clock, ns since the Unix epoch). */
+    std::uint64_t unixNs = 0;
+    /** Batch span name of the engine that served the query. */
+    std::string engine;
+    /** Index of the query within its batch. */
+    std::uint64_t queryIndex = 0;
+    /** Wall time of the query kernel, microseconds. */
+    double latencyUs = 0.0;
+    /** Hardware-counter delta over the kernel; counters stay tagged
+     *  perf::kUnavailable when capture was off or denied. */
+    perf::Sample perfDelta;
+    /** Spans completed inside the kernel, in completion order. */
+    std::vector<trace::Event> spans;
+    /** Spans dropped to the collector's capacity bound (exact). */
+    std::uint64_t spanDrops = 0;
+};
+
+/**
+ * Bounded, thread-safe store of captured query events. append() past
+ * the capacity drops the record and counts the drop exactly; the
+ * JSONL export always ends with a "summary" record carrying the
+ * captured and dropped totals so truncation is visible downstream.
+ */
+class EventLog
+{
+  public:
+    /** @param capacity records retained before drops begin. */
+    explicit EventLog(std::size_t capacity = 4096);
+
+    /** Append @p e; false (and an exact drop count) when full. */
+    bool append(QueryEvent e);
+
+    /** Records currently stored. */
+    std::size_t size() const;
+
+    /** Records dropped because the log was full (exact). */
+    std::uint64_t dropped() const;
+
+    /** Copy of the stored records, in append order. */
+    std::vector<QueryEvent> events() const;
+
+    /**
+     * JSON Lines export (schema hdham.events.v1): one "slow_query"
+     * object per record, then one "summary" object with the exact
+     * captured/dropped counts. Every line is a complete JSON
+     * document parseable by core/json.
+     */
+    void writeJsonl(std::ostream &out) const;
+
+    /**
+     * writeJsonl to @p path.
+     * @throws std::runtime_error when the file cannot be written.
+     */
+    void saveJsonl(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu;
+    std::size_t cap;
+    std::vector<QueryEvent> stored;
+    std::uint64_t drops = 0;
+};
+
+/**
+ * Process-wide slow-query capture configuration. log == nullptr
+ * means capture is off.
+ */
+struct SlowQueryCapture
+{
+    EventLog *log = nullptr;
+    /** Queries at least this slow (microseconds) are recorded; 0
+     *  records every query. */
+    double thresholdUs = 0.0;
+    /** Also capture hardware-counter deltas per query and span. */
+    bool capturePerf = false;
+};
+
+/**
+ * Arm slow-query capture process-wide (the batch executor consults
+ * it per chunk). The log must outlive the capture window; disarm
+ * with clearSlowQueryCapture() before exporting or destroying it.
+ */
+void setSlowQueryCapture(const SlowQueryCapture &capture);
+
+/** Disarm slow-query capture. */
+void clearSlowQueryCapture();
+
+/** The armed configuration, or one with log == nullptr when off. */
+SlowQueryCapture activeSlowQueryCapture();
+
+/** Spans retained per captured query. */
+inline constexpr std::size_t kSpansPerQuery = 64;
+
+/**
+ * Serve one query under capture: installs a SpanCollector (and a
+ * counter delta when requested) around @p fn, and appends a record
+ * to @p cfg.log when the kernel took at least cfg.thresholdUs.
+ * Returns fn()'s result. Called by the batch executor on whichever
+ * thread runs the kernel, so thread-scoped counters see the work.
+ */
+template <typename Fn>
+auto
+runCaptured(const char *engine, std::size_t queryIndex,
+            const SlowQueryCapture &cfg, Fn &&fn)
+{
+    trace::SpanCollector collector(kSpansPerQuery, cfg.capturePerf);
+    perf::Sample before;
+    if (cfg.capturePerf)
+        before = perf::threadSample();
+    const auto start = std::chrono::steady_clock::now();
+    auto result = fn();
+    const double latencyUs =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (cfg.log && latencyUs >= cfg.thresholdUs) {
+        QueryEvent e;
+        e.unixNs = unixNowNs();
+        e.engine = engine;
+        e.queryIndex = queryIndex;
+        e.latencyUs = latencyUs;
+        if (cfg.capturePerf)
+            e.perfDelta = perf::delta(before, perf::threadSample());
+        e.spans = collector.events();
+        e.spanDrops = collector.dropped();
+        cfg.log->append(std::move(e));
+    }
+    return result;
+}
+
+} // namespace hdham::events
+
+#endif // HDHAM_CORE_EVENT_LOG_HH

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/json.hh"
+#include "core/perf_counters.hh"
 #include "core/stats.hh"
 
 namespace hdham::metrics
@@ -79,6 +80,9 @@ writeHistogram(std::ostream &out, const HistogramSummary &h,
     writeNumber(out, h.p99);
     out << ",\n";
     out << inner << "\"overflow\": " << h.overflow << ",\n";
+    // "overflow_count" is the documented name for the saturation
+    // bucket; "overflow" predates it and stays byte-stable.
+    out << inner << "\"overflow_count\": " << h.overflow << ",\n";
     out << inner << "\"buckets\": [";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
         out << (i == 0 ? "" : ", ") << '[';
@@ -225,12 +229,28 @@ Registry::setInfo(const std::string &name, const std::string &value)
     infos[name] = value;
 }
 
+void
+Registry::setPerf(const std::string &name, double value)
+{
+    perfFacts[name] = value;
+}
+
 Snapshot
 Registry::snapshot() const
 {
     Snapshot snap;
+    snap.snapshotUnixNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
     snap.gauges = gauges;
     snap.info = infos;
+    snap.perf = perfFacts;
+    const perf::MemoryStats mem = perf::memoryStats();
+    snap.gauges["process.rss_bytes"] =
+        static_cast<double>(mem.rssBytes);
+    snap.gauges["process.peak_rss_bytes"] =
+        static_cast<double>(mem.peakRssBytes);
     for (const auto &[name, m] : query) {
         snap.counters[name + ".queries"] = m->queries.value();
         snap.counters[name + ".batches"] = m->batches.value();
@@ -277,6 +297,8 @@ void
 writeJson(std::ostream &out, const Snapshot &snapshot)
 {
     out << "{\n  \"schema\": \"hdham.metrics.v1\",\n";
+    out << "  \"snapshot_unix_ns\": " << snapshot.snapshotUnixNs
+        << ",\n";
 
     out << "  \"counters\": {";
     bool first = true;
@@ -317,6 +339,17 @@ writeJson(std::ostream &out, const Snapshot &snapshot)
         writeEscaped(out, key);
         out << ": ";
         writeEscaped(out, value);
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n";
+
+    out << "  \"perf\": {";
+    first = true;
+    for (const auto &[key, value] : snapshot.perf) {
+        out << (first ? "\n    " : ",\n    ");
+        writeEscaped(out, key);
+        out << ": ";
+        writeNumber(out, value);
         first = false;
     }
     out << (first ? "" : "\n  ") << "}\n}\n";

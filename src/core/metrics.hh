@@ -233,12 +233,20 @@ class ClassificationMetrics
 /** Flat, ordered snapshot of every attached metric. */
 struct Snapshot
 {
+    /** Wall-clock capture time, nanoseconds since the Unix epoch;
+     *  additive to hdham.metrics.v1 ("snapshot_unix_ns"). */
+    std::uint64_t snapshotUnixNs = 0;
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramSummary> histograms;
     /** Free-form string facts (selected distance kernel, build
      *  flavor); additive to hdham.metrics.v1. */
     std::map<std::string, std::string> info;
+    /** Hardware-counter facts and derived rates (core/perf_counters
+     *  exportTo); values of -1 are tagged "unavailable". Additive to
+     *  hdham.metrics.v1 ("perf"); empty when no perf run was
+     *  requested. */
+    std::map<std::string, double> perf;
 };
 
 /** Render a snapshot as the hdham.metrics.v1 JSON document. */
@@ -268,7 +276,19 @@ class Registry
      */
     void setInfo(const std::string &name, const std::string &value);
 
-    /** Point-in-time snapshot of everything attached. */
+    /**
+     * Set one hardware-counter fact or derived rate, exported under
+     * the snapshot's "perf" object (usually via perf::exportTo).
+     * Use -1 as the tagged "unavailable" value.
+     */
+    void setPerf(const std::string &name, double value);
+
+    /**
+     * Point-in-time snapshot of everything attached, stamped with
+     * the wall clock and the process RSS / peak-RSS gauges
+     * ("process.rss_bytes" / "process.peak_rss_bytes", -1 when the
+     * OS has no answer).
+     */
     Snapshot snapshot() const;
 
     /** writeJson(snapshot()) convenience. */
@@ -289,6 +309,7 @@ class Registry
         classification;
     std::map<std::string, double> gauges;
     std::map<std::string, std::string> infos;
+    std::map<std::string, double> perfFacts;
 };
 
 } // namespace hdham::metrics

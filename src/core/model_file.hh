@@ -199,6 +199,13 @@ class ModelView
     /** Total mapped bytes. */
     std::size_t fileSize() const { return mapBytes; }
 
+    /**
+     * First byte of the mapping -- with fileSize(), the range
+     * perf::residency() inspects for the mmap residency gauges.
+     * Read-only; the mapped file's lifetime is the view's.
+     */
+    const void *mapBase() const { return base; }
+
     /** Dimensionality of the stored model. */
     std::size_t dim() const { return memory().dim(); }
 

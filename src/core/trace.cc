@@ -276,7 +276,17 @@ Tracer::writeChromeJson(std::ostream &out) const
         out << ", \"pid\": " << e.scope << ", \"tid\": " << track
             << ", \"args\": {\"self_us\": ";
         json::writeNumber(out, e.selfUs);
-        out << ", \"depth\": " << e.depth << "}}";
+        out << ", \"depth\": " << e.depth;
+        // Perf args are additive: only counters that were actually
+        // read appear, so traces without perf capture (or with every
+        // counter unavailable) keep the frozen v1 args key set.
+        for (std::size_t id = 0; id < perf::kCounterCount; ++id) {
+            if (!e.perfDelta.available(id))
+                continue;
+            out << ", \"" << perf::counterName(id)
+                << "\": " << e.perfDelta[id];
+        }
+        out << "}}";
     }
 
     out << (first ? "" : "\n  ") << "]\n}\n";
@@ -304,12 +314,21 @@ Span::finish()
         parent->childUs += durUs;
     Event e;
     e.name = name;
-    e.startUs = microsBetween(tracer->epoch(), begin);
     e.durUs = durUs;
     e.selfUs = durUs - childUs;
     e.scope = detail::tlScope;
     e.depth = depth;
-    tracer->record(e);
+    if ((tracer && tracer->capturesPerf()) ||
+        (collector && collector->capturesPerf()))
+        e.perfDelta = perf::delta(perfBegin, perf::threadSample());
+    if (tracer) {
+        e.startUs = microsBetween(tracer->epoch(), begin);
+        tracer->record(e);
+    }
+    if (collector) {
+        e.startUs = microsBetween(collector->epoch(), begin);
+        collector->record(e);
+    }
 }
 
 BatchScope::BatchScope(const char *name)

@@ -50,6 +50,8 @@
 #include <string>
 #include <vector>
 
+#include "core/perf_counters.hh"
+
 namespace hdham::trace
 {
 
@@ -58,6 +60,7 @@ using Clock = std::chrono::steady_clock;
 
 class Tracer;
 class Span;
+class SpanCollector;
 
 namespace detail
 {
@@ -73,6 +76,9 @@ inline thread_local Span *tlCurrent = nullptr;
  * copies the caller's scope into its workers.
  */
 inline thread_local std::uint64_t tlScope = 0;
+
+/** This thread's span collector (slow-query capture), or null. */
+inline thread_local SpanCollector *tlCollector = nullptr;
 
 } // namespace detail
 
@@ -117,6 +123,14 @@ struct Event
     std::uint64_t scope = 0;
     /** Nesting depth within its thread (0 = outermost). */
     std::uint32_t depth = 0;
+    /**
+     * Hardware-counter delta over the span, when perf capture was
+     * requested (Tracer::setCapturePerf / SpanCollector). Defaults
+     * to fully unavailable; counters that could not be read stay
+     * tagged perf::kUnavailable. Additive to hdham.trace.v1 -- the
+     * Chrome export only emits args for available counters.
+     */
+    perf::Sample perfDelta;
 };
 
 /** Aggregate statistics of one span name across all threads. */
@@ -192,6 +206,17 @@ class Tracer
     Clock::time_point epoch() const { return start; }
 
     /**
+     * Capture a hardware-counter delta (core/perf_counters) for
+     * every span recorded into this tracer. Set before activation.
+     * When counters are unavailable the deltas stay tagged and the
+     * exported trace is structurally identical to a no-perf one.
+     */
+    void setCapturePerf(bool on) { capturePerf = on; }
+
+    /** True when spans should read hardware counters. */
+    bool capturesPerf() const { return capturePerf; }
+
+    /**
      * Record one completed span into the calling thread's buffer.
      * Called by Span; wait-free after the thread's first event.
      */
@@ -255,6 +280,7 @@ class Tracer
     /** Unique per-tracer id keying the thread-local buffer cache. */
     std::uint64_t uid;
     Clock::time_point start;
+    bool capturePerf = false;
 
     mutable std::mutex mu;
     std::vector<std::unique_ptr<ThreadBuffer>> buffers;
@@ -264,30 +290,97 @@ class Tracer
 };
 
 /**
- * RAII span. Constructing with no active tracer costs one relaxed
- * atomic load and a branch; with a tracer it reads the clock and
- * links into the thread's span stack, and destruction records the
- * completed event. @p name must be a string literal (or otherwise
- * outlive the tracer).
+ * Per-thread span sink for slow-query capture: while one is alive,
+ * every span completed on its thread is also copied here (start
+ * times relative to the collector's own epoch), whether or not a
+ * Tracer is active. Bounded, single-threaded, drops counted exactly.
+ * Collectors stack: constructing installs this one and restores the
+ * previous on destruction, so a per-query collector inside a traced
+ * batch sees only its query's spans.
+ */
+class SpanCollector
+{
+  public:
+    /**
+     * @param capacity    spans retained (a query's span tree is a
+     *                    handful; overflow is counted, not resized).
+     * @param capturePerf also read hardware-counter deltas per span.
+     */
+    explicit SpanCollector(std::size_t capacity = 64,
+                           bool capturePerf = false)
+        : saved(detail::tlCollector), cap(capacity == 0 ? 1 : capacity),
+          perfOn(capturePerf), begin(Clock::now())
+    {
+        detail::tlCollector = this;
+    }
+
+    ~SpanCollector() { detail::tlCollector = saved; }
+
+    SpanCollector(const SpanCollector &) = delete;
+    SpanCollector &operator=(const SpanCollector &) = delete;
+
+    /** Spans completed while installed, in completion order. */
+    const std::vector<Event> &events() const { return collected; }
+
+    /** Spans dropped to the capacity bound (exact). */
+    std::uint64_t dropped() const { return drops; }
+
+    /** Time zero of the collected events' startUs. */
+    Clock::time_point epoch() const { return begin; }
+
+    /** True when spans should read hardware counters. */
+    bool capturesPerf() const { return perfOn; }
+
+  private:
+    friend class Span;
+
+    void record(const Event &e)
+    {
+        if (collected.size() >= cap) {
+            ++drops;
+            return;
+        }
+        collected.push_back(e);
+    }
+
+    SpanCollector *saved;
+    std::size_t cap;
+    bool perfOn;
+    Clock::time_point begin;
+    std::vector<Event> collected;
+    std::uint64_t drops = 0;
+};
+
+/**
+ * RAII span. Constructing with neither an active tracer nor a
+ * thread collector costs one relaxed atomic load, one thread-local
+ * load and a branch; otherwise it reads the clock and links into
+ * the thread's span stack, and destruction records the completed
+ * event into whichever sinks are live. @p name must be a string
+ * literal (or otherwise outlive the tracer).
  */
 class Span
 {
   public:
     explicit Span(const char *spanName)
-        : tracer(detail::g_active.load(std::memory_order_relaxed))
+        : tracer(detail::g_active.load(std::memory_order_relaxed)),
+          collector(detail::tlCollector)
     {
-        if (!tracer)
+        if (!tracer && !collector)
             return;
         name = spanName;
         parent = detail::tlCurrent;
         depth = parent ? parent->depth + 1 : 0;
         detail::tlCurrent = this;
+        if ((tracer && tracer->capturesPerf()) ||
+            (collector && collector->capturesPerf()))
+            perfBegin = perf::threadSample();
         begin = Clock::now();
     }
 
     ~Span()
     {
-        if (tracer)
+        if (tracer || collector)
             finish();
     }
 
@@ -299,11 +392,13 @@ class Span
     void finish();
 
     Tracer *tracer;
+    SpanCollector *collector;
     const char *name = nullptr;
     Span *parent = nullptr;
     Clock::time_point begin{};
     double childUs = 0.0;
     std::uint32_t depth = 0;
+    perf::Sample perfBegin;
 };
 
 /**

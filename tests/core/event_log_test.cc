@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit and integration tests for the hdham.events.v1 slow-query log
+ * (core/event_log): exact bounded-drop accounting, the JSONL export's
+ * line-by-line parseability through core/json, the runCaptured span
+ * collector, and the batch executor's end-to-end capture hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/assoc_memory.hh"
+#include "core/event_log.hh"
+#include "core/hypervector.hh"
+#include "core/json.hh"
+#include "core/metrics.hh"
+#include "core/random.hh"
+#include "core/trace.hh"
+
+namespace
+{
+
+using namespace hdham;
+
+events::QueryEvent
+makeEvent(std::uint64_t index)
+{
+    events::QueryEvent e;
+    e.unixNs = events::unixNowNs();
+    e.engine = "am.batch";
+    e.queryIndex = index;
+    e.latencyUs = 12.5;
+    return e;
+}
+
+/** Split @p text into its non-empty lines. */
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            out.push_back(line);
+    return out;
+}
+
+TEST(EventLogTest, BoundedWithExactDropCounts)
+{
+    events::EventLog log(2);
+    EXPECT_TRUE(log.append(makeEvent(0)));
+    EXPECT_TRUE(log.append(makeEvent(1)));
+    EXPECT_FALSE(log.append(makeEvent(2)));
+    EXPECT_FALSE(log.append(makeEvent(3)));
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.dropped(), 2u);
+    const std::vector<events::QueryEvent> stored = log.events();
+    ASSERT_EQ(stored.size(), 2u);
+    EXPECT_EQ(stored[0].queryIndex, 0u);
+    EXPECT_EQ(stored[1].queryIndex, 1u);
+}
+
+TEST(EventLogTest, EveryJsonlLineParsesAndCarriesTheSchema)
+{
+    events::EventLog log(2);
+    events::QueryEvent e = makeEvent(7);
+    trace::Event span;
+    span.name = "am.chunk";
+    span.startUs = 1.0;
+    span.durUs = 10.0;
+    span.selfUs = 10.0;
+    span.depth = 1;
+    span.perfDelta.v[perf::kPageFaults] = 4;
+    e.spans.push_back(span);
+    e.perfDelta.v[perf::kCycles] = 1234;
+    e.spanDrops = 3;
+    log.append(std::move(e));
+    log.append(makeEvent(8));
+    log.append(makeEvent(9)); // dropped
+
+    std::ostringstream out;
+    log.writeJsonl(out);
+    const std::vector<std::string> docs = lines(out.str());
+    ASSERT_EQ(docs.size(), 3u); // 2 records + summary
+
+    // Line by line, each is a complete core/json document.
+    const json::Value first = json::parse(docs[0]);
+    EXPECT_EQ(first.at("schema").asString(), "hdham.events.v1");
+    EXPECT_EQ(first.at("kind").asString(), "slow_query");
+    EXPECT_EQ(first.at("engine").asString(), "am.batch");
+    EXPECT_DOUBLE_EQ(first.at("query").asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(first.at("latency_us").asNumber(), 12.5);
+    EXPECT_GT(first.at("unix_ns").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(first.at("span_drops").asNumber(), 3.0);
+    // Only the available perf counters are emitted.
+    EXPECT_DOUBLE_EQ(first.at("perf").at("cycles").asNumber(),
+                     1234.0);
+    EXPECT_FALSE(first.at("perf").has("instructions"));
+    ASSERT_EQ(first.at("spans").items().size(), 1u);
+    const json::Value &jsonSpan = first.at("spans").items()[0];
+    EXPECT_EQ(jsonSpan.at("name").asString(), "am.chunk");
+    EXPECT_DOUBLE_EQ(jsonSpan.at("dur_us").asNumber(), 10.0);
+    EXPECT_DOUBLE_EQ(jsonSpan.at("self_us").asNumber(), 10.0);
+    EXPECT_DOUBLE_EQ(jsonSpan.at("depth").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(jsonSpan.at("page_faults").asNumber(), 4.0);
+    EXPECT_FALSE(jsonSpan.has("cycles"));
+
+    // The summary footer reports the exact totals, so downstream
+    // consumers can see truncation.
+    const json::Value summary = json::parse(docs.back());
+    EXPECT_EQ(summary.at("kind").asString(), "summary");
+    EXPECT_DOUBLE_EQ(summary.at("captured").asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(summary.at("dropped").asNumber(), 1.0);
+}
+
+TEST(EventLogTest, EmptyLogStillWritesTheSummary)
+{
+    events::EventLog log(4);
+    std::ostringstream out;
+    log.writeJsonl(out);
+    const std::vector<std::string> docs = lines(out.str());
+    ASSERT_EQ(docs.size(), 1u);
+    const json::Value summary = json::parse(docs[0]);
+    EXPECT_EQ(summary.at("schema").asString(), "hdham.events.v1");
+    EXPECT_DOUBLE_EQ(summary.at("captured").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(summary.at("dropped").asNumber(), 0.0);
+}
+
+TEST(SlowQueryCaptureTest, ArmDisarmRoundTrips)
+{
+    EXPECT_EQ(events::activeSlowQueryCapture().log, nullptr);
+    events::EventLog log(4);
+    events::setSlowQueryCapture({&log, 250.0, true});
+    const events::SlowQueryCapture active =
+        events::activeSlowQueryCapture();
+    EXPECT_EQ(active.log, &log);
+    EXPECT_DOUBLE_EQ(active.thresholdUs, 250.0);
+    EXPECT_TRUE(active.capturePerf);
+    events::clearSlowQueryCapture();
+    EXPECT_EQ(events::activeSlowQueryCapture().log, nullptr);
+}
+
+TEST(SlowQueryCaptureTest, RunCapturedRecordsAtThresholdZero)
+{
+    events::EventLog log(4);
+    const events::SlowQueryCapture cfg{&log, 0.0, false};
+    const int result = events::runCaptured("dham.batch", 11, cfg, [] {
+        TRACE_SPAN("unit.work");
+        return 42;
+    });
+    EXPECT_EQ(result, 42);
+    ASSERT_EQ(log.size(), 1u);
+    const events::QueryEvent e = log.events()[0];
+    EXPECT_EQ(e.engine, "dham.batch");
+    EXPECT_EQ(e.queryIndex, 11u);
+    EXPECT_GE(e.latencyUs, 0.0);
+    // The collector saw the kernel's span even without a Tracer.
+    ASSERT_EQ(e.spans.size(), 1u);
+    EXPECT_STREQ(e.spans[0].name, "unit.work");
+    EXPECT_EQ(e.spanDrops, 0u);
+    // No perf capture requested: the delta stays fully tagged.
+    EXPECT_FALSE(e.perfDelta.anyAvailable());
+}
+
+TEST(SlowQueryCaptureTest, HugeThresholdRecordsNothing)
+{
+    events::EventLog log(4);
+    const events::SlowQueryCapture cfg{&log, 1e12, false};
+    events::runCaptured("am.batch", 0, cfg, [] { return 1; });
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(SlowQueryCaptureTest, SpanOverflowIsCountedExactly)
+{
+    events::EventLog log(4);
+    const events::SlowQueryCapture cfg{&log, 0.0, false};
+    constexpr std::size_t kSpans = events::kSpansPerQuery + 6;
+    events::runCaptured("am.batch", 0, cfg, [] {
+        for (std::size_t i = 0; i < kSpans; ++i)
+            TRACE_SPAN("unit.flood");
+        return 0;
+    });
+    ASSERT_EQ(log.size(), 1u);
+    const events::QueryEvent e = log.events()[0];
+    EXPECT_EQ(e.spans.size(), events::kSpansPerQuery);
+    EXPECT_EQ(e.spanDrops, 6u);
+}
+
+/**
+ * End to end through the real query path: arm capture with threshold
+ * 0, serve a batch, and expect exactly one record per query from the
+ * executor's hook -- on one thread and across workers.
+ */
+TEST(SlowQueryCaptureTest, BatchExecutorCapturesEveryQuery)
+{
+    Rng rng(2017);
+    AssociativeMemory am(1024);
+    for (int c = 0; c < 8; ++c)
+        am.store(Hypervector::random(1024, rng));
+    std::vector<Hypervector> queries;
+    for (int q = 0; q < 16; ++q)
+        queries.push_back(Hypervector::random(1024, rng));
+
+    const std::vector<SearchResult> expected =
+        am.searchBatch(queries, 1);
+
+    for (const std::size_t threads : {std::size_t(1),
+                                      std::size_t(4)}) {
+        events::EventLog log(256);
+        events::setSlowQueryCapture({&log, 0.0, false});
+        const std::vector<SearchResult> captured =
+            am.searchBatch(queries, threads);
+        events::clearSlowQueryCapture();
+
+        EXPECT_EQ(log.size(), queries.size()) << threads;
+        EXPECT_EQ(log.dropped(), 0u);
+        // Capture must not perturb the answers.
+        ASSERT_EQ(captured.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(captured[i].classId, expected[i].classId);
+            EXPECT_EQ(captured[i].bestDistance,
+                      expected[i].bestDistance);
+        }
+        // Every query index 0..n-1 appears exactly once.
+        std::vector<int> seen(queries.size(), 0);
+        for (const events::QueryEvent &e : log.events()) {
+            ASSERT_LT(e.queryIndex, queries.size());
+            ++seen[e.queryIndex];
+            EXPECT_GT(e.unixNs, 0u);
+        }
+        for (const int count : seen)
+            EXPECT_EQ(count, 1);
+    }
+}
+
+TEST(SlowQueryCaptureTest, DisarmedPathAppendsNothing)
+{
+    Rng rng(7);
+    AssociativeMemory am(512);
+    for (int c = 0; c < 4; ++c)
+        am.store(Hypervector::random(512, rng));
+    std::vector<Hypervector> queries;
+    for (int q = 0; q < 4; ++q)
+        queries.push_back(Hypervector::random(512, rng));
+    events::EventLog log(16);
+    // Never armed: the executor takes the plain path.
+    am.searchBatch(queries, 2);
+    EXPECT_EQ(log.size(), 0u);
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/json.hh"
 #include "core/metrics.hh"
 
 namespace
@@ -220,7 +221,28 @@ TEST(RegistryTest, SaveJsonRoundTrips)
     std::ifstream in(path);
     std::stringstream buffer;
     buffer << in.rdbuf();
-    EXPECT_EQ(buffer.str(), registry.toJson());
+    // Each render is a fresh snapshot, so the live members
+    // (snapshot_unix_ns, process RSS gauges) may move between the
+    // two documents; everything attached must round-trip exactly.
+    const hdham::json::Value saved = hdham::json::parse(buffer.str());
+    const hdham::json::Value direct =
+        hdham::json::parse(registry.toJson());
+    EXPECT_EQ(saved.at("schema").asString(),
+              direct.at("schema").asString());
+    ASSERT_TRUE(saved.has("snapshot_unix_ns"));
+    EXPECT_GT(saved.at("snapshot_unix_ns").asNumber(), 0.0);
+    for (const auto &[key, value] :
+         direct.at("counters").members()) {
+        EXPECT_DOUBLE_EQ(saved.at("counters").at(key).asNumber(),
+                         value.asNumber())
+            << key;
+    }
+    EXPECT_DOUBLE_EQ(saved.at("counters").at("am.queries").asNumber(),
+                     1.0);
+    for (const char *gauge :
+         {"process.rss_bytes", "process.peak_rss_bytes"}) {
+        ASSERT_TRUE(saved.at("gauges").has(gauge)) << gauge;
+    }
     std::remove(path.c_str());
 }
 

@@ -84,6 +84,13 @@ TEST(MetricsSchemaTest, QueryKeySetIsFrozen)
     ASSERT_EQ(snap.histograms.size(), 1u);
     EXPECT_EQ(snap.histograms.begin()->first,
               "am.batch_latency_us");
+
+    // Every snapshot is stamped and carries the process gauges.
+    EXPECT_GT(snap.snapshotUnixNs, 0u);
+    EXPECT_EQ(snap.gauges.count("process.rss_bytes"), 1u);
+    EXPECT_EQ(snap.gauges.count("process.peak_rss_bytes"), 1u);
+    // No perf run was requested, so the perf object stays empty.
+    EXPECT_TRUE(snap.perf.empty());
 }
 
 TEST(MetricsSchemaTest, JsonTopLevelShapeIsFrozen)
@@ -93,29 +100,41 @@ TEST(MetricsSchemaTest, JsonTopLevelShapeIsFrozen)
     registry.attachQuery("am", sink);
     registry.setInfo("kernel", "scalar");
     const std::string json = registry.toJson();
-    // The five top-level members, in order.
+    // The seven top-level members, in order (snapshot_unix_ns and
+    // perf are additive in hdham.metrics.v1).
     const std::size_t schemaAt =
         json.find("\"schema\": \"hdham.metrics.v1\"");
+    const std::size_t stampAt = json.find("\"snapshot_unix_ns\":");
     const std::size_t countersAt = json.find("\"counters\":");
     const std::size_t gaugesAt = json.find("\"gauges\":");
     const std::size_t histogramsAt = json.find("\"histograms\":");
     const std::size_t infoAt = json.find("\"info\":");
+    const std::size_t perfAt = json.find("\"perf\":");
     ASSERT_NE(schemaAt, std::string::npos);
+    ASSERT_NE(stampAt, std::string::npos);
     ASSERT_NE(countersAt, std::string::npos);
     ASSERT_NE(gaugesAt, std::string::npos);
     ASSERT_NE(histogramsAt, std::string::npos);
     ASSERT_NE(infoAt, std::string::npos);
-    EXPECT_LT(schemaAt, countersAt);
+    ASSERT_NE(perfAt, std::string::npos);
+    EXPECT_LT(schemaAt, stampAt);
+    EXPECT_LT(stampAt, countersAt);
     EXPECT_LT(countersAt, gaugesAt);
     EXPECT_LT(gaugesAt, histogramsAt);
     EXPECT_LT(histogramsAt, infoAt);
+    EXPECT_LT(infoAt, perfAt);
     EXPECT_NE(json.find("\"kernel\": \"scalar\""),
               std::string::npos);
-    // Histogram summaries carry the full percentile set.
+    // The process gauges ride along in every snapshot.
+    EXPECT_NE(json.find("\"process.rss_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"process.peak_rss_bytes\""),
+              std::string::npos);
+    // Histogram summaries carry the full percentile set, including
+    // both spellings of the saturation bucket.
     for (const char *field :
          {"\"count\"", "\"sum_us\"", "\"min_us\"", "\"max_us\"",
           "\"p50_us\"", "\"p95_us\"", "\"p99_us\"", "\"overflow\"",
-          "\"buckets\""}) {
+          "\"overflow_count\"", "\"buckets\""}) {
         EXPECT_NE(json.find(field), std::string::npos) << field;
     }
 }

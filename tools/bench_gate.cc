@@ -11,14 +11,24 @@
  *
  *   bench_gate [--baseline PATH] [--tolerance F] [--update-baseline]
  *              [--batch-bench PATH] [--micro-bench PATH]
- *              [--filter REGEX] [--skip-micro]
+ *              [--filter REGEX] [--skip-micro] [--strict-host]
  *
  * Default mode is the gate: every benchmark named in the baseline
  * must reach at least (1 - tolerance) of its baseline throughput;
  * any miss (or a benchmark that disappeared) exits non-zero with a
  * per-benchmark report. Latency quantiles are recorded for eyeballs
  * and dashboards but never gate -- wall-clock quantiles on shared CI
- * hardware are too noisy to fail a build on.
+ * hardware are too noisy to fail a build on. The batch suite runs
+ * with --perf, so the baseline also records IPC and the cache-miss
+ * rate next to queries/sec -- informational like the quantiles,
+ * never gated (and absent on hosts that deny perf_event_open).
+ *
+ * A baseline recorded on a different machine (thread count or CPU
+ * capability mismatch) cannot gate this one: by default the run
+ * reports the comparison as a labeled warning and exits 0, since
+ * cross-machine ratios are noise, not regressions. --strict-host
+ * restores the old hard failure for environments that pin their
+ * benchmark hosts.
  *
  * --update-baseline reruns the suite and rewrites the baseline file
  * instead of comparing. Refresh procedure: on a quiet machine run
@@ -77,6 +87,10 @@ struct SuiteResult
     /** Rows the cascade benchmark pruned (am_cascade.rows_pruned);
      *  -1 when the snapshot has no such counter. */
     double cascadeRowsPruned = -1.0;
+    /** Hardware-counter facts from the batch suite's --perf run
+     *  (ipc, llc_miss_per_kinst, available, ...); empty when the
+     *  host denied perf_event_open. Informational only. */
+    std::map<std::string, double> perf;
 };
 
 /** Hardware threads of the machine running the gate. */
@@ -129,7 +143,10 @@ usage()
         "  --batch-bench P   micro_batch_throughput binary\n"
         "  --micro-bench P   micro_software_am binary\n"
         "  --filter REGEX    forwarded as --benchmark_filter\n"
-        "  --skip-micro      gate on micro_batch_throughput only\n");
+        "  --skip-micro      gate on micro_batch_throughput only\n"
+        "  --strict-host     fail (instead of warn and exit 0) when "
+        "the baseline was recorded on a\n"
+        "                    different host fingerprint\n");
     return 2;
 }
 
@@ -231,6 +248,14 @@ collectLatency(const std::string &jsonText, SuiteResult &result)
                 counters->find("am_cascade.rows_pruned"))
             result.cascadeRowsPruned = pruned->asNumber();
     }
+    // The perf object is present whenever --perf ran; keep only the
+    // real readings (unavailable counters are tagged -1).
+    if (const Value *perf = doc.find("perf")) {
+        for (const auto &[name, value] : perf->members()) {
+            if (value.asNumber() >= 0.0)
+                result.perf[name] = value.asNumber();
+        }
+    }
     const Value *histograms = doc.find("histograms");
     if (!histograms)
         return;
@@ -263,8 +288,8 @@ runSuite(const std::string &batchBench, const std::string &microBench,
                  batchBench.c_str());
     collectBenchmarks(
         capture(quoted(batchBench) + " --benchmark_format=json" +
-                " --stats-json " + quoted(statsPath) + filterArg +
-                " 2>/dev/null"),
+                " --perf --stats-json " + quoted(statsPath) +
+                filterArg + " 2>/dev/null"),
         result);
     collectLatency(readFile(statsPath), result);
     std::remove(statsPath.c_str());
@@ -306,6 +331,22 @@ writeBaseline(std::ostream &out, const SuiteResult &result,
     out << ", \"cpu\": ";
     writeEscaped(out, hostCpuFlags());
     out << "},\n";
+
+    // Informational hardware-counter facts next to the throughput
+    // numbers (IPC, cache-miss rates). Never gated; absent when the
+    // recording host denied perf_event_open.
+    if (!result.perf.empty()) {
+        out << "  \"perf\": {";
+        bool firstPerf = true;
+        for (const auto &[name, value] : result.perf) {
+            out << (firstPerf ? "\n    " : ",\n    ");
+            writeEscaped(out, name);
+            out << ": ";
+            writeNumber(out, value);
+            firstPerf = false;
+        }
+        out << "\n  },\n";
+    }
 
     out << "  \"throughput_qps\": {";
     bool first = true;
@@ -392,6 +433,22 @@ gate(const Value &baseline, const SuiteResult &current,
                     "(informational)\n",
                     name.c_str(), summary.p50Us, summary.p95Us);
     }
+    if (!current.perf.empty()) {
+        std::string row;
+        for (const char *key :
+             {"ipc", "llc_miss_per_kinst", "cycles", "instructions",
+              "page_faults"}) {
+            const auto it = current.perf.find(key);
+            if (it != current.perf.end()) {
+                char cell[64];
+                std::snprintf(cell, sizeof cell, " %s=%.3g", key,
+                              it->second);
+                row += cell;
+            }
+        }
+        if (!row.empty())
+            std::printf("perf (informational):%s\n", row.c_str());
+    }
     return failures;
 }
 
@@ -407,6 +464,7 @@ main(int argc, char **argv)
     double tolerance = 0.25;
     bool update = false;
     bool skipMicro = false;
+    bool strictHost = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -425,6 +483,8 @@ main(int argc, char **argv)
             update = true;
         } else if (arg == "--skip-micro") {
             skipMicro = true;
+        } else if (arg == "--strict-host") {
+            strictHost = true;
         } else {
             return usage();
         }
@@ -474,6 +534,8 @@ main(int argc, char **argv)
                 "bench_gate: " + baselinePath +
                 " is not an hdham.bench.v1 document");
         }
+        bool hostMismatch = false;
+        std::string hostDiff;
         if (const Value *host = baseline.find("host")) {
             const Value *threads = host->find("threads");
             const Value *cpu = host->find("cpu");
@@ -484,22 +546,39 @@ main(int argc, char **argv)
             if (wantThreads !=
                     static_cast<double>(hostThreads()) ||
                 wantCpu != hostCpuFlags()) {
-                throw std::runtime_error(
-                    "bench_gate: baseline host (threads=" +
+                hostMismatch = true;
+                hostDiff =
+                    "baseline host (threads=" +
                     std::to_string(
                         static_cast<long long>(wantThreads)) +
                     ", cpu=" + wantCpu +
                     ") does not match this machine (threads=" +
                     std::to_string(hostThreads()) +
-                    ", cpu=" + hostCpuFlags() +
-                    ") -- cross-machine throughput comparisons "
-                    "produce phantom regressions; rerun "
-                    "'bench_gate --update-baseline' on this "
-                    "machine");
+                    ", cpu=" + hostCpuFlags() + ")";
             }
+        }
+        if (hostMismatch && strictHost) {
+            // The pre---strict-host behavior: refuse to compare.
+            throw std::runtime_error(
+                "bench_gate: " + hostDiff +
+                " -- cross-machine throughput comparisons produce "
+                "phantom regressions; rerun 'bench_gate "
+                "--update-baseline' on this machine");
         }
         const int failures =
             gate(baseline, current, tolerance, skipMicro);
+        if (hostMismatch) {
+            // Cross-machine ratios are noise, not regressions:
+            // report, label, and pass.
+            std::fprintf(stderr,
+                         "bench_gate: WARNING: %s -- comparison is "
+                         "informational only, not gating (pass "
+                         "--strict-host to fail instead, or rerun "
+                         "'bench_gate --update-baseline' on this "
+                         "machine)\n",
+                         hostDiff.c_str());
+            return 0;
+        }
         if (failures > 0) {
             std::fprintf(stderr,
                          "bench_gate: %d benchmark(s) below %.0f%% "

@@ -30,6 +30,19 @@
  * --trace records every span on the query path (core/trace.hh) and
  * writes a Chrome trace-event file (hdham.trace.v1) that loads in
  * Perfetto / chrome://tracing, plus a per-span summary on stdout.
+ *
+ * --perf wraps the workload in a hardware-counter group
+ * (core/perf_counters.hh): cycles, instructions, cache misses,
+ * branch misses and page faults land in the metrics snapshot's
+ * "perf" object with derived rates (IPC, misses per row), and traced
+ * spans carry per-span deltas. Hosts where perf_event_open is denied
+ * degrade gracefully: values are tagged unavailable (-1), info
+ * "perf" says so, and results are bit-identical.
+ *
+ * --slow-query-us / --events-out capture queries slower than the
+ * threshold -- span tree plus perf delta -- into a bounded
+ * hdham.events.v1 JSONL log (core/event_log.hh) with exact drop
+ * counts.
  *   save     --model PATH --out PATH [--layout row|sliced]
  *            [--shards N] [--cascade-prefix BITS]
  *            convert a model (either format) to hdham.model.v1,
@@ -74,8 +87,10 @@
 #include <vector>
 
 #include "core/distance.hh"
+#include "core/event_log.hh"
 #include "core/metrics.hh"
 #include "core/model_file.hh"
+#include "core/perf_counters.hh"
 #include "core/serialize.hh"
 #include "core/trace.hh"
 #include "ham/a_ham.hh"
@@ -98,12 +113,14 @@ usage()
         "usage:\n"
         "  hdham train --out PATH [--dim N] [--train-chars N] "
         "[--sentences N] [--threads N] [--kernel K] "
-        "[--format v1|legacy] [--stats-json PATH] [--trace PATH]\n"
+        "[--format v1|legacy] [--perf] [--stats-json PATH] "
+        "[--trace PATH]\n"
         "  hdham classify --model PATH "
         "[--design am|dham|rham|aham] "
         "[--threads N] [--batch N] [--kernel K] "
         "[--prune auto|on|off] [--cascade-prefix BITS] "
-        "[--layout row|sliced] [--shards N] "
+        "[--layout row|sliced] [--shards N] [--perf] "
+        "[--slow-query-us US] [--events-out PATH] "
         "[--stats-json PATH] [--trace PATH] TEXT...\n"
         "  hdham save --model PATH --out PATH [--layout row|sliced] "
         "[--shards N] [--cascade-prefix BITS]\n"
@@ -144,6 +161,22 @@ usage()
         "unrolled, avx2 or auto (default: HDHAM_KERNEL env,\n"
         "                    else runtime cpuid dispatch; results "
         "are bit-identical for every kernel)\n"
+        "  --perf            measure the workload with hardware "
+        "counters (perf_event_open): the metrics snapshot\n"
+        "                    gains a \"perf\" object (cycles, "
+        "instructions, cache/branch misses, page faults,\n"
+        "                    IPC, misses per row) and traced spans "
+        "carry per-span deltas; denied or non-Linux hosts\n"
+        "                    degrade to tagged -1 values with "
+        "results unchanged\n"
+        "  --slow-query-us US\n"
+        "                    capture queries at least US "
+        "microseconds slow into the --events-out log (0 =\n"
+        "                    every query; default 1000)\n"
+        "  --events-out PATH write captured slow queries as "
+        "hdham.events.v1 JSON Lines (span tree + perf\n"
+        "                    delta per query, bounded, exact drop "
+        "counts)\n"
         "  --stats-json PATH write a query-path metrics snapshot "
         "(hdham.metrics.v1 JSON)\n"
         "  --trace PATH      write a Chrome trace-event file "
@@ -182,6 +215,17 @@ numericOption(std::vector<std::string> &args, const std::string &flag,
     const std::string value =
         option(args, flag, std::to_string(fallback));
     return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+/** Consume a valueless `--flag`; true when it was present. */
+bool
+boolOption(std::vector<std::string> &args, const std::string &flag)
+{
+    const auto it = std::find(args.begin(), args.end(), flag);
+    if (it == args.end())
+        return false;
+    args.erase(it);
+    return true;
 }
 
 /**
@@ -356,6 +400,7 @@ cmdTrain(std::vector<std::string> args)
     const std::size_t threads = numericOption(args, "--threads", 1);
     const std::string statsPath = option(args, "--stats-json", "");
     const std::string tracePath = option(args, "--trace", "");
+    const bool perfOn = boolOption(args, "--perf");
     const std::string format = option(args, "--format", "v1");
     if (format != "v1" && format != "legacy") {
         std::fprintf(stderr,
@@ -372,10 +417,15 @@ cmdTrain(std::vector<std::string> args)
     const lang::SyntheticCorpus corpus(corpusCfg);
 
     // Activate tracing before the pipeline constructor so the
-    // lang.train / lang.encode spans are captured too.
+    // lang.train / lang.encode spans are captured too. The counter
+    // workload starts here as well: training plus evaluation.
     trace::Tracer tracer;
+    tracer.setCapturePerf(perfOn);
     if (!tracePath.empty())
         trace::setActive(&tracer);
+    std::optional<perf::ProcessCounters> workload;
+    if (perfOn)
+        workload.emplace();
 
     lang::RecognitionPipeline pipeline(corpus, pipeCfg);
 
@@ -405,6 +455,12 @@ cmdTrain(std::vector<std::string> args)
         metrics::Registry registry;
         registry.attachQuery("am", memoryMetrics);
         registry.attachClassification("lang", evalMetrics);
+        if (perfOn) {
+            perf::exportTo(registry, workload->delta(),
+                           memoryMetrics.rowsScanned.value());
+        } else {
+            registry.setInfo("perf", "off");
+        }
         writeStatsJson(registry, statsPath, pipeCfg.dim,
                        pipeline.memory().size(), threads);
     }
@@ -441,6 +497,20 @@ cmdClassify(std::vector<std::string> args)
     const std::size_t batch = numericOption(args, "--batch", 0);
     const std::string statsPath = option(args, "--stats-json", "");
     const std::string tracePath = option(args, "--trace", "");
+    const bool perfOn = boolOption(args, "--perf");
+    const std::string eventsPath = option(args, "--events-out", "");
+    const std::string slowArg = option(args, "--slow-query-us", "");
+    if (!slowArg.empty() && eventsPath.empty()) {
+        std::fprintf(stderr,
+                     "classify: --slow-query-us needs --events-out "
+                     "(nowhere to write captured queries)\n");
+        return 2;
+    }
+    // 0 is a valid threshold (capture every query), so "flag absent"
+    // is distinguished from the value, not defaulted numerically.
+    const double slowQueryUs =
+        slowArg.empty() ? 1000.0 : std::strtod(slowArg.c_str(),
+                                               nullptr);
     const std::string pruneName = option(args, "--prune", "auto");
     const std::size_t cascadePrefix =
         numericOption(args, "--cascade-prefix", 0);
@@ -523,8 +593,16 @@ cmdClassify(std::vector<std::string> args)
     }
 
     trace::Tracer tracer;
+    tracer.setCapturePerf(perfOn);
     if (!tracePath.empty())
         trace::setActive(&tracer);
+
+    // The --perf workload covers encoding and the batched search;
+    // parallelFor workers fork after this point, so the inherited
+    // counters aggregate their work too.
+    std::optional<perf::ProcessCounters> workload;
+    if (perfOn)
+        workload.emplace();
 
     // Rebuild the encoder: from the item memory embedded in a v1
     // model when present, else the library-default configuration
@@ -553,6 +631,13 @@ cmdClassify(std::vector<std::string> args)
         }
     }
 
+    // Arm slow-query capture for the duration of the batch loop; the
+    // batch executor consults it per chunk and serves each query
+    // under a span collector.
+    events::EventLog eventLog(65536);
+    if (!eventsPath.empty())
+        events::setSlowQueryCapture({&eventLog, slowQueryUs, perfOn});
+
     std::vector<std::size_t> winners;
     winners.reserve(queries.size());
     const std::size_t chunk = batch == 0 ? queries.size() : batch;
@@ -571,6 +656,19 @@ cmdClassify(std::vector<std::string> args)
             for (const auto &hit : memory.searchBatch(slice, threads))
                 winners.push_back(hit.classId);
         }
+    }
+
+    if (!eventsPath.empty()) {
+        events::clearSlowQueryCapture();
+        writeArtifact("events", eventsPath, [&](std::ostream &out) {
+            eventLog.writeJsonl(out);
+        });
+        std::printf("slow queries   : %zu captured, %llu dropped "
+                    "(threshold %.0f us)\n",
+                    eventLog.size(),
+                    static_cast<unsigned long long>(
+                        eventLog.dropped()),
+                    slowQueryUs);
     }
 
     {
@@ -600,6 +698,23 @@ cmdClassify(std::vector<std::string> args)
         registry.setInfo("layout",
                          rowLayoutName(storeLayout.layout));
         registry.setGauge("run.shards", static_cast<double>(shards));
+        if (perfOn) {
+            perf::exportTo(registry, workload->delta(),
+                           designMetrics.rowsScanned.value());
+        } else {
+            registry.setInfo("perf", "off");
+        }
+        // How much of the mapped model the scan actually pulled into
+        // memory -- the mmap cold-start story in two gauges.
+        if (model.mapped()) {
+            const perf::Residency res = perf::residency(
+                model.view->mapBase(), model.view->fileSize());
+            registry.setGauge("model.mapped_bytes",
+                              static_cast<double>(res.mappedBytes));
+            registry.setGauge(
+                "model.resident_bytes",
+                static_cast<double>(res.residentBytes));
+        }
         recordModelInfo(registry, model);
         writeStatsJson(registry, statsPath, memory.dim(),
                        memory.size(), threads);
@@ -747,6 +862,15 @@ cmdLoad(std::vector<std::string> args)
                 view.hasItemMemory() ? "embedded" : "absent");
     std::printf("level memory   : %s\n",
                 view.hasLevelMemory() ? "embedded" : "absent");
+    // Loading touched only the header and the checksum pass, so this
+    // shows how much of the file validation left resident.
+    const perf::Residency res =
+        perf::residency(view.mapBase(), view.fileSize());
+    if (res.residentBytes >= 0) {
+        std::printf("resident       : %lld of %lld mapped bytes\n",
+                    static_cast<long long>(res.residentBytes),
+                    static_cast<long long>(res.mappedBytes));
+    }
     return 0;
 }
 
