@@ -29,10 +29,19 @@
  * --slow-query-us US / --events-out PATH capture queries at least US
  * microseconds slow (default 1000; 0 = every query) as
  * hdham.events.v1 JSON Lines, span tree and perf delta included.
+ *
+ * --swap-every N makes BM_SnapshotServe publish a rebuilt snapshot
+ * every N query batches (default 64; 0 disables swapping), so the
+ * serving-path numbers include live epoch swaps. The benchmark
+ * reports the writer-side swap latency and the worst reader-side
+ * acquire stall as counters; bench_gate records them in the
+ * baseline as informational fields.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +63,7 @@
 #include "core/perf_counters.hh"
 #include "core/random.hh"
 #include "core/serialize.hh"
+#include "core/snapshot.hh"
 #include "ham/a_ham.hh"
 #include "ham/d_ham.hh"
 #include "ham/r_ham.hh"
@@ -77,6 +87,10 @@ metrics::QueryMetrics *gAHamMetrics = nullptr;
 metrics::QueryMetrics *gExhaustiveMetrics = nullptr;
 metrics::QueryMetrics *gPrunedMetrics = nullptr;
 metrics::QueryMetrics *gCascadeMetrics = nullptr;
+metrics::QueryMetrics *gServeMetrics = nullptr;
+
+/** Batches between snapshot publishes in BM_SnapshotServe (0=off). */
+std::size_t gSwapEvery = 64;
 
 void
 BM_SoftwareBatchSearch(benchmark::State &state)
@@ -225,6 +239,88 @@ BM_MappedBatchSearch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_MappedBatchSearch)->Arg(1)->Arg(4)->UseRealTime();
+
+/**
+ * The serving read path: every batch pins a snapshot from a
+ * SnapshotSource, scans through the pinned memory and drops the pin
+ * -- exactly what the resident server does per request. With
+ * --swap-every N (default 64) the same loop also plays writer: every
+ * N batches it folds one more training sample into a rotating class
+ * through the SnapshotBuilder and publishes the rebuilt snapshot, so
+ * the measured q/s includes live epoch swaps instead of a frozen
+ * store.
+ *
+ * Counters tell the two sides apart: swaps plus build/swap latency
+ * are the writer's bill (the rebuild runs out-of-line, the swap is
+ * the atomic hand-off inside publish), acquire_us_max is the worst
+ * reader-visible stall -- the pin is one atomic acquire, so it must
+ * stay microseconds flat no matter how expensive the rebuilds are.
+ */
+void
+BM_SnapshotServe(benchmark::State &state)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    Rng rng(23);
+    snapshot::SnapshotBuilder builder(kDim);
+    std::vector<Hypervector> prototypes;
+    prototypes.reserve(kClasses);
+    for (std::size_t c = 0; c < kClasses; ++c) {
+        const std::size_t id =
+            builder.addClass("class" + std::to_string(c));
+        Hypervector hv = Hypervector::random(kDim, rng);
+        builder.addSample(id, hv);
+        prototypes.push_back(std::move(hv));
+    }
+    builder.attachMetrics(gServeMetrics);
+    snapshot::SnapshotSource source;
+    builder.publish(source);
+    const auto queries =
+        bench::makeSkewedQueries(prototypes, kBatch, 0.05, rng);
+
+    std::uint64_t batches = 0;
+    std::uint64_t swaps = 0;
+    double buildUsSum = 0.0;
+    double swapUsSum = 0.0;
+    double swapUsMax = 0.0;
+    double acquireUsMax = 0.0;
+    for (auto _ : state) {
+        const Clock::time_point pinStart = Clock::now();
+        const snapshot::SnapshotRef pin = source.acquire();
+        const double acquireUs =
+            std::chrono::duration<double, std::micro>(
+                Clock::now() - pinStart)
+                .count();
+        acquireUsMax = std::max(acquireUsMax, acquireUs);
+        benchmark::DoNotOptimize(
+            pin->memory().searchBatch(queries, threads));
+        ++batches;
+        if (gSwapEvery != 0 && batches % gSwapEvery == 0) {
+            builder.addSample(
+                static_cast<std::size_t>(swaps) % kClasses,
+                Hypervector::random(kDim, rng));
+            builder.publish(source);
+            const auto stats = builder.lastPublish();
+            ++swaps;
+            buildUsSum += stats.buildUs;
+            swapUsSum += stats.swapUs;
+            swapUsMax = std::max(swapUsMax, stats.swapUs);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.counters["swaps"] =
+        benchmark::Counter(static_cast<double>(swaps));
+    if (swaps > 0) {
+        state.counters["build_us_mean"] = benchmark::Counter(
+            buildUsSum / static_cast<double>(swaps));
+        state.counters["swap_us_mean"] = benchmark::Counter(
+            swapUsSum / static_cast<double>(swaps));
+        state.counters["swap_us_max"] = benchmark::Counter(swapUsMax);
+    }
+    state.counters["acquire_us_max"] =
+        benchmark::Counter(acquireUsMax);
+}
+BENCHMARK(BM_SnapshotServe)->Arg(1)->Arg(4)->UseRealTime();
 
 /**
  * Class-axis scaling: the cascade scan at C = 10k / 100k / 1M rows,
@@ -474,6 +570,17 @@ main(int argc, char **argv)
             slowArg = argv[++i];
             continue;
         }
+        if (std::strcmp(argv[i], "--swap-every") == 0 &&
+            i + 1 < argc) {
+            gSwapEvery = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+            continue;
+        }
+        if (std::strncmp(argv[i], "--swap-every=", 13) == 0) {
+            gSwapEvery = static_cast<std::size_t>(
+                std::strtoull(argv[i] + 13, nullptr, 10));
+            continue;
+        }
         passthrough.push_back(argv[i]);
     }
     passthrough.push_back(nullptr);
@@ -481,7 +588,7 @@ main(int argc, char **argv)
         static_cast<int>(passthrough.size()) - 1;
 
     metrics::QueryMetrics am, dham, rham, aham;
-    metrics::QueryMetrics exhaustive, pruned, cascade;
+    metrics::QueryMetrics exhaustive, pruned, cascade, serve;
     if (!statsPath.empty()) {
         gAmMetrics = &am;
         gDHamMetrics = &dham;
@@ -490,6 +597,7 @@ main(int argc, char **argv)
         gExhaustiveMetrics = &exhaustive;
         gPrunedMetrics = &pruned;
         gCascadeMetrics = &cascade;
+        gServeMetrics = &serve;
     }
 
     benchmark::Initialize(&passthroughArgc, passthrough.data());
@@ -537,6 +645,9 @@ main(int argc, char **argv)
         registry.attachQuery("am_exhaustive", exhaustive);
         registry.attachQuery("am_pruned", pruned);
         registry.attachQuery("am_cascade", cascade);
+        registry.attachQuery("am_serve", serve);
+        registry.setGauge("run.swap_every",
+                          static_cast<double>(gSwapEvery));
         registry.setGauge("run.batch",
                           static_cast<double>(kBatch));
         registry.setGauge("model.dim", static_cast<double>(kDim));
@@ -549,7 +660,8 @@ main(int argc, char **argv)
                 rham.rowsScanned.value() + aham.rowsScanned.value() +
                 exhaustive.rowsScanned.value() +
                 pruned.rowsScanned.value() +
-                cascade.rowsScanned.value();
+                cascade.rowsScanned.value() +
+                serve.rowsScanned.value();
             perf::exportTo(registry, measured, rows);
         } else {
             registry.setInfo("perf", "off");

@@ -55,6 +55,34 @@ TrainableMemory::prototype(std::size_t id) const
     return bundlers[id].majority(rng);
 }
 
+std::size_t
+TrainableMemory::assimilate(const Hypervector &hv,
+                            const std::string &label,
+                            std::size_t mergeThreshold)
+{
+    if (hv.dim() != dimension)
+        throw std::invalid_argument("TrainableMemory::assimilate: "
+                                    "dimension mismatch");
+    std::size_t best = bundlers.size();
+    std::size_t bestDist = 0;
+    for (std::size_t id = 0; id < bundlers.size(); ++id) {
+        if (bundlers[id].count() == 0)
+            continue;
+        const std::size_t d = prototype(id).hamming(hv);
+        if (best == bundlers.size() || d < bestDist) {
+            best = id;
+            bestDist = d;
+        }
+    }
+    if (best != bundlers.size() && bestDist <= mergeThreshold) {
+        bundlers[best].add(hv);
+        return best;
+    }
+    const std::size_t id = addClass(label);
+    bundlers[id].add(hv);
+    return id;
+}
+
 AssociativeMemory
 TrainableMemory::snapshot() const
 {

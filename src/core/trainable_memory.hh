@@ -69,6 +69,21 @@ class TrainableMemory
     Hypervector prototype(std::size_t id) const;
 
     /**
+     * Reconsolidation-style update: find the trained class whose
+     * current prototype is nearest to @p hv (ties to the lowest id);
+     * when that distance is <= @p mergeThreshold, accumulate @p hv
+     * into it (update-similar-key-instead-of-insert), otherwise
+     * create a new class labeled @p label and accumulate there.
+     * Returns the class id updated or created. Mutates only this
+     * object's counters -- route the result through a
+     * snapshot::SnapshotBuilder publish to make it visible to
+     * readers. @pre hv.dim() == dim().
+     */
+    std::size_t assimilate(const Hypervector &hv,
+                           const std::string &label,
+                           std::size_t mergeThreshold);
+
+    /**
      * Snapshot every class into a ready-to-program
      * AssociativeMemory. @pre every class has at least one sample.
      */

@@ -1,5 +1,7 @@
 #include "ham/ham.hh"
 
+#include <stdexcept>
+
 #include "core/trace.hh"
 
 namespace hdham::ham
@@ -33,6 +35,22 @@ Ham::loadFrom(const AssociativeMemory &memory)
     reserve(memory.size());
     for (std::size_t id = 0; id < memory.size(); ++id)
         store(memory.vectorOf(id));
+}
+
+void
+Ham::bindSnapshot(snapshot::SnapshotRef ref)
+{
+    if (!ref)
+        throw std::logic_error("Ham::bindSnapshot: empty snapshot "
+                               "reference");
+    if (size() != 0)
+        throw std::logic_error("Ham::bindSnapshot: design already "
+                               "holds classes; bind a fresh design "
+                               "per snapshot");
+    bound = std::move(ref);
+    loadFrom(bound->memory());
+    setScanPolicy(bound->memory().scanPolicy());
+    attachMetrics(bound->memory().metricsSink());
 }
 
 } // namespace hdham::ham

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Blocking hdham.serve.v1 client.
+ *
+ * One Client wraps one connected socket and exposes each protocol
+ * request as a method returning decoded results. Used by the
+ * `hdham query` CLI verb and by every server test; keeping the only
+ * wire-format encoder/decoder pair in serve/, the tests exercise the
+ * same bytes the CLI sends.
+ */
+
+#ifndef HDHAM_SERVE_CLIENT_HH
+#define HDHAM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hypervector.hh"
+#include "serve/protocol.hh"
+
+namespace hdham::serve
+{
+
+/** Decoded Ping response. */
+struct PingReply
+{
+    std::uint32_t protocol = 0;
+    std::uint64_t sequence = 0;
+    std::uint64_t dim = 0;
+    std::uint64_t classes = 0;
+};
+
+/** One nearest-class result. */
+struct MatchReply
+{
+    std::uint64_t classId = 0;
+    std::uint64_t distance = 0;
+    std::string label;
+};
+
+/** Decoded Classify/Search response. */
+struct QueryReply
+{
+    /** Sequence of the snapshot every result was computed against. */
+    std::uint64_t sequence = 0;
+    std::vector<MatchReply> results;
+};
+
+/** One ranked (class, distance) pair of a TopK response. */
+struct RankedReply
+{
+    std::uint64_t classId = 0;
+    std::uint64_t distance = 0;
+};
+
+/** Decoded TopK response. */
+struct TopKReply
+{
+    std::uint64_t sequence = 0;
+    std::vector<std::vector<RankedReply>> results;
+};
+
+/** Decoded Update response. */
+struct UpdateReply
+{
+    std::uint32_t applied = 0;
+    std::uint64_t pendingClasses = 0;
+};
+
+/** Decoded Swap response. */
+struct SwapReply
+{
+    std::uint64_t sequence = 0;
+    double buildUs = 0.0;
+    double swapUs = 0.0;
+};
+
+/**
+ * One connection to a running server. Methods are blocking and throw
+ * std::runtime_error on transport failure or an error response (the
+ * server's message becomes the exception text). Not thread-safe; use
+ * one Client per thread.
+ */
+class Client
+{
+  public:
+    /** Connect over a unix-domain socket. */
+    static Client connectUnix(const std::string &path);
+
+    /** Connect to a loopback TCP port. */
+    static Client connectTcp(std::uint16_t port);
+
+    ~Client();
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    PingReply ping();
+
+    /** Classify raw texts (server-side encoding). */
+    QueryReply classify(const std::vector<std::string> &texts);
+
+    /** Nearest class per pre-encoded query hypervector. */
+    QueryReply search(const std::vector<Hypervector> &queries);
+
+    /** Top-k classes per pre-encoded query hypervector. */
+    TopKReply topK(std::size_t k,
+                   const std::vector<Hypervector> &queries);
+
+    /**
+     * Stage training samples ({label, text} pairs) into the server's
+     * update builder. @p threshold only matters for kAssimilate.
+     */
+    UpdateReply update(UpdateMode mode,
+                       const std::vector<
+                           std::pair<std::string, std::string>>
+                           &samples,
+                       std::uint32_t threshold = 0);
+
+    /** Publish the staged updates as a new snapshot. */
+    SwapReply swap();
+
+    /** The server's metrics registry as hdham.metrics.v1 JSON. */
+    std::string stats();
+
+    /** The server's span trace as hdham.trace.v1 JSON. */
+    std::string traceJson();
+
+    /** Ask the server process to stop serving. */
+    void shutdownServer();
+
+  private:
+    explicit Client(int connectedFd) : fd(connectedFd) {}
+
+    /** Send one request, await its response, check the status. */
+    Response call(MsgType type,
+                  const std::vector<std::uint8_t> &payload);
+
+    /** Decode the shared Classify/Search response layout. */
+    static QueryReply decodeQueryReply(const Response &resp);
+
+    int fd = -1;
+};
+
+} // namespace hdham::serve
+
+#endif // HDHAM_SERVE_CLIENT_HH

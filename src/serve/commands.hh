@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared command entry points of the serving CLI surface.
+ *
+ * `hdham serve` / `hdham query` (tools/hdham_cli.cc) and the
+ * standalone hdham_server binary (tools/hdham_server.cc) are thin
+ * argv adapters over these two functions, so both front ends parse
+ * the same flags and run the same code.
+ */
+
+#ifndef HDHAM_SERVE_COMMANDS_HH
+#define HDHAM_SERVE_COMMANDS_HH
+
+#include <string>
+#include <vector>
+
+namespace hdham::serve
+{
+
+/**
+ * Run a resident server until a Shutdown request:
+ *
+ *   serve --model PATH (--socket PATH | --port N) [--threads N]
+ *         [--prune M] [--cascade-prefix BITS] [--layout L]
+ *         [--shards N] [--kernel K] [--no-verify] [--trace]
+ *
+ * Returns a process exit code (0 ok, 1 runtime error, 2 usage).
+ */
+int runServeCommand(std::vector<std::string> args);
+
+/**
+ * Issue one request to a running server:
+ *
+ *   query (--socket PATH | --port N) ping
+ *   query ... classify TEXT...
+ *   query ... update [--assimilate] [--threshold BITS] LABEL=TEXT...
+ *   query ... swap
+ *   query ... stats
+ *   query ... trace
+ *   query ... shutdown
+ *
+ * Returns a process exit code (0 ok, 1 runtime error, 2 usage).
+ */
+int runQueryCommand(std::vector<std::string> args);
+
+} // namespace hdham::serve
+
+#endif // HDHAM_SERVE_COMMANDS_HH

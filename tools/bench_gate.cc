@@ -22,6 +22,10 @@
  * with --perf, so the baseline also records IPC and the cache-miss
  * rate next to queries/sec -- informational like the quantiles,
  * never gated (and absent on hosts that deny perf_event_open).
+ * BM_SnapshotServe's user counters (swap count, build/swap publish
+ * latency, worst reader acquire stall) land in the baseline's
+ * "serve" object under the same contract: recorded, reported,
+ * never gated.
  *
  * A baseline recorded on a different machine (thread count or CPU
  * capability mismatch) cannot gate this one: by default the run
@@ -91,6 +95,11 @@ struct SuiteResult
      *  (ipc, llc_miss_per_kinst, available, ...); empty when the
      *  host denied perf_event_open. Informational only. */
     std::map<std::string, double> perf;
+    /** Snapshot-serving counters from BM_SnapshotServe (swap count,
+     *  build/swap latency, worst reader acquire stall), keyed
+     *  "<benchmark>.<counter>". Informational only: swap latency on
+     *  shared hardware is as noisy as the wall-clock quantiles. */
+    std::map<std::string, double> serve;
 };
 
 /** Hardware threads of the machine running the gate. */
@@ -228,6 +237,17 @@ collectBenchmarks(const std::string &jsonText, SuiteResult &result)
         } else if (const Value *rt = bench.find("real_time")) {
             result.referenceNs[name] = rt->asNumber();
         }
+        // The serving benchmark reports its swap/stall counters as
+        // google-benchmark user counters; keep them next to the
+        // throughput numbers, informational like the perf facts.
+        if (name.rfind("BM_SnapshotServe", 0) == 0) {
+            for (const char *key :
+                 {"swaps", "build_us_mean", "swap_us_mean",
+                  "swap_us_max", "acquire_us_max"}) {
+                if (const Value *v = bench.find(key))
+                    result.serve[name + "." + key] = v->asNumber();
+            }
+        }
     }
 }
 
@@ -348,6 +368,22 @@ writeBaseline(std::ostream &out, const SuiteResult &result,
         out << "\n  },\n";
     }
 
+    // Snapshot-swap latency and reader-stall facts from the serving
+    // benchmark. Same contract as the perf object: recorded for
+    // dashboards and eyeballs, never gated.
+    if (!result.serve.empty()) {
+        out << "  \"serve\": {";
+        bool firstServe = true;
+        for (const auto &[name, value] : result.serve) {
+            out << (firstServe ? "\n    " : ",\n    ");
+            writeEscaped(out, name);
+            out << ": ";
+            writeNumber(out, value);
+            firstServe = false;
+        }
+        out << "\n  },\n";
+    }
+
     out << "  \"throughput_qps\": {";
     bool first = true;
     for (const auto &[name, qps] : result.throughput) {
@@ -448,6 +484,23 @@ gate(const Value &baseline, const SuiteResult &current,
         }
         if (!row.empty())
             std::printf("perf (informational):%s\n", row.c_str());
+    }
+    if (!current.serve.empty()) {
+        // Regroup "<benchmark>.<counter>" into one row per
+        // benchmark run.
+        std::map<std::string, std::string> rows;
+        for (const auto &[key, value] : current.serve) {
+            const std::size_t dot = key.rfind('.');
+            if (dot == std::string::npos)
+                continue;
+            char cell[80];
+            std::snprintf(cell, sizeof cell, " %s=%.3g",
+                          key.substr(dot + 1).c_str(), value);
+            rows[key.substr(0, dot)] += cell;
+        }
+        for (const auto &[name, row] : rows)
+            std::printf("serve (informational): %s%s\n",
+                        name.c_str(), row.c_str());
     }
     return failures;
 }

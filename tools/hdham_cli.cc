@@ -90,6 +90,7 @@
 #include "core/event_log.hh"
 #include "core/metrics.hh"
 #include "core/model_file.hh"
+#include "core/model_loader.hh"
 #include "core/perf_counters.hh"
 #include "core/serialize.hh"
 #include "core/trace.hh"
@@ -99,6 +100,7 @@
 #include "ham/r_ham.hh"
 #include "lang/corpus.hh"
 #include "lang/pipeline.hh"
+#include "serve/commands.hh"
 
 namespace
 {
@@ -127,6 +129,14 @@ usage()
         "  hdham load --model PATH [--no-verify]\n"
         "  hdham info --model PATH\n"
         "  hdham cost [--dim N] [--classes N]\n"
+        "  hdham serve --model PATH (--socket PATH | --port N) "
+        "[--threads N] [--prune M]\n"
+        "              [--cascade-prefix BITS] [--layout L] "
+        "[--shards N] [--kernel K] [--no-verify] [--trace]\n"
+        "  hdham query (--socket PATH | --port N) "
+        "ping|classify TEXT...|update [--assimilate]\n"
+        "              [--threshold BITS] LABEL=TEXT..."
+        "|swap|stats|trace|shutdown\n"
         "\n"
         "  --format F        on-disk format train writes: v1 "
         "(default; mmap-able hdham.model.v1, embeds the\n"
@@ -315,73 +325,6 @@ writeTrace(trace::Tracer &tracer, const std::string &path)
     tracer.writeSummary(std::cout);
 }
 
-/**
- * A model opened from disk in whichever format the file carries:
- * hdham.model.v1 is mmap'ed (view engaged, memory served zero-copy
- * in place), the legacy stream format is parsed into RAM (owned
- * engaged). memory() is mutable so callers can set scan policy and
- * metrics; a mapped store still rejects mutation of the rows.
- */
-struct LoadedModel
-{
-    std::string path;
-    std::optional<modelfile::ModelView> view;
-    std::optional<AssociativeMemory> owned;
-
-    AssociativeMemory &memory()
-    {
-        return view.has_value() ? view->memory() : *owned;
-    }
-    const AssociativeMemory &memory() const
-    {
-        return view.has_value() ? view->memory() : *owned;
-    }
-    bool mapped() const { return view.has_value(); }
-};
-
-LoadedModel
-loadModel(const std::string &path)
-{
-    LoadedModel model;
-    model.path = path;
-    if (modelfile::sniff(path))
-        model.view.emplace(path);
-    else
-        model.owned.emplace(serialize::loadMemory(path));
-    return model;
-}
-
-/** Record model provenance in the metrics "info" map. */
-void
-recordModelInfo(metrics::Registry &registry, const LoadedModel &model)
-{
-    registry.setInfo("model.path", model.path);
-    registry.setInfo("model.format",
-                     model.mapped() ? "hdham.model.v1" : "legacy");
-    if (model.mapped()) {
-        registry.setInfo("model.version",
-                         std::to_string(model.view->version()));
-        char checksum[16];
-        std::snprintf(checksum, sizeof(checksum), "%08x",
-                      model.view->checksum());
-        registry.setInfo("model.checksum", checksum);
-    }
-}
-
-/**
- * Deep-copy a model into a fresh owned memory (the only way to
- * re-lay or mutate a mapped one).
- */
-AssociativeMemory
-materialize(const AssociativeMemory &src)
-{
-    AssociativeMemory out(src.dim());
-    out.reserve(src.size());
-    for (std::size_t id = 0; id < src.size(); ++id)
-        out.store(src.vectorOf(id), src.labelOf(id));
-    return out;
-}
-
 int
 cmdTrain(std::vector<std::string> args)
 {
@@ -550,7 +493,8 @@ cmdClassify(std::vector<std::string> args)
                              "one TEXT argument\n");
         return 2;
     }
-    LoadedModel model = loadModel(path);
+    modelload::LoadedModel model =
+        modelload::LoadedModel::open(path);
     AssociativeMemory &memory = model.memory();
 
     const bool relayout =
@@ -609,8 +553,8 @@ cmdClassify(std::vector<std::string> args)
     // the model was trained with.
     const lang::PipelineConfig defaults;
     const ItemMemory items =
-        model.mapped() && model.view->hasItemMemory()
-            ? model.view->itemMemory()
+        model.mapped() && model.modelView()->hasItemMemory()
+            ? model.modelView()->itemMemory()
             : ItemMemory(TextAlphabet::size, memory.dim(),
                          defaults.seed);
     const Encoder encoder(items, defaults.ngram);
@@ -706,16 +650,8 @@ cmdClassify(std::vector<std::string> args)
         }
         // How much of the mapped model the scan actually pulled into
         // memory -- the mmap cold-start story in two gauges.
-        if (model.mapped()) {
-            const perf::Residency res = perf::residency(
-                model.view->mapBase(), model.view->fileSize());
-            registry.setGauge("model.mapped_bytes",
-                              static_cast<double>(res.mappedBytes));
-            registry.setGauge(
-                "model.resident_bytes",
-                static_cast<double>(res.residentBytes));
-        }
-        recordModelInfo(registry, model);
+        model.recordResidency(registry);
+        model.recordInfo(registry);
         writeStatsJson(registry, statsPath, memory.dim(),
                        memory.size(), threads);
     }
@@ -765,17 +701,17 @@ cmdSave(std::vector<std::string> args)
         storeLayout.slicePrefix = cascadePrefix;
     }
 
-    LoadedModel model = loadModel(in);
+    modelload::LoadedModel model = modelload::LoadedModel::open(in);
 
     // Carry any side memories embedded in a v1 input across the
     // conversion.
     std::optional<ItemMemory> items;
     std::optional<LevelItemMemory> levels;
     if (model.mapped()) {
-        if (model.view->hasItemMemory())
-            items.emplace(model.view->itemMemory());
-        if (model.view->hasLevelMemory())
-            levels.emplace(model.view->levelMemory());
+        if (model.modelView()->hasItemMemory())
+            items.emplace(model.modelView()->itemMemory());
+        if (model.modelView()->hasLevelMemory())
+            levels.emplace(model.modelView()->levelMemory());
     }
     modelfile::SaveOptions saveOpts;
     saveOpts.items = items.has_value() ? &*items : nullptr;
@@ -792,7 +728,8 @@ cmdSave(std::vector<std::string> args)
         out + ".tmp." + std::to_string(::getpid());
     try {
         if (relayout) {
-            AssociativeMemory relaid = materialize(model.memory());
+            AssociativeMemory relaid =
+                modelload::materialize(model.memory());
             relaid.setStoreLayout(storeLayout);
             modelfile::save(tmp, relaid, saveOpts);
         } else {
@@ -834,15 +771,26 @@ cmdLoad(std::vector<std::string> args)
         std::fprintf(stderr, "load: --model is required\n");
         return 2;
     }
-    modelfile::ModelView::Options opts;
+    modelload::OpenOptions opts;
     const auto noVerify =
         std::find(args.begin(), args.end(), "--no-verify");
     if (noVerify != args.end()) {
         opts.verifyChecksums = false;
         args.erase(noVerify);
     }
-    const modelfile::ModelView view(path, opts);
-    const AssociativeMemory &memory = view.memory();
+    // The shared open path (core/model_loader.hh): the exact loader
+    // classify and hdham_server use.
+    const modelload::LoadedModel model =
+        modelload::LoadedModel::open(path, opts);
+    if (!model.mapped()) {
+        std::fprintf(stderr,
+                     "load: %s is a legacy stream model (nothing is "
+                     "mapped); convert with `hdham save`\n",
+                     path.c_str());
+        return 1;
+    }
+    const modelfile::ModelView &view = *model.modelView();
+    const AssociativeMemory &memory = model.memory();
     std::printf("format         : hdham.model.v%u (mmap)\n",
                 view.version());
     std::printf("file size      : %zu bytes\n", view.fileSize());
@@ -882,7 +830,8 @@ cmdInfo(std::vector<std::string> args)
         std::fprintf(stderr, "info: --model is required\n");
         return 2;
     }
-    const LoadedModel model = loadModel(path);
+    const modelload::LoadedModel model =
+        modelload::LoadedModel::open(path);
     const AssociativeMemory &memory = model.memory();
     std::printf("format         : %s\n",
                 model.mapped() ? "hdham.model.v1 (mmap)"
@@ -943,6 +892,10 @@ main(int argc, char **argv)
             return cmdInfo(std::move(args));
         if (command == "cost")
             return cmdCost(std::move(args));
+        if (command == "serve")
+            return serve::runServeCommand(std::move(args));
+        if (command == "query")
+            return serve::runQueryCommand(std::move(args));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "hdham %s: %s\n", command.c_str(),
                      e.what());

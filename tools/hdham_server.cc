@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Standalone resident query server: `hdham_server --model PATH
+ * (--socket PATH | --port N) ...`. Thin argv adapter over
+ * serve::runServeCommand -- identical flags and behavior to
+ * `hdham serve`.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "serve/commands.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        return hdham::serve::runServeCommand(std::move(args));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "hdham_server: %s\n", e.what());
+        return 1;
+    }
+}
