@@ -15,9 +15,12 @@
  * benchmarks finish. Without the flag no sink is attached, so the
  * numbers measure the metrics-disabled path.
  *
- * --kernel NAME pins the Hamming distance kernel (scalar, unrolled,
- * avx2, auto) before any benchmark runs; the kernel actually used is
- * reported in the stats snapshot's "info" object either way.
+ * --kernel NAME pins the Hamming distance kernel (any registered
+ * backend name -- scalar, unrolled, sse2, neon, avx2, avx512 -- or
+ * auto) before any benchmark runs; the kernel actually used plus the
+ * full compiled/available backend lists are reported in the stats
+ * snapshot's "info" object either way, so a baseline records which
+ * kernel matrix produced it.
  *
  * --perf measures the whole benchmark run with hardware counters
  * (core/perf_counters.hh): a summary line on stdout (cycles,
@@ -652,6 +655,10 @@ main(int argc, char **argv)
                           static_cast<double>(kBatch));
         registry.setGauge("model.dim", static_cast<double>(kDim));
         registry.setInfo("kernel", distance::activeKernelName());
+        registry.setInfo("kernels_compiled",
+                         distance::compiledKernelList());
+        registry.setInfo("kernels_available",
+                         distance::availableKernelList());
         if (perfOn) {
             // Rows scanned across every instrumented engine -- the
             // denominator for the per-row miss rates.

@@ -1,290 +1,38 @@
+/**
+ * @file
+ * The Hamming kernel dispatcher: which registered backend serves
+ * hamming() calls right now.
+ *
+ * The backends themselves live in src/core/kernels/ (one
+ * translation unit each, collected by kernel_registry.cc); this
+ * file only resolves and installs them. Resolution order, pinned by
+ * tests/core/distance_test.cc:
+ *
+ *   1. HDHAM_KERNEL, when it names an available backend. A
+ *      non-empty value that is unknown or unavailable falls back to
+ *      step 2 with a one-time stderr warning naming the valid
+ *      kernels (setKernelByName throws for the same inputs; the
+ *      environment path can only warn, because it resolves lazily
+ *      inside the first distance call).
+ *   2. The widest-supported backend: the last registry entry whose
+ *      availability predicate passes (registry order is
+ *      narrowest-first).
+ *
+ * setKernelByName() (the CLI's --kernel flag) overrides the choice
+ * at any time. Concurrent first calls race benignly -- both compute
+ * the same answer from the same inputs.
+ */
+
 #include "core/distance.hh"
 
 #include <atomic>
-#include <bit>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
-
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define HDHAM_X86_KERNELS 1
-#include <immintrin.h>
-#endif
 
 namespace hdham::distance
 {
-
-namespace
-{
-
-/**
- * Shared tail: the last (bits % 64) components live in word
- * @p fullWords and must be masked so row padding never counts.
- */
-inline std::size_t
-maskedTail(const std::uint64_t *a, const std::uint64_t *b,
-           std::size_t fullWords, std::size_t rem)
-{
-    if (rem == 0)
-        return 0;
-    const std::uint64_t mask = (1ULL << rem) - 1;
-    return static_cast<std::size_t>(
-        std::popcount((a[fullWords] ^ b[fullWords]) & mask));
-}
-
-/**
- * Words checked per early-abandon strip. Checking more often
- * abandons sooner but pays the compare on every strip; 8 words
- * (512 components) keeps the overhead of a never-abandoning scan
- * within a few percent of the exact kernel.
- */
-constexpr std::size_t kStripWords = 8;
-
-/** Words a bounded kernel reports after running to completion. */
-inline std::size_t
-totalWords(std::size_t bits)
-{
-    return bits / 64 + (bits % 64 != 0);
-}
-
-} // namespace
-
-std::size_t
-scalarHamming(const std::uint64_t *a, const std::uint64_t *b,
-              std::size_t bits)
-{
-    const std::size_t fullWords = bits / 64;
-    std::size_t count = 0;
-    for (std::size_t w = 0; w < fullWords; ++w)
-        count += std::popcount(a[w] ^ b[w]);
-    return count + maskedTail(a, b, fullWords, bits % 64);
-}
-
-std::size_t
-unrolledHamming(const std::uint64_t *a, const std::uint64_t *b,
-                std::size_t bits)
-{
-    const std::size_t fullWords = bits / 64;
-    std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
-    std::size_t w = 0;
-    for (; w + 4 <= fullWords; w += 4) {
-        c0 += std::popcount(a[w] ^ b[w]);
-        c1 += std::popcount(a[w + 1] ^ b[w + 1]);
-        c2 += std::popcount(a[w + 2] ^ b[w + 2]);
-        c3 += std::popcount(a[w + 3] ^ b[w + 3]);
-    }
-    std::size_t count = c0 + c1 + c2 + c3;
-    for (; w < fullWords; ++w)
-        count += std::popcount(a[w] ^ b[w]);
-    return count + maskedTail(a, b, fullWords, bits % 64);
-}
-
-std::size_t
-scalarHammingBounded(const std::uint64_t *a, const std::uint64_t *b,
-                     std::size_t bits, std::size_t bound,
-                     std::size_t *wordsRead)
-{
-    const std::size_t fullWords = bits / 64;
-    std::size_t count = 0;
-    std::size_t w = 0;
-    while (w + kStripWords <= fullWords) {
-        const std::size_t stop = w + kStripWords;
-        for (; w < stop; ++w)
-            count += std::popcount(a[w] ^ b[w]);
-        if (count >= bound) {
-            *wordsRead = w;
-            return kAbandoned;
-        }
-    }
-    for (; w < fullWords; ++w)
-        count += std::popcount(a[w] ^ b[w]);
-    count += maskedTail(a, b, fullWords, bits % 64);
-    *wordsRead = totalWords(bits);
-    return count < bound ? count : kAbandoned;
-}
-
-std::size_t
-unrolledHammingBounded(const std::uint64_t *a, const std::uint64_t *b,
-                       std::size_t bits, std::size_t bound,
-                       std::size_t *wordsRead)
-{
-    const std::size_t fullWords = bits / 64;
-    std::size_t count = 0;
-    std::size_t w = 0;
-    for (; w + kStripWords <= fullWords; w += kStripWords) {
-        std::size_t c0 = std::popcount(a[w] ^ b[w]);
-        std::size_t c1 = std::popcount(a[w + 1] ^ b[w + 1]);
-        std::size_t c2 = std::popcount(a[w + 2] ^ b[w + 2]);
-        std::size_t c3 = std::popcount(a[w + 3] ^ b[w + 3]);
-        c0 += std::popcount(a[w + 4] ^ b[w + 4]);
-        c1 += std::popcount(a[w + 5] ^ b[w + 5]);
-        c2 += std::popcount(a[w + 6] ^ b[w + 6]);
-        c3 += std::popcount(a[w + 7] ^ b[w + 7]);
-        count += c0 + c1 + c2 + c3;
-        if (count >= bound) {
-            *wordsRead = w + kStripWords;
-            return kAbandoned;
-        }
-    }
-    for (; w < fullWords; ++w)
-        count += std::popcount(a[w] ^ b[w]);
-    count += maskedTail(a, b, fullWords, bits % 64);
-    *wordsRead = totalWords(bits);
-    return count < bound ? count : kAbandoned;
-}
-
-#ifdef HDHAM_X86_KERNELS
-
-namespace
-{
-
-/** Per-byte popcount of @p v via the VPSHUFB nibble lookup. */
-__attribute__((target("avx2"))) inline __m256i
-popcountBytes(__m256i v)
-{
-    const __m256i lut = _mm256_setr_epi8(
-        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
-        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
-    const __m256i low = _mm256_set1_epi8(0x0f);
-    const __m256i lo = _mm256_and_si256(v, low);
-    const __m256i hi =
-        _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
-    return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
-                           _mm256_shuffle_epi8(lut, hi));
-}
-
-} // namespace
-
-__attribute__((target("avx2"))) std::size_t
-avx2Hamming(const std::uint64_t *a, const std::uint64_t *b,
-            std::size_t bits)
-{
-    const std::size_t fullWords = bits / 64;
-    const __m256i zero = _mm256_setzero_si256();
-    __m256i acc = zero;
-    std::size_t w = 0;
-    for (; w + 4 <= fullWords; w += 4) {
-        const __m256i x = _mm256_xor_si256(
-            _mm256_loadu_si256(
-                reinterpret_cast<const __m256i *>(a + w)),
-            _mm256_loadu_si256(
-                reinterpret_cast<const __m256i *>(b + w)));
-        // VPSADBW folds the 32 byte counts into 4 qword lanes; the
-        // lanes cannot overflow (each grows by at most 64 per step).
-        acc = _mm256_add_epi64(acc,
-                               _mm256_sad_epu8(popcountBytes(x),
-                                               zero));
-    }
-    std::uint64_t lanes[4];
-    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
-    std::size_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
-    for (; w < fullWords; ++w)
-        count += std::popcount(a[w] ^ b[w]);
-    return count + maskedTail(a, b, fullWords, bits % 64);
-}
-
-__attribute__((target("avx2"))) std::size_t
-avx2HammingBounded(const std::uint64_t *a, const std::uint64_t *b,
-                   std::size_t bits, std::size_t bound,
-                   std::size_t *wordsRead)
-{
-    const std::size_t fullWords = bits / 64;
-    const __m256i zero = _mm256_setzero_si256();
-    std::size_t count = 0;
-    std::size_t w = 0;
-    // Two VPSADBW steps (8 words) per strip; the horizontal lane sum
-    // runs once per strip, keeping the bound check off the critical
-    // path of the vector accumulation.
-    for (; w + kStripWords <= fullWords; w += kStripWords) {
-        __m256i acc = zero;
-        for (std::size_t step = 0; step < kStripWords; step += 4) {
-            const __m256i x = _mm256_xor_si256(
-                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
-                    a + w + step)),
-                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
-                    b + w + step)));
-            acc = _mm256_add_epi64(
-                acc, _mm256_sad_epu8(popcountBytes(x), zero));
-        }
-        std::uint64_t lanes[4];
-        _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
-        count += lanes[0] + lanes[1] + lanes[2] + lanes[3];
-        if (count >= bound) {
-            *wordsRead = w + kStripWords;
-            return kAbandoned;
-        }
-    }
-    for (; w < fullWords; ++w)
-        count += std::popcount(a[w] ^ b[w]);
-    count += maskedTail(a, b, fullWords, bits % 64);
-    *wordsRead = totalWords(bits);
-    return count < bound ? count : kAbandoned;
-}
-
-#else // !HDHAM_X86_KERNELS
-
-std::size_t
-avx2Hamming(const std::uint64_t *a, const std::uint64_t *b,
-            std::size_t bits)
-{
-    return scalarHamming(a, b, bits);
-}
-
-std::size_t
-avx2HammingBounded(const std::uint64_t *a, const std::uint64_t *b,
-                   std::size_t bits, std::size_t bound,
-                   std::size_t *wordsRead)
-{
-    return scalarHammingBounded(a, b, bits, bound, wordsRead);
-}
-
-#endif // HDHAM_X86_KERNELS
-
-bool
-kernelSupported(Kernel kernel)
-{
-    switch (kernel) {
-    case Kernel::Auto:
-    case Kernel::Scalar:
-    case Kernel::Unrolled:
-        return true;
-    case Kernel::Avx2:
-#ifdef HDHAM_X86_KERNELS
-        return __builtin_cpu_supports("avx2") != 0;
-#else
-        return false;
-#endif
-    }
-    return false;
-}
-
-const char *
-kernelName(Kernel kernel)
-{
-    switch (kernel) {
-    case Kernel::Auto:
-        return "auto";
-    case Kernel::Scalar:
-        return "scalar";
-    case Kernel::Unrolled:
-        return "unrolled";
-    case Kernel::Avx2:
-        return "avx2";
-    }
-    return "unknown";
-}
-
-bool
-parseKernel(const std::string &name, Kernel *out)
-{
-    for (const Kernel k : {Kernel::Auto, Kernel::Scalar,
-                           Kernel::Unrolled, Kernel::Avx2}) {
-        if (name == kernelName(k)) {
-            *out = k;
-            return true;
-        }
-    }
-    return false;
-}
 
 namespace
 {
@@ -293,102 +41,96 @@ namespace
 std::atomic<HammingFn> g_active{nullptr};
 /** The serving bounded kernel; installed alongside g_active. */
 std::atomic<BoundedHammingFn> g_activeBounded{nullptr};
-/** The resolved kernel id g_active points at. */
-std::atomic<Kernel> g_kernel{Kernel::Auto};
+/** The registry entry g_active points at. */
+std::atomic<const KernelEntry *> g_entry{nullptr};
 
-HammingFn
-fnFor(Kernel kernel)
+/** The probe choice: the widest (last-registered) usable backend. */
+const KernelEntry &
+widestAvailable()
 {
-    switch (kernel) {
-    case Kernel::Scalar:
-        return &scalarHamming;
-    case Kernel::Unrolled:
-        return &unrolledHamming;
-    case Kernel::Avx2:
-        return &avx2Hamming;
-    case Kernel::Auto:
-        break;
-    }
-    return &scalarHamming;
-}
-
-BoundedHammingFn
-boundedFnFor(Kernel kernel)
-{
-    switch (kernel) {
-    case Kernel::Scalar:
-        return &scalarHammingBounded;
-    case Kernel::Unrolled:
-        return &unrolledHammingBounded;
-    case Kernel::Avx2:
-        return &avx2HammingBounded;
-    case Kernel::Auto:
-        break;
-    }
-    return &scalarHammingBounded;
-}
-
-/** The cpuid choice: widest supported kernel. */
-Kernel
-bestSupported()
-{
-    return kernelSupported(Kernel::Avx2) ? Kernel::Avx2
-                                         : Kernel::Unrolled;
+    const std::span<const KernelEntry> all = kernels();
+    for (std::size_t i = all.size(); i-- > 0;)
+        if (all[i].usable())
+            return all[i];
+    return all.front(); // scalar; unreachable in practice
 }
 
 void
-install(Kernel kernel)
+install(const KernelEntry &entry)
 {
-    g_kernel.store(kernel, std::memory_order_relaxed);
-    g_activeBounded.store(boundedFnFor(kernel),
-                          std::memory_order_release);
-    g_active.store(fnFor(kernel), std::memory_order_release);
+    g_entry.store(&entry, std::memory_order_relaxed);
+    g_activeBounded.store(entry.bounded, std::memory_order_release);
+    g_active.store(entry.fn, std::memory_order_release);
 }
 
 /**
- * First-use resolution: a valid, supported HDHAM_KERNEL value wins;
- * anything else (including unset) falls back to the cpuid choice.
- * Concurrent first calls race benignly -- both compute the same
- * answer from the same inputs.
+ * First-use resolution: resolveKernelChoice() on the environment,
+ * with its warning (if any) printed to stderr exactly once per
+ * process -- an invalid HDHAM_KERNEL must not fail silently, but it
+ * must not spam either.
  */
 HammingFn
 resolve()
 {
-    Kernel kernel = Kernel::Auto;
-    if (const char *env = std::getenv("HDHAM_KERNEL")) {
-        Kernel parsed = Kernel::Auto;
-        if (parseKernel(env, &parsed) && kernelSupported(parsed))
-            kernel = parsed;
+    std::string warning;
+    const KernelEntry &choice =
+        resolveKernelChoice(std::getenv("HDHAM_KERNEL"), &warning);
+    if (!warning.empty()) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            std::fprintf(stderr, "%s\n", warning.c_str());
     }
-    if (kernel == Kernel::Auto)
-        kernel = bestSupported();
-    install(kernel);
-    return fnFor(kernel);
+    install(choice);
+    return choice.fn;
 }
 
 } // namespace
 
-void
-setKernel(Kernel kernel)
+const KernelEntry &
+resolveKernelChoice(const char *envValue, std::string *warning)
 {
-    if (!kernelSupported(kernel)) {
-        throw std::invalid_argument(
-            std::string("distance: kernel '") + kernelName(kernel) +
-            "' is not supported on this host");
+    if (warning)
+        warning->clear();
+    if (!envValue || !*envValue ||
+        std::strcmp(envValue, "auto") == 0)
+        return widestAvailable();
+    const KernelEntry *entry = findKernel(envValue);
+    if (entry && entry->usable())
+        return *entry;
+    const KernelEntry &fallback = widestAvailable();
+    if (warning) {
+        *warning =
+            std::string("distance: ignoring HDHAM_KERNEL='") +
+            envValue +
+            (entry ? "': kernel is not available on this host ("
+                         + std::string(entry->requirement) + ")"
+                   : std::string("': unknown kernel (valid: ") +
+                         kernelNameList() + ")") +
+            "; using '" + fallback.name + "'";
     }
-    install(kernel == Kernel::Auto ? bestSupported() : kernel);
+    return fallback;
 }
 
 void
 setKernelByName(const std::string &name)
 {
-    Kernel kernel = Kernel::Auto;
-    if (!parseKernel(name, &kernel)) {
-        throw std::invalid_argument(
-            "distance: unknown kernel '" + name +
-            "' (expected scalar, unrolled, avx2 or auto)");
+    if (name == "auto") {
+        install(widestAvailable());
+        return;
     }
-    setKernel(kernel);
+    const KernelEntry *entry = findKernel(name);
+    if (!entry) {
+        throw std::invalid_argument(
+            "distance: unknown kernel '" + name + "' (expected " +
+            kernelNameList() + ")");
+    }
+    if (!entry->usable()) {
+        throw std::invalid_argument(
+            "distance: kernel '" + name +
+            "' is not supported on this host (needs " +
+            entry->requirement + ")");
+    }
+    install(*entry);
 }
 
 HammingFn
@@ -409,17 +151,17 @@ activeBounded()
     return g_activeBounded.load(std::memory_order_acquire);
 }
 
-Kernel
-activeKernel()
+const KernelEntry &
+activeEntry()
 {
     active();
-    return g_kernel.load(std::memory_order_relaxed);
+    return *g_entry.load(std::memory_order_relaxed);
 }
 
 const char *
 activeKernelName()
 {
-    return kernelName(activeKernel());
+    return activeEntry().name;
 }
 
 std::size_t

@@ -1,32 +1,50 @@
 /**
  * @file
- * Hamming-distance kernel layer with runtime CPU dispatch.
+ * Hamming-distance kernel registry with runtime CPU dispatch.
  *
  * Every search engine in the library -- the software oracle, D-HAM's
  * sampled scan, A-HAM's staged prefix sums -- reduces to the same
  * primitive: popcount(a XOR b) over the first @p bits components of
- * two packed word arrays. This layer owns that primitive in three
- * interchangeable implementations:
+ * two packed word arrays. This layer owns that primitive as a
+ * *registry* of interchangeable backends, each compiled in its own
+ * translation unit under src/core/kernels/ with per-function target
+ * attributes:
  *
- *  - scalar: one std::popcount per 64-bit word; the bit-exactness
- *    reference every other kernel must match.
+ *  - scalar:   one std::popcount per 64-bit word; the bit-exactness
+ *              reference every other kernel must match.
  *  - unrolled: four independent popcount accumulators per iteration,
- *    breaking the loop-carried dependency chain.
- *  - avx2: 256-bit VPSHUFB nibble-lookup popcount (Mula's method)
- *    with VPSADBW lane accumulation, four words per vector step.
+ *              breaking the loop-carried dependency chain.
+ *  - sse2:     128-bit SWAR byte popcount folded by PSADBW, two
+ *              words per vector step -- baseline x86-64, so every
+ *              x86 host gets a SIMD kernel.
+ *  - neon:     vcntq_u8 byte popcount with widening pairwise adds
+ *              (AArch64, where AdvSIMD is architectural).
+ *  - avx2:     256-bit VPSHUFB nibble-lookup popcount (Mula's
+ *              method) with VPSADBW lane accumulation, four words
+ *              per vector step.
+ *  - avx512:   VPOPCNTQ on 512-bit lanes, eight words per step
+ *              (x86-64 with AVX-512 VPOPCNTDQ).
+ *
+ * Each backend is a self-describing KernelEntry (name, availability
+ * predicate, exact fn, bounded fn); the dispatcher only iterates
+ * kernels(), so adding a backend never touches the dispatcher --
+ * only its own translation unit and the registry table.
  *
  * All kernels are exact integer bit counts, so switching kernels can
  * never change a search result -- the determinism contract
  * (bit-identical output across threads, batch splits and kernels) is
- * pinned by tests/core/distance_test.cc and the batch-equivalence
- * suite.
+ * pinned by tests/core/distance_test.cc iterating every registered
+ * entry, and by the batch-equivalence suite end to end.
  *
- * Dispatch: the active kernel is resolved once, on first use, from
- * (1) the HDHAM_KERNEL environment variable when set to a valid,
- * supported name, else (2) cpuid -- AVX2 when the host supports it,
- * the unrolled scalar loop otherwise. setKernel() / setKernelByName()
- * override the choice at any time (the CLI's --kernel flag); pinning
- * "scalar" gives bit-exactness tests a fixed reference path.
+ * Dispatch: the active kernel is resolved once, on first use, in
+ * this order: (1) the HDHAM_KERNEL environment variable when it
+ * names an available kernel (an invalid value falls back with a
+ * one-time stderr warning naming the valid kernels), (2) the
+ * widest-supported backend by cpuid/hwcap probe -- the last
+ * registered entry whose available() predicate passes.
+ * setKernelByName() overrides the choice at any time (the CLI's
+ * --kernel flag); pinning "scalar" gives bit-exactness tests a
+ * fixed reference path.
  *
  * Contract of every kernel: reads exactly ceil(bits / 64) words from
  * both arrays; any bits of the final word beyond @p bits are masked
@@ -51,23 +69,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 
 namespace hdham::distance
 {
-
-/** Selectable Hamming kernels. */
-enum class Kernel
-{
-    /** Resolve from HDHAM_KERNEL, else cpuid (first use only). */
-    Auto,
-    /** Word-at-a-time std::popcount loop (reference path). */
-    Scalar,
-    /** Four-way unrolled scalar loop. */
-    Unrolled,
-    /** 256-bit VPSHUFB popcount (x86-64 with AVX2 only). */
-    Avx2,
-};
 
 /** Signature shared by every kernel implementation. */
 using HammingFn = std::size_t (*)(const std::uint64_t *a,
@@ -96,20 +103,75 @@ using BoundedHammingFn = std::size_t (*)(const std::uint64_t *a,
                                          std::size_t bound,
                                          std::size_t *wordsRead);
 
-/** Reference scalar kernel (always available). */
-std::size_t scalarHamming(const std::uint64_t *a,
-                          const std::uint64_t *b, std::size_t bits);
+/**
+ * One registered Hamming backend. Entries live in their backend's
+ * translation unit (src/core/kernels/hamming_<name>.cc) and are
+ * collected by the registry table (kernel_registry.cc); everything
+ * else -- dispatch, the CLI, the benches, the property tests --
+ * iterates kernels() and never names a backend explicitly.
+ */
+struct KernelEntry
+{
+    /** Selection name: HDHAM_KERNEL / --kernel / setKernelByName. */
+    const char *name;
+    /** One-line implementation summary for docs and --help. */
+    const char *description;
+    /** Human-readable host requirement ("x86-64 with AVX2", ...). */
+    const char *requirement;
+    /**
+     * True when the real implementation is compiled into this
+     * binary. A cross-architecture entry (NEON on x86, the x86
+     * kernels on ARM) stays registered with compiled == false and
+     * scalar-fallback function pointers, so name lookups and the
+     * kernel-matrix listing behave identically on every host.
+     */
+    bool compiled;
+    /**
+     * Runtime host probe (cpuid/hwcap). Only entries with
+     * compiled && available() may be installed; on other entries
+     * fn/bounded still point at safe scalar fallbacks, never null.
+     */
+    bool (*available)();
+    /** Exact kernel. */
+    HammingFn fn;
+    /** Early-abandon (bound-exact) kernel. */
+    BoundedHammingFn bounded;
 
-/** Unrolled scalar kernel (always available). */
-std::size_t unrolledHamming(const std::uint64_t *a,
-                            const std::uint64_t *b, std::size_t bits);
+    /** True when this backend can serve queries on this host. */
+    bool usable() const { return compiled && available(); }
+};
 
 /**
- * AVX2 kernel. @pre kernelSupported(Kernel::Avx2); on hosts without
- * AVX2 the symbol exists but delegates to the scalar kernel.
+ * Every registered backend, narrowest first -- the widest-supported
+ * probe scans this list from the back. Stable for the life of the
+ * process; entries' addresses are valid registry identities.
  */
-std::size_t avx2Hamming(const std::uint64_t *a,
-                        const std::uint64_t *b, std::size_t bits);
+std::span<const KernelEntry> kernels();
+
+/**
+ * Look up a backend by selection name; null for anything unknown
+ * (including "auto", which is a dispatch directive, not a backend).
+ */
+const KernelEntry *findKernel(std::string_view name);
+
+/**
+ * Diagnostic list of every selection name plus "auto", for error
+ * messages: "scalar, unrolled, sse2, neon, avx2, avx512 or auto".
+ */
+std::string kernelNameList();
+
+/** Comma-joined names of the backends compiled into this binary. */
+std::string compiledKernelList();
+
+/**
+ * Comma-joined names of the backends this host can execute right
+ * now -- the CPU-capability fingerprint bench baselines record.
+ */
+std::string availableKernelList();
+
+/** Reference scalar kernel (always available; the test oracle). */
+std::size_t scalarHamming(const std::uint64_t *a,
+                          const std::uint64_t *b, std::size_t bits);
 
 /** Bounded reference scalar kernel (always available). */
 std::size_t scalarHammingBounded(const std::uint64_t *a,
@@ -117,53 +179,33 @@ std::size_t scalarHammingBounded(const std::uint64_t *a,
                                  std::size_t bits, std::size_t bound,
                                  std::size_t *wordsRead);
 
-/** Bounded unrolled scalar kernel (always available). */
-std::size_t unrolledHammingBounded(const std::uint64_t *a,
-                                   const std::uint64_t *b,
-                                   std::size_t bits,
-                                   std::size_t bound,
-                                   std::size_t *wordsRead);
-
 /**
- * Bounded AVX2 kernel. @pre kernelSupported(Kernel::Avx2); on hosts
- * without AVX2 the symbol exists but delegates to the scalar form.
- */
-std::size_t avx2HammingBounded(const std::uint64_t *a,
-                               const std::uint64_t *b,
-                               std::size_t bits, std::size_t bound,
-                               std::size_t *wordsRead);
-
-/** Canonical lower-case name of @p kernel ("auto", "scalar", ...). */
-const char *kernelName(Kernel kernel);
-
-/**
- * Parse a kernel name ("auto", "scalar", "unrolled", "avx2") into
- * @p out; returns false (and leaves @p out alone) on anything else.
- */
-bool parseKernel(const std::string &name, Kernel *out);
-
-/** True when this host can execute @p kernel. */
-bool kernelSupported(Kernel kernel);
-
-/**
- * Pin the active kernel. Kernel::Auto re-runs the cpuid choice.
- * @throws std::invalid_argument when the host lacks @p kernel.
- */
-void setKernel(Kernel kernel);
-
-/**
- * setKernel(parseKernel(name)) convenience for CLI flags.
- * @throws std::invalid_argument on an unknown or unsupported name.
+ * Pin the active kernel by selection name; "auto" re-runs the
+ * widest-supported probe.
+ * @throws std::invalid_argument on an unknown name, or a known
+ * backend this host cannot execute.
  */
 void setKernelByName(const std::string &name);
 
 /**
- * The kernel currently serving hamming() calls, resolving the
- * startup default on first use. Never returns Kernel::Auto.
+ * Pure resolution of the HDHAM_KERNEL environment value (may be
+ * null): returns the entry that value selects, falling back to the
+ * widest-supported backend -- and, when the value was non-empty but
+ * invalid or unavailable, writes a diagnostic naming the valid
+ * kernels into @p warning (cleared otherwise, may be null). The
+ * first-use resolver calls this with getenv("HDHAM_KERNEL") and
+ * prints the warning to stderr once; tests call it directly.
  */
-Kernel activeKernel();
+const KernelEntry &resolveKernelChoice(const char *envValue,
+                                       std::string *warning);
 
-/** kernelName(activeKernel()) -- what tools report in JSON output. */
+/**
+ * The registry entry currently serving hamming() calls, resolving
+ * the startup default on first use.
+ */
+const KernelEntry &activeEntry();
+
+/** activeEntry().name -- what tools report in JSON output. */
 const char *activeKernelName();
 
 /**

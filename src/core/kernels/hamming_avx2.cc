@@ -1,0 +1,150 @@
+/**
+ * @file
+ * AVX2 Hamming kernel: 256-bit VPSHUFB nibble-lookup popcount
+ * (Mula's method) with VPSADBW lane accumulation, four words per
+ * vector step. Compiled with a per-function target attribute so the
+ * rest of the binary stays baseline; the registry's availability
+ * predicate (cpuid) decides whether it may be installed.
+ */
+
+#include "core/kernels/hamming_kernels.hh"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HDHAM_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
+namespace hdham::distance
+{
+
+namespace
+{
+
+#ifdef HDHAM_AVX2_KERNEL
+
+/** Per-byte popcount of @p v via the VPSHUFB nibble lookup. */
+__attribute__((target("avx2"))) inline __m256i
+popcountBytes(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+    return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                           _mm256_shuffle_epi8(lut, hi));
+}
+
+__attribute__((target("avx2"))) std::size_t
+avx2Hamming(const std::uint64_t *a, const std::uint64_t *b,
+            std::size_t bits)
+{
+    const std::size_t fullWords = bits / 64;
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    std::size_t w = 0;
+    for (; w + 4 <= fullWords; w += 4) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(a + w)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(b + w)));
+        // VPSADBW folds the 32 byte counts into 4 qword lanes; the
+        // lanes cannot overflow (each grows by at most 64 per step).
+        acc = _mm256_add_epi64(acc,
+                               _mm256_sad_epu8(popcountBytes(x),
+                                               zero));
+    }
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::size_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    return count + detail::maskedTail(a, b, fullWords, bits % 64);
+}
+
+__attribute__((target("avx2"))) std::size_t
+avx2HammingBounded(const std::uint64_t *a, const std::uint64_t *b,
+                   std::size_t bits, std::size_t bound,
+                   std::size_t *wordsRead)
+{
+    const std::size_t fullWords = bits / 64;
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t count = 0;
+    std::size_t w = 0;
+    // Two VPSADBW steps (8 words) per strip; the horizontal lane sum
+    // runs once per strip, keeping the bound check off the critical
+    // path of the vector accumulation.
+    for (; w + detail::kStripWords <= fullWords;
+         w += detail::kStripWords) {
+        __m256i acc = zero;
+        for (std::size_t step = 0; step < detail::kStripWords;
+             step += 4) {
+            const __m256i x = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    a + w + step)),
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    b + w + step)));
+            acc = _mm256_add_epi64(
+                acc, _mm256_sad_epu8(popcountBytes(x), zero));
+        }
+        std::uint64_t lanes[4];
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+        count += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        if (count >= bound) {
+            *wordsRead = w + detail::kStripWords;
+            return kAbandoned;
+        }
+    }
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    count += detail::maskedTail(a, b, fullWords, bits % 64);
+    *wordsRead = detail::totalWords(bits);
+    return count < bound ? count : kAbandoned;
+}
+
+bool
+avx2Available()
+{
+    return __builtin_cpu_supports("avx2") != 0;
+}
+
+#endif // HDHAM_AVX2_KERNEL
+
+} // namespace
+
+namespace detail
+{
+
+const KernelEntry &
+avx2Kernel()
+{
+#ifdef HDHAM_AVX2_KERNEL
+    static const KernelEntry entry{
+        "avx2",
+        "256-bit VPSHUFB nibble-lookup popcount (Mula)",
+        "x86-64 with AVX2",
+        true,
+        &avx2Available,
+        &avx2Hamming,
+        &avx2HammingBounded,
+    };
+#else
+    static const KernelEntry entry{
+        "avx2",
+        "256-bit VPSHUFB nibble-lookup popcount (Mula)",
+        "x86-64 with AVX2",
+        false,
+        +[] { return false; },
+        &scalarHamming,
+        &scalarHammingBounded,
+    };
+#endif
+    return entry;
+}
+
+} // namespace detail
+
+} // namespace hdham::distance

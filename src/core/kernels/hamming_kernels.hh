@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Internal glue between the Hamming backends and the registry.
+ *
+ * Each backend translation unit (hamming_<name>.cc) implements its
+ * exact and bounded kernels, wraps them in a self-describing
+ * KernelEntry, and exposes that entry through the accessor declared
+ * here; kernel_registry.cc collects the accessors into the ordered
+ * table behind distance::kernels(). Nothing outside
+ * src/core/kernels/ includes this header -- callers go through the
+ * registry.
+ *
+ * The helpers below encode the two contracts every backend shares:
+ * ragged-tail masking (the final partial word's padding bits never
+ * count) and the strip width of the early-abandon bound check.
+ */
+
+#ifndef HDHAM_CORE_KERNELS_HAMMING_KERNELS_HH
+#define HDHAM_CORE_KERNELS_HAMMING_KERNELS_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/distance.hh"
+
+namespace hdham::distance::detail
+{
+
+/**
+ * Shared tail: the last (bits % 64) components live in word
+ * @p fullWords and must be masked so row padding never counts.
+ */
+inline std::size_t
+maskedTail(const std::uint64_t *a, const std::uint64_t *b,
+           std::size_t fullWords, std::size_t rem)
+{
+    if (rem == 0)
+        return 0;
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    return static_cast<std::size_t>(
+        std::popcount((a[fullWords] ^ b[fullWords]) & mask));
+}
+
+/**
+ * Words checked per early-abandon strip. Checking more often
+ * abandons sooner but pays the compare on every strip; 8 words
+ * (512 components) keeps the overhead of a never-abandoning scan
+ * within a few percent of the exact kernel.
+ */
+constexpr std::size_t kStripWords = 8;
+
+/** Words a bounded kernel reports after running to completion. */
+inline std::size_t
+totalWords(std::size_t bits)
+{
+    return bits / 64 + (bits % 64 != 0);
+}
+
+/** One entry per backend translation unit, in kernel_registry.cc
+ *  order (narrowest first). */
+const KernelEntry &scalarKernel();
+const KernelEntry &unrolledKernel();
+const KernelEntry &sse2Kernel();
+const KernelEntry &neonKernel();
+const KernelEntry &avx2Kernel();
+const KernelEntry &avx512Kernel();
+
+} // namespace hdham::distance::detail
+
+#endif // HDHAM_CORE_KERNELS_HAMMING_KERNELS_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * NEON Hamming kernel for AArch64: vcntq_u8 counts bits per byte of
+ * a 128-bit XOR, two XOR+CNT pairs are summed byte-wise (counts
+ * stay <= 16, no overflow), then one widening pairwise-add chain
+ * folds the sixteen byte counts into the qword accumulator -- four
+ * words per iteration.
+ *
+ * AdvSIMD is architectural on AArch64, so availability is simply
+ * "compiled for aarch64"; there is no hwcap probe to run. On other
+ * architectures the entry stays registered (compiled == false) with
+ * scalar fallbacks so lookups and listings are uniform.
+ */
+
+#include "core/kernels/hamming_kernels.hh"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define HDHAM_NEON_KERNEL 1
+#include <arm_neon.h>
+#endif
+
+namespace hdham::distance
+{
+
+namespace
+{
+
+#ifdef HDHAM_NEON_KERNEL
+
+/** Byte popcounts of (a[w..w+1] ^ b[w..w+1]). */
+inline uint8x16_t
+xorCounts(const std::uint64_t *a, const std::uint64_t *b,
+          std::size_t w)
+{
+    return vcntq_u8(vreinterpretq_u8_u64(
+        veorq_u64(vld1q_u64(a + w), vld1q_u64(b + w))));
+}
+
+/** Fold sixteen byte counts (each <= 16) into a u64x2 addend. */
+inline uint64x2_t
+widen(uint8x16_t bytes)
+{
+    return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes)));
+}
+
+std::size_t
+neonHamming(const std::uint64_t *a, const std::uint64_t *b,
+            std::size_t bits)
+{
+    const std::size_t fullWords = bits / 64;
+    uint64x2_t acc = vdupq_n_u64(0);
+    std::size_t w = 0;
+    for (; w + 4 <= fullWords; w += 4) {
+        // Two vectors' byte counts sum to at most 16 per lane --
+        // safe to add as bytes before the single widening chain.
+        const uint8x16_t counts =
+            vaddq_u8(xorCounts(a, b, w), xorCounts(a, b, w + 2));
+        acc = vaddq_u64(acc, widen(counts));
+    }
+    std::size_t count = static_cast<std::size_t>(
+        vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1));
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    return count + detail::maskedTail(a, b, fullWords, bits % 64);
+}
+
+std::size_t
+neonHammingBounded(const std::uint64_t *a, const std::uint64_t *b,
+                   std::size_t bits, std::size_t bound,
+                   std::size_t *wordsRead)
+{
+    const std::size_t fullWords = bits / 64;
+    std::size_t count = 0;
+    std::size_t w = 0;
+    // Four vectors (8 words) per strip; one horizontal add per
+    // strip keeps the bound check off the vector critical path.
+    for (; w + detail::kStripWords <= fullWords;
+         w += detail::kStripWords) {
+        const uint8x16_t c0 =
+            vaddq_u8(xorCounts(a, b, w), xorCounts(a, b, w + 2));
+        const uint8x16_t c1 = vaddq_u8(xorCounts(a, b, w + 4),
+                                       xorCounts(a, b, w + 6));
+        const uint64x2_t acc = vaddq_u64(widen(c0), widen(c1));
+        count += static_cast<std::size_t>(vaddvq_u64(acc));
+        if (count >= bound) {
+            *wordsRead = w + detail::kStripWords;
+            return kAbandoned;
+        }
+    }
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    count += detail::maskedTail(a, b, fullWords, bits % 64);
+    *wordsRead = detail::totalWords(bits);
+    return count < bound ? count : kAbandoned;
+}
+
+bool
+neonAvailable()
+{
+    return true;
+}
+
+#endif // HDHAM_NEON_KERNEL
+
+} // namespace
+
+namespace detail
+{
+
+const KernelEntry &
+neonKernel()
+{
+#ifdef HDHAM_NEON_KERNEL
+    static const KernelEntry entry{
+        "neon",
+        "vcntq_u8 byte popcount with widening pairwise adds",
+        "AArch64 (AdvSIMD)",
+        true,
+        &neonAvailable,
+        &neonHamming,
+        &neonHammingBounded,
+    };
+#else
+    static const KernelEntry entry{
+        "neon",
+        "vcntq_u8 byte popcount with widening pairwise adds",
+        "AArch64 (AdvSIMD)",
+        false,
+        +[] { return false; },
+        &scalarHamming,
+        &scalarHammingBounded,
+    };
+#endif
+    return entry;
+}
+
+} // namespace detail
+
+} // namespace hdham::distance

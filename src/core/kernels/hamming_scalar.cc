@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reference scalar Hamming kernel: one std::popcount per 64-bit
+ * word. Every other backend must match it bit for bit; its bounded
+ * form is also the fallback implementation cross-architecture
+ * registry entries point at.
+ */
+
+#include "core/kernels/hamming_kernels.hh"
+
+namespace hdham::distance
+{
+
+std::size_t
+scalarHamming(const std::uint64_t *a, const std::uint64_t *b,
+              std::size_t bits)
+{
+    const std::size_t fullWords = bits / 64;
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    return count + detail::maskedTail(a, b, fullWords, bits % 64);
+}
+
+std::size_t
+scalarHammingBounded(const std::uint64_t *a, const std::uint64_t *b,
+                     std::size_t bits, std::size_t bound,
+                     std::size_t *wordsRead)
+{
+    const std::size_t fullWords = bits / 64;
+    std::size_t count = 0;
+    std::size_t w = 0;
+    while (w + detail::kStripWords <= fullWords) {
+        const std::size_t stop = w + detail::kStripWords;
+        for (; w < stop; ++w)
+            count += std::popcount(a[w] ^ b[w]);
+        if (count >= bound) {
+            *wordsRead = w;
+            return kAbandoned;
+        }
+    }
+    for (; w < fullWords; ++w)
+        count += std::popcount(a[w] ^ b[w]);
+    count += detail::maskedTail(a, b, fullWords, bits % 64);
+    *wordsRead = detail::totalWords(bits);
+    return count < bound ? count : kAbandoned;
+}
+
+namespace detail
+{
+
+namespace
+{
+
+bool
+always()
+{
+    return true;
+}
+
+} // namespace
+
+const KernelEntry &
+scalarKernel()
+{
+    static const KernelEntry entry{
+        "scalar",
+        "one std::popcount per 64-bit word (reference oracle)",
+        "any host",
+        true,
+        &always,
+        &scalarHamming,
+        &scalarHammingBounded,
+    };
+    return entry;
+}
+
+} // namespace detail
+
+} // namespace hdham::distance

@@ -159,16 +159,12 @@ runServeCommand(std::vector<std::string> args)
 
     const std::string kernelName = option(args, "--kernel", "");
     if (!kernelName.empty()) {
-        distance::Kernel kernel;
-        if (!distance::parseKernel(kernelName, &kernel) ||
-            !distance::kernelSupported(kernel)) {
-            std::fprintf(stderr,
-                         "serve: unknown or unsupported kernel "
-                         "'%s'\n",
-                         kernelName.c_str());
+        try {
+            distance::setKernelByName(kernelName);
+        } catch (const std::invalid_argument &e) {
+            std::fprintf(stderr, "serve: %s\n", e.what());
             return 2;
         }
-        distance::setKernel(kernel);
     }
 
     if (!args.empty()) {

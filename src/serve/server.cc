@@ -517,6 +517,8 @@ Server::statsJson()
     registry.setGauge("run.threads",
                       static_cast<double>(cfg.threads));
     registry.setInfo("kernel", distance::activeKernelName());
+    registry.setInfo("kernels_available",
+                     distance::availableKernelList());
     registry.setInfo("protocol", "hdham.serve.v1");
     return registry.toJson();
 }

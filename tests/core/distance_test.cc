@@ -1,21 +1,34 @@
 /**
  * @file
- * The Hamming kernel contract: every kernel (scalar, unrolled, AVX2)
- * returns the exact same integer count as a naive bit loop, for
- * ragged widths where `bits` is not a multiple of 64 or 256 and the
- * final word carries garbage padding beyond `bits`. Also pins the
- * dispatch rules: env override, cpuid fallback, name round-trips,
- * and rejection of unsupported kernels.
+ * Dispatch property tests for the Hamming kernel registry: every
+ * *registered* backend -- present and future; nothing here names a
+ * kernel except the scalar oracle -- must return the exact same
+ * integer count as a naive bit loop, for randomized ragged widths
+ * where `bits` is not a multiple of the word or vector size and the
+ * final word carries garbage padding beyond `bits`. The bounded
+ * (early-abandon) forms must be bound-exact (the true distance d
+ * when d < bound, kAbandoned otherwise -- never a partial count),
+ * which also makes kAbandoned independent of where a backend places
+ * its strip checks.
+ *
+ * Also pins the dispatch rules: resolution order (env override ->
+ * widest-supported probe), the one-time warning for an invalid
+ * HDHAM_KERNEL value, name lookups, and rejection of kernels this
+ * host cannot execute.
  *
  * NOTE: the dispatch state is process-global, so the env-override
- * test must run before anything calls setKernel(); gtest runs tests
- * in declaration order within a suite, and this file keeps the
- * env-sensitive test in its own suite declared first.
+ * test must run before anything calls setKernelByName(); gtest runs
+ * tests in declaration order within a suite, and this file keeps the
+ * env-sensitive test in its own suite declared first. The binary
+ * uses tests/support/kernel_pin_main.cc, so a run pinned (via
+ * HDHAM_KERNEL) to a backend this host cannot execute exits 77 --
+ * a loud ctest SKIP, never a silent fallback pass.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +40,7 @@ namespace
 
 using hdham::Rng;
 namespace distance = hdham::distance;
+using distance::KernelEntry;
 
 /** Bit-at-a-time oracle; deliberately shares no code with kernels. */
 std::size_t
@@ -57,25 +71,57 @@ randomWords(std::size_t bits, Rng &rng)
     return out;
 }
 
-/** Widths straddling the 64-bit word and 256-bit vector boundaries. */
-const std::size_t kRaggedWidths[] = {
-    1,   3,   63,  64,  65,  127, 128,  129,  191,  192,
-    250, 255, 256, 257, 511, 512, 1000, 2048, 4099, 10000};
+/**
+ * Widths straddling the word (64), SSE/NEON (128), AVX2 (256) and
+ * AVX-512 (512) boundaries, plus randomized ragged widths drawn per
+ * test so new strip sizes cannot overfit a fixed list.
+ */
+std::vector<std::size_t>
+raggedWidths(Rng &rng)
+{
+    std::vector<std::size_t> widths = {
+        1,   3,   63,  64,  65,   127,  128,  129,  191, 192,
+        250, 255, 256, 257, 383,  384,  511,  512,  513, 1000,
+        2048,
+        4099, 10000};
+    for (int i = 0; i < 12; ++i)
+        widths.push_back(1 + rng.next() % 20000);
+    return widths;
+}
+
+/** Backends this host can execute, by registry entry. */
+std::vector<const KernelEntry *>
+usableEntries()
+{
+    std::vector<const KernelEntry *> out;
+    for (const KernelEntry &entry : distance::kernels())
+        if (entry.usable())
+            out.push_back(&entry);
+    return out;
+}
 
 // Declared first so it observes the untouched startup dispatch state
 // (see file comment). Skips unless the harness set HDHAM_KERNEL.
-TEST(DistanceEnvTest, EnvOverrideRespected)
+TEST(DistanceEnvTest, EnvResolutionRespected)
 {
     const char *env = std::getenv("HDHAM_KERNEL");
     if (!env)
         GTEST_SKIP() << "HDHAM_KERNEL not set";
-    EXPECT_STREQ(distance::activeKernelName(), env);
+    // A valid, available value must win; anything else must resolve
+    // to the same choice the pure resolver reports (the widest
+    // available backend), never crash or stick on a bogus name.
+    const KernelEntry &want =
+        distance::resolveKernelChoice(env, nullptr);
+    EXPECT_STREQ(distance::activeKernelName(), want.name);
+    const KernelEntry *named = distance::findKernel(env);
+    if (named && named->usable())
+        EXPECT_STREQ(distance::activeKernelName(), env);
 }
 
 TEST(DistanceKernelTest, ScalarMatchesNaiveOracle)
 {
     Rng rng(11);
-    for (const std::size_t bits : kRaggedWidths) {
+    for (const std::size_t bits : raggedWidths(rng)) {
         const auto a = randomWords(bits, rng);
         const auto b = randomWords(bits, rng);
         EXPECT_EQ(distance::scalarHamming(a.data(), b.data(), bits),
@@ -84,115 +130,297 @@ TEST(DistanceKernelTest, ScalarMatchesNaiveOracle)
     }
 }
 
-TEST(DistanceKernelTest, UnrolledMatchesScalar)
+TEST(DistanceKernelTest, EveryRegisteredKernelMatchesScalarOracle)
 {
     Rng rng(22);
-    for (const std::size_t bits : kRaggedWidths) {
-        for (int rep = 0; rep < 8; ++rep) {
-            const auto a = randomWords(bits, rng);
-            const auto b = randomWords(bits, rng);
-            EXPECT_EQ(
-                distance::unrolledHamming(a.data(), b.data(), bits),
-                distance::scalarHamming(a.data(), b.data(), bits))
-                << "bits = " << bits << ", rep " << rep;
+    for (const KernelEntry &entry : distance::kernels()) {
+        if (!entry.usable()) {
+            std::printf("note: kernel '%s' not available on this "
+                        "host (%s); exact-form check skipped\n",
+                        entry.name, entry.requirement);
+            continue;
+        }
+        for (const std::size_t bits : raggedWidths(rng)) {
+            for (int rep = 0; rep < 4; ++rep) {
+                const auto a = randomWords(bits, rng);
+                const auto b = randomWords(bits, rng);
+                EXPECT_EQ(
+                    entry.fn(a.data(), b.data(), bits),
+                    distance::scalarHamming(a.data(), b.data(),
+                                            bits))
+                    << entry.name << " bits = " << bits << ", rep "
+                    << rep;
+            }
         }
     }
 }
 
-TEST(DistanceKernelTest, Avx2MatchesScalar)
+TEST(DistanceKernelTest,
+     EveryRegisteredBoundedKernelIsBoundExact)
 {
-    if (!distance::kernelSupported(distance::Kernel::Avx2))
-        GTEST_SKIP() << "host lacks AVX2";
+    // The bound-exact contract behind every pruning proof: the
+    // bounded form returns the exact distance iff it is strictly
+    // below the bound, and the sentinel otherwise -- never a
+    // partial count. Randomized bounds straddle the exact distance
+    // so both sides of the contract are exercised at every width.
     Rng rng(33);
-    for (const std::size_t bits : kRaggedWidths) {
-        for (int rep = 0; rep < 8; ++rep) {
+    for (const KernelEntry &entry : distance::kernels()) {
+        if (!entry.usable()) {
+            std::printf("note: kernel '%s' not available on this "
+                        "host (%s); bounded-form check skipped\n",
+                        entry.name, entry.requirement);
+            continue;
+        }
+        for (const std::size_t bits : raggedWidths(rng)) {
             const auto a = randomWords(bits, rng);
             const auto b = randomWords(bits, rng);
-            EXPECT_EQ(
-                distance::avx2Hamming(a.data(), b.data(), bits),
-                distance::scalarHamming(a.data(), b.data(), bits))
-                << "bits = " << bits << ", rep " << rep;
+            const std::size_t exact =
+                distance::scalarHamming(a.data(), b.data(), bits);
+            const std::size_t totalWords = (bits + 63) / 64;
+            std::vector<std::size_t> bounds = {
+                1, exact, exact + 1, bits + 1};
+            bounds.push_back(1 + rng.next() % (bits + 1));
+            for (const std::size_t bound : bounds) {
+                std::size_t wordsRead = 0;
+                const std::size_t got = entry.bounded(
+                    a.data(), b.data(), bits, bound, &wordsRead);
+                if (exact < bound) {
+                    EXPECT_EQ(got, exact)
+                        << entry.name << " bits " << bits
+                        << " bound " << bound;
+                    EXPECT_EQ(wordsRead, totalWords)
+                        << entry.name << " bits " << bits;
+                } else {
+                    EXPECT_EQ(got, distance::kAbandoned)
+                        << entry.name << " bits " << bits
+                        << " bound " << bound;
+                }
+                EXPECT_LE(wordsRead, totalWords)
+                    << entry.name << " bits " << bits;
+            }
+        }
+    }
+}
+
+TEST(DistanceKernelTest, AbandonmentIsStripPlacementIndependent)
+{
+    // kAbandoned-vs-count must agree across every pair of backends
+    // for the same inputs and bound: because popcounts only grow,
+    // whether d < bound is a fact about the data, not about where a
+    // kernel placed its strip checks. (wordsRead may differ; the
+    // returned value may not.)
+    Rng rng(44);
+    const auto entries = usableEntries();
+    for (const std::size_t bits : raggedWidths(rng)) {
+        const auto a = randomWords(bits, rng);
+        const auto b = randomWords(bits, rng);
+        const std::size_t exact =
+            distance::scalarHamming(a.data(), b.data(), bits);
+        for (const std::size_t bound :
+             {std::size_t{1}, exact, exact + 1, bits + 1,
+              1 + rng.next() % (bits + 1)}) {
+            std::size_t wordsRead = 0;
+            const std::size_t want = distance::scalarHammingBounded(
+                a.data(), b.data(), bits, bound, &wordsRead);
+            for (const KernelEntry *entry : entries) {
+                const std::size_t got = entry->bounded(
+                    a.data(), b.data(), bits, bound, &wordsRead);
+                EXPECT_EQ(got, want)
+                    << entry->name << " bits " << bits << " bound "
+                    << bound;
+            }
         }
     }
 }
 
 TEST(DistanceKernelTest, IdenticalVectorsAndComplements)
 {
-    Rng rng(44);
+    Rng rng(55);
     for (const std::size_t bits : {63u, 256u, 1000u}) {
         const auto a = randomWords(bits, rng);
         auto flipped = a;
         for (auto &w : flipped)
             w = ~w;
-        for (const distance::HammingFn fn :
-             {&distance::scalarHamming, &distance::unrolledHamming,
-              &distance::avx2Hamming}) {
-            EXPECT_EQ(fn(a.data(), a.data(), bits), 0u);
-            EXPECT_EQ(fn(a.data(), flipped.data(), bits), bits);
+        for (const KernelEntry *entry : usableEntries()) {
+            EXPECT_EQ(entry->fn(a.data(), a.data(), bits), 0u)
+                << entry->name;
+            EXPECT_EQ(entry->fn(a.data(), flipped.data(), bits),
+                      bits)
+                << entry->name;
         }
     }
 }
 
-TEST(DistanceDispatchTest, EverySupportedKernelServesHamming)
+TEST(DistanceDispatchTest, EveryUsableKernelServesHamming)
 {
-    Rng rng(55);
+    Rng rng(66);
     const auto a = randomWords(4099, rng);
     const auto b = randomWords(4099, rng);
     const std::size_t want =
         distance::scalarHamming(a.data(), b.data(), 4099);
 
-    for (const distance::Kernel kernel :
-         {distance::Kernel::Scalar, distance::Kernel::Unrolled,
-          distance::Kernel::Avx2}) {
-        if (!distance::kernelSupported(kernel))
-            continue;
-        distance::setKernel(kernel);
-        EXPECT_EQ(distance::activeKernel(), kernel);
+    for (const KernelEntry *entry : usableEntries()) {
+        distance::setKernelByName(entry->name);
+        EXPECT_EQ(&distance::activeEntry(), entry);
+        EXPECT_STREQ(distance::activeKernelName(), entry->name);
         EXPECT_EQ(distance::hamming(a.data(), b.data(), 4099), want)
-            << distance::kernelName(kernel);
+            << entry->name;
+        std::size_t wordsRead = 0;
+        EXPECT_EQ(distance::hammingBounded(a.data(), b.data(), 4099,
+                                           4100, &wordsRead),
+                  want)
+            << entry->name;
     }
-    distance::setKernel(distance::Kernel::Auto);
-    EXPECT_NE(distance::activeKernel(), distance::Kernel::Auto);
+    distance::setKernelByName("auto");
+    // Auto must land on the widest usable backend (the last
+    // registered entry whose probe passes), never on a stub.
+    EXPECT_TRUE(distance::activeEntry().usable());
+    EXPECT_EQ(&distance::activeEntry(),
+              &distance::resolveKernelChoice(nullptr, nullptr));
 }
 
-TEST(DistanceDispatchTest, NamesRoundTrip)
+TEST(DistanceDispatchTest, RegistryNamesAreUniqueAndLookUp)
 {
-    for (const distance::Kernel kernel :
-         {distance::Kernel::Auto, distance::Kernel::Scalar,
-          distance::Kernel::Unrolled, distance::Kernel::Avx2}) {
-        distance::Kernel parsed = distance::Kernel::Auto;
-        ASSERT_TRUE(distance::parseKernel(
-            distance::kernelName(kernel), &parsed));
-        EXPECT_EQ(parsed, kernel);
+    std::set<std::string> seen;
+    for (const KernelEntry &entry : distance::kernels()) {
+        EXPECT_TRUE(seen.insert(entry.name).second)
+            << "duplicate kernel name " << entry.name;
+        EXPECT_EQ(distance::findKernel(entry.name), &entry);
+        EXPECT_NE(entry.fn, nullptr) << entry.name;
+        EXPECT_NE(entry.bounded, nullptr) << entry.name;
+        EXPECT_NE(distance::kernelNameList().find(entry.name),
+                  std::string::npos)
+            << entry.name;
     }
-    distance::Kernel out = distance::Kernel::Scalar;
-    EXPECT_FALSE(distance::parseKernel("sse9", &out));
-    EXPECT_FALSE(distance::parseKernel("", &out));
-    EXPECT_EQ(out, distance::Kernel::Scalar); // untouched on failure
+    EXPECT_EQ(distance::findKernel("sse9"), nullptr);
+    EXPECT_EQ(distance::findKernel(""), nullptr);
+    // "auto" is a dispatch directive, not a registered backend.
+    EXPECT_EQ(distance::findKernel("auto"), nullptr);
 }
 
-TEST(DistanceDispatchTest, ScalarKernelsAlwaysSupported)
+TEST(DistanceDispatchTest, ScalarKernelsAlwaysRegisteredAndUsable)
 {
-    EXPECT_TRUE(distance::kernelSupported(distance::Kernel::Auto));
-    EXPECT_TRUE(distance::kernelSupported(distance::Kernel::Scalar));
-    EXPECT_TRUE(
-        distance::kernelSupported(distance::Kernel::Unrolled));
+    const distance::KernelEntry *scalar =
+        distance::findKernel("scalar");
+    ASSERT_NE(scalar, nullptr);
+    EXPECT_TRUE(scalar->usable());
+    EXPECT_EQ(scalar->fn, &distance::scalarHamming);
+    EXPECT_EQ(scalar->bounded, &distance::scalarHammingBounded);
+    const distance::KernelEntry *unrolled =
+        distance::findKernel("unrolled");
+    ASSERT_NE(unrolled, nullptr);
+    EXPECT_TRUE(unrolled->usable());
 }
 
-TEST(DistanceDispatchTest, UnsupportedKernelRejected)
+TEST(DistanceDispatchTest, CompiledAndAvailableListsAreConsistent)
 {
-    if (distance::kernelSupported(distance::Kernel::Avx2))
-        GTEST_SKIP() << "host has AVX2; nothing is unsupported";
-    EXPECT_THROW(distance::setKernel(distance::Kernel::Avx2),
-                 std::invalid_argument);
-    EXPECT_THROW(distance::setKernelByName("avx2"),
-                 std::invalid_argument);
+    // The available list is a subset of the compiled list, and both
+    // contain every backend the probe passes. These lists are the
+    // bench baseline's host fingerprint, so they must be stable,
+    // comma-joined and in registry order.
+    const std::string compiled = distance::compiledKernelList();
+    const std::string available = distance::availableKernelList();
+    EXPECT_NE(compiled.find("scalar"), std::string::npos);
+    EXPECT_NE(available.find("scalar"), std::string::npos);
+    for (const KernelEntry &entry : distance::kernels()) {
+        const bool inCompiled =
+            compiled.find(entry.name) != std::string::npos;
+        const bool inAvailable =
+            available.find(entry.name) != std::string::npos;
+        EXPECT_EQ(inCompiled, entry.compiled) << entry.name;
+        EXPECT_EQ(inAvailable, entry.usable()) << entry.name;
+        if (inAvailable)
+            EXPECT_TRUE(inCompiled) << entry.name;
+    }
+}
+
+TEST(DistanceDispatchTest, UnusableKernelsRejected)
+{
+    bool sawUnusable = false;
+    for (const KernelEntry &entry : distance::kernels()) {
+        if (entry.usable())
+            continue;
+        sawUnusable = true;
+        EXPECT_THROW(distance::setKernelByName(entry.name),
+                     std::invalid_argument)
+            << entry.name;
+    }
+    if (!sawUnusable)
+        GTEST_SKIP() << "every registered kernel is usable here";
 }
 
 TEST(DistanceDispatchTest, SetKernelByNameRejectsUnknown)
 {
-    EXPECT_THROW(distance::setKernelByName("neon"),
-                 std::invalid_argument);
+    try {
+        distance::setKernelByName("vliw9000");
+        FAIL() << "unknown kernel accepted";
+    } catch (const std::invalid_argument &e) {
+        // The diagnostic must name the valid kernels so the caller
+        // can fix the flag without reading the source.
+        EXPECT_NE(std::string(e.what()).find("scalar"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("auto"),
+                  std::string::npos);
+    }
+}
+
+TEST(DistanceResolutionTest, EnvChoicesResolveWithWarnings)
+{
+    std::string warning;
+
+    // Unset / empty / auto: the widest usable backend, no warning.
+    const KernelEntry &widest =
+        distance::resolveKernelChoice(nullptr, &warning);
+    EXPECT_TRUE(widest.usable());
+    EXPECT_TRUE(warning.empty());
+    EXPECT_EQ(&distance::resolveKernelChoice("", &warning), &widest);
+    EXPECT_TRUE(warning.empty());
+    EXPECT_EQ(&distance::resolveKernelChoice("auto", &warning),
+              &widest);
+    EXPECT_TRUE(warning.empty());
+    // No registered usable backend is wider than the auto choice.
+    bool past = false;
+    for (const KernelEntry &entry : distance::kernels()) {
+        if (past)
+            EXPECT_FALSE(entry.usable()) << entry.name;
+        if (&entry == &widest)
+            past = true;
+    }
+
+    // A valid, usable name wins exactly, silently.
+    for (const KernelEntry &entry : distance::kernels()) {
+        if (!entry.usable())
+            continue;
+        EXPECT_EQ(
+            &distance::resolveKernelChoice(entry.name, &warning),
+            &entry);
+        EXPECT_TRUE(warning.empty()) << entry.name;
+    }
+
+    // An unknown name falls back to the widest choice WITH a
+    // warning that names the valid kernels and the fallback -- the
+    // silent-fallback bug this test pins closed.
+    EXPECT_EQ(&distance::resolveKernelChoice("sse9", &warning),
+              &widest);
+    ASSERT_FALSE(warning.empty());
+    EXPECT_NE(warning.find("sse9"), std::string::npos);
+    EXPECT_NE(warning.find("scalar"), std::string::npos);
+    EXPECT_NE(warning.find("auto"), std::string::npos);
+    EXPECT_NE(warning.find(widest.name), std::string::npos);
+
+    // A known backend this host cannot run also warns, naming its
+    // host requirement instead of the full list.
+    for (const KernelEntry &entry : distance::kernels()) {
+        if (entry.usable())
+            continue;
+        EXPECT_EQ(
+            &distance::resolveKernelChoice(entry.name, &warning),
+            &widest);
+        ASSERT_FALSE(warning.empty()) << entry.name;
+        EXPECT_NE(warning.find(entry.name), std::string::npos);
+        EXPECT_NE(warning.find(entry.requirement),
+                  std::string::npos);
+    }
 }
 
 } // namespace

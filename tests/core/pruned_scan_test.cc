@@ -33,21 +33,21 @@ using hdham::ScanStats;
 using hdham::StoreLayout;
 namespace distance = hdham::distance;
 
-/** Kernels this host can run, always ending back at Auto. */
-std::vector<distance::Kernel>
+/** Names of every registered kernel this host can run. */
+std::vector<const char *>
 testableKernels()
 {
-    std::vector<distance::Kernel> kernels = {
-        distance::Kernel::Scalar, distance::Kernel::Unrolled};
-    if (distance::kernelSupported(distance::Kernel::Avx2))
-        kernels.push_back(distance::Kernel::Avx2);
+    std::vector<const char *> kernels;
+    for (const distance::KernelEntry &entry : distance::kernels())
+        if (entry.usable())
+            kernels.push_back(entry.name);
     return kernels;
 }
 
 /** RAII: restore automatic kernel dispatch after a pinned section. */
 struct KernelGuard
 {
-    ~KernelGuard() { distance::setKernel(distance::Kernel::Auto); }
+    ~KernelGuard() { distance::setKernelByName("auto"); }
 };
 
 /** The policies under test: every pruning mechanism switched on. */
@@ -134,8 +134,8 @@ TEST(PrunedScanTest, MatchesExhaustiveAcrossKernelsAndPolicies)
     KernelGuard guard;
     for (std::size_t dim : {512u, 1000u, 10007u}) {
         const Workload w(dim, 24, 0xBEEF + dim);
-        for (const distance::Kernel kernel : testableKernels()) {
-            distance::setKernel(kernel);
+        for (const char *kernel : testableKernels()) {
+            distance::setKernelByName(kernel);
             for (const Hypervector &query : w.queries) {
                 const RowMatch want =
                     exhaustiveNearest(w.rows, query, dim);
@@ -146,12 +146,10 @@ TEST(PrunedScanTest, MatchesExhaustiveAcrossKernelsAndPolicies)
                     const std::size_t winner = w.rows.nearest(
                         query, dim, policy, &stats, nullptr, &got);
                     EXPECT_EQ(winner, want.index)
-                        << "dim " << dim << " kernel "
-                        << distance::kernelName(kernel)
+                        << "dim " << dim << " kernel " << kernel
                         << " cascade " << policy.cascadePrefix;
                     EXPECT_EQ(got, want.distance)
-                        << "dim " << dim << " kernel "
-                        << distance::kernelName(kernel)
+                        << "dim " << dim << " kernel " << kernel
                         << " cascade " << policy.cascadePrefix;
                 }
             }
@@ -166,8 +164,8 @@ TEST(PrunedScanTest, RaggedPrefixMatchesExhaustive)
     KernelGuard guard;
     const std::size_t dim = 1027;
     const Workload w(dim, 16, 0xFEED);
-    for (const distance::Kernel kernel : testableKernels()) {
-        distance::setKernel(kernel);
+    for (const char *kernel : testableKernels()) {
+        distance::setKernelByName(kernel);
         for (std::size_t prefix : {63u, 65u, 500u, 1000u, 1027u}) {
             for (const Hypervector &query : w.queries) {
                 const RowMatch want =
@@ -219,8 +217,8 @@ TEST(PrunedScanTest, TopKMatchesSortOracle)
     KernelGuard guard;
     const std::size_t dim = 1000;
     const Workload w(dim, 20, 0xCAFE);
-    for (const distance::Kernel kernel : testableKernels()) {
-        distance::setKernel(kernel);
+    for (const char *kernel : testableKernels()) {
+        distance::setKernelByName(kernel);
         for (const Hypervector &query : w.queries) {
             // Sort-based oracle: all distances, ascending
             // (distance, index).
@@ -303,19 +301,18 @@ TEST(PrunedScanTest, PrunedCountersAreKernelInvariant)
          {ScanPolicy{PruneMode::On, 0},
           ScanPolicy{PruneMode::Auto, 256}}) {
         for (const Hypervector &query : w.queries) {
-            distance::setKernel(distance::Kernel::Scalar);
+            distance::setKernelByName("scalar");
             ScanStats scalar;
             w.rows.nearest(query, dim, policy, &scalar, nullptr);
-            for (const distance::Kernel kernel :
-                 testableKernels()) {
-                distance::setKernel(kernel);
+            for (const char *kernel : testableKernels()) {
+                distance::setKernelByName(kernel);
                 ScanStats stats;
                 w.rows.nearest(query, dim, policy, &stats, nullptr);
                 EXPECT_EQ(stats.rowsPruned, scalar.rowsPruned)
-                    << distance::kernelName(kernel);
+                    << kernel;
                 EXPECT_EQ(stats.cascadeSurvivors,
                           scalar.cascadeSurvivors)
-                    << distance::kernelName(kernel);
+                    << kernel;
             }
         }
     }
@@ -334,20 +331,22 @@ TEST(PrunedScanTest, BoundedKernelsAreBoundExact)
         b.injectErrors(dim / 7 + 1, rng);
         const std::size_t exact =
             distance::hamming(a.data(), b.data(), dim);
-        for (const auto bounded :
-             {&distance::scalarHammingBounded,
-              &distance::unrolledHammingBounded,
-              &distance::avx2HammingBounded}) {
+        for (const distance::KernelEntry &entry :
+             distance::kernels()) {
+            if (!entry.usable())
+                continue;
             for (const std::size_t bound :
                  {std::size_t{1}, exact, exact + 1, dim + 1}) {
                 std::size_t wordsRead = 0;
-                const std::size_t got = bounded(
+                const std::size_t got = entry.bounded(
                     a.data(), b.data(), dim, bound, &wordsRead);
                 if (exact < bound)
-                    EXPECT_EQ(got, exact) << "dim " << dim;
+                    EXPECT_EQ(got, exact)
+                        << entry.name << " dim " << dim;
                 else
                     EXPECT_EQ(got, distance::kAbandoned)
-                        << "dim " << dim << " bound " << bound;
+                        << entry.name << " dim " << dim
+                        << " bound " << bound;
                 EXPECT_LE(wordsRead, a.words());
             }
         }
@@ -364,8 +363,8 @@ TEST(PrunedScanTest, TopKEdgeCasesAcrossLayoutsAndKernels)
     Workload w(dim, 12, 0x70F0);
     for (const StoreLayout &variant : layoutVariants(dim)) {
         w.rows.setLayout(variant);
-        for (const distance::Kernel kernel : testableKernels()) {
-            distance::setKernel(kernel);
+        for (const char *kernel : testableKernels()) {
+            distance::setKernelByName(kernel);
             for (const Hypervector &query : w.queries) {
                 std::vector<RowMatch> oracle;
                 for (std::size_t r = 0; r < w.rows.rows(); ++r)
@@ -386,7 +385,7 @@ TEST(PrunedScanTest, TopKEdgeCasesAcrossLayoutsAndKernels)
                     EXPECT_TRUE(got.empty())
                         << hdham::rowLayoutName(variant.layout)
                         << " kernel "
-                        << distance::kernelName(kernel);
+                        << kernel;
                     w.rows.topK(query, dim, w.rows.rows() + 5,
                                 policy, nullptr, got);
                     ASSERT_EQ(got.size(), w.rows.rows());
@@ -394,7 +393,7 @@ TEST(PrunedScanTest, TopKEdgeCasesAcrossLayoutsAndKernels)
                         EXPECT_EQ(got[i].index, oracle[i].index)
                             << hdham::rowLayoutName(variant.layout)
                             << " kernel "
-                            << distance::kernelName(kernel)
+                            << kernel
                             << " rank " << i;
                         EXPECT_EQ(got[i].distance,
                                   oracle[i].distance)
@@ -424,8 +423,8 @@ TEST(PrunedScanTest, TopKAllEqualDistancesKeepsIndexOrder)
     for (const StoreLayout &variant : layoutVariants(dim)) {
         rows.setLayout(variant);
         const std::size_t d = rows.distance(0, query, dim);
-        for (const distance::Kernel kernel : testableKernels()) {
-            distance::setKernel(kernel);
+        for (const char *kernel : testableKernels()) {
+            distance::setKernelByName(kernel);
             for (const ScanPolicy &policy : prunedPolicies(dim)) {
                 std::vector<RowMatch> got;
                 rows.topK(query, dim, rows.rows(), policy, nullptr,
@@ -435,7 +434,7 @@ TEST(PrunedScanTest, TopKAllEqualDistancesKeepsIndexOrder)
                     EXPECT_EQ(got[i].index, i)
                         << hdham::rowLayoutName(variant.layout)
                         << " kernel "
-                        << distance::kernelName(kernel);
+                        << kernel;
                     EXPECT_EQ(got[i].distance, d);
                 }
             }

@@ -175,7 +175,9 @@ TYPED_TEST(BatchEquivalenceTest, EmptyDesignThrows)
 /**
  * Kernel choice must never show through in results: distances are
  * exact integer counts whichever kernel computes them. Runs the full
- * batch under every supported kernel and demands bit-identity.
+ * batch under every *registered* kernel this host can execute and
+ * demands bit-identity -- a backend added to the registry is picked
+ * up here without touching this test.
  */
 TYPED_TEST(BatchEquivalenceTest, InvariantAcrossKernels)
 {
@@ -183,18 +185,17 @@ TYPED_TEST(BatchEquivalenceTest, InvariantAcrossKernels)
     const auto queries = corpus(kQueries, 707);
 
     auto reference = trainedFresh<TypeParam>();
-    distance::setKernel(distance::Kernel::Scalar);
+    distance::setKernelByName("scalar");
     const auto expected = reference->searchBatch(queries, 2);
 
-    for (const distance::Kernel kernel :
-         {distance::Kernel::Unrolled, distance::Kernel::Avx2}) {
-        if (!distance::kernelSupported(kernel))
+    for (const distance::KernelEntry &entry : distance::kernels()) {
+        if (!entry.usable())
             continue;
-        distance::setKernel(kernel);
+        distance::setKernelByName(entry.name);
         auto design = trainedFresh<TypeParam>();
         expectSameResults(design->searchBatch(queries, 2), expected);
     }
-    distance::setKernel(distance::Kernel::Auto);
+    distance::setKernelByName("auto");
 }
 
 /**

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * gtest main for test binaries that run once per Hamming backend
+ * pinned via HDHAM_KERNEL (the check-kernels matrix). When the
+ * pinned backend is registered but this host cannot execute it
+ * (e.g. neon on x86-64, avx512 on an AVX2-only part), exit 77 so
+ * ctest reports a loud SKIP (SKIP_RETURN_CODE 77) instead of the
+ * dispatcher silently falling back and the run passing as if the
+ * backend had been covered. Unknown names still fall through to the
+ * tests, which pin the warn-and-fall-back behavior themselves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/distance.hh"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    if (const char *env = std::getenv("HDHAM_KERNEL")) {
+        const hdham::distance::KernelEntry *entry =
+            hdham::distance::findKernel(env);
+        if (entry && !entry->usable()) {
+            std::printf("SKIP: kernel '%s' is registered but not "
+                        "available on this host (needs %s)\n",
+                        entry->name, entry->requirement);
+            return 77;
+        }
+    }
+    return RUN_ALL_TESTS();
+}

@@ -112,25 +112,28 @@ hostThreads()
 
 /**
  * CPU capability fingerprint: the comma-joined list of Hamming
- * kernels this host can execute. Coarse on purpose -- it changes
- * exactly when the set of benchmarkable kernels changes, which is
- * what makes two machines' numbers incomparable.
+ * backends this host can execute, straight from the kernel
+ * registry. Coarse on purpose -- it changes exactly when the set of
+ * benchmarkable backends changes, which is what makes two machines'
+ * numbers incomparable.
  */
 std::string
 hostCpuFlags()
 {
-    std::string flags;
-    for (const hdham::distance::Kernel kernel :
-         {hdham::distance::Kernel::Scalar,
-          hdham::distance::Kernel::Unrolled,
-          hdham::distance::Kernel::Avx2}) {
-        if (!hdham::distance::kernelSupported(kernel))
-            continue;
-        if (!flags.empty())
-            flags += ",";
-        flags += hdham::distance::kernelName(kernel);
-    }
-    return flags;
+    return hdham::distance::availableKernelList();
+}
+
+/**
+ * The backends compiled into this binary (independent of host
+ * support). Recorded next to the available list so a baseline also
+ * remembers which kernels the recording *build* even contained --
+ * a rebuild that drops or gains a backend is as incomparable as a
+ * CPU change.
+ */
+std::string
+hostCompiledKernels()
+{
+    return hdham::distance::compiledKernelList();
 }
 
 int
@@ -350,6 +353,8 @@ writeBaseline(std::ostream &out, const SuiteResult &result,
     writeNumber(out, static_cast<double>(hostThreads()));
     out << ", \"cpu\": ";
     writeEscaped(out, hostCpuFlags());
+    out << ", \"kernels_compiled\": ";
+    writeEscaped(out, hostCompiledKernels());
     out << "},\n";
 
     // Informational hardware-counter facts next to the throughput
@@ -438,6 +443,20 @@ gate(const Value &baseline, const SuiteResult &current,
                     current.kernel.c_str(),
                     baseKernel ? baseKernel->asString().c_str()
                                : "unrecorded");
+        // A same-host run that nevertheless used a different
+        // backend (HDHAM_KERNEL / --kernel pin, or a dispatch
+        // change) compares apples to oranges kernel-wise; say so
+        // loudly, but let the throughput gate decide pass/fail.
+        if (baseKernel &&
+            baseKernel->asString() != current.kernel) {
+            std::fprintf(
+                stderr,
+                "bench_gate: WARNING: baseline was recorded with "
+                "kernel '%s' but this run used '%s' -- throughput "
+                "ratios compare different Hamming backends\n",
+                baseKernel->asString().c_str(),
+                current.kernel.c_str());
+        }
     }
     std::printf("%-42s %14s %14s %7s  %s\n", "benchmark",
                 "baseline q/s", "current q/s", "ratio", "status");
@@ -592,22 +611,34 @@ main(int argc, char **argv)
         if (const Value *host = baseline.find("host")) {
             const Value *threads = host->find("threads");
             const Value *cpu = host->find("cpu");
+            const Value *compiled = host->find("kernels_compiled");
             const double wantThreads =
                 threads ? threads->asNumber() : 0.0;
             const std::string wantCpu =
                 cpu ? cpu->asString() : std::string();
+            // Baselines recorded before the backend list landed in
+            // the fingerprint have no kernels_compiled field; treat
+            // the current list as matching so old baselines only
+            // mismatch on a real thread/CPU change.
+            const std::string wantCompiled =
+                compiled ? compiled->asString()
+                         : hostCompiledKernels();
             if (wantThreads !=
                     static_cast<double>(hostThreads()) ||
-                wantCpu != hostCpuFlags()) {
+                wantCpu != hostCpuFlags() ||
+                wantCompiled != hostCompiledKernels()) {
                 hostMismatch = true;
                 hostDiff =
                     "baseline host (threads=" +
                     std::to_string(
                         static_cast<long long>(wantThreads)) +
-                    ", cpu=" + wantCpu +
+                    ", cpu=" + wantCpu + ", kernels_compiled=" +
+                    wantCompiled +
                     ") does not match this machine (threads=" +
                     std::to_string(hostThreads()) +
-                    ", cpu=" + hostCpuFlags() + ")";
+                    ", cpu=" + hostCpuFlags() +
+                    ", kernels_compiled=" + hostCompiledKernels() +
+                    ")";
             }
         }
         if (hostMismatch && strictHost) {

@@ -168,9 +168,10 @@ usage()
         "  --batch N         queries per searchBatch() call (0 = "
         "all at once; default 0)\n"
         "  --kernel K        Hamming distance kernel: scalar, "
-        "unrolled, avx2 or auto (default: HDHAM_KERNEL env,\n"
-        "                    else runtime cpuid dispatch; results "
-        "are bit-identical for every kernel)\n"
+        "unrolled, sse2, neon, avx2, avx512 or auto (default:\n"
+        "                    HDHAM_KERNEL env, else the widest "
+        "backend this CPU supports; results are\n"
+        "                    bit-identical for every kernel)\n"
         "  --perf            measure the workload with hardware "
         "counters (perf_event_open): the metrics snapshot\n"
         "                    gains a \"perf\" object (cycles, "
@@ -249,22 +250,12 @@ kernelOption(std::vector<std::string> &args, const char *command)
     const std::string name = option(args, "--kernel", "");
     if (name.empty())
         return true;
-    distance::Kernel kernel;
-    if (!distance::parseKernel(name, &kernel)) {
-        std::fprintf(stderr,
-                     "%s: unknown kernel '%s' (expected scalar, "
-                     "unrolled, avx2 or auto)\n",
-                     command, name.c_str());
+    try {
+        distance::setKernelByName(name);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "%s: %s\n", command, e.what());
         return false;
     }
-    if (!distance::kernelSupported(kernel)) {
-        std::fprintf(stderr,
-                     "%s: kernel '%s' is not supported on this "
-                     "CPU\n",
-                     command, name.c_str());
-        return false;
-    }
-    distance::setKernel(kernel);
     return true;
 }
 
@@ -305,6 +296,8 @@ writeStatsJson(metrics::Registry &registry, const std::string &path,
     registry.setGauge("model.classes", static_cast<double>(classes));
     registry.setGauge("run.threads", static_cast<double>(threads));
     registry.setInfo("kernel", distance::activeKernelName());
+    registry.setInfo("kernels_available",
+                     distance::availableKernelList());
     writeArtifact("metrics", path, [&](std::ostream &out) {
         registry.writeJson(out);
     });
